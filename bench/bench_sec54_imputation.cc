@@ -1,0 +1,125 @@
+// Section 5.4 (operational): missing-data imputation. Classical imputers
+// (mean, median, kNN, iterative ridge / MICE-lite) against the GRAPE
+// bipartite GNN, at increasing missingness, scored on (a) scaled RMSE of the
+// hidden cells and (b) downstream classification accuracy after imputation.
+// The survey's claims: imputation quality orders mean < kNN ~ iterative <
+// GNN on data with inter-feature structure, and the GNN's joint
+// imputation+prediction avoids the impute-then-predict disconnect.
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "construct/intrinsic.h"
+#include "data/impute.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "models/bipartite_imputer.h"
+#include "models/mlp.h"
+
+namespace {
+
+using namespace gnn4tdl;
+
+/// Correlated features + class structure so both imputation and prediction
+/// are non-trivial.
+TabularDataset MakeData(uint64_t seed) {
+  return MakeClusters({.num_rows = 350,
+                       .num_classes = 3,
+                       .dim_informative = 8,
+                       .dim_noise = 0,
+                       .cluster_std = 1.0,
+                       .class_sep = 2.5,
+                       .seed = seed});
+}
+
+}  // namespace
+
+int main() {
+  using namespace gnn4tdl::bench;
+
+  Banner("Section 5.4 (operational): missing-data imputation",
+         "Claim: with inter-feature structure, mean < kNN/iterative < GRAPE "
+         "on imputation\nRMSE; GRAPE trains prediction jointly so accuracy "
+         "degrades most gracefully.");
+
+  TablePrinter table({"missing", "method", "impute RMSE", "downstream acc"},
+                     {10, 26, 14, 15});
+  table.PrintHeader();
+
+  for (double rate : {0.1, 0.3, 0.5}) {
+    TabularDataset truth = MakeData(/*seed=*/21);
+    TabularDataset holey = truth;
+    std::vector<HeldOutCell> cells = HideNumericCells(holey, rate, 31);
+    Rng rng(41);
+    Split split = StratifiedSplit(holey.class_labels(), 0.5, 0.2, rng);
+
+    TrainOptions train;
+    train.max_epochs = 200;
+    train.learning_rate = 0.02;
+    train.patience = 40;
+
+    auto downstream_acc = [&](const TabularDataset& imputed) {
+      MlpModel mlp({.hidden_dims = {32}, .train = train});
+      auto r = FitAndEvaluate(mlp, imputed, split, split.test);
+      return r.ok() ? r->accuracy : 0.0;
+    };
+
+    struct ClassicalImputer {
+      const char* name;
+      Status (*run)(TabularDataset&);
+    };
+    std::vector<ClassicalImputer> imputers = {
+        {"mean + mlp",
+         [](TabularDataset& d) { return SimpleImpute(d); }},
+        {"median + mlp",
+         [](TabularDataset& d) {
+           return SimpleImpute(d, SimpleImputeStrategy::kMedian);
+         }},
+        {"knn-impute + mlp",
+         [](TabularDataset& d) { return KnnImpute(d, {.k = 10}); }},
+        {"iterative-ridge + mlp",
+         [](TabularDataset& d) { return IterativeImpute(d); }},
+    };
+    for (const ClassicalImputer& imputer : imputers) {
+      TabularDataset imputed = holey;
+      if (!imputer.run(imputed).ok()) continue;
+      auto rmse = ImputationRmse(imputed, cells);
+      table.PrintRow({Fmt(rate, 1), imputer.name,
+                      rmse.ok() ? Fmt(*rmse) : "-",
+                      Fmt(downstream_acc(imputed))});
+    }
+
+    // GRAPE: joint imputation + prediction on the holey table directly.
+    {
+      GrapeOptions opts;
+      opts.impute_weight = 3.0;
+      opts.train = train;
+      opts.train.patience = 0;
+      opts.train.max_epochs = 300;
+      opts.train.learning_rate = 0.03;
+      GrapeModel grape(opts);
+      auto fit_result = FitAndEvaluate(grape, holey, split, split.test);
+      // GRAPE scores hidden cells in standardized space; convert the truth
+      // to the same space via the holey table's observed statistics.
+      std::string rmse_str = "-";
+      if (fit_result.ok()) {
+        BipartiteGraph truth_graph = BipartiteFromTable(truth);
+        std::vector<Triplet> held_out;
+        for (const HeldOutCell& cell : cells) {
+          held_out.push_back(
+              {cell.row, cell.col, truth_graph.left_to_right().At(cell.row,
+                                                                  cell.col)});
+        }
+        auto rmse = grape.ImputationRmse(held_out);
+        if (rmse.ok()) rmse_str = Fmt(*rmse);
+      }
+      table.PrintRow({Fmt(rate, 1), "grape (joint gnn)", rmse_str,
+                      fit_result.ok() ? Fmt(fit_result->accuracy) : "-"});
+    }
+  }
+  std::printf(
+      "\nRMSE scale: classical imputers are scored in each column's raw std "
+      "units;\nGRAPE in the bipartite standardized space — both are ~1.0 for "
+      "mean imputation,\nso values are comparable.\n");
+  return 0;
+}

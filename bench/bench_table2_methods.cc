@@ -1,0 +1,201 @@
+// Table 2 (operational): the representative GNN4TDL method families, run on
+// the three TDL task types the survey catalogs — classification (clustered +
+// multi-relational), regression, and anomaly detection. The survey's claim is
+// qualitative: each formulation wins on data whose structure it models, and
+// all graph methods are competitive with the deep-tabular baselines.
+
+#include <functional>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+#include "models/gbdt.h"
+#include "models/hypergraph_model.h"
+#include "models/knn_baseline.h"
+#include "models/gae_outlier.h"
+#include "models/lunar.h"
+#include "models/mlp.h"
+
+namespace gnn4tdl {
+namespace {
+
+TrainOptions BenchTrain() {
+  TrainOptions t;
+  t.max_epochs = 200;
+  t.learning_rate = 0.02;
+  t.patience = 35;
+  return t;
+}
+
+using ModelFactory = std::function<std::unique_ptr<TabularModel>(uint64_t)>;
+
+struct Method {
+  std::string name;
+  ModelFactory make;
+  bool supports_regression = true;
+  bool needs_categorical = false;
+};
+
+std::vector<Method> Methods() {
+  auto pipeline_factory = [](GraphFormulation f, ConstructionMethod c,
+                             bool needs_cat = false) {
+    Method m;
+    m.name = std::string(GraphFormulationName(f)) + "/" +
+             ConstructionMethodName(c);
+    m.needs_categorical = needs_cat;
+    m.make = [f, c](uint64_t seed) {
+      PipelineConfig config;
+      config.formulation = f;
+      config.construction = c;
+      // GRAPE is most stable at a smaller width (its feature-node identity
+      // projection scales with the one-hot width).
+      config.hidden_dim = f == GraphFormulation::kBipartite ? 32 : 48;
+      config.train = BenchTrain();
+      config.seed = seed;
+      auto model = BuildModel(config);
+      return std::move(*model);
+    };
+    return m;
+  };
+
+  std::vector<Method> methods;
+  // Baselines (conventional TDL).
+  for (BaselineKind b : {BaselineKind::kLinear, BaselineKind::kMlp,
+                         BaselineKind::kGbdt, BaselineKind::kKnn}) {
+    Method m;
+    m.name = BaselineKindName(b);
+    m.make = [b](uint64_t seed) {
+      PipelineConfig config;
+      config.formulation = GraphFormulation::kNoGraph;
+      config.baseline = b;
+      config.hidden_dim = 48;
+      config.train = BenchTrain();
+      config.seed = seed;
+      auto model = BuildModel(config);
+      return std::move(*model);
+    };
+    methods.push_back(m);
+  }
+  // GNN4TDL families (Table 2 rows).
+  methods.push_back(pipeline_factory(GraphFormulation::kInstanceGraph,
+                                     ConstructionMethod::kKnn));
+  methods.push_back(pipeline_factory(GraphFormulation::kInstanceGraph,
+                                     ConstructionMethod::kLearnedMetric));
+  methods.push_back(pipeline_factory(GraphFormulation::kFeatureGraph,
+                                     ConstructionMethod::kLearnedDirect));
+  methods.push_back(pipeline_factory(GraphFormulation::kBipartite,
+                                     ConstructionMethod::kIntrinsic));
+  methods.push_back(pipeline_factory(GraphFormulation::kMultiplex,
+                                     ConstructionMethod::kSameFeatureValue,
+                                     /*needs_cat=*/true));
+  methods.push_back(pipeline_factory(GraphFormulation::kHypergraph,
+                                     ConstructionMethod::kIntrinsic));
+  return methods;
+}
+
+}  // namespace
+}  // namespace gnn4tdl
+
+int main() {
+  using namespace gnn4tdl;
+  using namespace gnn4tdl::bench;
+
+  Banner("Table 2 (operational): method families x TDL tasks",
+         "Claim: every formulation is competitive with deep baselines on its "
+         "natural data;\ngraph methods hold up under missing cells; no single "
+         "method dominates all tasks.");
+
+  // Task suites.
+  TabularDataset clusters = MakeClusters({.num_rows = 500,
+                                          .num_classes = 3,
+                                          .cluster_std = 1.4,
+                                          .class_sep = 2.2});
+  TabularDataset relational = MakeMultiRelational({.num_rows = 500,
+                                                   .num_relations = 3,
+                                                   .cardinality = 40,
+                                                   .numeric_signal = 0.5,
+                                                   .effect_noise = 0.3});
+  TabularDataset clusters_missing = clusters;
+  InjectMissing(clusters_missing, 0.25, MissingMechanism::kMcar, 77);
+  TabularDataset regression = MakeRegressionData({.num_rows = 500, .dim = 8});
+
+  Rng rng(1);
+  Split cls_split = StratifiedSplit(clusters.class_labels(), 0.15, 0.15, rng);
+  Split rel_split = StratifiedSplit(relational.class_labels(), 0.15, 0.15, rng);
+  Split reg_split = RandomSplit(regression.NumRows(), 0.5, 0.2, rng);
+
+  TablePrinter table({"method", "clusters", "relational", "25% missing",
+                      "regression(R2)"},
+                     {30, 12, 12, 13, 15});
+  table.PrintHeader();
+  for (const auto& method : Methods()) {
+    std::vector<std::string> row = {method.name};
+    for (int task = 0; task < 4; ++task) {
+      const TabularDataset* data = nullptr;
+      const Split* split = nullptr;
+      switch (task) {
+        case 0:
+          data = &clusters;
+          split = &cls_split;
+          break;
+        case 1:
+          data = &relational;
+          split = &rel_split;
+          break;
+        case 2:
+          data = &clusters_missing;
+          split = &cls_split;
+          break;
+        case 3:
+          data = &regression;
+          split = &reg_split;
+          break;
+      }
+      const bool is_regression = task == 3;
+      if (method.needs_categorical && task != 1) {
+        row.push_back("-");
+        continue;
+      }
+      auto model = method.make(/*seed=*/11);
+      auto result = FitAndEvaluate(*model, *data, *split, split->test);
+      if (!result.ok()) {
+        row.push_back("-");
+        continue;
+      }
+      row.push_back(Fmt(is_regression ? result->r2 : result->accuracy));
+    }
+    table.PrintRow(row);
+  }
+
+  // Anomaly detection column (separate protocol: unsupervised, AUROC).
+  std::printf("\nAnomaly detection (AUROC, unsupervised, 5%% contamination):\n");
+  TabularDataset anomalies = MakeAnomalyData({.num_inliers = 475,
+                                              .num_outliers = 25,
+                                              .dim = 8});
+  Split no_split;
+  TablePrinter ad_table({"detector", "AUROC"}, {30, 10});
+  ad_table.PrintHeader();
+  {
+    KnnDistanceDetector knn({.k = 10});
+    auto r = FitAndEvaluate(knn, anomalies, no_split, {});
+    ad_table.PrintRow({knn.Name(), r.ok() ? Fmt(r->auroc) : "-"});
+  }
+  {
+    LunarOptions opts;
+    opts.train = BenchTrain();
+    opts.train.max_epochs = 250;
+    LunarDetector lunar(opts);
+    auto r = FitAndEvaluate(lunar, anomalies, no_split, {});
+    ad_table.PrintRow({lunar.Name(), r.ok() ? Fmt(r->auroc) : "-"});
+  }
+  {
+    GaeOutlierOptions opts;
+    opts.train = BenchTrain();
+    opts.train.max_epochs = 250;
+    GaeOutlierDetector gae(opts);
+    auto r = FitAndEvaluate(gae, anomalies, no_split, {});
+    ad_table.PrintRow({gae.Name(), r.ok() ? Fmt(r->auroc) : "-"});
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Table 6 (operational): the specialized GNN designs, run as ablations —
+// remove the key design and measure the drop.
+//   * distance preservation (LUNAR): learned distance-message network vs the
+//     fixed mean-distance score it generalizes.
+//   * feature-relation modeling (TabGNN): per-relation attention fusion vs
+//     flattening all relations into one graph.
+//   * feature selection (T2G-Former): learned feature adjacency vs uniform
+//     fully-connected feature mixing on interaction data.
+
+#include "bench_util.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "models/feature_graph.h"
+#include "models/knn_baseline.h"
+#include "models/knn_gnn.h"
+#include "models/lunar.h"
+#include "models/tabgnn.h"
+
+int main() {
+  using namespace gnn4tdl;
+  using namespace gnn4tdl::bench;
+
+  Banner("Table 6 (operational): specialized designs as ablations",
+         "Claim: each specialized design beats its generic counterpart on "
+         "the data property\nit targets (distances for AD, relations for "
+         "relational data, feature selection for\ninteractions).");
+
+  TrainOptions train;
+  train.max_epochs = 200;
+  train.learning_rate = 0.02;
+  train.patience = 40;
+
+  // --- Distance preservation (LUNAR vs fixed kNN-distance) ------------------
+  std::printf("Distance preservation (anomaly detection, AUROC):\n");
+  TablePrinter ad({"design", "AUROC"}, {36, 10});
+  ad.PrintHeader();
+  {
+    // Harder anomaly problem: outliers inside the data bounding box and
+    // clusters of varying density (the local-outlier regime).
+    TabularDataset data = MakeAnomalyData({.num_inliers = 475,
+                                           .num_outliers = 25,
+                                           .dim = 6,
+                                           .num_clusters = 4,
+                                           .inlier_std = 0.4,
+                                           .outlier_box = 3.0,
+                                           .density_spread = 1.0});
+    Split no_split;
+    LunarOptions lunar_opts;
+    lunar_opts.train = train;
+    LunarDetector lunar(lunar_opts);
+    auto lunar_result = FitAndEvaluate(lunar, data, no_split, {});
+    KnnDistanceDetector fixed({.k = 10});
+    auto fixed_result = FitAndEvaluate(fixed, data, no_split, {});
+    ad.PrintRow({"learned distance messages (LUNAR)",
+                 lunar_result.ok() ? Fmt(lunar_result->auroc) : "-"});
+    ad.PrintRow({"fixed mean distance (ablated)",
+                 fixed_result.ok() ? Fmt(fixed_result->auroc) : "-"});
+  }
+
+  // --- Feature-relation modeling (TabGNN attention vs flattened) ------------
+  std::printf("\nFeature-relation modeling (relational data, accuracy):\n");
+  TablePrinter frm({"design", "test acc"}, {36, 10});
+  frm.PrintHeader();
+  {
+    TabularDataset data = MakeMultiRelational({.num_rows = 600,
+                                               .num_relations = 3,
+                                               .cardinality = 60,
+                                               .numeric_signal = 0.5,
+                                               .effect_noise = 0.3});
+    Rng rng(1);
+    Split split = StratifiedSplit(data.class_labels(), 0.15, 0.15, rng);
+
+    TabGnnOptions tg;
+    tg.hidden_dim = 48;
+    tg.train = train;
+    TabGnnModel attention(tg);
+    auto with_attention = FitAndEvaluate(attention, data, split, split.test);
+
+    InstanceGraphGnnOptions flat;
+    flat.graph_source = GraphSource::kMultiplexFlatten;
+    flat.hidden_dim = 48;
+    flat.train = train;
+    InstanceGraphGnn flattened(flat);
+    auto without = FitAndEvaluate(flattened, data, split, split.test);
+
+    frm.PrintRow({"per-relation attention (TabGNN)",
+                  with_attention.ok() ? Fmt(with_attention->accuracy) : "-"});
+    frm.PrintRow({"flattened relations (ablated)",
+                  without.ok() ? Fmt(without->accuracy) : "-"});
+  }
+
+  // --- Feature selection (learned feature adjacency vs uniform) -------------
+  std::printf("\nFeature selection (interaction data + noise columns, accuracy):\n");
+  TablePrinter fs({"design", "test acc"}, {36, 10});
+  fs.PrintHeader();
+  {
+    TabularDataset data = MakeInteraction({.num_rows = 700,
+                                           .order = 2,
+                                           .dim_noise = 12});
+    Rng rng(2);
+    Split split = StratifiedSplit(data.class_labels(), 0.5, 0.2, rng);
+    TrainOptions fg_train = train;
+    fg_train.max_epochs = 300;
+    fg_train.learning_rate = 0.03;
+
+    FeatureGraphOptions learned;
+    learned.adjacency = FeatureAdjacency::kLearned;
+    learned.train = fg_train;
+    FeatureGraphModel with_selection(learned);
+    auto learned_result = FitAndEvaluate(with_selection, data, split,
+                                         split.test);
+
+    FeatureGraphOptions uniform;
+    uniform.adjacency = FeatureAdjacency::kFullyConnected;
+    uniform.train = fg_train;
+    FeatureGraphModel without_selection(uniform);
+    auto uniform_result = FitAndEvaluate(without_selection, data, split,
+                                         split.test);
+
+    fs.PrintRow({"learned adjacency (T2G-style)",
+                 learned_result.ok() ? Fmt(learned_result->accuracy) : "-"});
+    fs.PrintRow({"uniform mixing (ablated)",
+                 uniform_result.ok() ? Fmt(uniform_result->accuracy) : "-"});
+  }
+  return 0;
+}

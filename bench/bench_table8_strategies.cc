@@ -1,0 +1,57 @@
+// Table 8 (operational): training strategies on the same instance-graph
+// model. The survey's claims: end-to-end is the strong default; two-stage
+// decouples representation from prediction (it can lag because phase-1 gains
+// may not transfer); pretrain-finetune recovers most of the end-to-end
+// accuracy while giving a robust initialization — with differences amplified
+// under label scarcity.
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace gnn4tdl;
+  using namespace gnn4tdl::bench;
+
+  Banner("Table 8 (operational): training strategies",
+         "Claim: end-to-end is the strong default; pretrain-finetune is "
+         "competitive;\ntwo-stage (frozen encoder) lags on the main task.");
+
+  TrainOptions train;
+  train.max_epochs = 200;
+  train.learning_rate = 0.02;
+  train.patience = 50;
+
+  std::vector<uint64_t> seeds = {11, 22, 33};
+
+  TablePrinter table({"strategy", "labels/class", "test acc (mean±std)"},
+                     {22, 14, 22});
+  table.PrintHeader();
+  for (TrainStrategy strategy :
+       {TrainStrategy::kEndToEnd, TrainStrategy::kTwoStage,
+        TrainStrategy::kPretrainFinetune}) {
+    for (size_t labels_per_class : {3ul, 20ul}) {
+      std::vector<double> accs;
+      for (uint64_t seed : seeds) {
+        TabularDataset data = MakeClusters({.num_rows = 400,
+                                            .num_classes = 4,
+                                            .cluster_std = 1.6,
+                                            .class_sep = 2.0,
+                                            .seed = seed});
+        Rng rng(seed);
+        Split split = LabelScarceSplit(data.class_labels(), labels_per_class,
+                                       0.1, 0.4, rng);
+        PipelineConfig config;
+        config.strategy = strategy;
+        config.train = train;
+        config.seed = seed;
+        auto r = RunPipeline(config, data, split);
+        if (r.ok()) accs.push_back(r->eval.accuracy);
+      }
+      table.PrintRow({TrainStrategyName(strategy),
+                      std::to_string(labels_per_class),
+                      FmtAgg(Aggregated(accs))});
+    }
+  }
+  return 0;
+}

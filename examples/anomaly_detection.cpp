@@ -1,0 +1,49 @@
+// Anomaly detection with LUNAR-style message passing (survey Sections 4.3.3
+// & 5.1): kNN distances become edge features, a learned network maps each
+// point's distance vector to an anomaly score, trained with generated
+// negatives — no anomaly labels needed.
+//
+// Build & run:  ./build/examples/anomaly_detection
+
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "models/knn_baseline.h"
+#include "models/lunar.h"
+
+using namespace gnn4tdl;
+
+int main() {
+  TabularDataset data = MakeAnomalyData({.num_inliers = 570,
+                                         .num_outliers = 30,
+                                         .dim = 8,
+                                         .num_clusters = 4});
+  std::printf("points: %zu (%.0f%% contamination)\n\n", data.NumRows(), 5.0);
+
+  Split unused;
+
+  LunarOptions lunar_opts;
+  lunar_opts.k = 10;
+  lunar_opts.train.max_epochs = 250;
+  lunar_opts.train.learning_rate = 0.02;
+  LunarDetector lunar(lunar_opts);
+  auto lunar_result = FitAndEvaluate(lunar, data, unused, {});
+  if (!lunar_result.ok()) {
+    std::fprintf(stderr, "lunar failed: %s\n",
+                 lunar_result.status().ToString().c_str());
+    return 1;
+  }
+
+  KnnDistanceDetector knn({.k = 10});
+  auto knn_result = FitAndEvaluate(knn, data, unused, {});
+  if (!knn_result.ok()) return 1;
+
+  std::printf("%-18s %-8s\n", "detector", "AUROC");
+  std::printf("%-18s %-8.3f\n", lunar.Name().c_str(), lunar_result->auroc);
+  std::printf("%-18s %-8.3f\n", knn.Name().c_str(), knn_result->auroc);
+  std::printf(
+      "\nLUNAR learns how to weigh the k distance messages instead of fixing\n"
+      "mean/max like classical local-outlier methods (survey Table 6,\n"
+      "distance preservation).\n");
+  return 0;
+}

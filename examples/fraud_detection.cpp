@@ -1,0 +1,75 @@
+// Fraud detection with multiplex graphs (survey Sections 4.1.2 & 5.1).
+//
+// Synthetic transaction table: each row is a transaction with three
+// high-cardinality categorical links — account, merchant, device — whose
+// shared values correlate with the fraud label (fraud rings reuse accounts,
+// merchants, and devices). TabGNN builds one relation layer per column and
+// learns per-transaction attention over the relations.
+//
+// Build & run:  ./build/examples/fraud_detection
+
+#include <cstdio>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "models/mlp.h"
+#include "models/tabgnn.h"
+
+using namespace gnn4tdl;
+
+int main() {
+  // The multi-relational generator is our stand-in for a fraud log: three
+  // relations with latent per-value effects (ring membership), weak numeric
+  // features (amount-like), binary label.
+  MultiRelationalOptions data_opts;
+  data_opts.num_rows = 800;
+  data_opts.num_classes = 2;
+  data_opts.num_relations = 3;
+  data_opts.cardinality = 60;
+  data_opts.numeric_signal = 0.5;
+  data_opts.effect_noise = 0.3;
+  TabularDataset data = MakeMultiRelational(data_opts);
+  // Rename to the fraud-story schema for readability of the output.
+  const char* names[] = {"account", "merchant", "device"};
+  for (size_t c = 0; c < 3; ++c) data.mutable_column(c).name = names[c];
+
+  Rng rng(3);
+  Split split = StratifiedSplit(data.class_labels(), 0.15, 0.15, rng);
+  std::printf("transactions: %zu  (labeled for training: %zu)\n\n",
+              data.NumRows(), split.train.size());
+
+  TrainOptions train;
+  train.max_epochs = 200;
+  train.learning_rate = 0.02;
+  train.patience = 40;
+
+  TabGnnOptions tg_opts;
+  tg_opts.hidden_dim = 48;
+  tg_opts.train = train;
+  TabGnnModel tabgnn(tg_opts);
+  auto tabgnn_result = FitAndEvaluate(tabgnn, data, split, split.test);
+  if (!tabgnn_result.ok()) {
+    std::fprintf(stderr, "tabgnn failed: %s\n",
+                 tabgnn_result.status().ToString().c_str());
+    return 1;
+  }
+
+  MlpModel mlp({.hidden_dims = {64}, .train = train});
+  auto mlp_result = FitAndEvaluate(mlp, data, split, split.test);
+  if (!mlp_result.ok()) return 1;
+
+  std::printf("%-22s %-10s %-8s\n", "model", "test acc", "auroc");
+  std::printf("%-22s %-10.3f %-8.3f\n", tabgnn.Name().c_str(),
+              tabgnn_result->accuracy, tabgnn_result->auroc);
+  std::printf("%-22s %-10.3f %-8.3f\n\n", mlp.Name().c_str(),
+              mlp_result->accuracy, mlp_result->auroc);
+
+  auto attention = tabgnn.ChannelAttention();
+  if (attention.ok()) {
+    std::printf("learned relation attention (which link matters):\n");
+    const char* channels[] = {"account", "merchant", "device", "self"};
+    for (size_t c = 0; c < attention->size() && c < 4; ++c)
+      std::printf("  %-10s %.3f\n", channels[c], (*attention)[c]);
+  }
+  return 0;
+}

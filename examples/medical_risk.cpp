@@ -1,0 +1,75 @@
+// Medical risk prediction (survey Section 5.3): the label-scarce,
+// heterogeneous regime of electronic medical records. Patients carry numeric
+// vitals plus categorical diagnosis/treatment codes; labeling is expensive,
+// so only a handful of patients per class have outcomes. We compare:
+//   * hetero(rgcn)  — patients + code-value nodes, typed relations (GCT-like)
+//   * knn+gcn       — semi-supervised instance graph over vitals
+//   * label_prop    — learning-free propagation baseline
+//   * mlp           — supervised-only baseline
+//
+// Build & run:  ./build/examples/medical_risk
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "models/label_prop.h"
+
+using namespace gnn4tdl;
+
+int main() {
+  // Synthetic EMR stand-in: codes with latent risk effects + weak vitals.
+  MultiRelationalOptions data_opts;
+  data_opts.num_rows = 600;
+  data_opts.num_classes = 2;
+  data_opts.num_relations = 2;  // diagnosis codes, treatment codes
+  data_opts.cardinality = 25;
+  data_opts.dim_numeric = 8;    // vitals
+  data_opts.numeric_signal = 0.6;
+  data_opts.effect_noise = 0.25;
+  TabularDataset data = MakeMultiRelational(data_opts);
+  data.mutable_column(0).name = "diagnosis";
+  data.mutable_column(1).name = "treatment";
+
+  Rng rng(17);
+  // 20 labeled patients per outcome: the supervision-scarcity setting.
+  Split split = LabelScarceSplit(data.class_labels(), 20, 0.1, 0.4, rng);
+  std::printf("patients: %zu, labeled outcomes: %zu, evaluated on %zu\n\n",
+              data.NumRows(), split.train.size(), split.test.size());
+
+  TrainOptions train;
+  train.max_epochs = 200;
+  train.learning_rate = 0.02;
+  train.patience = 40;
+
+  std::printf("%-18s %-10s %-8s\n", "model", "test acc", "auroc");
+  auto run = [&](GraphFormulation f, ConstructionMethod c,
+                 BaselineKind b = BaselineKind::kMlp) {
+    PipelineConfig config;
+    config.formulation = f;
+    config.construction = c;
+    config.baseline = b;
+    config.hidden_dim = 48;
+    config.train = train;
+    auto r = RunPipeline(config, data, split);
+    if (r.ok()) {
+      std::printf("%-18s %-10.3f %-8.3f\n", r->model_name.c_str(),
+                  r->eval.accuracy, r->eval.auroc);
+    }
+  };
+  run(GraphFormulation::kHeteroGraph, ConstructionMethod::kIntrinsic);
+  run(GraphFormulation::kInstanceGraph, ConstructionMethod::kKnn);
+  run(GraphFormulation::kNoGraph, ConstructionMethod::kIntrinsic);
+
+  LabelPropagation lp;
+  auto lp_result = FitAndEvaluate(lp, data, split, split.test);
+  if (lp_result.ok()) {
+    std::printf("%-18s %-10.3f %-8.3f\n", lp.Name().c_str(),
+                lp_result->accuracy, lp_result->auroc);
+  }
+  std::printf(
+      "\nCode-sharing relations let the typed GNN pool the unlabeled "
+      "patients'\nstructure (survey Sections 2.5d & 5.3).\n");
+  return 0;
+}

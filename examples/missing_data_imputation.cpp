@@ -1,0 +1,86 @@
+// Missing-data imputation with the GRAPE bipartite formulation (survey
+// Sections 4.1.2 & 5.4).
+//
+// We hide 20% of the cells of a clustered table, then:
+//  1. GRAPE treats imputation as edge-value prediction on the
+//     instance-feature bipartite graph (missing cells simply have no edge),
+//     trained jointly with the downstream label task.
+//  2. The baseline imputes the column mean and trains an MLP.
+//
+// Build & run:  ./build/examples/missing_data_imputation
+
+#include <cmath>
+#include <cstdio>
+
+#include "construct/intrinsic.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "models/bipartite_imputer.h"
+#include "models/mlp.h"
+
+using namespace gnn4tdl;
+
+int main() {
+  TabularDataset full = MakeClusters({.num_rows = 400,
+                                      .num_classes = 3,
+                                      .dim_informative = 8,
+                                      .dim_noise = 0});
+
+  // Ground-truth standardized cell values (for imputation scoring).
+  BipartiteGraph truth = BipartiteFromTable(full);
+
+  // Hide 20% of the cells.
+  TabularDataset holey = full;
+  Rng rng(5);
+  std::vector<Triplet> hidden;
+  for (size_t c = 0; c < holey.NumCols(); ++c) {
+    Column& col = holey.mutable_column(c);
+    for (size_t r = 0; r < holey.NumRows(); ++r) {
+      if (rng.Bernoulli(0.2)) {
+        hidden.push_back({r, c, truth.left_to_right().At(r, c)});
+        col.numeric[r] = std::nan("");
+      }
+    }
+  }
+  std::printf("table: %zu x %zu, %.1f%% of cells hidden\n\n", holey.NumRows(),
+              holey.NumCols(), 100.0 * holey.MissingFraction());
+
+  Split split = StratifiedSplit(holey.class_labels(), 0.5, 0.2, rng);
+
+  GrapeOptions opts;
+  opts.impute_weight = 3.0;
+  opts.train.max_epochs = 300;
+  opts.train.learning_rate = 0.03;
+  opts.train.patience = 0;
+  GrapeModel grape(opts);
+  auto grape_result = FitAndEvaluate(grape, holey, split, split.test);
+  if (!grape_result.ok()) {
+    std::fprintf(stderr, "grape failed: %s\n",
+                 grape_result.status().ToString().c_str());
+    return 1;
+  }
+  auto grape_rmse = grape.ImputationRmse(hidden);
+
+  // Mean-imputation baseline: the featurizer fills missing cells with the
+  // (standardized) column mean, which in standardized space is 0 — so its
+  // imputation RMSE is the residual std of the hidden cells (~1).
+  double mean_rmse = 0.0;
+  for (const Triplet& t : hidden) mean_rmse += t.value * t.value;
+  mean_rmse = std::sqrt(mean_rmse / static_cast<double>(hidden.size()));
+
+  MlpModel mlp({.hidden_dims = {64},
+                .train = {.max_epochs = 200, .learning_rate = 0.02}});
+  auto mlp_result = FitAndEvaluate(mlp, holey, split, split.test);
+  if (!mlp_result.ok()) return 1;
+
+  std::printf("%-24s %-14s %-10s\n", "method", "impute RMSE", "test acc");
+  std::printf("%-24s %-14.3f %-10.3f\n", grape.Name().c_str(),
+              grape_rmse.ok() ? *grape_rmse : -1.0, grape_result->accuracy);
+  std::printf("%-24s %-14.3f %-10.3f\n", "mean-impute + mlp", mean_rmse,
+              mlp_result->accuracy);
+  std::printf(
+      "\nGRAPE predicts the hidden standardized values far better than the\n"
+      "column-mean baseline because the bipartite message passing sees each\n"
+      "instance's observed cells (survey Section 5.4).\n");
+  return 0;
+}

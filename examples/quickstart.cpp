@@ -1,0 +1,74 @@
+// Quickstart: the full GNN4TDL pipeline (survey Figure 1) on a synthetic
+// classification table, compared against an MLP baseline.
+//
+//   formulation  : instance graph (rows as nodes)
+//   construction : kNN over standardized features
+//   learning     : 2-layer GCN, semi-supervised full batch
+//   training     : end-to-end with early stopping
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+
+using namespace gnn4tdl;
+
+int main() {
+  // 1. Data: 600 rows, 3 classes, clustered features (so instances of the
+  //    same class correlate — the property instance graphs exploit).
+  TabularDataset data = MakeClusters({.num_rows = 600,
+                                      .num_classes = 3,
+                                      .cluster_std = 1.4,
+                                      .class_sep = 2.5});
+  Rng rng(7);
+  Split split = StratifiedSplit(data.class_labels(), /*train=*/0.1,
+                                /*val=*/0.2, rng);
+  std::printf("dataset: %zu rows, %zu columns, %d classes\n", data.NumRows(),
+              data.NumCols(), data.num_classes());
+  std::printf("split: %zu train / %zu val / %zu test\n\n", split.train.size(),
+              split.val.size(), split.test.size());
+
+  // 2. The GNN4TDL pipeline.
+  PipelineConfig gnn;
+  gnn.formulation = GraphFormulation::kInstanceGraph;
+  gnn.construction = ConstructionMethod::kKnn;
+  gnn.knn_k = 10;
+  gnn.backbone = GnnBackbone::kGcn;
+  gnn.hidden_dim = 32;
+  gnn.train.max_epochs = 200;
+  gnn.train.learning_rate = 0.02;
+
+  auto gnn_result = RunPipeline(gnn, data, split);
+  if (!gnn_result.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 gnn_result.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. The conventional deep-TDL baseline.
+  PipelineConfig mlp = gnn;
+  mlp.formulation = GraphFormulation::kNoGraph;
+  mlp.baseline = BaselineKind::kMlp;
+  auto mlp_result = RunPipeline(mlp, data, split);
+  if (!mlp_result.ok()) {
+    std::fprintf(stderr, "baseline failed: %s\n",
+                 mlp_result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-24s %-10s %-8s\n", "model", "test acc", "fit(s)");
+  std::printf("%-24s %-10.3f %-8.2f   (graph: %zu edges, homophily %.2f)\n",
+              gnn_result->model_name.c_str(), gnn_result->eval.accuracy,
+              gnn_result->fit_seconds, gnn_result->graph_edges,
+              gnn_result->edge_homophily);
+  std::printf("%-24s %-10.3f %-8.2f\n", mlp_result->model_name.c_str(),
+              mlp_result->eval.accuracy, mlp_result->fit_seconds);
+  std::printf(
+      "\nWith only 10%% of rows labeled, the GNN propagates supervision\n"
+      "through the instance graph (survey Section 2.5d) and should match or\n"
+      "beat the MLP trained on the labeled rows alone.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+#ifndef GNN4TDL_COMMON_CHECK_H_
+#define GNN4TDL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal-invariant checks. These fire on programmer error (shape mismatch,
+/// index out of bounds), not on bad user input — user input goes through
+/// Status-returning APIs. Enabled in all build types: the library's data sizes
+/// are small enough that the cost is negligible, and silent corruption in a
+/// numerics library is far worse than an abort.
+#define GNN4TDL_CHECK(cond)                                                    \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::fprintf(stderr, "GNN4TDL_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                           \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (false)
+
+#define GNN4TDL_CHECK_MSG(cond, msg)                                           \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::fprintf(stderr, "GNN4TDL_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, msg);                            \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (false)
+
+#define GNN4TDL_CHECK_EQ(a, b) GNN4TDL_CHECK((a) == (b))
+#define GNN4TDL_CHECK_LT(a, b) GNN4TDL_CHECK((a) < (b))
+#define GNN4TDL_CHECK_LE(a, b) GNN4TDL_CHECK((a) <= (b))
+#define GNN4TDL_CHECK_GT(a, b) GNN4TDL_CHECK((a) > (b))
+#define GNN4TDL_CHECK_GE(a, b) GNN4TDL_CHECK((a) >= (b))
+
+#endif  // GNN4TDL_COMMON_CHECK_H_

@@ -1,0 +1,48 @@
+#include "common/rng.h"
+
+#include "common/check.h"
+
+namespace gnn4tdl {
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+int64_t Rng::Int(int64_t lo, int64_t hi) {
+  GNN4TDL_CHECK_LE(lo, hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  GNN4TDL_CHECK(!weights.empty());
+  std::discrete_distribution<size_t> dist(weights.begin(), weights.end());
+  return dist(engine_);
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  Shuffle(perm);
+  return perm;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  GNN4TDL_CHECK_LE(k, n);
+  std::vector<size_t> perm = Permutation(n);
+  perm.resize(k);
+  return perm;
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,155 @@
+#include "construct/intrinsic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnn4tdl {
+
+BipartiteGraph BipartiteFromTable(const TabularDataset& data,
+                                  const BipartiteOptions& options,
+                                  std::vector<std::string>* feature_names) {
+  std::vector<Triplet> edges;
+  std::vector<std::string> names;
+  size_t next_feature = 0;
+
+  for (size_t c = 0; c < data.NumCols(); ++c) {
+    const Column& col = data.column(c);
+    if (col.type == ColumnType::kNumerical) {
+      double mean = 0.0, stddev = 1.0;
+      if (options.standardize_numeric) {
+        double sum = 0.0, sum_sq = 0.0;
+        size_t count = 0;
+        for (double v : col.numeric) {
+          if (std::isnan(v)) continue;
+          sum += v;
+          sum_sq += v * v;
+          ++count;
+        }
+        if (count > 0) {
+          mean = sum / static_cast<double>(count);
+          double var = sum_sq / static_cast<double>(count) - mean * mean;
+          stddev = var > 1e-12 ? std::sqrt(var) : 1.0;
+        }
+      }
+      for (size_t r = 0; r < data.NumRows(); ++r) {
+        double v = col.numeric[r];
+        if (std::isnan(v)) continue;
+        double w = options.standardize_numeric ? (v - mean) / stddev : v;
+        edges.push_back({r, next_feature, w});
+      }
+      names.push_back(col.name);
+      ++next_feature;
+    } else if (options.expand_categorical) {
+      for (size_t r = 0; r < data.NumRows(); ++r) {
+        int code = col.codes[r];
+        if (code < 0) continue;
+        edges.push_back({r, next_feature + static_cast<size_t>(code), 1.0});
+      }
+      for (size_t v = 0; v < col.NumCategories(); ++v)
+        names.push_back(col.name + "=" + col.categories[v]);
+      next_feature += col.NumCategories();
+    } else {
+      for (size_t r = 0; r < data.NumRows(); ++r) {
+        int code = col.codes[r];
+        if (code < 0) continue;
+        edges.push_back({r, next_feature, static_cast<double>(code)});
+      }
+      names.push_back(col.name);
+      ++next_feature;
+    }
+  }
+
+  if (feature_names != nullptr) *feature_names = names;
+  return BipartiteGraph::FromEdges(data.NumRows(), next_feature,
+                                   std::move(edges));
+}
+
+HeteroGraph HeteroFromTable(const TabularDataset& data) {
+  HeteroGraph hg;
+  size_t instance_offset = hg.AddNodeType("instance", data.NumRows());
+  GNN4TDL_CHECK_EQ(instance_offset, 0u);
+
+  std::vector<size_t> cat_cols = data.ColumnsOfType(ColumnType::kCategorical);
+  std::vector<size_t> value_offsets;
+  for (size_t c : cat_cols) {
+    const Column& col = data.column(c);
+    value_offsets.push_back(hg.AddNodeType(col.name, col.NumCategories()));
+  }
+
+  for (size_t idx = 0; idx < cat_cols.size(); ++idx) {
+    const Column& col = data.column(cat_cols[idx]);
+    std::vector<Edge> edges;
+    for (size_t r = 0; r < data.NumRows(); ++r) {
+      int code = col.codes[r];
+      if (code < 0) continue;
+      edges.push_back(
+          {r, value_offsets[idx] + static_cast<size_t>(code), 1.0});
+    }
+    hg.AddRelation("has_" + col.name, edges, /*symmetrize=*/true);
+  }
+  return hg;
+}
+
+Hypergraph HypergraphFromTable(const TabularDataset& data,
+                               const HypergraphOptions& options,
+                               std::vector<std::string>* node_names) {
+  GNN4TDL_CHECK_GE(options.numeric_bins, 2u);
+  std::vector<std::string> names;
+
+  // Assign each (column, value/bin) a node id.
+  struct ColumnNodes {
+    size_t offset = 0;
+    std::vector<double> bin_edges;  // for numeric columns
+  };
+  std::vector<ColumnNodes> per_col(data.NumCols());
+  size_t next_node = 0;
+
+  for (size_t c = 0; c < data.NumCols(); ++c) {
+    const Column& col = data.column(c);
+    per_col[c].offset = next_node;
+    if (col.type == ColumnType::kCategorical) {
+      for (size_t v = 0; v < col.NumCategories(); ++v)
+        names.push_back(col.name + "=" + col.categories[v]);
+      next_node += col.NumCategories();
+    } else {
+      // Quantile bin edges from the observed values.
+      std::vector<double> sorted;
+      sorted.reserve(col.numeric.size());
+      for (double v : col.numeric)
+        if (!std::isnan(v)) sorted.push_back(v);
+      std::sort(sorted.begin(), sorted.end());
+      std::vector<double>& edges = per_col[c].bin_edges;
+      for (size_t b = 1; b < options.numeric_bins && !sorted.empty(); ++b) {
+        size_t idx = b * sorted.size() / options.numeric_bins;
+        idx = std::min(idx, sorted.size() - 1);
+        edges.push_back(sorted[idx]);
+      }
+      for (size_t b = 0; b < options.numeric_bins; ++b)
+        names.push_back(col.name + "#bin" + std::to_string(b));
+      next_node += options.numeric_bins;
+    }
+  }
+
+  std::vector<std::vector<size_t>> hyperedges(data.NumRows());
+  for (size_t r = 0; r < data.NumRows(); ++r) {
+    for (size_t c = 0; c < data.NumCols(); ++c) {
+      const Column& col = data.column(c);
+      if (col.IsMissing(r)) continue;
+      if (col.type == ColumnType::kCategorical) {
+        hyperedges[r].push_back(per_col[c].offset +
+                                static_cast<size_t>(col.codes[r]));
+      } else {
+        const std::vector<double>& edges = per_col[c].bin_edges;
+        size_t bin = static_cast<size_t>(
+            std::upper_bound(edges.begin(), edges.end(), col.numeric[r]) -
+            edges.begin());
+        hyperedges[r].push_back(per_col[c].offset + bin);
+      }
+    }
+  }
+
+  if (node_names != nullptr) *node_names = names;
+  return Hypergraph::FromHyperedges(next_node, hyperedges);
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,55 @@
+#ifndef GNN4TDL_CONSTRUCT_INTRINSIC_H_
+#define GNN4TDL_CONSTRUCT_INTRINSIC_H_
+
+#include <string>
+#include <vector>
+
+#include "data/tabular.h"
+#include "graph/bipartite.h"
+#include "graph/hetero.h"
+#include "graph/hypergraph.h"
+
+namespace gnn4tdl {
+
+// Intrinsic-structure graph construction (Section 4.2.1): graphs read
+// directly off the table's rows, columns, and cells.
+
+/// Options for BipartiteFromTable.
+struct BipartiteOptions {
+  /// Standardize numerical cell values before using them as edge weights.
+  bool standardize_numeric = true;
+  /// Expand each categorical column into one feature node per category
+  /// (edge weight 1); otherwise one node per column with the code as weight.
+  bool expand_categorical = true;
+};
+
+/// GRAPE-style bipartite graph: instances on the left, features on the right,
+/// observed cells as weighted edges. Missing cells produce no edge.
+/// `feature_names` (optional out) receives the right-node names.
+BipartiteGraph BipartiteFromTable(const TabularDataset& data,
+                                  const BipartiteOptions& options = {},
+                                  std::vector<std::string>* feature_names =
+                                      nullptr);
+
+/// General heterogeneous graph: one "instance" node type plus one node type
+/// per categorical column (a node per distinct value), with one relation per
+/// column connecting instances to their value nodes (GME/GCT/GraphFC-style).
+HeteroGraph HeteroFromTable(const TabularDataset& data);
+
+/// Options for HypergraphFromTable.
+struct HypergraphOptions {
+  /// Number of quantile bins used to discretize numerical columns into
+  /// value nodes.
+  size_t numeric_bins = 8;
+};
+
+/// HCL/PET-style hypergraph: nodes are distinct feature values (categorical
+/// values and numeric quantile bins); each row is a hyperedge over its
+/// values. `node_names` (optional out) receives the value-node names.
+Hypergraph HypergraphFromTable(const TabularDataset& data,
+                               const HypergraphOptions& options = {},
+                               std::vector<std::string>* node_names = nullptr);
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_CONSTRUCT_INTRINSIC_H_

@@ -1,0 +1,80 @@
+#ifndef GNN4TDL_CONSTRUCT_LEARNED_H_
+#define GNN4TDL_CONSTRUCT_LEARNED_H_
+
+#include <vector>
+
+#include "construct/similarity.h"
+#include "nn/module.h"
+#include "nn/tensor.h"
+
+namespace gnn4tdl {
+
+// Learning-based graph construction (Section 4.2.3 / Table 4). All three
+// strategies score a fixed *candidate edge set* (typically a kNN superset, as
+// IDGL/SLAPS initialize from kNN) and return differentiable edge weights in
+// [0, 1]; a model then aggregates messages with those weights, so the graph
+// structure trains end-to-end with the task loss.
+
+/// Candidate edges: symmetric union of each row's `k` nearest neighbors under
+/// `metric` (both directions listed, no self edges).
+struct CandidateEdges {
+  std::vector<size_t> src;
+  std::vector<size_t> dst;
+};
+CandidateEdges KnnCandidates(const Matrix& x, size_t k,
+                             SimilarityMetric metric =
+                                 SimilarityMetric::kEuclidean);
+
+/// Fully-connected candidates (for small n or feature graphs).
+CandidateEdges FullCandidates(size_t n);
+
+/// Metric-based learner (IDGL/DGM-family): learnable per-dimension scaling
+/// w >= 0; the weight of edge (i, j) is relu(cosine(w ⊙ x_i, w ⊙ x_j)).
+class MetricGraphLearner : public Module {
+ public:
+  MetricGraphLearner(size_t dim, Rng& rng);
+
+  /// Edge weights (E x 1) for the candidate set given node features `x`.
+  Tensor EdgeWeights(const Tensor& x, const CandidateEdges& edges) const;
+
+ private:
+  Tensor log_scale_;  // dim x 1; softplus-free: scale = exp(log_scale)
+};
+
+/// Neural learner (SLAPS/TabGSL-family): MLP on [x_i, x_j, |x_i - x_j|]
+/// followed by a sigmoid.
+class NeuralEdgeScorer : public Module {
+ public:
+  NeuralEdgeScorer(size_t dim, size_t hidden, Rng& rng);
+
+  Tensor EdgeWeights(const Tensor& x, const CandidateEdges& edges) const;
+
+ private:
+  Mlp mlp_;
+};
+
+/// Direct learner (LDS/Table2Graph-family): one free parameter per candidate
+/// edge, squashed by a sigmoid. Edge weights do not depend on node features.
+class DirectAdjacency : public Module {
+ public:
+  DirectAdjacency(size_t num_edges, Rng& rng, double init_logit = 1.0);
+
+  Tensor EdgeWeights() const;
+
+  size_t num_edges() const { return logits_.rows(); }
+
+ private:
+  Tensor logits_;  // E x 1
+};
+
+/// Degree-normalized weighted aggregation with learned edge weights:
+///   out[v] = sum_{e: dst=v} softmax_v(log w_e) * h[src_e]
+/// i.e., per-destination normalization of the learned weights, which keeps
+/// the operator a convex combination regardless of how many candidates
+/// survive. `h` is n x d.
+Tensor WeightedAggregate(const Tensor& h, const Tensor& edge_weights,
+                         const CandidateEdges& edges, size_t num_nodes);
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_CONSTRUCT_LEARNED_H_

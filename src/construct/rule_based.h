@@ -1,0 +1,83 @@
+#ifndef GNN4TDL_CONSTRUCT_RULE_BASED_H_
+#define GNN4TDL_CONSTRUCT_RULE_BASED_H_
+
+#include <vector>
+
+#include "construct/similarity.h"
+#include "data/tabular.h"
+#include "graph/graph.h"
+#include "graph/multiplex.h"
+
+namespace gnn4tdl {
+
+// Rule-based graph construction (Section 4.2.2 / Table 3): the four
+// mainstream edge criteria — kNN, thresholding, fully-connected, and
+// same-feature-value — each parameterized by a similarity measure.
+
+/// Options for KnnGraph.
+struct KnnGraphOptions {
+  size_t k = 10;
+  SimilarityMetric metric = SimilarityMetric::kEuclidean;
+  double gamma = 1.0;  // RBF bandwidth
+  /// Keep an edge only if each endpoint is in the other's k nearest
+  /// neighbors (mutual kNN yields sparser, higher-precision graphs).
+  bool mutual = false;
+  /// Carry the similarity as the edge weight (shifted to positive for
+  /// distance metrics); otherwise weights are 1.
+  bool weighted = false;
+};
+
+/// Connects every row of `x` to its k most similar rows. The result is
+/// symmetrized (union of directed kNN edges), matching LUNAR/SUBLIME-style
+/// instance graphs.
+Graph KnnGraph(const Matrix& x, const KnnGraphOptions& options);
+
+/// Options for ThresholdGraph.
+struct ThresholdGraphOptions {
+  double threshold = 0.0;  // keep pairs with similarity >= threshold
+  SimilarityMetric metric = SimilarityMetric::kCosine;
+  double gamma = 1.0;
+  bool weighted = false;
+};
+
+/// Connects every pair with similarity above the threshold (GINN/GAEOD-style).
+Graph ThresholdGraph(const Matrix& x, const ThresholdGraphOptions& options);
+
+/// Fully-connected graph over n nodes (Fi-GNN-style feature graphs). If `x`
+/// is non-null, edges are weighted by pairwise similarity; otherwise uniform.
+struct FullyConnectedOptions {
+  SimilarityMetric metric = SimilarityMetric::kCosine;
+  double gamma = 1.0;
+  bool include_self_loops = false;
+};
+Graph FullyConnectedGraph(size_t num_nodes, const Matrix* x = nullptr,
+                          const FullyConnectedOptions& options = {});
+
+/// Connects instances sharing the same value of categorical column
+/// `column_index` (TabGNN/WPN-style). Each value group becomes a clique;
+/// groups larger than `max_group_size` are subsampled to a random clique of
+/// that size to bound edge count (0 = no cap).
+Graph SameFeatureValueGraph(const TabularDataset& data, size_t column_index,
+                            size_t max_group_size = 0, uint64_t seed = 42);
+
+/// One multiplex layer per categorical column (TabGNN's formulation).
+/// `columns` empty = all categorical columns.
+MultiplexGraph MultiplexFromCategoricals(const TabularDataset& data,
+                                         std::vector<size_t> columns = {},
+                                         size_t max_group_size = 0,
+                                         uint64_t seed = 42);
+
+/// kNN instance graph directly from a table *with missing values* (GNN4MV,
+/// Table 6 "missing values"): distances use only co-observed columns
+/// (std-scaled numerics, 0/1 mismatch for categoricals, averaged over the
+/// overlap), so no imputation is needed before graph construction.
+Graph MissingAwareKnnGraph(const TabularDataset& data, size_t k);
+
+/// Feature graph over the columns of `x` from the absolute Pearson
+/// correlation between features: edge (i, j) iff |corr| >= threshold
+/// (IGNNet-style). Nodes = features, so the graph has x.cols() nodes.
+Graph FeatureCorrelationGraph(const Matrix& x, double threshold = 0.3);
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_CONSTRUCT_RULE_BASED_H_

@@ -1,0 +1,120 @@
+#include "construct/similarity.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gnn4tdl {
+
+const char* SimilarityMetricName(SimilarityMetric m) {
+  switch (m) {
+    case SimilarityMetric::kEuclidean:
+      return "euclidean";
+    case SimilarityMetric::kManhattan:
+      return "manhattan";
+    case SimilarityMetric::kCosine:
+      return "cosine";
+    case SimilarityMetric::kRbf:
+      return "rbf";
+    case SimilarityMetric::kPearson:
+      return "pearson";
+    case SimilarityMetric::kInnerProduct:
+      return "inner_product";
+  }
+  return "unknown";
+}
+
+SimilarityMetric SimilarityMetricFromName(const std::string& name) {
+  if (name == "euclidean") return SimilarityMetric::kEuclidean;
+  if (name == "manhattan") return SimilarityMetric::kManhattan;
+  if (name == "cosine") return SimilarityMetric::kCosine;
+  if (name == "rbf" || name == "gaussian" || name == "heat")
+    return SimilarityMetric::kRbf;
+  if (name == "pearson") return SimilarityMetric::kPearson;
+  if (name == "inner_product") return SimilarityMetric::kInnerProduct;
+  GNN4TDL_CHECK_MSG(false, "unknown similarity metric name");
+  return SimilarityMetric::kEuclidean;
+}
+
+double RowSimilarity(const Matrix& x, size_t a, size_t b, SimilarityMetric m,
+                     double gamma) {
+  GNN4TDL_CHECK_LT(a, x.rows());
+  GNN4TDL_CHECK_LT(b, x.rows());
+  const double* ra = x.row_data(a);
+  const double* rb = x.row_data(b);
+  const size_t d = x.cols();
+
+  switch (m) {
+    case SimilarityMetric::kEuclidean: {
+      double s = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        double diff = ra[j] - rb[j];
+        s += diff * diff;
+      }
+      return -std::sqrt(s);
+    }
+    case SimilarityMetric::kManhattan: {
+      double s = 0.0;
+      for (size_t j = 0; j < d; ++j) s += std::fabs(ra[j] - rb[j]);
+      return -s;
+    }
+    case SimilarityMetric::kCosine: {
+      double dot = 0.0, na = 0.0, nb = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        dot += ra[j] * rb[j];
+        na += ra[j] * ra[j];
+        nb += rb[j] * rb[j];
+      }
+      double denom = std::sqrt(na) * std::sqrt(nb);
+      return denom > 1e-12 ? dot / denom : 0.0;
+    }
+    case SimilarityMetric::kRbf: {
+      double s = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        double diff = ra[j] - rb[j];
+        s += diff * diff;
+      }
+      return std::exp(-gamma * s);
+    }
+    case SimilarityMetric::kPearson: {
+      double ma = 0.0, mb = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        ma += ra[j];
+        mb += rb[j];
+      }
+      ma /= static_cast<double>(d);
+      mb /= static_cast<double>(d);
+      double cov = 0.0, va = 0.0, vb = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        double da = ra[j] - ma;
+        double db = rb[j] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+      }
+      double denom = std::sqrt(va) * std::sqrt(vb);
+      return denom > 1e-12 ? cov / denom : 0.0;
+    }
+    case SimilarityMetric::kInnerProduct: {
+      double dot = 0.0;
+      for (size_t j = 0; j < d; ++j) dot += ra[j] * rb[j];
+      return dot;
+    }
+  }
+  return 0.0;
+}
+
+Matrix PairwiseSimilarity(const Matrix& x, SimilarityMetric m, double gamma) {
+  const size_t n = x.rows();
+  Matrix sim(n, n);
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a; b < n; ++b) {
+      double s = RowSimilarity(x, a, b, m, gamma);
+      sim(a, b) = s;
+      sim(b, a) = s;
+    }
+  }
+  return sim;
+}
+
+}  // namespace gnn4tdl

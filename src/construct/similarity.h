@@ -1,0 +1,38 @@
+#ifndef GNN4TDL_CONSTRUCT_SIMILARITY_H_
+#define GNN4TDL_CONSTRUCT_SIMILARITY_H_
+
+#include <string>
+
+#include "tensor/matrix.h"
+
+namespace gnn4tdl {
+
+/// Similarity measures used by rule-based graph construction (Table 3 of the
+/// survey). All are expressed as similarities: higher = more alike. Distance
+/// metrics (Euclidean, Manhattan) are negated.
+enum class SimilarityMetric {
+  kEuclidean,     // -||a - b||_2
+  kManhattan,     // -||a - b||_1
+  kCosine,        // <a, b> / (||a|| ||b||)
+  kRbf,           // exp(-gamma ||a - b||^2): the RBF / Gaussian / heat kernel
+  kPearson,       // correlation of the two vectors
+  kInnerProduct,  // <a, b>
+};
+
+const char* SimilarityMetricName(SimilarityMetric m);
+SimilarityMetric SimilarityMetricFromName(const std::string& name);
+
+/// Similarity between rows `a` and `b` of `x`. `gamma` is the RBF bandwidth
+/// (ignored by other metrics).
+double RowSimilarity(const Matrix& x, size_t a, size_t b, SimilarityMetric m,
+                     double gamma = 1.0);
+
+/// Dense n x n similarity matrix over the rows of `x` (diagonal = self
+/// similarity). Quadratic; intended for rule-based construction on
+/// laptop-scale data.
+Matrix PairwiseSimilarity(const Matrix& x, SimilarityMetric m,
+                          double gamma = 1.0);
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_CONSTRUCT_SIMILARITY_H_

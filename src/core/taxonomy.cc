@@ -1,0 +1,103 @@
+#include "core/taxonomy.h"
+
+namespace gnn4tdl {
+
+const char* GraphFormulationName(GraphFormulation f) {
+  switch (f) {
+    case GraphFormulation::kInstanceGraph:
+      return "instance_graph";
+    case GraphFormulation::kFeatureGraph:
+      return "feature_graph";
+    case GraphFormulation::kBipartite:
+      return "bipartite";
+    case GraphFormulation::kMultiplex:
+      return "multiplex";
+    case GraphFormulation::kHeteroGraph:
+      return "hetero_graph";
+    case GraphFormulation::kHypergraph:
+      return "hypergraph";
+    case GraphFormulation::kNoGraph:
+      return "no_graph";
+  }
+  return "unknown";
+}
+
+StatusOr<GraphFormulation> GraphFormulationFromName(const std::string& name) {
+  for (GraphFormulation f : AllGraphFormulations()) {
+    if (name == GraphFormulationName(f)) return f;
+  }
+  if (name == "no_graph") return GraphFormulation::kNoGraph;
+  return Status::InvalidArgument("unknown graph formulation: " + name);
+}
+
+const char* ConstructionMethodName(ConstructionMethod m) {
+  switch (m) {
+    case ConstructionMethod::kIntrinsic:
+      return "intrinsic";
+    case ConstructionMethod::kKnn:
+      return "knn";
+    case ConstructionMethod::kThreshold:
+      return "threshold";
+    case ConstructionMethod::kFullyConnected:
+      return "fully_connected";
+    case ConstructionMethod::kSameFeatureValue:
+      return "same_feature_value";
+    case ConstructionMethod::kLearnedMetric:
+      return "learned_metric";
+    case ConstructionMethod::kLearnedNeural:
+      return "learned_neural";
+    case ConstructionMethod::kLearnedDirect:
+      return "learned_direct";
+  }
+  return "unknown";
+}
+
+StatusOr<ConstructionMethod> ConstructionMethodFromName(
+    const std::string& name) {
+  for (ConstructionMethod m : AllConstructionMethods()) {
+    if (name == ConstructionMethodName(m)) return m;
+  }
+  return Status::InvalidArgument("unknown construction method: " + name);
+}
+
+const char* BaselineKindName(BaselineKind b) {
+  switch (b) {
+    case BaselineKind::kMlp:
+      return "mlp";
+    case BaselineKind::kLinear:
+      return "linear";
+    case BaselineKind::kGbdt:
+      return "gbdt";
+    case BaselineKind::kKnn:
+      return "knn";
+  }
+  return "unknown";
+}
+
+StatusOr<BaselineKind> BaselineKindFromName(const std::string& name) {
+  if (name == "mlp") return BaselineKind::kMlp;
+  if (name == "linear") return BaselineKind::kLinear;
+  if (name == "gbdt") return BaselineKind::kGbdt;
+  if (name == "knn") return BaselineKind::kKnn;
+  return Status::InvalidArgument("unknown baseline kind: " + name);
+}
+
+std::vector<GraphFormulation> AllGraphFormulations() {
+  return {GraphFormulation::kInstanceGraph, GraphFormulation::kFeatureGraph,
+          GraphFormulation::kBipartite, GraphFormulation::kMultiplex,
+          GraphFormulation::kHeteroGraph, GraphFormulation::kHypergraph,
+          GraphFormulation::kNoGraph};
+}
+
+std::vector<ConstructionMethod> AllConstructionMethods() {
+  return {ConstructionMethod::kIntrinsic,
+          ConstructionMethod::kKnn,
+          ConstructionMethod::kThreshold,
+          ConstructionMethod::kFullyConnected,
+          ConstructionMethod::kSameFeatureValue,
+          ConstructionMethod::kLearnedMetric,
+          ConstructionMethod::kLearnedNeural,
+          ConstructionMethod::kLearnedDirect};
+}
+
+}  // namespace gnn4tdl

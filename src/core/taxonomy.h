@@ -1,0 +1,57 @@
+#ifndef GNN4TDL_CORE_TAXONOMY_H_
+#define GNN4TDL_CORE_TAXONOMY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gnn4tdl {
+
+// The four taxonomy axes of Figure 2, as configuration enums. The other two
+// axes (representation learning backbones and training plans) are declared
+// with their implementations: GnnBackbone / GslStrategy in src/models and
+// TrainStrategy in models/knn_gnn.h; core/pipeline.h composes all of them.
+
+/// Axis 1 — Graph Formulation (Section 4.1): what the nodes are.
+enum class GraphFormulation {
+  kInstanceGraph,  // rows as nodes (homogeneous)
+  kFeatureGraph,   // columns as nodes (homogeneous)
+  kBipartite,      // rows + columns (GRAPE)
+  kMultiplex,      // rows as nodes, one layer per relation (TabGNN)
+  kHeteroGraph,    // rows + value nodes, typed relations, RGCN (GCT/GraphFC)
+  kHypergraph,     // feature values as nodes, rows as hyperedges (HCL/PET)
+  kNoGraph,        // baseline models (MLP / GBDT / kNN / linear)
+};
+
+const char* GraphFormulationName(GraphFormulation f);
+StatusOr<GraphFormulation> GraphFormulationFromName(const std::string& name);
+
+/// Axis 2 — Graph Construction (Section 4.2): how edges are created.
+enum class ConstructionMethod {
+  kIntrinsic,         // read off the table (bipartite/hetero/hypergraph)
+  kKnn,               // rule-based: k nearest neighbors
+  kThreshold,         // rule-based: similarity threshold
+  kFullyConnected,    // rule-based: complete graph
+  kSameFeatureValue,  // rule-based: shared categorical value
+  kLearnedMetric,     // learning-based: weighted-cosine metric (IDGL)
+  kLearnedNeural,     // learning-based: MLP edge scorer (SLAPS)
+  kLearnedDirect,     // learning-based: free adjacency (LDS)
+};
+
+const char* ConstructionMethodName(ConstructionMethod m);
+StatusOr<ConstructionMethod> ConstructionMethodFromName(const std::string& name);
+
+/// Baseline families for GraphFormulation::kNoGraph.
+enum class BaselineKind { kMlp, kLinear, kGbdt, kKnn };
+
+const char* BaselineKindName(BaselineKind b);
+StatusOr<BaselineKind> BaselineKindFromName(const std::string& name);
+
+/// All values of each axis (for grid sweeps over the taxonomy).
+std::vector<GraphFormulation> AllGraphFormulations();
+std::vector<ConstructionMethod> AllConstructionMethods();
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_CORE_TAXONOMY_H_

@@ -1,0 +1,78 @@
+#include "data/cross_validation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+
+namespace gnn4tdl {
+
+std::vector<Split> KFoldSplits(const TabularDataset& data, size_t num_folds,
+                               double val_frac, Rng& rng) {
+  GNN4TDL_CHECK_GE(num_folds, 2u);
+  GNN4TDL_CHECK(val_frac >= 0.0 && val_frac < 1.0);
+  const size_t n = data.NumRows();
+
+  // Assign each row a fold, stratified by label when present.
+  std::vector<size_t> fold_of(n, 0);
+  if (!data.class_labels().empty()) {
+    std::map<int, std::vector<size_t>> by_class;
+    for (size_t i = 0; i < n; ++i)
+      by_class[data.class_labels()[i]].push_back(i);
+    for (auto& [label, idx] : by_class) {
+      (void)label;
+      rng.Shuffle(idx);
+      for (size_t t = 0; t < idx.size(); ++t)
+        fold_of[idx[t]] = t % num_folds;
+    }
+  } else {
+    std::vector<size_t> perm = rng.Permutation(n);
+    for (size_t t = 0; t < n; ++t) fold_of[perm[t]] = t % num_folds;
+  }
+
+  std::vector<Split> splits(num_folds);
+  for (size_t fold = 0; fold < num_folds; ++fold) {
+    std::vector<size_t> rest;
+    for (size_t i = 0; i < n; ++i) {
+      if (fold_of[i] == fold) {
+        splits[fold].test.push_back(i);
+      } else {
+        rest.push_back(i);
+      }
+    }
+    rng.Shuffle(rest);
+    size_t n_val = static_cast<size_t>(val_frac * static_cast<double>(rest.size()));
+    for (size_t t = 0; t < rest.size(); ++t)
+      (t < n_val ? splits[fold].val : splits[fold].train).push_back(rest[t]);
+    std::sort(splits[fold].train.begin(), splits[fold].train.end());
+    std::sort(splits[fold].val.begin(), splits[fold].val.end());
+    std::sort(splits[fold].test.begin(), splits[fold].test.end());
+  }
+  return splits;
+}
+
+StatusOr<CrossValidationResult> CrossValidate(
+    const TabularDataset& data, size_t num_folds, double val_frac, Rng& rng,
+    const std::function<StatusOr<double>(const TabularDataset&, const Split&)>&
+        metric_fn) {
+  std::vector<Split> splits = KFoldSplits(data, num_folds, val_frac, rng);
+  CrossValidationResult result;
+  for (const Split& split : splits) {
+    StatusOr<double> metric = metric_fn(data, split);
+    if (!metric.ok()) return metric.status();
+    result.fold_metrics.push_back(*metric);
+  }
+  for (double m : result.fold_metrics) result.mean += m;
+  result.mean /= static_cast<double>(result.fold_metrics.size());
+  if (result.fold_metrics.size() > 1) {
+    double ss = 0.0;
+    for (double m : result.fold_metrics)
+      ss += (m - result.mean) * (m - result.mean);
+    result.stddev =
+        std::sqrt(ss / static_cast<double>(result.fold_metrics.size() - 1));
+  }
+  return result;
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,36 @@
+#ifndef GNN4TDL_DATA_CROSS_VALIDATION_H_
+#define GNN4TDL_DATA_CROSS_VALIDATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/split.h"
+#include "data/tabular.h"
+
+namespace gnn4tdl {
+
+/// K-fold splits: fold i's rows are the test set, a slice of the remainder is
+/// validation, the rest train. Stratified by class labels when available.
+std::vector<Split> KFoldSplits(const TabularDataset& data, size_t num_folds,
+                               double val_frac, Rng& rng);
+
+/// Result of a cross-validated evaluation: per-fold metric plus aggregate.
+struct CrossValidationResult {
+  std::vector<double> fold_metrics;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Runs `metric_fn(data, split)` over k folds and aggregates. The callback
+/// builds + fits a fresh model per fold and returns a scalar metric (e.g.,
+/// test accuracy), or an error status that aborts the run.
+StatusOr<CrossValidationResult> CrossValidate(
+    const TabularDataset& data, size_t num_folds, double val_frac, Rng& rng,
+    const std::function<StatusOr<double>(const TabularDataset&, const Split&)>&
+        metric_fn);
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_DATA_CROSS_VALIDATION_H_

@@ -1,0 +1,36 @@
+#ifndef GNN4TDL_DATA_CSV_H_
+#define GNN4TDL_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/tabular.h"
+
+namespace gnn4tdl {
+
+/// Options for ReadCsv.
+struct CsvReadOptions {
+  char delimiter = ',';
+  /// Name of the label column ("" = unlabeled dataset).
+  std::string label_column;
+  /// Treat the label as regression targets instead of class labels.
+  bool regression_label = false;
+  /// Columns to force categorical (others are inferred: a column whose cells
+  /// all parse as numbers is numerical, otherwise categorical).
+  std::vector<std::string> categorical_columns;
+  /// Cell values treated as missing.
+  std::vector<std::string> missing_markers = {"", "NA", "NaN", "nan", "?"};
+};
+
+/// Parses a CSV file with a header row into a TabularDataset. Categorical
+/// codes are assigned in order of first appearance.
+StatusOr<TabularDataset> ReadCsv(const std::string& path,
+                                 const CsvReadOptions& options = {});
+
+/// Writes `data` (features + label column "label" if present) as CSV.
+Status WriteCsv(const TabularDataset& data, const std::string& path);
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_DATA_CSV_H_

@@ -1,0 +1,63 @@
+#ifndef GNN4TDL_DATA_IMPUTE_H_
+#define GNN4TDL_DATA_IMPUTE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "data/tabular.h"
+
+namespace gnn4tdl {
+
+// Classical missing-data imputers (Section 5.4's baselines). Each fills the
+// missing cells of a TabularDataset in place; labels are untouched. The GNN
+// alternative (GRAPE) lives in models/bipartite_imputer.h.
+
+/// Column-statistic imputation: numeric columns get the mean (or median),
+/// categorical columns the most frequent value.
+enum class SimpleImputeStrategy { kMean, kMedian };
+Status SimpleImpute(TabularDataset& data,
+                    SimpleImputeStrategy strategy = SimpleImputeStrategy::kMean);
+
+/// kNN imputation: each incomplete row copies the mean (numeric) / majority
+/// (categorical) of its k nearest rows, with distances computed over the
+/// columns both rows observe (scaled by per-column std).
+struct KnnImputeOptions {
+  size_t k = 10;
+};
+Status KnnImpute(TabularDataset& data, const KnnImputeOptions& options = {});
+
+/// Iterative ridge imputation (MICE-lite): initialize with means, then
+/// repeatedly regress each numeric column on all the others and overwrite its
+/// missing entries with the regression predictions, until convergence.
+/// Categorical columns are mode-imputed up front.
+struct IterativeImputeOptions {
+  size_t max_iters = 10;
+  double ridge_lambda = 1.0;
+  double tolerance = 1e-4;  // stop when max cell change drops below this
+};
+Status IterativeImpute(TabularDataset& data,
+                       const IterativeImputeOptions& options = {});
+
+/// A hidden ground-truth cell (numeric columns only).
+struct HeldOutCell {
+  size_t row;
+  size_t col;
+  double truth;
+};
+
+/// Hides ~`rate` of the observed numeric cells of `data` (sets them NaN) and
+/// returns the ground truth for scoring. Deterministic in `seed`.
+std::vector<HeldOutCell> HideNumericCells(TabularDataset& data, double rate,
+                                          uint64_t seed);
+
+/// RMSE of imputed values against held-out truth, with each column's error
+/// scaled by the truth column's std (so columns are comparable). `imputed`
+/// must have the same shape as the dataset the cells were hidden from.
+StatusOr<double> ImputationRmse(const TabularDataset& imputed,
+                                const std::vector<HeldOutCell>& cells);
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_DATA_IMPUTE_H_

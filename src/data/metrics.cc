@@ -1,0 +1,171 @@
+#include "data/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gnn4tdl {
+
+namespace {
+
+std::vector<size_t> AllRowsIfEmpty(const std::vector<size_t>& rows, size_t n) {
+  if (!rows.empty()) return rows;
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  return all;
+}
+
+}  // namespace
+
+double Accuracy(const Matrix& logits, const std::vector<int>& labels,
+                const std::vector<size_t>& rows) {
+  GNN4TDL_CHECK_EQ(logits.rows(), labels.size());
+  std::vector<size_t> eval = AllRowsIfEmpty(rows, logits.rows());
+  if (eval.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t r : eval)
+    if (static_cast<int>(logits.ArgMaxRow(r)) == labels[r]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(eval.size());
+}
+
+double Auroc(const std::vector<double>& scores, const std::vector<int>& labels,
+             const std::vector<size_t>& rows) {
+  GNN4TDL_CHECK_EQ(scores.size(), labels.size());
+  std::vector<size_t> eval = AllRowsIfEmpty(rows, scores.size());
+
+  // Midrank-based AUROC: AUC = (sum of positive ranks - P(P+1)/2) / (P * N).
+  std::vector<size_t> order = eval;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  std::vector<double> rank(order.size());
+  for (size_t i = 0; i < order.size();) {
+    size_t j = i;
+    while (j < order.size() && scores[order[j]] == scores[order[i]]) ++j;
+    double mid = 0.5 * static_cast<double>(i + j - 1) + 1.0;  // 1-based midrank
+    for (size_t k = i; k < j; ++k) rank[k] = mid;
+    i = j;
+  }
+
+  double pos = 0.0, neg = 0.0, pos_rank_sum = 0.0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (labels[order[i]] == 1) {
+      pos += 1.0;
+      pos_rank_sum += rank[i];
+    } else {
+      neg += 1.0;
+    }
+  }
+  if (pos == 0.0 || neg == 0.0) return 0.5;
+  return (pos_rank_sum - pos * (pos + 1.0) / 2.0) / (pos * neg);
+}
+
+double MacroF1(const Matrix& logits, const std::vector<int>& labels,
+               int num_classes, const std::vector<size_t>& rows) {
+  GNN4TDL_CHECK_EQ(logits.rows(), labels.size());
+  std::vector<size_t> eval = AllRowsIfEmpty(rows, logits.rows());
+  std::vector<double> tp(static_cast<size_t>(num_classes), 0.0);
+  std::vector<double> fp(static_cast<size_t>(num_classes), 0.0);
+  std::vector<double> fn(static_cast<size_t>(num_classes), 0.0);
+  std::vector<bool> present(static_cast<size_t>(num_classes), false);
+  for (size_t r : eval) {
+    int pred = static_cast<int>(logits.ArgMaxRow(r));
+    int truth = labels[r];
+    present[static_cast<size_t>(truth)] = true;
+    if (pred == truth) {
+      tp[static_cast<size_t>(truth)] += 1.0;
+    } else {
+      fp[static_cast<size_t>(pred)] += 1.0;
+      fn[static_cast<size_t>(truth)] += 1.0;
+    }
+  }
+  double f1_sum = 0.0;
+  int classes = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    size_t ci = static_cast<size_t>(c);
+    if (!present[ci]) continue;
+    double denom = 2.0 * tp[ci] + fp[ci] + fn[ci];
+    f1_sum += denom > 0.0 ? 2.0 * tp[ci] / denom : 0.0;
+    ++classes;
+  }
+  return classes > 0 ? f1_sum / classes : 0.0;
+}
+
+double Rmse(const Matrix& pred, const std::vector<double>& targets,
+            const std::vector<size_t>& rows) {
+  GNN4TDL_CHECK_EQ(pred.rows(), targets.size());
+  GNN4TDL_CHECK_EQ(pred.cols(), 1u);
+  std::vector<size_t> eval = AllRowsIfEmpty(rows, pred.rows());
+  if (eval.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t r : eval) {
+    double d = pred(r, 0) - targets[r];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(eval.size()));
+}
+
+double Mae(const Matrix& pred, const std::vector<double>& targets,
+           const std::vector<size_t>& rows) {
+  GNN4TDL_CHECK_EQ(pred.rows(), targets.size());
+  GNN4TDL_CHECK_EQ(pred.cols(), 1u);
+  std::vector<size_t> eval = AllRowsIfEmpty(rows, pred.rows());
+  if (eval.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t r : eval) sum += std::fabs(pred(r, 0) - targets[r]);
+  return sum / static_cast<double>(eval.size());
+}
+
+double R2(const Matrix& pred, const std::vector<double>& targets,
+          const std::vector<size_t>& rows) {
+  GNN4TDL_CHECK_EQ(pred.rows(), targets.size());
+  std::vector<size_t> eval = AllRowsIfEmpty(rows, pred.rows());
+  if (eval.empty()) return 0.0;
+  double mean = 0.0;
+  for (size_t r : eval) mean += targets[r];
+  mean /= static_cast<double>(eval.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t r : eval) {
+    double d = pred(r, 0) - targets[r];
+    ss_res += d * d;
+    double t = targets[r] - mean;
+    ss_tot += t * t;
+  }
+  if (ss_tot <= 0.0) return ss_res <= 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+Matrix ConfusionMatrix(const Matrix& logits, const std::vector<int>& labels,
+                       int num_classes, const std::vector<size_t>& rows) {
+  GNN4TDL_CHECK_EQ(logits.rows(), labels.size());
+  GNN4TDL_CHECK_GT(num_classes, 0);
+  std::vector<size_t> eval = AllRowsIfEmpty(rows, logits.rows());
+  Matrix cm(static_cast<size_t>(num_classes), static_cast<size_t>(num_classes));
+  for (size_t r : eval) {
+    int truth = labels[r];
+    int pred = static_cast<int>(logits.ArgMaxRow(r));
+    GNN4TDL_CHECK_GE(truth, 0);
+    GNN4TDL_CHECK_LT(truth, num_classes);
+    GNN4TDL_CHECK_LT(pred, num_classes);
+    cm(static_cast<size_t>(truth), static_cast<size_t>(pred)) += 1.0;
+  }
+  return cm;
+}
+
+std::vector<double> PositiveClassScores(const Matrix& logits) {
+  GNN4TDL_CHECK(logits.cols() == 1 || logits.cols() == 2);
+  std::vector<double> scores(logits.rows());
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    if (logits.cols() == 1) {
+      scores[r] = 1.0 / (1.0 + std::exp(-logits(r, 0)));
+    } else {
+      // Softmax positive-class probability; stable via the logit difference.
+      double diff = logits(r, 1) - logits(r, 0);
+      scores[r] = 1.0 / (1.0 + std::exp(-diff));
+    }
+  }
+  return scores;
+}
+
+}  // namespace gnn4tdl

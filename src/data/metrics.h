@@ -1,0 +1,48 @@
+#ifndef GNN4TDL_DATA_METRICS_H_
+#define GNN4TDL_DATA_METRICS_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace gnn4tdl {
+
+/// Classification accuracy of argmax(logits) vs labels over `rows` (empty =
+/// all rows).
+double Accuracy(const Matrix& logits, const std::vector<int>& labels,
+                const std::vector<size_t>& rows = {});
+
+/// Area under the ROC curve for binary labels, from a score per row (higher =
+/// more positive). Ties are handled by midrank. Returns 0.5 when one class is
+/// absent.
+double Auroc(const std::vector<double>& scores, const std::vector<int>& labels,
+             const std::vector<size_t>& rows = {});
+
+/// Macro-averaged F1 over classes present in the evaluated rows.
+double MacroF1(const Matrix& logits, const std::vector<int>& labels,
+               int num_classes, const std::vector<size_t>& rows = {});
+
+/// Root-mean-squared error of predictions (n x 1) vs targets over `rows`.
+double Rmse(const Matrix& pred, const std::vector<double>& targets,
+            const std::vector<size_t>& rows = {});
+
+/// Mean absolute error.
+double Mae(const Matrix& pred, const std::vector<double>& targets,
+           const std::vector<size_t>& rows = {});
+
+/// Coefficient of determination R^2 (1 = perfect; can be negative).
+double R2(const Matrix& pred, const std::vector<double>& targets,
+          const std::vector<size_t>& rows = {});
+
+/// num_classes x num_classes confusion matrix over `rows`:
+/// entry (t, p) = number of rows with true label t predicted as p.
+Matrix ConfusionMatrix(const Matrix& logits, const std::vector<int>& labels,
+                       int num_classes, const std::vector<size_t>& rows = {});
+
+/// Positive-class probabilities from binary logits: softmax column 1 if
+/// logits has 2 columns, sigmoid if it has 1.
+std::vector<double> PositiveClassScores(const Matrix& logits);
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_DATA_METRICS_H_

@@ -1,0 +1,95 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+
+#include "common/check.h"
+
+namespace gnn4tdl {
+
+std::vector<double> Split::MaskFor(const std::vector<size_t>& subset, size_t n) {
+  std::vector<double> mask(n, 0.0);
+  for (size_t i : subset) {
+    GNN4TDL_CHECK_LT(i, n);
+    mask[i] = 1.0;
+  }
+  return mask;
+}
+
+Split RandomSplit(size_t n, double train_frac, double val_frac, Rng& rng) {
+  GNN4TDL_CHECK(train_frac > 0.0 && val_frac >= 0.0 &&
+                train_frac + val_frac <= 1.0);
+  std::vector<size_t> perm = rng.Permutation(n);
+  size_t n_train = static_cast<size_t>(train_frac * static_cast<double>(n));
+  size_t n_val = static_cast<size_t>(val_frac * static_cast<double>(n));
+  Split split;
+  split.train.assign(perm.begin(), perm.begin() + static_cast<ptrdiff_t>(n_train));
+  split.val.assign(perm.begin() + static_cast<ptrdiff_t>(n_train),
+                   perm.begin() + static_cast<ptrdiff_t>(n_train + n_val));
+  split.test.assign(perm.begin() + static_cast<ptrdiff_t>(n_train + n_val),
+                    perm.end());
+  return split;
+}
+
+Split StratifiedSplit(const std::vector<int>& labels, double train_frac,
+                      double val_frac, Rng& rng) {
+  GNN4TDL_CHECK(train_frac > 0.0 && val_frac >= 0.0 &&
+                train_frac + val_frac <= 1.0);
+  std::map<int, std::vector<size_t>> by_class;
+  for (size_t i = 0; i < labels.size(); ++i) by_class[labels[i]].push_back(i);
+
+  Split split;
+  for (auto& [label, idx] : by_class) {
+    (void)label;
+    rng.Shuffle(idx);
+    size_t n_train =
+        static_cast<size_t>(train_frac * static_cast<double>(idx.size()));
+    size_t n_val =
+        static_cast<size_t>(val_frac * static_cast<double>(idx.size()));
+    // Guarantee at least one training example per class when possible.
+    if (n_train == 0 && !idx.empty()) n_train = 1;
+    for (size_t i = 0; i < idx.size(); ++i) {
+      if (i < n_train) {
+        split.train.push_back(idx[i]);
+      } else if (i < n_train + n_val) {
+        split.val.push_back(idx[i]);
+      } else {
+        split.test.push_back(idx[i]);
+      }
+    }
+  }
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.val.begin(), split.val.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+Split LabelScarceSplit(const std::vector<int>& labels, size_t labels_per_class,
+                       double val_frac, double test_frac, Rng& rng) {
+  GNN4TDL_CHECK(val_frac >= 0.0 && test_frac > 0.0 &&
+                val_frac + test_frac < 1.0);
+  std::map<int, std::vector<size_t>> by_class;
+  for (size_t i = 0; i < labels.size(); ++i) by_class[labels[i]].push_back(i);
+
+  Split split;
+  for (auto& [label, idx] : by_class) {
+    (void)label;
+    rng.Shuffle(idx);
+    size_t n_val = static_cast<size_t>(val_frac * static_cast<double>(idx.size()));
+    size_t n_test =
+        static_cast<size_t>(test_frac * static_cast<double>(idx.size()));
+    size_t n_train = std::min(labels_per_class, idx.size() - n_val - n_test);
+    size_t i = 0;
+    for (; i < n_train; ++i) split.train.push_back(idx[i]);
+    for (; i < n_train + n_val; ++i) split.val.push_back(idx[i]);
+    for (; i < n_train + n_val + n_test; ++i) split.test.push_back(idx[i]);
+    // Remaining rows stay unlabeled (in no subset).
+  }
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.val.begin(), split.val.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+}  // namespace gnn4tdl

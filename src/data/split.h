@@ -1,0 +1,39 @@
+#ifndef GNN4TDL_DATA_SPLIT_H_
+#define GNN4TDL_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gnn4tdl {
+
+/// Disjoint train/val/test row indices (Section 2.1: D = Dtrain ∪ Dval ∪ Dtest).
+struct Split {
+  std::vector<size_t> train;
+  std::vector<size_t> val;
+  std::vector<size_t> test;
+
+  /// 0/1 weights over all n rows: 1 for rows in `subset`. The loss-masking
+  /// format the semi-supervised losses in nn/ops.h consume.
+  static std::vector<double> MaskFor(const std::vector<size_t>& subset, size_t n);
+};
+
+/// Uniformly random split. Fractions must be positive and sum to <= 1; any
+/// remainder goes to test.
+Split RandomSplit(size_t n, double train_frac, double val_frac, Rng& rng);
+
+/// Class-stratified split: each class appears in train/val/test in the same
+/// proportions. Falls back to round-robin within tiny classes.
+Split StratifiedSplit(const std::vector<int>& labels, double train_frac,
+                      double val_frac, Rng& rng);
+
+/// Label-scarce variant for semi-supervised experiments (Section 2.5,
+/// "supervision signal"): keeps only `labels_per_class` training labels per
+/// class; the rest of the would-be training rows are dropped from `train`
+/// (they remain visible to graph construction as unlabeled nodes).
+Split LabelScarceSplit(const std::vector<int>& labels, size_t labels_per_class,
+                       double val_frac, double test_frac, Rng& rng);
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_DATA_SPLIT_H_

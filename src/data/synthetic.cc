@@ -1,0 +1,407 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace gnn4tdl {
+
+namespace {
+
+void AddNumericColumns(TabularDataset& data, const Matrix& x,
+                       const std::string& prefix) {
+  for (size_t c = 0; c < x.cols(); ++c) {
+    std::vector<double> col(x.rows());
+    for (size_t r = 0; r < x.rows(); ++r) col[r] = x(r, c);
+    GNN4TDL_CHECK(data.AddNumericColumn(prefix + std::to_string(c),
+                                        std::move(col))
+                      .ok());
+  }
+}
+
+}  // namespace
+
+TabularDataset MakeClusters(const ClustersOptions& options) {
+  Rng rng(options.seed);
+  const size_t n = options.num_rows;
+  const size_t d_info = options.dim_informative;
+  const int c_count = options.num_classes;
+  GNN4TDL_CHECK_GT(c_count, 1);
+
+  // One Gaussian center per class in the informative subspace.
+  Matrix centers(static_cast<size_t>(c_count), d_info);
+  for (size_t k = 0; k < centers.rows(); ++k)
+    for (size_t j = 0; j < d_info; ++j)
+      centers(k, j) = rng.Normal(0.0, options.class_sep);
+
+  std::vector<int> labels(n);
+  Matrix x(n, d_info + options.dim_noise);
+  for (size_t i = 0; i < n; ++i) {
+    int y = static_cast<int>(rng.Int(0, c_count - 1));
+    labels[i] = y;
+    // Optionally sample the feature blob from a *different* class to dial
+    // down instance correlation without touching the labels.
+    size_t blob = static_cast<size_t>(y);
+    if (options.confusion > 0.0 && rng.Bernoulli(options.confusion)) {
+      blob = static_cast<size_t>(rng.Int(0, c_count - 1));
+    }
+    for (size_t j = 0; j < d_info; ++j)
+      x(i, j) = centers(blob, j) + rng.Normal(0.0, options.cluster_std);
+    for (size_t j = 0; j < options.dim_noise; ++j)
+      x(i, d_info + j) = rng.Normal();
+  }
+
+  TabularDataset data(n);
+  AddNumericColumns(data, x, "f");
+  GNN4TDL_CHECK(data.SetClassLabels(std::move(labels), c_count,
+                                    c_count == 2
+                                        ? TaskType::kBinaryClassification
+                                        : TaskType::kMultiClassification)
+                    .ok());
+  return data;
+}
+
+TabularDataset MakeInteraction(const InteractionOptions& options) {
+  Rng rng(options.seed);
+  const size_t n = options.num_rows;
+  GNN4TDL_CHECK_GE(options.order, 2u);
+  const size_t d = options.order + options.dim_noise;
+
+  Matrix x(n, d);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    int parity = 0;
+    for (size_t j = 0; j < d; ++j) {
+      x(i, j) = rng.Normal();
+      if (j < options.order && x(i, j) > 0) parity ^= 1;
+    }
+    labels[i] = parity;
+    if (options.flip_prob > 0.0 && rng.Bernoulli(options.flip_prob))
+      labels[i] ^= 1;
+  }
+
+  TabularDataset data(n);
+  AddNumericColumns(data, x, "f");
+  GNN4TDL_CHECK(data.SetClassLabels(std::move(labels), 2,
+                                    TaskType::kBinaryClassification)
+                    .ok());
+  return data;
+}
+
+TabularDataset MakeMultiRelational(const MultiRelationalOptions& options) {
+  Rng rng(options.seed);
+  const size_t n = options.num_rows;
+  const int c_count = options.num_classes;
+  const size_t k_card = options.cardinality;
+  GNN4TDL_CHECK_GT(c_count, 1);
+  GNN4TDL_CHECK_GE(k_card, 2u);
+
+  // Latent class-effect vector per (relation, value).
+  std::vector<Matrix> effects;
+  effects.reserve(options.num_relations);
+  for (size_t rel = 0; rel < options.num_relations; ++rel)
+    effects.push_back(Matrix::Randn(k_card, static_cast<size_t>(c_count), rng));
+
+  std::vector<std::vector<int>> codes(options.num_relations,
+                                      std::vector<int>(n));
+  std::vector<int> labels(n);
+  Matrix numeric(n, options.dim_numeric);
+
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> score(static_cast<size_t>(c_count), 0.0);
+    for (size_t rel = 0; rel < options.num_relations; ++rel) {
+      int v = static_cast<int>(rng.Int(0, static_cast<int64_t>(k_card) - 1));
+      codes[rel][i] = v;
+      for (int c = 0; c < c_count; ++c)
+        score[static_cast<size_t>(c)] +=
+            effects[rel](static_cast<size_t>(v), static_cast<size_t>(c));
+    }
+    for (int c = 0; c < c_count; ++c)
+      score[static_cast<size_t>(c)] += rng.Normal(0.0, options.effect_noise);
+    labels[i] = static_cast<int>(
+        std::max_element(score.begin(), score.end()) - score.begin());
+
+    // Numeric features: weak label signal drowned in noise.
+    for (size_t j = 0; j < options.dim_numeric; ++j) {
+      double signal =
+          options.numeric_signal * score[static_cast<size_t>(labels[i])];
+      numeric(i, j) = signal + rng.Normal(0.0, 1.0);
+    }
+  }
+
+  TabularDataset data(n);
+  for (size_t rel = 0; rel < options.num_relations; ++rel) {
+    std::vector<std::string> cats(k_card);
+    for (size_t v = 0; v < k_card; ++v)
+      cats[v] = "r" + std::to_string(rel) + "_v" + std::to_string(v);
+    GNN4TDL_CHECK(data.AddCategoricalColumn("rel" + std::to_string(rel),
+                                            codes[rel], std::move(cats))
+                      .ok());
+  }
+  AddNumericColumns(data, numeric, "num");
+  GNN4TDL_CHECK(data.SetClassLabels(std::move(labels), c_count,
+                                    c_count == 2
+                                        ? TaskType::kBinaryClassification
+                                        : TaskType::kMultiClassification)
+                    .ok());
+  return data;
+}
+
+TabularDataset MakeRegressionData(const RegressionOptions& options) {
+  Rng rng(options.seed);
+  const size_t n = options.num_rows;
+  const size_t d = options.dim;
+  GNN4TDL_CHECK_GE(d, 2u);
+
+  std::vector<double> linear(d);
+  for (double& w : linear) w = rng.Normal();
+
+  struct Interaction {
+    size_t a, b;
+    double coef;
+  };
+  std::vector<Interaction> inters;
+  for (size_t k = 0; k < options.num_interactions; ++k) {
+    size_t a = static_cast<size_t>(rng.Int(0, static_cast<int64_t>(d) - 1));
+    size_t b = static_cast<size_t>(rng.Int(0, static_cast<int64_t>(d) - 1));
+    if (a == b) b = (b + 1) % d;
+    inters.push_back({a, b, rng.Normal(0.0, 1.5)});
+  }
+
+  Matrix x = Matrix::Randn(n, d, rng);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double v = 0.0;
+    for (size_t j = 0; j < d; ++j) v += linear[j] * x(i, j);
+    for (const Interaction& it : inters) v += it.coef * x(i, it.a) * x(i, it.b);
+    y[i] = v + rng.Normal(0.0, options.noise_std);
+  }
+
+  TabularDataset data(n);
+  AddNumericColumns(data, x, "f");
+  GNN4TDL_CHECK(data.SetRegressionLabels(std::move(y)).ok());
+  return data;
+}
+
+TabularDataset MakeAnomalyData(const AnomalyOptions& options) {
+  Rng rng(options.seed);
+  const size_t n = options.num_inliers + options.num_outliers;
+  const size_t d = options.dim;
+
+  Matrix centers(options.num_clusters, d);
+  for (size_t k = 0; k < options.num_clusters; ++k)
+    for (size_t j = 0; j < d; ++j) centers(k, j) = rng.Normal(0.0, 2.0);
+
+  Matrix x(n, d);
+  std::vector<int> labels(n, 0);
+  for (size_t i = 0; i < options.num_inliers; ++i) {
+    size_t k = static_cast<size_t>(
+        rng.Int(0, static_cast<int64_t>(options.num_clusters) - 1));
+    double std_k = options.inlier_std *
+                   (1.0 + static_cast<double>(k) * options.density_spread);
+    for (size_t j = 0; j < d; ++j)
+      x(i, j) = centers(k, j) + rng.Normal(0.0, std_k);
+  }
+  for (size_t i = options.num_inliers; i < n; ++i) {
+    labels[i] = 1;
+    for (size_t j = 0; j < d; ++j)
+      x(i, j) = rng.Uniform(-options.outlier_box, options.outlier_box);
+  }
+
+  // Shuffle rows so anomalies are not a contiguous block.
+  std::vector<size_t> perm = rng.Permutation(n);
+  Matrix xs(n, d);
+  std::vector<int> ls(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) xs(i, j) = x(perm[i], j);
+    ls[i] = labels[perm[i]];
+  }
+
+  TabularDataset data(n);
+  AddNumericColumns(data, xs, "f");
+  GNN4TDL_CHECK(
+      data.SetClassLabels(std::move(ls), 2, TaskType::kAnomalyDetection).ok());
+  return data;
+}
+
+TabularDataset MakeCtrData(const CtrOptions& options) {
+  Rng rng(options.seed);
+  const size_t n = options.num_rows;
+  GNN4TDL_CHECK_GE(options.num_users, 2u);
+  GNN4TDL_CHECK_GE(options.num_items, 2u);
+  GNN4TDL_CHECK_GE(options.num_contexts, 1u);
+
+  // Main effects and FM-style latent factors.
+  std::vector<double> user_effect(options.num_users);
+  std::vector<double> item_effect(options.num_items);
+  std::vector<double> ctx_effect(options.num_contexts);
+  for (double& v : user_effect) v = rng.Normal(0.0, 0.5);
+  for (double& v : item_effect) v = rng.Normal(0.0, 0.5);
+  for (double& v : ctx_effect) v = rng.Normal(0.0, 0.3);
+  Matrix user_factors = Matrix::Randn(options.num_users, options.latent_dim,
+                                      rng, 1.0 / std::sqrt(
+                                               static_cast<double>(
+                                                   options.latent_dim)));
+  Matrix item_factors = Matrix::Randn(options.num_items, options.latent_dim,
+                                      rng, 1.0 / std::sqrt(
+                                               static_cast<double>(
+                                                   options.latent_dim)));
+
+  std::vector<int> users(n), items(n), contexts(n), labels(n);
+  Matrix noise_cols(n, options.dim_numeric_noise);
+  for (size_t i = 0; i < n; ++i) {
+    size_t u = static_cast<size_t>(
+        rng.Int(0, static_cast<int64_t>(options.num_users) - 1));
+    size_t it = static_cast<size_t>(
+        rng.Int(0, static_cast<int64_t>(options.num_items) - 1));
+    size_t c = static_cast<size_t>(
+        rng.Int(0, static_cast<int64_t>(options.num_contexts) - 1));
+    users[i] = static_cast<int>(u);
+    items[i] = static_cast<int>(it);
+    contexts[i] = static_cast<int>(c);
+    double interaction = 0.0;
+    for (size_t k = 0; k < options.latent_dim; ++k)
+      interaction += user_factors(u, k) * item_factors(it, k);
+    double logit = options.base_rate_logit + user_effect[u] +
+                   item_effect[it] + ctx_effect[c] +
+                   options.interaction_scale * interaction +
+                   rng.Normal(0.0, options.noise);
+    double p = 1.0 / (1.0 + std::exp(-logit));
+    labels[i] = rng.Bernoulli(p) ? 1 : 0;
+    for (size_t j = 0; j < options.dim_numeric_noise; ++j)
+      noise_cols(i, j) = rng.Normal();
+  }
+
+  TabularDataset data(n);
+  auto cat_names = [](const char* prefix, size_t count) {
+    std::vector<std::string> names(count);
+    for (size_t v = 0; v < count; ++v)
+      names[v] = std::string(prefix) + std::to_string(v);
+    return names;
+  };
+  GNN4TDL_CHECK(data.AddCategoricalColumn("user", users,
+                                          cat_names("u", options.num_users))
+                    .ok());
+  GNN4TDL_CHECK(data.AddCategoricalColumn("item", items,
+                                          cat_names("i", options.num_items))
+                    .ok());
+  GNN4TDL_CHECK(
+      data.AddCategoricalColumn("context", contexts,
+                                cat_names("c", options.num_contexts))
+          .ok());
+  AddNumericColumns(data, noise_cols, "nz");
+  GNN4TDL_CHECK(data.SetClassLabels(std::move(labels), 2,
+                                    TaskType::kBinaryClassification)
+                    .ok());
+  return data;
+}
+
+namespace {
+
+/// A random axis-aligned decision tree used as a labeling function.
+struct TreeNode {
+  bool leaf = false;
+  int label = 0;
+  size_t feature = 0;
+  double threshold = 0.0;
+  int left = -1, right = -1;  // indices into the node pool
+};
+
+int BuildRandomTree(std::vector<TreeNode>& pool, size_t depth, size_t dim,
+                    int num_classes, Rng& rng) {
+  TreeNode node;
+  if (depth == 0) {
+    node.leaf = true;
+    node.label = static_cast<int>(rng.Int(0, num_classes - 1));
+    pool.push_back(node);
+    return static_cast<int>(pool.size()) - 1;
+  }
+  node.feature = static_cast<size_t>(rng.Int(0, static_cast<int64_t>(dim) - 1));
+  node.threshold = rng.Uniform(-1.5, 1.5);
+  int self = static_cast<int>(pool.size());
+  pool.push_back(node);
+  int left = BuildRandomTree(pool, depth - 1, dim, num_classes, rng);
+  int right = BuildRandomTree(pool, depth - 1, dim, num_classes, rng);
+  pool[static_cast<size_t>(self)].left = left;
+  pool[static_cast<size_t>(self)].right = right;
+  return self;
+}
+
+int EvalTree(const std::vector<TreeNode>& pool, int root, const Matrix& x,
+             size_t row) {
+  int cur = root;
+  while (!pool[static_cast<size_t>(cur)].leaf) {
+    const TreeNode& node = pool[static_cast<size_t>(cur)];
+    cur = x(row, node.feature) <= node.threshold ? node.left : node.right;
+  }
+  return pool[static_cast<size_t>(cur)].label;
+}
+
+}  // namespace
+
+TabularDataset MakePiecewise(const PiecewiseOptions& options) {
+  Rng rng(options.seed);
+  const size_t n = options.num_rows;
+  Matrix x(n, options.dim);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < options.dim; ++j) x(i, j) = rng.Uniform(-2.0, 2.0);
+
+  std::vector<TreeNode> pool;
+  int root = BuildRandomTree(pool, options.tree_depth, options.dim,
+                             options.num_classes, rng);
+
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = EvalTree(pool, root, x, i);
+    if (options.flip_prob > 0.0 && rng.Bernoulli(options.flip_prob))
+      labels[i] = static_cast<int>(rng.Int(0, options.num_classes - 1));
+  }
+
+  TabularDataset data(n);
+  AddNumericColumns(data, x, "f");
+  GNN4TDL_CHECK(data.SetClassLabels(std::move(labels), options.num_classes,
+                                    options.num_classes == 2
+                                        ? TaskType::kBinaryClassification
+                                        : TaskType::kMultiClassification)
+                    .ok());
+  return data;
+}
+
+void InjectMissing(TabularDataset& data, double rate,
+                   MissingMechanism mechanism, uint64_t seed) {
+  GNN4TDL_CHECK(rate >= 0.0 && rate < 1.0);
+  Rng rng(seed);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  for (size_t c = 0; c < data.NumCols(); ++c) {
+    Column& col = data.mutable_column(c);
+    if (col.type == ColumnType::kNumerical) {
+      // For MNAR, rank-based: the largest values are ~2x as likely missing.
+      double lo = 0.0, hi = 0.0;
+      if (mechanism == MissingMechanism::kMnar) {
+        lo = *std::min_element(col.numeric.begin(), col.numeric.end());
+        hi = *std::max_element(col.numeric.begin(), col.numeric.end());
+        if (hi <= lo) hi = lo + 1.0;
+      }
+      for (double& v : col.numeric) {
+        if (std::isnan(v)) continue;
+        double p = rate;
+        if (mechanism == MissingMechanism::kMnar) {
+          double t = (v - lo) / (hi - lo);  // 0..1
+          p = rate * (0.5 + t);             // 0.5x..1.5x the base rate
+        }
+        if (rng.Bernoulli(std::min(p, 0.95))) v = nan;
+      }
+    } else {
+      for (int& code : col.codes) {
+        if (code < 0) continue;
+        if (rng.Bernoulli(rate)) code = -1;
+      }
+    }
+  }
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,124 @@
+#include "data/tabular.h"
+
+namespace gnn4tdl {
+
+const char* TaskTypeName(TaskType t) {
+  switch (t) {
+    case TaskType::kBinaryClassification:
+      return "binary_classification";
+    case TaskType::kMultiClassification:
+      return "multi_classification";
+    case TaskType::kRegression:
+      return "regression";
+    case TaskType::kAnomalyDetection:
+      return "anomaly_detection";
+    case TaskType::kNone:
+      return "none";
+  }
+  return "unknown";
+}
+
+Status TabularDataset::AddNumericColumn(std::string name,
+                                        std::vector<double> values) {
+  if (values.size() != num_rows_) {
+    return Status::InvalidArgument("column '" + name + "' has " +
+                                   std::to_string(values.size()) +
+                                   " values, dataset has " +
+                                   std::to_string(num_rows_) + " rows");
+  }
+  Column col;
+  col.name = std::move(name);
+  col.type = ColumnType::kNumerical;
+  col.numeric = std::move(values);
+  columns_.push_back(std::move(col));
+  return Status::OK();
+}
+
+Status TabularDataset::AddCategoricalColumn(std::string name,
+                                            std::vector<int> codes,
+                                            std::vector<std::string> categories) {
+  if (codes.size() != num_rows_) {
+    return Status::InvalidArgument("column '" + name + "' has " +
+                                   std::to_string(codes.size()) +
+                                   " codes, dataset has " +
+                                   std::to_string(num_rows_) + " rows");
+  }
+  for (int c : codes) {
+    if (c >= static_cast<int>(categories.size())) {
+      return Status::InvalidArgument("column '" + name + "' has code " +
+                                     std::to_string(c) + " >= cardinality " +
+                                     std::to_string(categories.size()));
+    }
+  }
+  Column col;
+  col.name = std::move(name);
+  col.type = ColumnType::kCategorical;
+  col.codes = std::move(codes);
+  col.categories = std::move(categories);
+  columns_.push_back(std::move(col));
+  return Status::OK();
+}
+
+StatusOr<size_t> TabularDataset::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i)
+    if (columns_[i].name == name) return i;
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+std::vector<size_t> TabularDataset::ColumnsOfType(ColumnType type) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < columns_.size(); ++i)
+    if (columns_[i].type == type) out.push_back(i);
+  return out;
+}
+
+Status TabularDataset::SetClassLabels(std::vector<int> labels, int num_classes,
+                                      TaskType task) {
+  if (labels.size() != num_rows_) {
+    return Status::InvalidArgument("label count does not match row count");
+  }
+  if (task != TaskType::kBinaryClassification &&
+      task != TaskType::kMultiClassification &&
+      task != TaskType::kAnomalyDetection) {
+    return Status::InvalidArgument("SetClassLabels requires a classification task");
+  }
+  for (int y : labels) {
+    if (y < 0 || y >= num_classes) {
+      return Status::InvalidArgument("label " + std::to_string(y) +
+                                     " outside [0, " +
+                                     std::to_string(num_classes) + ")");
+    }
+  }
+  class_labels_ = std::move(labels);
+  num_classes_ = num_classes;
+  task_ = task;
+  return Status::OK();
+}
+
+Status TabularDataset::SetRegressionLabels(std::vector<double> labels) {
+  if (labels.size() != num_rows_) {
+    return Status::InvalidArgument("label count does not match row count");
+  }
+  regression_labels_ = std::move(labels);
+  task_ = TaskType::kRegression;
+  return Status::OK();
+}
+
+Matrix TabularDataset::RegressionLabelMatrix() const {
+  GNN4TDL_CHECK_EQ(regression_labels_.size(), num_rows_);
+  Matrix y(num_rows_, 1);
+  for (size_t i = 0; i < num_rows_; ++i) y(i, 0) = regression_labels_[i];
+  return y;
+}
+
+double TabularDataset::MissingFraction() const {
+  if (num_rows_ == 0 || columns_.empty()) return 0.0;
+  size_t missing = 0;
+  for (const Column& col : columns_)
+    for (size_t r = 0; r < num_rows_; ++r)
+      if (col.IsMissing(r)) ++missing;
+  return static_cast<double>(missing) /
+         static_cast<double>(num_rows_ * columns_.size());
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,122 @@
+#ifndef GNN4TDL_DATA_TABULAR_H_
+#define GNN4TDL_DATA_TABULAR_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace gnn4tdl {
+
+/// Prediction task carried by a dataset (Section 2.1 of the survey).
+enum class TaskType {
+  kBinaryClassification,
+  kMultiClassification,
+  kRegression,
+  kAnomalyDetection,  // binary labels, trained without (or with few) labels
+  kNone,              // unlabeled
+};
+
+const char* TaskTypeName(TaskType t);
+
+/// Column kind in a tabular dataset.
+enum class ColumnType { kNumerical, kCategorical };
+
+/// One column of a tabular dataset. Numerical columns store doubles with NaN
+/// for missing entries; categorical columns store integer codes with -1 for
+/// missing, plus the code -> label mapping.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kNumerical;
+
+  /// Values for numerical columns (NaN = missing). Size = dataset rows.
+  std::vector<double> numeric;
+
+  /// Codes for categorical columns (-1 = missing). Size = dataset rows.
+  std::vector<int> codes;
+
+  /// Label for each categorical code.
+  std::vector<std::string> categories;
+
+  size_t NumCategories() const { return categories.size(); }
+
+  bool IsMissing(size_t row) const {
+    return type == ColumnType::kNumerical ? std::isnan(numeric[row])
+                                          : codes[row] < 0;
+  }
+};
+
+/// An in-memory tabular dataset D = {(x_i, y_i)}: typed columns plus an
+/// optional label vector. The single data interchange type of the library;
+/// graph formulations (src/construct) and featurizers (data/transforms)
+/// consume it.
+class TabularDataset {
+ public:
+  TabularDataset() = default;
+
+  /// Creates an empty dataset with `num_rows` rows and no columns yet.
+  explicit TabularDataset(size_t num_rows) : num_rows_(num_rows) {}
+
+  size_t NumRows() const { return num_rows_; }
+  size_t NumCols() const { return columns_.size(); }
+
+  /// Adds a numerical column; `values` must have NumRows() entries.
+  Status AddNumericColumn(std::string name, std::vector<double> values);
+
+  /// Adds a categorical column from integer codes; codes must be < categories
+  /// size (or -1 for missing).
+  Status AddCategoricalColumn(std::string name, std::vector<int> codes,
+                              std::vector<std::string> categories);
+
+  const Column& column(size_t i) const {
+    GNN4TDL_CHECK_LT(i, columns_.size());
+    return columns_[i];
+  }
+  Column& mutable_column(size_t i) {
+    GNN4TDL_CHECK_LT(i, columns_.size());
+    return columns_[i];
+  }
+
+  /// Index of the column named `name`, or NotFound.
+  StatusOr<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Indices of all columns of `type`.
+  std::vector<size_t> ColumnsOfType(ColumnType type) const;
+
+  // --- Labels ---------------------------------------------------------------
+
+  TaskType task() const { return task_; }
+
+  /// Sets integer class labels (binary or multi-class / anomaly flags).
+  Status SetClassLabels(std::vector<int> labels, int num_classes,
+                        TaskType task = TaskType::kMultiClassification);
+
+  /// Sets regression targets.
+  Status SetRegressionLabels(std::vector<double> labels);
+
+  int num_classes() const { return num_classes_; }
+  const std::vector<int>& class_labels() const { return class_labels_; }
+  const std::vector<double>& regression_labels() const {
+    return regression_labels_;
+  }
+
+  /// Regression targets as an n x 1 matrix.
+  Matrix RegressionLabelMatrix() const;
+
+  /// Fraction of missing cells across all columns.
+  double MissingFraction() const;
+
+ private:
+  size_t num_rows_ = 0;
+  std::vector<Column> columns_;
+  TaskType task_ = TaskType::kNone;
+  int num_classes_ = 0;
+  std::vector<int> class_labels_;
+  std::vector<double> regression_labels_;
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_DATA_TABULAR_H_

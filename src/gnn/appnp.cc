@@ -1,0 +1,20 @@
+#include "gnn/appnp.h"
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace gnn4tdl {
+
+Tensor AppnpPropagate(const Tensor& h0, const SparseMatrix& norm_adj,
+                      size_t steps, double alpha) {
+  GNN4TDL_CHECK_EQ(norm_adj.rows(), h0.rows());
+  GNN4TDL_CHECK(alpha >= 0.0 && alpha <= 1.0);
+  Tensor h = h0;
+  Tensor teleport = ops::Scale(h0, alpha);
+  for (size_t t = 0; t < steps; ++t) {
+    h = ops::Add(ops::Scale(ops::SpMM(norm_adj, h), 1.0 - alpha), teleport);
+  }
+  return h;
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,19 @@
+#ifndef GNN4TDL_GNN_APPNP_H_
+#define GNN4TDL_GNN_APPNP_H_
+
+#include "nn/tensor.h"
+#include "tensor/sparse.h"
+
+namespace gnn4tdl {
+
+/// APPNP propagation (Klicpera et al.): personalized-PageRank smoothing of a
+/// base prediction. H_{t+1} = (1 - alpha) Â H_t + alpha H_0, for `steps`
+/// iterations. Parameter-free; the predictive model lives in H_0. Deep
+/// propagation without oversmoothing — the survey's answer (via DGN et al.)
+/// to high-order connectivity (Section 2.5c).
+Tensor AppnpPropagate(const Tensor& h0, const SparseMatrix& norm_adj,
+                      size_t steps = 10, double alpha = 0.1);
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_GNN_APPNP_H_

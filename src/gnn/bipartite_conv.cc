@@ -1,0 +1,47 @@
+#include "gnn/bipartite_conv.h"
+
+#include "nn/ops.h"
+
+namespace gnn4tdl {
+
+GrapeConv::GrapeConv(size_t left_dim, size_t right_dim, size_t out_dim,
+                     Rng& rng)
+    : out_dim_(out_dim),
+      msg_to_left_(right_dim + 1, out_dim, rng),
+      msg_to_right_(left_dim + 1, out_dim, rng),
+      update_left_(left_dim + out_dim, out_dim, rng),
+      update_right_(right_dim + out_dim, out_dim, rng) {
+  RegisterSubmodule(&msg_to_left_);
+  RegisterSubmodule(&msg_to_right_);
+  RegisterSubmodule(&update_left_);
+  RegisterSubmodule(&update_right_);
+}
+
+std::pair<Tensor, Tensor> GrapeConv::Forward(const Tensor& h_left,
+                                             const Tensor& h_right,
+                                             const BipartiteGraph& g) const {
+  GNN4TDL_CHECK_EQ(h_left.rows(), g.num_left());
+  GNN4TDL_CHECK_EQ(h_right.rows(), g.num_right());
+  const size_t e_count = g.num_edges();
+
+  // Edge value column (constant).
+  Matrix values(e_count, 1);
+  for (size_t e = 0; e < e_count; ++e) values(e, 0) = g.edge_values()[e];
+  Tensor value_col = Tensor::Constant(std::move(values));
+
+  // Messages feature -> instance, aggregated per instance.
+  Tensor msg_l = ops::Relu(msg_to_left_.Forward(
+      ops::ConcatCols(ops::GatherRows(h_right, g.edge_right()), value_col)));
+  Tensor agg_l = ops::SegmentMeanRows(msg_l, g.edge_left(), g.num_left());
+  Tensor new_left = update_left_.Forward(ops::ConcatCols(h_left, agg_l));
+
+  // Messages instance -> feature, aggregated per feature.
+  Tensor msg_r = ops::Relu(msg_to_right_.Forward(
+      ops::ConcatCols(ops::GatherRows(h_left, g.edge_left()), value_col)));
+  Tensor agg_r = ops::SegmentMeanRows(msg_r, g.edge_right(), g.num_right());
+  Tensor new_right = update_right_.Forward(ops::ConcatCols(h_right, agg_r));
+
+  return {new_left, new_right};
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,41 @@
+#ifndef GNN4TDL_GNN_BIPARTITE_CONV_H_
+#define GNN4TDL_GNN_BIPARTITE_CONV_H_
+
+#include <utility>
+
+#include "graph/bipartite.h"
+#include "nn/module.h"
+
+namespace gnn4tdl {
+
+/// GRAPE-style bipartite convolution (You et al., "Handling Missing Data with
+/// Graph Representation Learning"). Updates both sides of the
+/// instance-feature graph; the observed cell value rides along each edge as a
+/// 1-d edge feature:
+///   msg(u -> v)   = ReLU(Q [h_u ; e_uv])
+///   h_v'          = W [h_v ; mean_u msg(u -> v)]
+/// Missing cells contribute no message — the formulation's native missing-
+/// value handling (Section 4.1.2).
+class GrapeConv : public Module {
+ public:
+  GrapeConv(size_t left_dim, size_t right_dim, size_t out_dim, Rng& rng);
+
+  /// Returns updated (left, right) embeddings, both with out_dim columns.
+  /// Apply the nonlinearity outside.
+  std::pair<Tensor, Tensor> Forward(const Tensor& h_left,
+                                    const Tensor& h_right,
+                                    const BipartiteGraph& g) const;
+
+  size_t out_dim() const { return out_dim_; }
+
+ private:
+  size_t out_dim_;
+  Linear msg_to_left_;   // [h_right ; value] -> out_dim
+  Linear msg_to_right_;  // [h_left ; value] -> out_dim
+  Linear update_left_;   // [h_left ; agg] -> out_dim
+  Linear update_right_;  // [h_right ; agg] -> out_dim
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_GNN_BIPARTITE_CONV_H_

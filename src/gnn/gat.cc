@@ -1,0 +1,58 @@
+#include "gnn/gat.h"
+
+#include "nn/ops.h"
+
+namespace gnn4tdl {
+
+GatLayer::GatLayer(size_t in_dim, size_t out_dim, size_t num_heads, Rng& rng)
+    : in_dim_(in_dim), num_heads_(num_heads) {
+  GNN4TDL_CHECK_GT(num_heads, 0u);
+  GNN4TDL_CHECK_MSG(out_dim % num_heads == 0,
+                    "GAT out_dim must be divisible by num_heads");
+  head_dim_ = out_dim / num_heads;
+  for (size_t h = 0; h < num_heads; ++h) {
+    head_proj_.push_back(
+        std::make_unique<Linear>(in_dim, head_dim_, rng, /*bias=*/false));
+    RegisterSubmodule(head_proj_.back().get());
+    attn_src_.push_back(
+        RegisterParameter(Matrix::GlorotUniform(head_dim_, 1, rng)));
+    attn_dst_.push_back(
+        RegisterParameter(Matrix::GlorotUniform(head_dim_, 1, rng)));
+  }
+}
+
+GatLayer::EdgeIndex GatLayer::BuildEdgeIndex(const Graph& g) {
+  EdgeIndex idx;
+  idx.num_nodes = g.num_nodes();
+  for (const Edge& e : g.EdgeList()) {
+    idx.src.push_back(e.src);
+    idx.dst.push_back(e.dst);
+  }
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    if (!g.HasEdge(v, v)) {
+      idx.src.push_back(v);
+      idx.dst.push_back(v);
+    }
+  }
+  return idx;
+}
+
+Tensor GatLayer::Forward(const Tensor& h, const EdgeIndex& edges) const {
+  GNN4TDL_CHECK_EQ(h.rows(), edges.num_nodes);
+  Tensor out;
+  for (size_t head = 0; head < num_heads_; ++head) {
+    Tensor hw = head_proj_[head]->Forward(h);  // n x head_dim
+    Tensor s_src = ops::MatMul(hw, attn_src_[head]);  // n x 1
+    Tensor s_dst = ops::MatMul(hw, attn_dst_[head]);  // n x 1
+    Tensor logits = ops::LeakyRelu(
+        ops::Add(ops::GatherRows(s_src, edges.src),
+                 ops::GatherRows(s_dst, edges.dst)));
+    Tensor alpha = ops::EdgeSoftmax(logits, edges.dst, edges.num_nodes);
+    Tensor msg = ops::MulColBroadcast(ops::GatherRows(hw, edges.src), alpha);
+    Tensor agg = ops::ScatterAddRows(msg, edges.dst, edges.num_nodes);
+    out = head == 0 ? agg : ops::ConcatCols(out, agg);
+  }
+  return out;
+}
+
+}  // namespace gnn4tdl

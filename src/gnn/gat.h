@@ -1,0 +1,47 @@
+#ifndef GNN4TDL_GNN_GAT_H_
+#define GNN4TDL_GNN_GAT_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "nn/module.h"
+
+namespace gnn4tdl {
+
+/// Graph attention layer (Veličković et al.). Per head: project with W, score
+/// each edge with LeakyReLU(a_src·Wh_i + a_dst·Wh_j), softmax over each
+/// node's in-edges, aggregate. Heads are concatenated, so out_dim must be a
+/// multiple of num_heads. Self-loops are added to the edge set so every node
+/// attends at least to itself.
+class GatLayer : public Module {
+ public:
+  GatLayer(size_t in_dim, size_t out_dim, size_t num_heads, Rng& rng);
+
+  /// Precomputes the edge arrays (with self-loops) for `g`; call once per
+  /// graph, then Forward() any number of times.
+  struct EdgeIndex {
+    std::vector<size_t> src;
+    std::vector<size_t> dst;
+    size_t num_nodes = 0;
+  };
+  static EdgeIndex BuildEdgeIndex(const Graph& g);
+
+  Tensor Forward(const Tensor& h, const EdgeIndex& edges) const;
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return head_dim_ * num_heads_; }
+  size_t num_heads() const { return num_heads_; }
+
+ private:
+  size_t in_dim_;
+  size_t head_dim_;
+  size_t num_heads_;
+  std::vector<std::unique_ptr<Linear>> head_proj_;  // in -> head_dim, no bias
+  std::vector<Tensor> attn_src_;                    // head_dim x 1
+  std::vector<Tensor> attn_dst_;                    // head_dim x 1
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_GNN_GAT_H_

@@ -1,0 +1,17 @@
+#include "gnn/gcn.h"
+
+#include "nn/ops.h"
+
+namespace gnn4tdl {
+
+GcnLayer::GcnLayer(size_t in_dim, size_t out_dim, Rng& rng)
+    : linear_(in_dim, out_dim, rng) {
+  RegisterSubmodule(&linear_);
+}
+
+Tensor GcnLayer::Forward(const Tensor& h, const SparseMatrix& norm_adj) const {
+  GNN4TDL_CHECK_EQ(norm_adj.rows(), h.rows());
+  return ops::SpMM(norm_adj, linear_.Forward(h));
+}
+
+}  // namespace gnn4tdl

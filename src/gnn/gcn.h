@@ -1,0 +1,28 @@
+#ifndef GNN4TDL_GNN_GCN_H_
+#define GNN4TDL_GNN_GCN_H_
+
+#include "nn/module.h"
+#include "tensor/sparse.h"
+
+namespace gnn4tdl {
+
+/// Graph convolution (Kipf & Welling): H' = Â (H W + b), with Â the
+/// symmetrically normalized adjacency from Graph::GcnNormalized(). The
+/// workhorse layer of most GNN4TDL methods (Table 5).
+class GcnLayer : public Module {
+ public:
+  GcnLayer(size_t in_dim, size_t out_dim, Rng& rng);
+
+  /// `norm_adj` must be n x n with n = h.rows().
+  Tensor Forward(const Tensor& h, const SparseMatrix& norm_adj) const;
+
+  size_t in_dim() const { return linear_.in_dim(); }
+  size_t out_dim() const { return linear_.out_dim(); }
+
+ private:
+  Linear linear_;
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_GNN_GCN_H_

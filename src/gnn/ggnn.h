@@ -1,0 +1,30 @@
+#ifndef GNN4TDL_GNN_GGNN_H_
+#define GNN4TDL_GNN_GGNN_H_
+
+#include "nn/module.h"
+#include "tensor/sparse.h"
+
+namespace gnn4tdl {
+
+/// Gated graph layer (Li et al., GGNN): a GRU cell whose input is the
+/// aggregated neighbor message. Dimension-preserving (state stays `dim`).
+/// Fi-GNN uses this gate to regulate information flow on feature graphs.
+class GgnnLayer : public Module {
+ public:
+  GgnnLayer(size_t dim, Rng& rng);
+
+  /// One propagation step: m = Â h; h' = GRU(h, m).
+  Tensor Forward(const Tensor& h, const SparseMatrix& norm_adj) const;
+
+  size_t dim() const { return dim_; }
+
+ private:
+  size_t dim_;
+  Linear update_x_, update_h_;  // z gate
+  Linear reset_x_, reset_h_;    // r gate
+  Linear cand_x_, cand_h_;      // candidate state
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_GNN_GGNN_H_

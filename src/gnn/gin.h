@@ -1,0 +1,32 @@
+#ifndef GNN4TDL_GNN_GIN_H_
+#define GNN4TDL_GNN_GIN_H_
+
+#include "nn/module.h"
+#include "tensor/sparse.h"
+
+namespace gnn4tdl {
+
+/// Graph isomorphism layer (Xu et al.): H' = MLP((1 + eps) H + sum_nbr(H))
+/// with a learnable eps. `sum_adj` is the *unnormalized* adjacency
+/// (Graph::adjacency()): GIN's expressiveness argument relies on sum
+/// aggregation.
+class GinLayer : public Module {
+ public:
+  GinLayer(size_t in_dim, size_t out_dim, size_t hidden_dim, Rng& rng);
+
+  Tensor Forward(const Tensor& h, const SparseMatrix& sum_adj) const;
+
+  size_t in_dim() const { return mlp_.in_dim(); }
+  size_t out_dim() const { return mlp_.out_dim(); }
+
+  /// Current value of the learnable eps.
+  double epsilon() const { return eps_.value()(0, 0); }
+
+ private:
+  Mlp mlp_;
+  Tensor eps_;  // 1 x 1
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_GNN_GIN_H_

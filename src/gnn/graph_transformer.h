@@ -1,0 +1,47 @@
+#ifndef GNN4TDL_GNN_GRAPH_TRANSFORMER_H_
+#define GNN4TDL_GNN_GRAPH_TRANSFORMER_H_
+
+#include <memory>
+
+#include "graph/graph.h"
+#include "nn/module.h"
+
+namespace gnn4tdl {
+
+/// Structure-biased transformer layer (Section 6, "incorporating graph
+/// transformers"; GPS/Structure-Aware-Transformer style, simplified): full
+/// self-attention over all nodes with a learnable additive bias on the
+/// adjacency,
+///   attn = softmax(Q K^T / sqrt(dk) + beta * A_hat),
+///   H'   = H + attn V W_o   (pre-LayerNorm residual), then H' + FFN(LN(H')).
+/// Dense n x n attention: intended for the laptop-scale n this library
+/// targets (the survey positions transformers as a direction, not a scaling
+/// answer). When beta -> 0 the layer ignores the graph; large beta recovers
+/// neighborhood-dominated attention — so the model *learns* how much
+/// structure to use.
+class GraphTransformerLayer : public Module {
+ public:
+  GraphTransformerLayer(size_t dim, size_t attn_dim, Rng& rng);
+
+  /// `adj_dense` is the dense normalized adjacency bias (n x n), typically
+  /// Graph::GcnNormalized().ToDense() computed once per graph.
+  Tensor Forward(const Tensor& h, const Matrix& adj_dense) const;
+
+  /// Current structural-bias strength.
+  double StructureBias() const { return beta_.value()(0, 0); }
+
+  size_t dim() const { return dim_; }
+
+ private:
+  size_t dim_;
+  size_t attn_dim_;
+  Linear query_, key_, value_, out_;
+  Mlp ffn_;
+  Tensor beta_;       // 1 x 1 learnable structural-bias strength
+  Tensor ln1_gamma_, ln1_beta_;  // pre-attention layer norm
+  Tensor ln2_gamma_, ln2_beta_;  // pre-FFN layer norm
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_GNN_GRAPH_TRANSFORMER_H_

@@ -1,0 +1,30 @@
+#include "gnn/hypergraph_conv.h"
+
+#include "nn/ops.h"
+
+namespace gnn4tdl {
+
+HypergraphConvLayer::HypergraphConvLayer(size_t in_dim, size_t out_dim,
+                                         Rng& rng)
+    : linear_(in_dim, out_dim, rng) {
+  RegisterSubmodule(&linear_);
+}
+
+HypergraphConvLayer::Operators HypergraphConvLayer::BuildOperators(
+    const Hypergraph& h) {
+  return {h.NodeToEdgeOperator(), h.EdgeToNodeOperator()};
+}
+
+Tensor HypergraphConvLayer::Forward(const Tensor& h,
+                                    const Operators& operators) const {
+  Tensor projected = linear_.Forward(h);
+  Tensor on_edges = ops::SpMM(operators.node_to_edge, projected);
+  return ops::SpMM(operators.edge_to_node, on_edges);
+}
+
+Tensor HypergraphConvLayer::EdgeEmbeddings(const Tensor& h,
+                                           const Operators& operators) const {
+  return ops::SpMM(operators.node_to_edge, linear_.Forward(h));
+}
+
+}  // namespace gnn4tdl

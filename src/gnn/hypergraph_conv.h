@@ -1,0 +1,42 @@
+#ifndef GNN4TDL_GNN_HYPERGRAPH_CONV_H_
+#define GNN4TDL_GNN_HYPERGRAPH_CONV_H_
+
+#include "graph/hypergraph.h"
+#include "nn/module.h"
+
+namespace gnn4tdl {
+
+/// HGNN hypergraph convolution (Feng et al.):
+///   H' = Dv^{-1/2} H_inc De^{-1} H_inc^T Dv^{-1/2} (H W + b),
+/// applied as two SpMM steps through the hyperedge space. Also exposes the
+/// intermediate hyperedge embeddings, which HCL/PET-style models read out as
+/// *instance* representations (each row of the table is a hyperedge).
+class HypergraphConvLayer : public Module {
+ public:
+  HypergraphConvLayer(size_t in_dim, size_t out_dim, Rng& rng);
+
+  /// Precomputed operators from Hypergraph::NodeToEdgeOperator() /
+  /// EdgeToNodeOperator().
+  struct Operators {
+    SparseMatrix node_to_edge;  // m x n
+    SparseMatrix edge_to_node;  // n x m
+  };
+  static Operators BuildOperators(const Hypergraph& h);
+
+  /// Node-to-node convolution.
+  Tensor Forward(const Tensor& h, const Operators& ops) const;
+
+  /// Hyperedge embeddings after half a convolution (m x out_dim): the
+  /// per-instance representation in rows-as-hyperedges formulations.
+  Tensor EdgeEmbeddings(const Tensor& h, const Operators& ops) const;
+
+  size_t in_dim() const { return linear_.in_dim(); }
+  size_t out_dim() const { return linear_.out_dim(); }
+
+ private:
+  Linear linear_;
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_GNN_HYPERGRAPH_CONV_H_

@@ -1,0 +1,47 @@
+#include "gnn/readout.h"
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace gnn4tdl {
+
+const char* ReadoutTypeName(ReadoutType t) {
+  switch (t) {
+    case ReadoutType::kMean:
+      return "mean";
+    case ReadoutType::kSum:
+      return "sum";
+    case ReadoutType::kMax:
+      return "max";
+  }
+  return "unknown";
+}
+
+ReadoutType ReadoutTypeFromName(const std::string& name) {
+  if (name == "mean") return ReadoutType::kMean;
+  if (name == "sum") return ReadoutType::kSum;
+  if (name == "max") return ReadoutType::kMax;
+  GNN4TDL_CHECK_MSG(false, "unknown readout name");
+  return ReadoutType::kMean;
+}
+
+Tensor Readout(const Tensor& h, ReadoutType type) {
+  std::vector<size_t> seg(h.rows(), 0);
+  return SegmentReadout(h, seg, 1, type);
+}
+
+Tensor SegmentReadout(const Tensor& h, const std::vector<size_t>& seg,
+                      size_t num_segments, ReadoutType type) {
+  switch (type) {
+    case ReadoutType::kMean:
+      return ops::SegmentMeanRows(h, seg, num_segments);
+    case ReadoutType::kSum:
+      return ops::ScatterAddRows(h, seg, num_segments);
+    case ReadoutType::kMax:
+      return ops::SegmentMaxRows(h, seg, num_segments);
+  }
+  GNN4TDL_CHECK_MSG(false, "unknown readout type");
+  return h;
+}
+
+}  // namespace gnn4tdl

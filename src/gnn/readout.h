@@ -1,0 +1,29 @@
+#ifndef GNN4TDL_GNN_READOUT_H_
+#define GNN4TDL_GNN_READOUT_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace gnn4tdl {
+
+/// Permutation-invariant readout functions R({h_i}) (Section 2.3): map node
+/// embeddings to a graph-level representation.
+enum class ReadoutType { kMean, kSum, kMax };
+
+const char* ReadoutTypeName(ReadoutType t);
+ReadoutType ReadoutTypeFromName(const std::string& name);
+
+/// Whole-set readout: n x d -> 1 x d.
+Tensor Readout(const Tensor& h, ReadoutType type);
+
+/// Per-segment readout: rows with seg[i] == s pool into output row s
+/// (num_segments x d). Used by feature-graph models where each instance owns
+/// a block of feature-node embeddings.
+Tensor SegmentReadout(const Tensor& h, const std::vector<size_t>& seg,
+                      size_t num_segments, ReadoutType type);
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_GNN_READOUT_H_

@@ -1,0 +1,29 @@
+#include "gnn/rgcn.h"
+
+#include "nn/ops.h"
+
+namespace gnn4tdl {
+
+RgcnLayer::RgcnLayer(size_t in_dim, size_t out_dim, size_t num_relations,
+                     Rng& rng)
+    : self_(in_dim, out_dim, rng) {
+  RegisterSubmodule(&self_);
+  for (size_t r = 0; r < num_relations; ++r) {
+    relation_.push_back(
+        std::make_unique<Linear>(in_dim, out_dim, rng, /*bias=*/false));
+    RegisterSubmodule(relation_.back().get());
+  }
+}
+
+Tensor RgcnLayer::Forward(
+    const Tensor& h, const std::vector<SparseMatrix>& relation_ops) const {
+  GNN4TDL_CHECK_EQ(relation_ops.size(), relation_.size());
+  Tensor out = self_.Forward(h);
+  for (size_t r = 0; r < relation_.size(); ++r) {
+    Tensor msg = relation_[r]->Forward(ops::SpMM(relation_ops[r], h));
+    out = ops::Add(out, msg);
+  }
+  return out;
+}
+
+}  // namespace gnn4tdl

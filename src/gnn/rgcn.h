@@ -1,0 +1,36 @@
+#ifndef GNN4TDL_GNN_RGCN_H_
+#define GNN4TDL_GNN_RGCN_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/sparse.h"
+
+namespace gnn4tdl {
+
+/// Relational GCN (Schlichtkrull et al.): per-relation weight matrices plus a
+/// self transform,
+///   H' = H W_self + sum_r (D_r^{-1} A_r) H W_r.
+/// The layer for heterogeneous and multi-relational formulations (Table 5).
+class RgcnLayer : public Module {
+ public:
+  RgcnLayer(size_t in_dim, size_t out_dim, size_t num_relations, Rng& rng);
+
+  /// `relation_ops` are the per-relation row-normalized operators
+  /// (HeteroGraph::RelationOperators() or one per multiplex layer).
+  Tensor Forward(const Tensor& h,
+                 const std::vector<SparseMatrix>& relation_ops) const;
+
+  size_t in_dim() const { return self_.in_dim(); }
+  size_t out_dim() const { return self_.out_dim(); }
+  size_t num_relations() const { return relation_.size(); }
+
+ private:
+  Linear self_;
+  std::vector<std::unique_ptr<Linear>> relation_;
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_GNN_RGCN_H_

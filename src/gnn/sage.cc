@@ -1,0 +1,19 @@
+#include "gnn/sage.h"
+
+#include "nn/ops.h"
+
+namespace gnn4tdl {
+
+SageLayer::SageLayer(size_t in_dim, size_t out_dim, Rng& rng)
+    : self_(in_dim, out_dim, rng), neighbor_(in_dim, out_dim, rng, /*bias=*/false) {
+  RegisterSubmodule(&self_);
+  RegisterSubmodule(&neighbor_);
+}
+
+Tensor SageLayer::Forward(const Tensor& h, const SparseMatrix& mean_adj) const {
+  GNN4TDL_CHECK_EQ(mean_adj.rows(), h.rows());
+  Tensor nbr = ops::SpMM(mean_adj, h);
+  return ops::Add(self_.Forward(h), neighbor_.Forward(nbr));
+}
+
+}  // namespace gnn4tdl

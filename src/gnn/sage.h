@@ -1,0 +1,29 @@
+#ifndef GNN4TDL_GNN_SAGE_H_
+#define GNN4TDL_GNN_SAGE_H_
+
+#include "nn/module.h"
+#include "tensor/sparse.h"
+
+namespace gnn4tdl {
+
+/// GraphSAGE with mean aggregation (Hamilton et al.):
+///   H' = H W_self + mean_nbr(H) W_nbr + b.
+/// `mean_adj` is the row-normalized adjacency (Graph::RowNormalized());
+/// zero-degree nodes fall back to their self term only.
+class SageLayer : public Module {
+ public:
+  SageLayer(size_t in_dim, size_t out_dim, Rng& rng);
+
+  Tensor Forward(const Tensor& h, const SparseMatrix& mean_adj) const;
+
+  size_t in_dim() const { return self_.in_dim(); }
+  size_t out_dim() const { return self_.out_dim(); }
+
+ private:
+  Linear self_;
+  Linear neighbor_;
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_GNN_SAGE_H_

@@ -1,0 +1,55 @@
+#include "graph/bipartite.h"
+
+#include "common/check.h"
+
+namespace gnn4tdl {
+
+BipartiteGraph BipartiteGraph::FromEdges(size_t num_left, size_t num_right,
+                                         std::vector<Triplet> edges) {
+  BipartiteGraph g;
+  g.num_left_ = num_left;
+  g.num_right_ = num_right;
+  g.left_to_right_ =
+      SparseMatrix::FromTriplets(num_left, num_right, edges);
+  g.right_to_left_ = g.left_to_right_.Transpose();
+
+  g.edge_left_.reserve(g.left_to_right_.nnz());
+  g.edge_right_.reserve(g.left_to_right_.nnz());
+  g.edge_values_.reserve(g.left_to_right_.nnz());
+  for (size_t l = 0; l < num_left; ++l) {
+    for (size_t k = g.left_to_right_.row_ptr()[l];
+         k < g.left_to_right_.row_ptr()[l + 1]; ++k) {
+      g.edge_left_.push_back(l);
+      g.edge_right_.push_back(g.left_to_right_.col_idx()[k]);
+      g.edge_values_.push_back(g.left_to_right_.values()[k]);
+    }
+  }
+  return g;
+}
+
+namespace {
+
+SparseMatrix MeanOperator(const SparseMatrix& adj) {
+  std::vector<Triplet> triplets;
+  triplets.reserve(adj.nnz());
+  for (size_t r = 0; r < adj.rows(); ++r) {
+    size_t deg = adj.RowNnz(r);
+    if (deg == 0) continue;
+    double inv = 1.0 / static_cast<double>(deg);
+    for (size_t k = adj.row_ptr()[r]; k < adj.row_ptr()[r + 1]; ++k)
+      triplets.push_back({r, adj.col_idx()[k], inv});
+  }
+  return SparseMatrix::FromTriplets(adj.rows(), adj.cols(), std::move(triplets));
+}
+
+}  // namespace
+
+SparseMatrix BipartiteGraph::MeanAggregatorLeftFromRight() const {
+  return MeanOperator(left_to_right_);
+}
+
+SparseMatrix BipartiteGraph::MeanAggregatorRightFromLeft() const {
+  return MeanOperator(right_to_left_);
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,60 @@
+#ifndef GNN4TDL_GRAPH_BIPARTITE_H_
+#define GNN4TDL_GRAPH_BIPARTITE_H_
+
+#include <vector>
+
+#include "tensor/sparse.h"
+
+namespace gnn4tdl {
+
+/// Bipartite instance-feature graph (Section 4.1.2, GRAPE-style): left nodes
+/// are data instances, right nodes are features (columns), and an edge
+/// (i, j, v) means instance i observes value v for feature j. Missing cells
+/// simply have no edge — this is how bipartite formulations handle
+/// missingness natively.
+class BipartiteGraph {
+ public:
+  BipartiteGraph() : num_left_(0), num_right_(0) {}
+
+  /// Builds from (left, right, value) triplets.
+  static BipartiteGraph FromEdges(size_t num_left, size_t num_right,
+                                  std::vector<Triplet> edges);
+
+  size_t num_left() const { return num_left_; }
+  size_t num_right() const { return num_right_; }
+  size_t num_edges() const { return left_to_right_.nnz(); }
+
+  /// CSR of edges viewed from the left (instances): num_left x num_right.
+  const SparseMatrix& left_to_right() const { return left_to_right_; }
+
+  /// CSR of edges viewed from the right (features): num_right x num_left.
+  const SparseMatrix& right_to_left() const { return right_to_left_; }
+
+  /// Mean-aggregation operator left <- right: row-normalized left_to_right
+  /// with all weights replaced by 1/deg (values are carried separately as
+  /// edge features by the GRAPE conv, not baked into the operator).
+  SparseMatrix MeanAggregatorLeftFromRight() const;
+
+  /// Mean-aggregation operator right <- left.
+  SparseMatrix MeanAggregatorRightFromLeft() const;
+
+  /// Parallel arrays of the edges in left-CSR order; `values[k]` is the
+  /// observed cell value for edge k. Used for edge-feature message passing
+  /// and edge-level imputation targets.
+  const std::vector<size_t>& edge_left() const { return edge_left_; }
+  const std::vector<size_t>& edge_right() const { return edge_right_; }
+  const std::vector<double>& edge_values() const { return edge_values_; }
+
+ private:
+  size_t num_left_;
+  size_t num_right_;
+  SparseMatrix left_to_right_;
+  SparseMatrix right_to_left_;
+  std::vector<size_t> edge_left_;
+  std::vector<size_t> edge_right_;
+  std::vector<double> edge_values_;
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_GRAPH_BIPARTITE_H_

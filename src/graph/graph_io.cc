@@ -1,0 +1,57 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace gnn4tdl {
+
+namespace {
+constexpr char kMagic[] = "# gnn4tdl-edgelist";
+}  // namespace
+
+Status WriteEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << kMagic << ' ' << g.num_nodes() << '\n';
+  out.precision(17);
+  for (const Edge& e : g.EdgeList())
+    out << e.src << '\t' << e.dst << '\t' << e.weight << '\n';
+  if (!out) return Status::IoError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+StatusOr<Graph> ReadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+
+  std::string line;
+  if (!std::getline(in, line)) return Status::IoError("empty file: " + path);
+  std::istringstream header(line);
+  std::string hash, tag;
+  size_t num_nodes = 0;
+  if (!(header >> hash >> tag >> num_nodes) || hash != "#" ||
+      tag != "gnn4tdl-edgelist") {
+    return Status::InvalidArgument("'" + path + "' is not a gnn4tdl edge list");
+  }
+
+  std::vector<Edge> edges;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    Edge e;
+    if (!(row >> e.src >> e.dst >> e.weight)) {
+      return Status::IoError("malformed edge at line " +
+                             std::to_string(line_no));
+    }
+    if (e.src >= num_nodes || e.dst >= num_nodes) {
+      return Status::OutOfRange("edge endpoint out of range at line " +
+                                std::to_string(line_no));
+    }
+    edges.push_back(e);
+  }
+  return Graph::FromEdges(num_nodes, edges, /*symmetrize=*/false);
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,24 @@
+#ifndef GNN4TDL_GRAPH_GRAPH_IO_H_
+#define GNN4TDL_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace gnn4tdl {
+
+/// Writes a graph as a TSV edge list — header line "# gnn4tdl-edgelist
+/// <num_nodes>", then one "src\tdst\tweight" line per stored (directed)
+/// entry. The format round-trips through ReadEdgeList and loads directly
+/// into networkx / Gephi for visualization.
+Status WriteEdgeList(const Graph& g, const std::string& path);
+
+/// Reads a graph written by WriteEdgeList. Edges are taken as-is (no
+/// symmetrization: the file already contains both directions for symmetric
+/// graphs).
+StatusOr<Graph> ReadEdgeList(const std::string& path);
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_GRAPH_GRAPH_IO_H_

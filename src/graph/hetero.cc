@@ -1,0 +1,39 @@
+#include "graph/hetero.h"
+
+namespace gnn4tdl {
+
+size_t HeteroGraph::AddNodeType(std::string name, size_t count) {
+  GNN4TDL_CHECK_MSG(relations_.empty(),
+                    "add all node types before adding relations");
+  size_t offset = num_nodes_;
+  type_names_.push_back(std::move(name));
+  type_offsets_.push_back(offset);
+  type_counts_.push_back(count);
+  num_nodes_ += count;
+  return offset;
+}
+
+void HeteroGraph::AddRelation(std::string name, const std::vector<Edge>& edges,
+                              bool symmetrize) {
+  relation_names_.push_back(std::move(name));
+  relations_.push_back(Graph::FromEdges(num_nodes_, edges, symmetrize));
+}
+
+size_t HeteroGraph::NodeType(size_t v) const {
+  GNN4TDL_CHECK_LT(v, num_nodes_);
+  for (size_t t = 0; t < type_offsets_.size(); ++t) {
+    if (v >= type_offsets_[t] && v < type_offsets_[t] + type_counts_[t])
+      return t;
+  }
+  GNN4TDL_CHECK_MSG(false, "node id outside all type ranges");
+  return 0;
+}
+
+std::vector<SparseMatrix> HeteroGraph::RelationOperators() const {
+  std::vector<SparseMatrix> ops;
+  ops.reserve(relations_.size());
+  for (const Graph& g : relations_) ops.push_back(g.RowNormalized());
+  return ops;
+}
+
+}  // namespace gnn4tdl

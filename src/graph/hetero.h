@@ -1,0 +1,69 @@
+#ifndef GNN4TDL_GRAPH_HETERO_H_
+#define GNN4TDL_GRAPH_HETERO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gnn4tdl {
+
+/// General heterogeneous graph (Section 4.1.2): nodes live in one global id
+/// space but carry a type (e.g., instance nodes plus one node per categorical
+/// feature value), and edges are grouped into named relations. RGCN-style
+/// layers consume one normalized operator per relation.
+class HeteroGraph {
+ public:
+  HeteroGraph() = default;
+
+  /// Adds `count` nodes of a new type; returns the id of the first node of
+  /// that type (ids are contiguous per type).
+  size_t AddNodeType(std::string name, size_t count);
+
+  /// Adds a named relation over global node ids.
+  void AddRelation(std::string name, const std::vector<Edge>& edges,
+                   bool symmetrize = true);
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_node_types() const { return type_names_.size(); }
+  size_t num_relations() const { return relations_.size(); }
+
+  const std::string& node_type_name(size_t t) const {
+    GNN4TDL_CHECK_LT(t, type_names_.size());
+    return type_names_[t];
+  }
+  const std::string& relation_name(size_t r) const {
+    GNN4TDL_CHECK_LT(r, relation_names_.size());
+    return relation_names_[r];
+  }
+
+  /// Type id of global node `v`.
+  size_t NodeType(size_t v) const;
+
+  /// First global id and count of nodes of type `t`.
+  std::pair<size_t, size_t> TypeRange(size_t t) const {
+    GNN4TDL_CHECK_LT(t, type_offsets_.size());
+    return {type_offsets_[t], type_counts_[t]};
+  }
+
+  /// The relation-`r` subgraph over the global node set.
+  const Graph& relation(size_t r) const {
+    GNN4TDL_CHECK_LT(r, relations_.size());
+    return relations_[r];
+  }
+
+  /// Row-normalized operator per relation (for RGCN).
+  std::vector<SparseMatrix> RelationOperators() const;
+
+ private:
+  size_t num_nodes_ = 0;
+  std::vector<std::string> type_names_;
+  std::vector<size_t> type_offsets_;
+  std::vector<size_t> type_counts_;
+  std::vector<std::string> relation_names_;
+  std::vector<Graph> relations_;
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_GRAPH_HETERO_H_

@@ -1,0 +1,76 @@
+#include "graph/hypergraph.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace gnn4tdl {
+
+Hypergraph Hypergraph::FromHyperedges(
+    size_t num_nodes, const std::vector<std::vector<size_t>>& edges) {
+  std::vector<Triplet> triplets;
+  for (size_t e = 0; e < edges.size(); ++e) {
+    for (size_t v : edges[e]) {
+      GNN4TDL_CHECK_LT(v, num_nodes);
+      triplets.push_back({v, e, 1.0});
+    }
+  }
+  Hypergraph h;
+  h.num_nodes_ = num_nodes;
+  h.num_hyperedges_ = edges.size();
+  h.incidence_ =
+      SparseMatrix::FromTriplets(num_nodes, edges.size(), std::move(triplets));
+  return h;
+}
+
+std::vector<double> Hypergraph::NodeDegrees() const {
+  std::vector<double> deg(num_nodes_, 0.0);
+  for (size_t v = 0; v < num_nodes_; ++v)
+    deg[v] = static_cast<double>(incidence_.RowNnz(v));
+  return deg;
+}
+
+std::vector<double> Hypergraph::EdgeDegrees() const {
+  std::vector<double> deg(num_hyperedges_, 0.0);
+  for (size_t v = 0; v < num_nodes_; ++v)
+    for (size_t k = incidence_.row_ptr()[v]; k < incidence_.row_ptr()[v + 1];
+         ++k)
+      deg[incidence_.col_idx()[k]] += 1.0;
+  return deg;
+}
+
+SparseMatrix Hypergraph::NodeToEdgeOperator() const {
+  std::vector<double> dv = NodeDegrees();
+  std::vector<double> de = EdgeDegrees();
+  std::vector<Triplet> triplets;
+  triplets.reserve(incidence_.nnz());
+  for (size_t v = 0; v < num_nodes_; ++v) {
+    if (dv[v] == 0.0) continue;
+    double dv_inv_sqrt = 1.0 / std::sqrt(dv[v]);
+    for (size_t k = incidence_.row_ptr()[v]; k < incidence_.row_ptr()[v + 1];
+         ++k) {
+      size_t e = incidence_.col_idx()[k];
+      if (de[e] == 0.0) continue;
+      triplets.push_back({e, v, dv_inv_sqrt / de[e]});
+    }
+  }
+  return SparseMatrix::FromTriplets(num_hyperedges_, num_nodes_,
+                                    std::move(triplets));
+}
+
+SparseMatrix Hypergraph::EdgeToNodeOperator() const {
+  std::vector<double> dv = NodeDegrees();
+  std::vector<Triplet> triplets;
+  triplets.reserve(incidence_.nnz());
+  for (size_t v = 0; v < num_nodes_; ++v) {
+    if (dv[v] == 0.0) continue;
+    double dv_inv_sqrt = 1.0 / std::sqrt(dv[v]);
+    for (size_t k = incidence_.row_ptr()[v]; k < incidence_.row_ptr()[v + 1];
+         ++k)
+      triplets.push_back({v, incidence_.col_idx()[k], dv_inv_sqrt});
+  }
+  return SparseMatrix::FromTriplets(num_nodes_, num_hyperedges_,
+                                    std::move(triplets));
+}
+
+}  // namespace gnn4tdl

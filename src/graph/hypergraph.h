@@ -1,0 +1,49 @@
+#ifndef GNN4TDL_GRAPH_HYPERGRAPH_H_
+#define GNN4TDL_GRAPH_HYPERGRAPH_H_
+
+#include <vector>
+
+#include "tensor/sparse.h"
+
+namespace gnn4tdl {
+
+/// Hypergraph (Section 4.1.3): hyperedges join any number of nodes. Stored as
+/// an n x m incidence matrix H (nodes x hyperedges). In the tabular
+/// formulations of HCL/PET, nodes are distinct feature values and each data
+/// instance contributes one hyperedge over its values.
+class Hypergraph {
+ public:
+  Hypergraph() : num_nodes_(0), num_hyperedges_(0) {}
+
+  /// Builds from hyperedges given as node-id sets.
+  static Hypergraph FromHyperedges(size_t num_nodes,
+                                   const std::vector<std::vector<size_t>>& edges);
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_hyperedges() const { return num_hyperedges_; }
+
+  /// Incidence matrix H (n x m).
+  const SparseMatrix& incidence() const { return incidence_; }
+
+  /// The two factors of the HGNN propagation operator
+  ///   X' = Dv^{-1/2} H De^{-1} H^T Dv^{-1/2} X
+  /// applied as node_to_edge (m x n) then edge_to_node (n x m), so a
+  /// hypergraph convolution is two SpMM calls. Zero-degree rows stay zero.
+  SparseMatrix NodeToEdgeOperator() const;  // De^{-1} H^T Dv^{-1/2}
+  SparseMatrix EdgeToNodeOperator() const;  // Dv^{-1/2} H
+
+  /// Node degrees (number of incident hyperedges).
+  std::vector<double> NodeDegrees() const;
+
+  /// Hyperedge sizes (number of member nodes).
+  std::vector<double> EdgeDegrees() const;
+
+ private:
+  size_t num_nodes_;
+  size_t num_hyperedges_;
+  SparseMatrix incidence_;
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_GRAPH_HYPERGRAPH_H_

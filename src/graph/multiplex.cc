@@ -1,0 +1,21 @@
+#include "graph/multiplex.h"
+
+namespace gnn4tdl {
+
+void MultiplexGraph::AddLayer(std::string name, Graph layer) {
+  GNN4TDL_CHECK_EQ(layer.num_nodes(), num_nodes_);
+  names_.push_back(std::move(name));
+  layers_.push_back(std::move(layer));
+}
+
+Graph MultiplexGraph::Flatten() const {
+  std::vector<Edge> edges;
+  for (const Graph& layer : layers_) {
+    std::vector<Edge> layer_edges = layer.EdgeList();
+    edges.insert(edges.end(), layer_edges.begin(), layer_edges.end());
+  }
+  // Layers are already symmetric; do not mirror again.
+  return Graph::FromEdges(num_nodes_, edges, /*symmetrize=*/false);
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,44 @@
+#ifndef GNN4TDL_GRAPH_MULTIPLEX_H_
+#define GNN4TDL_GRAPH_MULTIPLEX_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gnn4tdl {
+
+/// Multiplex graph (Section 4.1.2, TabGNN-style): a stack of homogeneous
+/// layers over the same node set, one layer per relation (e.g., one per
+/// shared categorical column).
+class MultiplexGraph {
+ public:
+  explicit MultiplexGraph(size_t num_nodes = 0) : num_nodes_(num_nodes) {}
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_layers() const { return layers_.size(); }
+
+  /// Adds a relation layer; the layer's node count must match.
+  void AddLayer(std::string name, Graph layer);
+
+  const Graph& layer(size_t i) const {
+    GNN4TDL_CHECK_LT(i, layers_.size());
+    return layers_[i];
+  }
+  const std::string& layer_name(size_t i) const {
+    GNN4TDL_CHECK_LT(i, names_.size());
+    return names_[i];
+  }
+
+  /// Union of all layers into one homogeneous graph (weights summed).
+  Graph Flatten() const;
+
+ private:
+  size_t num_nodes_;
+  std::vector<Graph> layers_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_GRAPH_MULTIPLEX_H_

@@ -1,0 +1,76 @@
+#include "graph/perturb.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace gnn4tdl {
+
+namespace {
+
+/// Undirected edge list: each unordered pair once (src < dst).
+std::vector<Edge> UndirectedEdges(const Graph& g) {
+  std::vector<Edge> out;
+  for (const Edge& e : g.EdgeList()) {
+    if (e.src < e.dst) out.push_back(e);
+    if (e.src == e.dst) out.push_back(e);  // keep self-loops as-is
+  }
+  return out;
+}
+
+}  // namespace
+
+Graph DropEdges(const Graph& g, double fraction, uint64_t seed) {
+  GNN4TDL_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  Rng rng(seed);
+  std::vector<Edge> edges = UndirectedEdges(g);
+  rng.Shuffle(edges);
+  size_t keep = edges.size() -
+                static_cast<size_t>(fraction * static_cast<double>(edges.size()));
+  edges.resize(keep);
+  return Graph::FromEdges(g.num_nodes(), edges, /*symmetrize=*/true);
+}
+
+Graph AddRandomEdges(const Graph& g, double fraction, uint64_t seed) {
+  GNN4TDL_CHECK_GE(fraction, 0.0);
+  Rng rng(seed);
+  std::vector<Edge> edges = UndirectedEdges(g);
+  const size_t n = g.num_nodes();
+  size_t to_add =
+      static_cast<size_t>(fraction * static_cast<double>(edges.size()));
+  for (size_t i = 0; i < to_add && n >= 2; ++i) {
+    size_t a = static_cast<size_t>(rng.Int(0, static_cast<int64_t>(n) - 1));
+    size_t b = static_cast<size_t>(rng.Int(0, static_cast<int64_t>(n) - 1));
+    if (a == b) continue;
+    edges.push_back({a, b, 1.0});
+  }
+  return Graph::FromEdges(g.num_nodes(), edges, /*symmetrize=*/true);
+}
+
+Graph RewireEdges(const Graph& g, double fraction, uint64_t seed) {
+  GNN4TDL_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  Rng rng(seed);
+  std::vector<Edge> edges = UndirectedEdges(g);
+  const size_t n = g.num_nodes();
+  for (Edge& e : edges) {
+    if (n < 2 || !rng.Bernoulli(fraction)) continue;
+    size_t new_dst;
+    do {
+      new_dst = static_cast<size_t>(rng.Int(0, static_cast<int64_t>(n) - 1));
+    } while (new_dst == e.src);
+    e.dst = new_dst;
+  }
+  return Graph::FromEdges(g.num_nodes(), edges, /*symmetrize=*/true);
+}
+
+Graph SparsifyEdges(const Graph& g, double keep_prob, uint64_t seed) {
+  GNN4TDL_CHECK(keep_prob >= 0.0 && keep_prob <= 1.0);
+  Rng rng(seed);
+  std::vector<Edge> kept;
+  for (const Edge& e : UndirectedEdges(g))
+    if (rng.Bernoulli(keep_prob)) kept.push_back(e);
+  return Graph::FromEdges(g.num_nodes(), kept, /*symmetrize=*/true);
+}
+
+}  // namespace gnn4tdl

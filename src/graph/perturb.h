@@ -1,0 +1,33 @@
+#ifndef GNN4TDL_GRAPH_PERTURB_H_
+#define GNN4TDL_GRAPH_PERTURB_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace gnn4tdl {
+
+// Structural perturbations for the robustness experiments of Section 6
+// ("noise in graph structure", "adversarial attacks"). All operate on the
+// undirected edge set (each unordered pair counted once) and return a new
+// symmetric graph.
+
+/// Removes a random `fraction` of the edges.
+Graph DropEdges(const Graph& g, double fraction, uint64_t seed);
+
+/// Adds spurious random edges amounting to `fraction` of the current edge
+/// count (avoiding self loops; duplicates collapse).
+Graph AddRandomEdges(const Graph& g, double fraction, uint64_t seed);
+
+/// Rewires a random `fraction` of the edges: each selected edge keeps one
+/// endpoint and moves the other to a uniformly random node. The combined
+/// delete+add perturbation adversarial-attack papers use as a noise model.
+Graph RewireEdges(const Graph& g, double fraction, uint64_t seed);
+
+/// Randomly keeps each edge with probability `keep_prob` — the graph
+/// sparsification strategy Section 6 lists for scaling.
+Graph SparsifyEdges(const Graph& g, double keep_prob, uint64_t seed);
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_GRAPH_PERTURB_H_

@@ -1,0 +1,30 @@
+#include "graph/sampling.h"
+
+#include "common/check.h"
+
+namespace gnn4tdl {
+
+Graph SampleNeighbors(const Graph& g, size_t max_neighbors, Rng& rng) {
+  GNN4TDL_CHECK_GT(max_neighbors, 0u);
+  std::vector<Edge> sampled;
+  const SparseMatrix& adj = g.adjacency();
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    const size_t begin = adj.row_ptr()[v];
+    const size_t end = adj.row_ptr()[v + 1];
+    const size_t deg = end - begin;
+    if (deg <= max_neighbors) {
+      for (size_t k = begin; k < end; ++k)
+        sampled.push_back({v, adj.col_idx()[k], adj.values()[k]});
+    } else {
+      std::vector<size_t> picks = rng.SampleWithoutReplacement(deg,
+                                                               max_neighbors);
+      for (size_t p : picks) {
+        size_t k = begin + p;
+        sampled.push_back({v, adj.col_idx()[k], adj.values()[k]});
+      }
+    }
+  }
+  return Graph::FromEdges(g.num_nodes(), sampled, /*symmetrize=*/false);
+}
+
+}  // namespace gnn4tdl

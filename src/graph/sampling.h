@@ -1,0 +1,18 @@
+#ifndef GNN4TDL_GRAPH_SAMPLING_H_
+#define GNN4TDL_GRAPH_SAMPLING_H_
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace gnn4tdl {
+
+/// GraphSAGE-style neighbor sampling (Table 6, "neighbor sampling"): each
+/// node keeps at most `max_neighbors` of its out-neighbors, chosen uniformly.
+/// The result is directed (node v aggregates only its own sample), which is
+/// exactly the operator mini-batch GraphSAGE uses; resample each epoch for
+/// the stochastic-regularization effect.
+Graph SampleNeighbors(const Graph& g, size_t max_neighbors, Rng& rng);
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_GRAPH_SAMPLING_H_

@@ -1,0 +1,60 @@
+#include "models/explain.h"
+
+#include <cmath>
+#include <limits>
+
+namespace gnn4tdl {
+
+StatusOr<std::vector<double>> OcclusionImportance(
+    TabularModel& fitted_model, const TabularDataset& data,
+    const std::vector<size_t>& rows) {
+  StatusOr<Matrix> base = fitted_model.Predict(data);
+  if (!base.ok()) return base.status();
+
+  std::vector<size_t> eval = rows;
+  if (eval.empty()) {
+    eval.resize(data.NumRows());
+    for (size_t i = 0; i < eval.size(); ++i) eval[i] = i;
+  }
+
+  std::vector<double> importance(data.NumCols(), 0.0);
+  for (size_t c = 0; c < data.NumCols(); ++c) {
+    TabularDataset occluded = data;
+    Column& col = occluded.mutable_column(c);
+    if (col.type == ColumnType::kNumerical) {
+      double sum = 0.0;
+      size_t count = 0;
+      for (double v : col.numeric) {
+        if (std::isnan(v)) continue;
+        sum += v;
+        ++count;
+      }
+      double mean = count > 0 ? sum / static_cast<double>(count) : 0.0;
+      for (double& v : col.numeric) v = mean;
+    } else {
+      for (int& code : col.codes) code = -1;  // neutralize to "missing"
+    }
+
+    StatusOr<Matrix> perturbed = fitted_model.Predict(occluded);
+    if (!perturbed.ok()) return perturbed.status();
+    if (perturbed->rows() != base->rows() ||
+        perturbed->cols() != base->cols()) {
+      return Status::Internal("prediction shape changed under occlusion");
+    }
+    double delta = 0.0;
+    for (size_t r : eval) {
+      if (r >= base->rows()) return Status::OutOfRange("row index out of range");
+      for (size_t k = 0; k < base->cols(); ++k)
+        delta += std::fabs((*perturbed)(r, k) - (*base)(r, k));
+    }
+    importance[c] = delta / static_cast<double>(eval.size());
+  }
+
+  double total = 0.0;
+  for (double v : importance) total += v;
+  if (total > 0.0)
+    for (double& v : importance) v /= total;
+  return importance;
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,24 @@
+#ifndef GNN4TDL_MODELS_EXPLAIN_H_
+#define GNN4TDL_MODELS_EXPLAIN_H_
+
+#include <vector>
+
+#include "models/model.h"
+
+namespace gnn4tdl {
+
+/// Occlusion-based feature importance for *inductive* models (MLP, GBDT,
+/// feature-graph GNNs): importance of column c = mean absolute change of the
+/// model's output scores over `rows` when column c is neutralized (numeric ->
+/// training mean, categorical -> missing). Scores are normalized to sum to 1.
+///
+/// Transductive instance-graph models cache the fitted dataset and ignore
+/// Predict() inputs, so occlusion cannot probe them — pass inductive models
+/// only (the function cannot detect the difference; see TabularModel docs).
+StatusOr<std::vector<double>> OcclusionImportance(
+    TabularModel& fitted_model, const TabularDataset& data,
+    const std::vector<size_t>& rows = {});
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_MODELS_EXPLAIN_H_

@@ -1,0 +1,60 @@
+#ifndef GNN4TDL_MODELS_GAE_OUTLIER_H_
+#define GNN4TDL_MODELS_GAE_OUTLIER_H_
+
+#include <memory>
+#include <string>
+
+#include "construct/rule_based.h"
+#include "data/transforms.h"
+#include "models/model.h"
+#include "nn/module.h"
+#include "train/trainer.h"
+
+namespace gnn4tdl {
+
+/// Options for GaeOutlierDetector.
+struct GaeOutlierOptions {
+  KnnGraphOptions knn;
+  size_t hidden_dim = 16;
+  size_t bottleneck_dim = 4;
+  FeaturizerOptions featurizer;
+  TrainOptions train;
+  uint64_t seed = 14;
+};
+
+/// Graph-autoencoder outlier detection (GAEOD / MST-GRA family, Sections 4.3
+/// & 5.1): a GCN encoder compresses each row through a bottleneck while
+/// message passing pulls it toward its neighbors; a decoder reconstructs the
+/// features. Inliers sit in dense, self-consistent neighborhoods and
+/// reconstruct well; outliers don't — the reconstruction error is the
+/// anomaly score. Fully unsupervised.
+class GaeOutlierDetector : public TabularModel {
+ public:
+  explicit GaeOutlierDetector(GaeOutlierOptions options = {});
+  ~GaeOutlierDetector() override;
+
+  /// Unsupervised: labels and split are ignored during training.
+  Status Fit(const TabularDataset& data, const Split& split) override;
+
+  /// One column of reconstruction-error anomaly scores (higher = more
+  /// anomalous). Transductive: requires the fitted dataset.
+  StatusOr<Matrix> Predict(const TabularDataset& data) override;
+  std::string Name() const override { return "gae_outlier"; }
+
+ private:
+  struct Net;
+
+  Tensor ReconstructionErrors() const;
+
+  GaeOutlierOptions options_;
+  mutable Rng rng_;
+  Featurizer featurizer_;
+  Matrix x_cache_;
+  SparseMatrix norm_adj_;
+  std::unique_ptr<Net> net_;
+  bool fitted_ = false;
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_MODELS_GAE_OUTLIER_H_

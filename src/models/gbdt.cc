@@ -1,0 +1,330 @@
+#include "models/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace gnn4tdl {
+
+namespace {
+
+double StableSigmoid(double z) {
+  if (z >= 0) return 1.0 / (1.0 + std::exp(-z));
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+struct GbdtModel::Tree {
+  struct Node {
+    bool leaf = true;
+    double value = 0.0;   // leaf weight
+    size_t feature = 0;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+  };
+  std::vector<Node> nodes;
+};
+
+GbdtModel::GbdtModel(GbdtOptions options)
+    : options_(std::move(options)),
+      featurizer_(FeaturizerOptions{.standardize = false,
+                                    .one_hot = true,
+                                    .missing_fill = 0.0,
+                                    .add_missing_indicators = true}) {}
+
+GbdtModel::~GbdtModel() = default;
+
+size_t GbdtModel::NumRounds() const { return ensemble_.size(); }
+
+std::unique_ptr<GbdtModel::Tree> GbdtModel::FitTree(
+    const Matrix& x, const std::vector<double>& grad,
+    const std::vector<double>& hess, const std::vector<size_t>& rows) const {
+  if (gain_per_output_col_.size() != x.cols())
+    gain_per_output_col_.assign(x.cols(), 0.0);
+  auto tree = std::make_unique<Tree>();
+
+  struct Work {
+    int node;
+    std::vector<size_t> rows;
+    size_t depth;
+  };
+
+  auto leaf_value = [&](const std::vector<size_t>& r) {
+    double g = 0.0, h = 0.0;
+    for (size_t i : r) {
+      g += grad[i];
+      h += hess[i];
+    }
+    return -g / (h + options_.lambda);
+  };
+  auto score = [&](double g, double h) {
+    return g * g / (h + options_.lambda);
+  };
+
+  tree->nodes.push_back({});
+  std::vector<Work> stack;
+  stack.push_back({0, rows, 0});
+
+  while (!stack.empty()) {
+    Work work = std::move(stack.back());
+    stack.pop_back();
+    Tree::Node& node = tree->nodes[static_cast<size_t>(work.node)];
+    node.value = leaf_value(work.rows);
+
+    if (work.depth >= options_.max_depth || work.rows.size() < 2) continue;
+
+    double g_total = 0.0, h_total = 0.0;
+    for (size_t i : work.rows) {
+      g_total += grad[i];
+      h_total += hess[i];
+    }
+
+    // Exact greedy split search over all features.
+    double best_gain = options_.gamma;
+    size_t best_feature = 0;
+    double best_threshold = 0.0;
+    std::vector<size_t> order = work.rows;
+    for (size_t f = 0; f < x.cols(); ++f) {
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return x(a, f) < x(b, f);
+      });
+      double g_left = 0.0, h_left = 0.0;
+      for (size_t pos = 0; pos + 1 < order.size(); ++pos) {
+        g_left += grad[order[pos]];
+        h_left += hess[order[pos]];
+        // Only split between distinct feature values.
+        if (x(order[pos], f) == x(order[pos + 1], f)) continue;
+        double h_right = h_total - h_left;
+        if (h_left < options_.min_child_weight ||
+            h_right < options_.min_child_weight)
+          continue;
+        double g_right = g_total - g_left;
+        double gain = 0.5 * (score(g_left, h_left) + score(g_right, h_right) -
+                             score(g_total, h_total));
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = f;
+          best_threshold = 0.5 * (x(order[pos], f) + x(order[pos + 1], f));
+        }
+      }
+    }
+    if (best_gain <= options_.gamma) continue;
+    gain_per_output_col_[best_feature] += best_gain;
+
+    std::vector<size_t> left_rows, right_rows;
+    for (size_t i : work.rows) {
+      (x(i, best_feature) <= best_threshold ? left_rows : right_rows)
+          .push_back(i);
+    }
+    if (left_rows.empty() || right_rows.empty()) continue;
+
+    int left_id = static_cast<int>(tree->nodes.size());
+    tree->nodes.push_back({});
+    int right_id = static_cast<int>(tree->nodes.size());
+    tree->nodes.push_back({});
+    // `node` reference may be invalidated by push_back; reindex.
+    Tree::Node& parent = tree->nodes[static_cast<size_t>(work.node)];
+    parent.leaf = false;
+    parent.feature = best_feature;
+    parent.threshold = best_threshold;
+    parent.left = left_id;
+    parent.right = right_id;
+    stack.push_back({left_id, std::move(left_rows), work.depth + 1});
+    stack.push_back({right_id, std::move(right_rows), work.depth + 1});
+  }
+  return tree;
+}
+
+double GbdtModel::PredictTree(const Tree& tree, const Matrix& x, size_t row) {
+  int cur = 0;
+  while (!tree.nodes[static_cast<size_t>(cur)].leaf) {
+    const Tree::Node& node = tree.nodes[static_cast<size_t>(cur)];
+    cur = x(row, node.feature) <= node.threshold ? node.left : node.right;
+  }
+  return tree.nodes[static_cast<size_t>(cur)].value;
+}
+
+Status GbdtModel::Fit(const TabularDataset& data, const Split& split) {
+  gain_per_output_col_.clear();
+  task_ = data.task();
+  if (task_ == TaskType::kNone) {
+    return Status::FailedPrecondition("dataset has no labels");
+  }
+  if (split.train.empty()) {
+    return Status::InvalidArgument("empty training split");
+  }
+  GNN4TDL_RETURN_IF_ERROR(featurizer_.Fit(data, split.train));
+  StatusOr<Matrix> x_or = featurizer_.Transform(data);
+  if (!x_or.ok()) return x_or.status();
+  const Matrix& x = *x_or;
+  const size_t n = x.rows();
+
+  const bool regression = task_ == TaskType::kRegression;
+  const bool binary = !regression && data.num_classes() == 2;
+  num_outputs_ =
+      regression || binary ? 1 : static_cast<size_t>(data.num_classes());
+
+  // Base score.
+  if (regression) {
+    double sum = 0.0;
+    for (size_t i : split.train) sum += data.regression_labels()[i];
+    base_score_ = sum / static_cast<double>(split.train.size());
+  } else if (binary) {
+    double pos = 0.0;
+    for (size_t i : split.train) pos += data.class_labels()[i];
+    double p = std::clamp(pos / static_cast<double>(split.train.size()), 1e-6,
+                          1.0 - 1e-6);
+    base_score_ = std::log(p / (1.0 - p));
+  } else {
+    base_score_ = 0.0;
+  }
+
+  // Raw scores per row per output, updated as rounds are added.
+  Matrix f(n, num_outputs_, base_score_);
+  ensemble_.clear();
+
+  auto eval_loss = [&](const std::vector<size_t>& rows) {
+    if (rows.empty()) return 0.0;
+    double loss = 0.0;
+    for (size_t i : rows) {
+      if (regression) {
+        double d = f(i, 0) - data.regression_labels()[i];
+        loss += d * d;
+      } else if (binary) {
+        double z = f(i, 0);
+        double y = data.class_labels()[i];
+        loss += (z > 0 ? z + std::log1p(std::exp(-z))
+                       : std::log1p(std::exp(z))) -
+                y * z;
+      } else {
+        double mx = -std::numeric_limits<double>::infinity();
+        for (size_t k = 0; k < num_outputs_; ++k) mx = std::max(mx, f(i, k));
+        double sum = 0.0;
+        for (size_t k = 0; k < num_outputs_; ++k)
+          sum += std::exp(f(i, k) - mx);
+        loss -= f(i, static_cast<size_t>(data.class_labels()[i])) - mx -
+                std::log(sum);
+      }
+    }
+    return loss / static_cast<double>(rows.size());
+  };
+
+  double best_val = std::numeric_limits<double>::infinity();
+  size_t best_rounds = 0;
+  size_t since_best = 0;
+
+  std::vector<double> grad(n, 0.0), hess(n, 0.0);
+  for (size_t round = 0; round < options_.num_rounds; ++round) {
+    std::vector<std::unique_ptr<Tree>> round_trees;
+    if (regression) {
+      for (size_t i : split.train) {
+        grad[i] = f(i, 0) - data.regression_labels()[i];
+        hess[i] = 1.0;
+      }
+      round_trees.push_back(FitTree(x, grad, hess, split.train));
+    } else if (binary) {
+      for (size_t i : split.train) {
+        double p = StableSigmoid(f(i, 0));
+        grad[i] = p - data.class_labels()[i];
+        hess[i] = std::max(p * (1.0 - p), 1e-12);
+      }
+      round_trees.push_back(FitTree(x, grad, hess, split.train));
+    } else {
+      // Softmax: one tree per class on the class's gradient.
+      std::vector<std::vector<double>> probs(split.train.size());
+      for (size_t t = 0; t < split.train.size(); ++t) {
+        size_t i = split.train[t];
+        double mx = -std::numeric_limits<double>::infinity();
+        for (size_t k = 0; k < num_outputs_; ++k) mx = std::max(mx, f(i, k));
+        double sum = 0.0;
+        probs[t].resize(num_outputs_);
+        for (size_t k = 0; k < num_outputs_; ++k) {
+          probs[t][k] = std::exp(f(i, k) - mx);
+          sum += probs[t][k];
+        }
+        for (size_t k = 0; k < num_outputs_; ++k) probs[t][k] /= sum;
+      }
+      for (size_t k = 0; k < num_outputs_; ++k) {
+        for (size_t t = 0; t < split.train.size(); ++t) {
+          size_t i = split.train[t];
+          double p = probs[t][k];
+          double y = data.class_labels()[i] == static_cast<int>(k) ? 1.0 : 0.0;
+          grad[i] = p - y;
+          hess[i] = std::max(p * (1.0 - p), 1e-12);
+        }
+        round_trees.push_back(FitTree(x, grad, hess, split.train));
+      }
+    }
+
+    // Apply the round to all rows (train for gradients, others for eval).
+    for (size_t k = 0; k < round_trees.size(); ++k) {
+      for (size_t i = 0; i < n; ++i)
+        f(i, k) += options_.learning_rate * PredictTree(*round_trees[k], x, i);
+    }
+    ensemble_.push_back(std::move(round_trees));
+
+    if (options_.patience > 0 && !split.val.empty()) {
+      double val_loss = eval_loss(split.val);
+      if (val_loss < best_val - 1e-9) {
+        best_val = val_loss;
+        best_rounds = ensemble_.size();
+        since_best = 0;
+      } else if (++since_best >= options_.patience) {
+        break;
+      }
+    }
+  }
+  if (options_.patience > 0 && !split.val.empty() && best_rounds > 0) {
+    ensemble_.resize(best_rounds);
+  }
+  return Status::OK();
+}
+
+std::vector<double> GbdtModel::FeatureImportance() const {
+  if (gain_per_output_col_.empty()) return {};
+  const std::vector<size_t>& source = featurizer_.OutputToSourceColumn();
+  size_t num_source = 0;
+  for (size_t s : source) num_source = std::max(num_source, s + 1);
+  std::vector<double> importance(num_source, 0.0);
+  double total = 0.0;
+  for (size_t c = 0; c < gain_per_output_col_.size() && c < source.size();
+       ++c) {
+    importance[source[c]] += gain_per_output_col_[c];
+    total += gain_per_output_col_[c];
+  }
+  if (total > 0.0)
+    for (double& v : importance) v /= total;
+  return importance;
+}
+
+StatusOr<Matrix> GbdtModel::Predict(const TabularDataset& data) {
+  if (task_ == TaskType::kNone) {
+    return Status::FailedPrecondition("Predict before Fit");
+  }
+  StatusOr<Matrix> x_or = featurizer_.Transform(data);
+  if (!x_or.ok()) return x_or.status();
+  const Matrix& x = *x_or;
+
+  Matrix f(x.rows(), num_outputs_, base_score_);
+  for (const auto& round : ensemble_) {
+    for (size_t k = 0; k < round.size(); ++k) {
+      for (size_t i = 0; i < x.rows(); ++i)
+        f(i, k) += options_.learning_rate * PredictTree(*round[k], x, i);
+    }
+  }
+  if (task_ != TaskType::kRegression && num_outputs_ == 1) {
+    // Expand the single logit into two-class logits for a uniform interface.
+    Matrix logits(x.rows(), 2);
+    for (size_t i = 0; i < x.rows(); ++i) logits(i, 1) = f(i, 0);
+    return logits;
+  }
+  return f;
+}
+
+}  // namespace gnn4tdl

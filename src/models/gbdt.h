@@ -1,0 +1,77 @@
+#ifndef GNN4TDL_MODELS_GBDT_H_
+#define GNN4TDL_MODELS_GBDT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/transforms.h"
+#include "models/model.h"
+
+namespace gnn4tdl {
+
+/// Options for gradient-boosted decision trees.
+struct GbdtOptions {
+  size_t num_rounds = 150;
+  double learning_rate = 0.1;
+  size_t max_depth = 4;
+  /// Minimum hessian mass per child (xgboost's min_child_weight).
+  double min_child_weight = 1.0;
+  /// L2 regularization on leaf values.
+  double lambda = 1.0;
+  /// Minimum gain to split.
+  double gamma = 0.0;
+  /// Early stopping patience on validation loss (0 = off).
+  size_t patience = 20;
+  uint64_t seed = 2;
+};
+
+/// Gradient-boosted regression trees with second-order (XGBoost-style) leaf
+/// values and exact greedy splits. Supports squared loss (regression),
+/// logistic loss (binary), and one-tree-per-class softmax (multi-class).
+///
+/// The tree-based comparator the survey's Section 6 discussion ("obtaining
+/// the ability of tree-based models") requires: it fits irregular,
+/// non-smooth targets that defeat neural models.
+class GbdtModel : public TabularModel {
+ public:
+  explicit GbdtModel(GbdtOptions options = {});
+  ~GbdtModel() override;
+
+  Status Fit(const TabularDataset& data, const Split& split) override;
+  StatusOr<Matrix> Predict(const TabularDataset& data) override;
+  std::string Name() const override { return "gbdt"; }
+
+  /// Number of boosting rounds actually kept (after early stopping).
+  size_t NumRounds() const;
+
+  /// Total split gain attributed to each *source* column of the fitted
+  /// dataset (one-hot blocks fold back into their categorical column),
+  /// normalized to sum to 1. Empty before Fit.
+  std::vector<double> FeatureImportance() const;
+
+ private:
+  struct Tree;
+
+  /// Fits one tree to (gradient, hessian) pairs over `rows` of `x`.
+  std::unique_ptr<Tree> FitTree(const Matrix& x,
+                                const std::vector<double>& grad,
+                                const std::vector<double>& hess,
+                                const std::vector<size_t>& rows) const;
+  static double PredictTree(const Tree& tree, const Matrix& x, size_t row);
+
+  GbdtOptions options_;
+  Featurizer featurizer_;
+  // Featurized-column split gains, accumulated inside FitTree (which is
+  // const because it only reads the model configuration).
+  mutable std::vector<double> gain_per_output_col_;
+  TaskType task_ = TaskType::kNone;
+  size_t num_outputs_ = 1;  // 1 for regression/binary, C for multi-class
+  double base_score_ = 0.0;
+  /// ensemble_[round][output] — one tree per output per kept round.
+  std::vector<std::vector<std::unique_ptr<Tree>>> ensemble_;
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_MODELS_GBDT_H_

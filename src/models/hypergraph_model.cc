@@ -1,0 +1,105 @@
+#include "models/hypergraph_model.h"
+
+#include "data/metrics.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+
+namespace gnn4tdl {
+
+struct HypergraphModel::Net : public Module {
+  Net(const HypergraphModelOptions& options, size_t num_value_nodes,
+      size_t out_dim, Rng& rng) {
+    // Learnable embedding per feature-value node (the "one-hot initial
+    // feature" of HCL passed through a first projection, fused here).
+    node_embed_ =
+        RegisterParameter(Matrix::Randn(num_value_nodes, options.embed_dim,
+                                        rng, 0.1));
+    for (size_t l = 0; l < options.num_layers; ++l) {
+      convs_.push_back(std::make_unique<HypergraphConvLayer>(
+          options.embed_dim, options.embed_dim, rng));
+      RegisterSubmodule(convs_.back().get());
+    }
+    head_ = std::make_unique<Mlp>(
+        std::vector<size_t>{options.embed_dim, options.embed_dim, out_dim},
+        rng, Activation::kRelu, options.dropout);
+    RegisterSubmodule(head_.get());
+  }
+
+  Tensor node_embed_;
+  std::vector<std::unique_ptr<HypergraphConvLayer>> convs_;
+  std::unique_ptr<Mlp> head_;
+};
+
+HypergraphModel::HypergraphModel(HypergraphModelOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {}
+
+HypergraphModel::~HypergraphModel() = default;
+
+Tensor HypergraphModel::Forward(bool training) const {
+  Tensor h = net_->node_embed_;
+  for (size_t l = 0; l < net_->convs_.size(); ++l) {
+    if (l + 1 < net_->convs_.size()) {
+      h = ops::Relu(net_->convs_[l]->Forward(h, operators_));
+      h = ops::Dropout(h, options_.dropout, rng_, training);
+    } else {
+      // Final layer reads out hyperedge (= instance) embeddings.
+      h = ops::Relu(net_->convs_[l]->EdgeEmbeddings(h, operators_));
+    }
+  }
+  return net_->head_->Forward(h, rng_, training);
+}
+
+Status HypergraphModel::Fit(const TabularDataset& data, const Split& split) {
+  task_ = data.task();
+  if (task_ == TaskType::kNone) {
+    return Status::FailedPrecondition("dataset has no labels");
+  }
+  if (data.NumCols() == 0) {
+    return Status::InvalidArgument("dataset has no feature columns");
+  }
+  hypergraph_ = HypergraphFromTable(
+      data, HypergraphOptions{.numeric_bins = options_.numeric_bins});
+  operators_ = HypergraphConvLayer::BuildOperators(hypergraph_);
+
+  const bool regression = task_ == TaskType::kRegression;
+  const size_t out_dim =
+      regression ? 1 : static_cast<size_t>(data.num_classes());
+  net_ = std::make_unique<Net>(options_, hypergraph_.num_nodes(), out_dim,
+                               rng_);
+
+  std::vector<double> train_mask = Split::MaskFor(split.train, data.NumRows());
+  Matrix labels_reg;
+  if (regression) labels_reg = data.RegressionLabelMatrix();
+
+  Trainer trainer(net_->Parameters(), options_.train);
+  auto loss_fn = [&]() -> Tensor {
+    Tensor out = Forward(true);
+    return regression ? ops::MseLoss(out, labels_reg, train_mask)
+                      : ops::SoftmaxCrossEntropy(out, data.class_labels(),
+                                                 train_mask);
+  };
+  std::function<double()> val_fn = nullptr;
+  if (!split.val.empty()) {
+    val_fn = [&, this]() -> double {
+      Tensor out = Forward(false);
+      if (regression) {
+        return -Rmse(out.value(), data.regression_labels(), split.val);
+      }
+      return Accuracy(out.value(), data.class_labels(), split.val);
+    };
+  }
+  trainer.Fit(loss_fn, val_fn);
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<Matrix> HypergraphModel::Predict(const TabularDataset& data) {
+  if (!fitted_) return Status::FailedPrecondition("Predict before Fit");
+  if (data.NumRows() != hypergraph_.num_hyperedges()) {
+    return Status::InvalidArgument(
+        "transductive model: Predict() requires the dataset used in Fit()");
+  }
+  return Forward(false).value();
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,552 @@
+#include "models/knn_gnn.h"
+
+#include "data/metrics.h"
+#include "gnn/appnp.h"
+#include "gnn/graph_transformer.h"
+#include "graph/sampling.h"
+
+#include <algorithm>
+#include "nn/ops.h"
+
+namespace gnn4tdl {
+
+const char* GnnBackboneName(GnnBackbone b) {
+  switch (b) {
+    case GnnBackbone::kGcn:
+      return "gcn";
+    case GnnBackbone::kSage:
+      return "sage";
+    case GnnBackbone::kGat:
+      return "gat";
+    case GnnBackbone::kGin:
+      return "gin";
+    case GnnBackbone::kGgnn:
+      return "ggnn";
+    case GnnBackbone::kAppnp:
+      return "appnp";
+    case GnnBackbone::kTransformer:
+      return "graph_transformer";
+  }
+  return "unknown";
+}
+
+GnnBackbone GnnBackboneFromName(const std::string& name) {
+  if (name == "gcn") return GnnBackbone::kGcn;
+  if (name == "sage") return GnnBackbone::kSage;
+  if (name == "gat") return GnnBackbone::kGat;
+  if (name == "gin") return GnnBackbone::kGin;
+  if (name == "ggnn") return GnnBackbone::kGgnn;
+  if (name == "appnp") return GnnBackbone::kAppnp;
+  if (name == "graph_transformer") return GnnBackbone::kTransformer;
+  GNN4TDL_CHECK_MSG(false, "unknown backbone name");
+  return GnnBackbone::kGcn;
+}
+
+const char* GraphSourceName(GraphSource s) {
+  switch (s) {
+    case GraphSource::kKnn:
+      return "knn";
+    case GraphSource::kMissingAwareKnn:
+      return "missing_aware_knn";
+    case GraphSource::kThreshold:
+      return "threshold";
+    case GraphSource::kFullyConnected:
+      return "fully_connected";
+    case GraphSource::kMultiplexFlatten:
+      return "same_feature_value";
+    case GraphSource::kPrecomputed:
+      return "precomputed";
+  }
+  return "unknown";
+}
+
+const char* TrainStrategyName(TrainStrategy s) {
+  switch (s) {
+    case TrainStrategy::kEndToEnd:
+      return "end_to_end";
+    case TrainStrategy::kTwoStage:
+      return "two_stage";
+    case TrainStrategy::kPretrainFinetune:
+      return "pretrain_finetune";
+  }
+  return "unknown";
+}
+
+/// The message-passing operators a backbone consumes, derived from a graph.
+/// Kept separate from the Encoder's parameters so the same trained weights
+/// can run on a different graph — the mechanism behind inductive prediction
+/// on unseen rows (Section 2.5e).
+struct InstanceGraphGnn::Operators {
+  SparseMatrix sparse;
+  GatLayer::EdgeIndex edge_index;
+  Matrix dense;
+
+  static Operators Build(GnnBackbone backbone, const Graph& graph) {
+    Operators out;
+    switch (backbone) {
+      case GnnBackbone::kGcn:
+      case GnnBackbone::kAppnp:
+        out.sparse = graph.GcnNormalized();
+        break;
+      case GnnBackbone::kSage:
+      case GnnBackbone::kGgnn:
+        out.sparse = graph.RowNormalized();
+        break;
+      case GnnBackbone::kGin:
+        out.sparse = graph.adjacency();
+        break;
+      case GnnBackbone::kGat:
+        out.edge_index = GatLayer::BuildEdgeIndex(graph);
+        break;
+      case GnnBackbone::kTransformer:
+        out.dense = graph.GcnNormalized().ToDense();
+        break;
+    }
+    return out;
+  }
+};
+
+/// Backbone stack: owns the layers (parameters only; operators are passed to
+/// Forward so the weights are graph-independent).
+struct InstanceGraphGnn::Encoder : public Module {
+  Encoder(const InstanceGraphGnnOptions& options, size_t in_dim, Rng& rng)
+      : options_(options) {
+
+    const size_t h = options.hidden_dim;
+    size_t dim = in_dim;
+    for (size_t l = 0; l < options.num_layers; ++l) {
+      switch (options.backbone) {
+        case GnnBackbone::kGcn:
+          gcn_.push_back(std::make_unique<GcnLayer>(dim, h, rng));
+          RegisterSubmodule(gcn_.back().get());
+          break;
+        case GnnBackbone::kSage:
+          sage_.push_back(std::make_unique<SageLayer>(dim, h, rng));
+          RegisterSubmodule(sage_.back().get());
+          break;
+        case GnnBackbone::kGat:
+          gat_.push_back(
+              std::make_unique<GatLayer>(dim, h, options.gat_heads, rng));
+          RegisterSubmodule(gat_.back().get());
+          break;
+        case GnnBackbone::kGin:
+          gin_.push_back(std::make_unique<GinLayer>(dim, h, h, rng));
+          RegisterSubmodule(gin_.back().get());
+          break;
+        case GnnBackbone::kGgnn:
+          if (l == 0) {
+            input_proj_ = std::make_unique<Linear>(dim, h, rng);
+            RegisterSubmodule(input_proj_.get());
+            ggnn_ = std::make_unique<GgnnLayer>(h, rng);
+            RegisterSubmodule(ggnn_.get());
+          }
+          break;
+        case GnnBackbone::kAppnp:
+          if (l == 0) {
+            appnp_mlp_ = std::make_unique<Mlp>(
+                std::vector<size_t>{dim, h, h}, rng, Activation::kRelu,
+                options.dropout);
+            RegisterSubmodule(appnp_mlp_.get());
+          }
+          break;
+        case GnnBackbone::kTransformer:
+          if (l == 0) {
+            input_proj_ = std::make_unique<Linear>(dim, h, rng);
+            RegisterSubmodule(input_proj_.get());
+          }
+          transformer_.push_back(
+              std::make_unique<GraphTransformerLayer>(h, h, rng));
+          RegisterSubmodule(transformer_.back().get());
+          break;
+      }
+      dim = h;
+    }
+  }
+
+  Tensor Forward(const Tensor& x, const Operators& graph_ops, Rng& rng,
+                 bool training) const {
+    const InstanceGraphGnnOptions& o = options_;
+    const SparseMatrix& norm_adj_ = graph_ops.sparse;
+    const GatLayer::EdgeIndex& edge_index_ = graph_ops.edge_index;
+    const Matrix& adj_dense_ = graph_ops.dense;
+    Tensor h = x;
+    switch (o.backbone) {
+      case GnnBackbone::kGcn: {
+        std::vector<Tensor> layer_outputs;
+        for (size_t l = 0; l < gcn_.size(); ++l) {
+          h = gcn_[l]->Forward(h, norm_adj_);
+          if (l + 1 < gcn_.size()) {
+            if (o.use_pair_norm) h = ops::PairNormRows(h);
+            h = ops::Relu(h);
+            h = ops::Dropout(h, o.dropout, rng, training);
+          }
+          if (o.use_jumping_knowledge) layer_outputs.push_back(h);
+        }
+        if (o.use_jumping_knowledge) {
+          Tensor jk = layer_outputs[0];
+          for (size_t l = 1; l < layer_outputs.size(); ++l)
+            jk = ops::ConcatCols(jk, layer_outputs[l]);
+          return ops::Relu(jk);
+        }
+        return ops::Relu(h);
+      }
+      case GnnBackbone::kSage:
+        for (size_t l = 0; l < sage_.size(); ++l) {
+          h = sage_[l]->Forward(h, norm_adj_);
+          if (l + 1 < sage_.size()) {
+            h = ops::Relu(h);
+            h = ops::Dropout(h, o.dropout, rng, training);
+          }
+        }
+        return ops::Relu(h);
+      case GnnBackbone::kGat:
+        for (size_t l = 0; l < gat_.size(); ++l) {
+          h = gat_[l]->Forward(h, edge_index_);
+          if (l + 1 < gat_.size()) {
+            h = ops::Relu(h);
+            h = ops::Dropout(h, o.dropout, rng, training);
+          }
+        }
+        return ops::Relu(h);
+      case GnnBackbone::kGin:
+        for (size_t l = 0; l < gin_.size(); ++l) {
+          h = gin_[l]->Forward(h, norm_adj_);
+          if (l + 1 < gin_.size()) {
+            h = ops::Dropout(h, o.dropout, rng, training);
+          }
+        }
+        return ops::Relu(h);
+      case GnnBackbone::kGgnn: {
+        h = ops::Relu(input_proj_->Forward(h));
+        for (size_t step = 0; step < o.num_layers; ++step)
+          h = ggnn_->Forward(h, norm_adj_);
+        return h;
+      }
+      case GnnBackbone::kAppnp: {
+        Tensor h0 = ops::Relu(appnp_mlp_->Forward(h, rng, training));
+        return AppnpPropagate(h0, norm_adj_, o.appnp_steps, o.appnp_alpha);
+      }
+      case GnnBackbone::kTransformer: {
+        h = ops::Relu(input_proj_->Forward(h));
+        for (const auto& layer : transformer_)
+          h = layer->Forward(h, adj_dense_);
+        return h;
+      }
+    }
+    GNN4TDL_CHECK_MSG(false, "unknown backbone");
+    return h;
+  }
+
+  InstanceGraphGnnOptions options_;
+  std::vector<std::unique_ptr<GcnLayer>> gcn_;
+  std::vector<std::unique_ptr<SageLayer>> sage_;
+  std::vector<std::unique_ptr<GatLayer>> gat_;
+  std::vector<std::unique_ptr<GinLayer>> gin_;
+  std::unique_ptr<Linear> input_proj_;
+  std::unique_ptr<GgnnLayer> ggnn_;
+  std::unique_ptr<Mlp> appnp_mlp_;
+  std::vector<std::unique_ptr<GraphTransformerLayer>> transformer_;
+};
+
+InstanceGraphGnn::InstanceGraphGnn(InstanceGraphGnnOptions options)
+    : options_(std::move(options)),
+      rng_(options_.seed),
+      featurizer_(options_.featurizer) {}
+
+InstanceGraphGnn::~InstanceGraphGnn() = default;
+
+void InstanceGraphGnn::SetGraph(Graph graph) {
+  graph_ = std::move(graph);
+  graph_set_ = true;
+}
+
+std::string InstanceGraphGnn::Name() const {
+  return std::string(GraphSourceName(options_.graph_source)) + "+" +
+         GnnBackboneName(options_.backbone);
+}
+
+Tensor InstanceGraphGnn::Encode(const Tensor& x, bool training) const {
+  return encoder_->Forward(x, *operators_, rng_, training);
+}
+
+Tensor InstanceGraphGnn::SelfSupervisedLoss(const Matrix& x_features) const {
+  // Default self-supervised objective for the two-phase strategies: a
+  // denoising feature reconstruction (SLAPS-style), plus contrastive if
+  // configured.
+  Matrix mask;
+  Matrix corrupted = MaskCorrupt(
+      x_features,
+      options_.dae_weight > 0 ? options_.dae_corrupt_rate : 0.15, rng_, &mask);
+  Tensor emb = Encode(Tensor::Constant(corrupted), /*training=*/true);
+  Tensor loss = recon_->Loss(emb, x_features, &mask);
+  if (options_.contrastive_weight > 0.0) {
+    Matrix view1 =
+        MaskCorrupt(x_features, options_.contrastive_corrupt_rate, rng_);
+    Matrix view2 =
+        MaskCorrupt(x_features, options_.contrastive_corrupt_rate, rng_);
+    Tensor z1 = Encode(Tensor::Constant(view1), true);
+    Tensor z2 = Encode(Tensor::Constant(view2), true);
+    loss = ops::Add(loss, ops::Scale(NtXentLoss(z1, z2,
+                                                options_.contrastive_temperature),
+                                     options_.contrastive_weight));
+  }
+  return loss;
+}
+
+Status InstanceGraphGnn::Fit(const TabularDataset& data, const Split& split) {
+  task_ = data.task();
+  if (task_ == TaskType::kNone) {
+    return Status::FailedPrecondition("dataset has no labels");
+  }
+  GNN4TDL_RETURN_IF_ERROR(featurizer_.Fit(data, split.train));
+  StatusOr<Matrix> x = featurizer_.Transform(data);
+  if (!x.ok()) return x.status();
+  x_cache_ = *x;
+
+  // --- Graph construction (Section 4.2) -----------------------------------
+  switch (options_.graph_source) {
+    case GraphSource::kKnn:
+      graph_ = KnnGraph(x_cache_, options_.knn);
+      break;
+    case GraphSource::kMissingAwareKnn:
+      graph_ = MissingAwareKnnGraph(data, options_.knn.k);
+      break;
+    case GraphSource::kThreshold:
+      graph_ = ThresholdGraph(x_cache_, options_.threshold);
+      break;
+    case GraphSource::kFullyConnected:
+      graph_ = FullyConnectedGraph(x_cache_.rows(), &x_cache_);
+      break;
+    case GraphSource::kMultiplexFlatten: {
+      MultiplexGraph mg = MultiplexFromCategoricals(
+          data, {}, options_.multiplex_max_group, options_.seed);
+      if (mg.num_layers() == 0) {
+        return Status::InvalidArgument(
+            "same_feature_value graph requires categorical columns");
+      }
+      graph_ = mg.Flatten();
+      break;
+    }
+    case GraphSource::kPrecomputed:
+      if (!graph_set_) {
+        return Status::FailedPrecondition(
+            "graph_source=precomputed requires SetGraph() before Fit()");
+      }
+      if (graph_.num_nodes() != data.NumRows()) {
+        return Status::InvalidArgument("precomputed graph node count mismatch");
+      }
+      break;
+  }
+
+  if (options_.neighbor_sample > 0) {
+    graph_ = SampleNeighbors(graph_, options_.neighbor_sample, rng_);
+  }
+
+  // Table 9 "features used to create edges only": after the graph is built
+  // from the features, the nodes carry featureless one-hot ids.
+  if (options_.node_init == NodeInit::kIdentity) {
+    x_cache_ = Matrix::Identity(data.NumRows());
+  }
+
+  // --- Model assembly -------------------------------------------------------
+  const bool regression = task_ == TaskType::kRegression;
+  const size_t out_dim =
+      regression ? 1 : static_cast<size_t>(data.num_classes());
+  encoder_ = std::make_unique<Encoder>(options_, x_cache_.cols(), rng_);
+  operators_ = std::make_unique<Operators>(
+      Operators::Build(options_.backbone, graph_));
+  const bool jk = options_.use_jumping_knowledge &&
+                  options_.backbone == GnnBackbone::kGcn;
+  const size_t emb_dim =
+      jk ? options_.hidden_dim * options_.num_layers : options_.hidden_dim;
+  head_ = std::make_unique<Linear>(emb_dim, out_dim, rng_);
+  const bool needs_recon =
+      options_.reconstruction_weight > 0.0 || options_.dae_weight > 0.0 ||
+      options_.strategy != TrainStrategy::kEndToEnd;
+  if (needs_recon) {
+    recon_ = std::make_unique<FeatureReconstructionTask>(
+        emb_dim, x_cache_.cols(), options_.hidden_dim, rng_);
+  }
+
+  // --- Label plumbing --------------------------------------------------------
+  std::vector<double> train_mask = Split::MaskFor(split.train, data.NumRows());
+  std::vector<int> labels_cls;
+  Matrix labels_reg;
+  if (regression) {
+    labels_reg = Matrix(data.NumRows(), 1);
+    for (size_t i = 0; i < data.NumRows(); ++i)
+      labels_reg(i, 0) = data.regression_labels()[i];
+  } else {
+    labels_cls = data.class_labels();
+  }
+
+  Tensor x_t = Tensor::Constant(x_cache_);
+  auto main_loss = [&]() -> Tensor {
+    Tensor emb = Encode(x_t, /*training=*/true);
+    Tensor out = head_->Forward(emb);
+    Tensor loss = regression
+                      ? ops::MseLoss(out, labels_reg, train_mask)
+                      : ops::SoftmaxCrossEntropy(out, labels_cls, train_mask);
+    // End-to-end auxiliary terms (Table 7).
+    if (options_.reconstruction_weight > 0.0) {
+      loss = ops::Add(loss, ops::Scale(recon_->Loss(emb, x_cache_),
+                                       options_.reconstruction_weight));
+    }
+    if (options_.dae_weight > 0.0) {
+      Matrix mask;
+      Matrix corrupted =
+          MaskCorrupt(x_cache_, options_.dae_corrupt_rate, rng_, &mask);
+      Tensor emb_cor = Encode(Tensor::Constant(corrupted), true);
+      loss = ops::Add(loss, ops::Scale(recon_->Loss(emb_cor, x_cache_, &mask),
+                                       options_.dae_weight));
+    }
+    if (options_.contrastive_weight > 0.0) {
+      Matrix v1 = MaskCorrupt(x_cache_, options_.contrastive_corrupt_rate, rng_);
+      Matrix v2 = MaskCorrupt(x_cache_, options_.contrastive_corrupt_rate, rng_);
+      Tensor z1 = Encode(Tensor::Constant(v1), true);
+      Tensor z2 = Encode(Tensor::Constant(v2), true);
+      loss = ops::Add(
+          loss, ops::Scale(NtXentLoss(z1, z2, options_.contrastive_temperature),
+                           options_.contrastive_weight));
+    }
+    if (options_.smoothness_weight > 0.0) {
+      loss = ops::Add(loss, ops::Scale(SmoothnessPenalty(emb, graph_),
+                                       options_.smoothness_weight));
+    }
+    if (options_.edge_completion_weight > 0.0) {
+      loss = ops::Add(
+          loss, ops::Scale(EdgeCompletionLoss(
+                               emb, graph_,
+                               options_.edge_completion_negatives, rng_),
+                           options_.edge_completion_weight));
+    }
+    return loss;
+  };
+
+  std::function<double()> val_fn = nullptr;
+  if (!split.val.empty()) {
+    val_fn = [&, this]() -> double {
+      Tensor out = head_->Forward(Encode(x_t, false));
+      if (regression) {
+        return -Rmse(out.value(), data.regression_labels(), split.val);
+      }
+      return Accuracy(out.value(), labels_cls, split.val);
+    };
+  }
+
+  // --- Training strategy (Table 8) ------------------------------------------
+  if (options_.strategy == TrainStrategy::kEndToEnd) {
+    std::vector<Tensor> params = encoder_->Parameters();
+    for (const Tensor& p : head_->Parameters()) params.push_back(p);
+    if (recon_ != nullptr)
+      for (const Tensor& p : recon_->Parameters()) params.push_back(p);
+    Trainer trainer(params, options_.train);
+    trainer.Fit(main_loss, val_fn);
+  } else {
+    // Phase 1: self-supervised encoder training.
+    std::vector<Tensor> pre_params = encoder_->Parameters();
+    for (const Tensor& p : recon_->Parameters()) pre_params.push_back(p);
+    TrainOptions pre_opts = options_.train;
+    pre_opts.max_epochs = options_.pretrain_epochs;
+    pre_opts.patience = 0;
+    Trainer pre_trainer(pre_params, pre_opts);
+    pre_trainer.Fit([&]() { return SelfSupervisedLoss(x_cache_); });
+
+    // Phase 2.
+    std::vector<Tensor> params;
+    if (options_.strategy == TrainStrategy::kTwoStage) {
+      params = head_->Parameters();  // encoder frozen
+    } else {
+      params = encoder_->Parameters();
+      for (const Tensor& p : head_->Parameters()) params.push_back(p);
+    }
+    auto head_loss = [&]() -> Tensor {
+      Tensor emb = Encode(x_t, options_.strategy ==
+                                   TrainStrategy::kPretrainFinetune);
+      Tensor out = head_->Forward(emb);
+      return regression
+                 ? ops::MseLoss(out, labels_reg, train_mask)
+                 : ops::SoftmaxCrossEntropy(out, labels_cls, train_mask);
+    };
+    Trainer trainer(params, options_.train);
+    trainer.Fit(head_loss, val_fn);
+  }
+
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<Matrix> InstanceGraphGnn::Predict(const TabularDataset& data) {
+  if (!fitted_) return Status::FailedPrecondition("Predict before Fit");
+  if (data.NumRows() != graph_.num_nodes()) {
+    return Status::InvalidArgument(
+        "transductive model: Predict() requires the dataset used in Fit()");
+  }
+  Tensor out = head_->Forward(Encode(Tensor::Constant(x_cache_), false));
+  return out.value();
+}
+
+StatusOr<Matrix> InstanceGraphGnn::PredictInductive(
+    const TabularDataset& new_data) {
+  if (!fitted_) return Status::FailedPrecondition("PredictInductive before Fit");
+  if (options_.node_init == NodeInit::kIdentity) {
+    return Status::FailedPrecondition(
+        "identity node init is transductive-only");
+  }
+  StatusOr<Matrix> x_new_or = featurizer_.Transform(new_data);
+  if (!x_new_or.ok()) return x_new_or.status();
+  const Matrix& x_new = *x_new_or;
+  const size_t n_train = x_cache_.rows();
+  const size_t n_new = x_new.rows();
+
+  // Attach each new row to its k nearest *training* rows (it must not rewire
+  // the training graph, and new rows must not see each other — matching the
+  // one-at-a-time deployment setting).
+  std::vector<Edge> edges = graph_.EdgeList();
+  const size_t k = std::max<size_t>(options_.knn.k, 1);
+  Matrix stacked(2, x_cache_.cols());
+  for (size_t i = 0; i < n_new; ++i) {
+    std::vector<std::pair<double, size_t>> scored;
+    scored.reserve(n_train);
+    for (size_t j = 0; j < n_train; ++j) {
+      std::copy(x_new.row_data(i), x_new.row_data(i) + x_new.cols(),
+                stacked.row_data(0));
+      std::copy(x_cache_.row_data(j), x_cache_.row_data(j) + x_cache_.cols(),
+                stacked.row_data(1));
+      scored.push_back({RowSimilarity(stacked, 0, 1, options_.knn.metric,
+                                      options_.knn.gamma),
+                        j});
+    }
+    size_t take = std::min(k, scored.size());
+    std::partial_sort(scored.begin(),
+                      scored.begin() + static_cast<ptrdiff_t>(take),
+                      scored.end(), [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    for (size_t t = 0; t < take; ++t) {
+      edges.push_back({n_train + i, scored[t].second, 1.0});
+      edges.push_back({scored[t].second, n_train + i, 1.0});
+    }
+  }
+  Graph extended = Graph::FromEdges(n_train + n_new, edges,
+                                    /*symmetrize=*/false);
+  Operators extended_ops = Operators::Build(options_.backbone, extended);
+
+  Matrix x_all = x_cache_.ConcatRows(x_new);
+  Tensor emb = encoder_->Forward(Tensor::Constant(x_all), extended_ops, rng_,
+                                 /*training=*/false);
+  Tensor logits = head_->Forward(emb);
+  Matrix out(n_new, logits.cols());
+  for (size_t i = 0; i < n_new; ++i)
+    std::copy(logits.value().row_data(n_train + i),
+              logits.value().row_data(n_train + i) + logits.cols(),
+              out.row_data(i));
+  return out;
+}
+
+StatusOr<Matrix> InstanceGraphGnn::Embeddings() const {
+  if (!fitted_) return Status::FailedPrecondition("Embeddings before Fit");
+  return Encode(Tensor::Constant(x_cache_), false).value();
+}
+
+}  // namespace gnn4tdl

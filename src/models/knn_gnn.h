@@ -1,0 +1,169 @@
+#ifndef GNN4TDL_MODELS_KNN_GNN_H_
+#define GNN4TDL_MODELS_KNN_GNN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "construct/rule_based.h"
+#include "data/transforms.h"
+#include "gnn/gat.h"
+#include "gnn/gcn.h"
+#include "gnn/ggnn.h"
+#include "gnn/gin.h"
+#include "gnn/sage.h"
+#include "models/model.h"
+#include "train/aux_tasks.h"
+#include "train/trainer.h"
+
+namespace gnn4tdl {
+
+/// GNN backbones selectable for instance-graph models (Table 5).
+enum class GnnBackbone {
+  kGcn,
+  kSage,
+  kGat,
+  kGin,
+  kGgnn,
+  kAppnp,
+  kTransformer,  // structure-biased transformer (Section 6 direction)
+};
+
+const char* GnnBackboneName(GnnBackbone b);
+GnnBackbone GnnBackboneFromName(const std::string& name);
+
+/// How the instance graph is obtained (Table 3 / Section 4.2).
+enum class GraphSource {
+  kKnn,              // k nearest neighbors in feature space
+  kMissingAwareKnn,  // kNN over co-observed columns, no imputation (GNN4MV)
+  kThreshold,        // similarity thresholding
+  kFullyConnected,   // complete graph (small n only)
+  kMultiplexFlatten, // union of same-feature-value layers (TabGNN flattened)
+  kPrecomputed,      // caller supplies the graph via SetGraph()
+};
+
+const char* GraphSourceName(GraphSource s);
+
+/// Training strategies (Table 8).
+enum class TrainStrategy {
+  kEndToEnd,          // main + weighted auxiliary losses, one phase
+  kTwoStage,          // phase 1: self-supervised encoder; phase 2: frozen
+                      // encoder, train the head
+  kPretrainFinetune,  // phase 1: self-supervised encoder; phase 2: all
+                      // parameters on the main loss
+};
+
+const char* TrainStrategyName(TrainStrategy s);
+
+/// What the instance nodes carry as initial vectors (survey Table 9): the
+/// featurized table row, or a featureless one-hot node id (features then
+/// participate only through the graph structure).
+enum class NodeInit { kFeatures, kIdentity };
+
+/// Options for InstanceGraphGnn.
+struct InstanceGraphGnnOptions {
+  GraphSource graph_source = GraphSource::kKnn;
+  NodeInit node_init = NodeInit::kFeatures;
+  KnnGraphOptions knn;
+  ThresholdGraphOptions threshold;
+  size_t multiplex_max_group = 30;
+
+  GnnBackbone backbone = GnnBackbone::kGcn;
+  size_t hidden_dim = 64;
+  size_t num_layers = 2;
+  size_t gat_heads = 4;
+  size_t appnp_steps = 10;
+  double appnp_alpha = 0.1;
+  double dropout = 0.5;
+  /// Apply PairNorm between GNN layers (combats oversmoothing at depth;
+  /// Section 6 robustness discussion).
+  bool use_pair_norm = false;
+  /// Jumping-knowledge concat (GCN backbone): the head reads the
+  /// concatenation of every layer's output instead of the last layer only,
+  /// preserving shallow features at depth.
+  bool use_jumping_knowledge = false;
+
+  // Auxiliary tasks (Table 7); 0 = off.
+  double reconstruction_weight = 0.0;
+  double dae_weight = 0.0;
+  double dae_corrupt_rate = 0.2;
+  double contrastive_weight = 0.0;
+  double contrastive_corrupt_rate = 0.2;
+  double contrastive_temperature = 0.5;
+  double smoothness_weight = 0.0;
+  /// Graph-completion SSL auxiliary (Section 6, SSL task c): predict held
+  /// edges vs sampled non-edges from the embeddings.
+  double edge_completion_weight = 0.0;
+  size_t edge_completion_negatives = 500;
+
+  TrainStrategy strategy = TrainStrategy::kEndToEnd;
+  /// Self-supervised epochs for the two-phase strategies.
+  int pretrain_epochs = 100;
+
+  /// When > 0, cap each node's neighborhood at this many uniformly sampled
+  /// neighbors (GraphSAGE-style static sampling; Table 6 & Section 6
+  /// scaling). 0 = use the full graph.
+  size_t neighbor_sample = 0;
+
+  TrainOptions train;
+  FeaturizerOptions featurizer;
+  uint64_t seed = 3;
+};
+
+/// The generic instance-graph GNN for tabular data: the family covering
+/// LSTM-GNN / LUNAR / SLAPS-static / SUBLIME-static / GNN4MV-style methods
+/// (Table 2). Construct an instance graph from the featurized table, stack a
+/// GNN backbone, train semi-supervised on the labeled rows (optionally with
+/// Table 7 auxiliary tasks under a Table 8 strategy).
+///
+/// Transductive: Predict() must receive the dataset passed to Fit().
+class InstanceGraphGnn : public TabularModel {
+ public:
+  explicit InstanceGraphGnn(InstanceGraphGnnOptions options = {});
+  ~InstanceGraphGnn() override;
+
+  /// Supplies the graph when graph_source == kPrecomputed (before Fit).
+  void SetGraph(Graph graph);
+
+  Status Fit(const TabularDataset& data, const Split& split) override;
+  StatusOr<Matrix> Predict(const TabularDataset& data) override;
+  std::string Name() const override;
+
+  /// Inductive prediction for *unseen* rows (Section 2.5e): each new row is
+  /// featurized with the fitted featurizer, attached to its k nearest
+  /// training rows, and scored by running the trained weights on the
+  /// extended graph. New rows never see each other and the training graph is
+  /// unchanged. Returns n_new x C logits.
+  StatusOr<Matrix> PredictInductive(const TabularDataset& new_data);
+
+  /// Instance embeddings after Fit (n x hidden_dim).
+  StatusOr<Matrix> Embeddings() const;
+
+  /// The constructed graph (after Fit).
+  const Graph& graph() const { return graph_; }
+
+ private:
+  struct Operators;
+  struct Encoder;
+
+  Tensor Encode(const Tensor& x, bool training) const;
+  Tensor SelfSupervisedLoss(const Matrix& x_features) const;
+
+  InstanceGraphGnnOptions options_;
+  mutable Rng rng_;
+  Featurizer featurizer_;
+  Graph graph_;
+  bool graph_set_ = false;
+  bool fitted_ = false;
+  TaskType task_ = TaskType::kNone;
+
+  std::unique_ptr<Encoder> encoder_;
+  std::unique_ptr<Operators> operators_;
+  std::unique_ptr<Linear> head_;
+  std::unique_ptr<FeatureReconstructionTask> recon_;
+  Matrix x_cache_;  // featurized matrix of the fitted dataset
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_MODELS_KNN_GNN_H_

@@ -1,0 +1,43 @@
+#ifndef GNN4TDL_MODELS_LABEL_PROP_H_
+#define GNN4TDL_MODELS_LABEL_PROP_H_
+
+#include <string>
+
+#include "construct/rule_based.h"
+#include "data/transforms.h"
+#include "models/model.h"
+
+namespace gnn4tdl {
+
+/// Options for LabelPropagation.
+struct LabelPropagationOptions {
+  KnnGraphOptions knn;
+  size_t num_iters = 50;
+  /// Teleport weight back to the clamped seed labels each iteration.
+  double alpha = 0.9;
+  FeaturizerOptions featurizer;
+};
+
+/// Classic label propagation (Zhu & Ghahramani) on the kNN instance graph:
+/// the learning-free semi-supervised comparator for Section 2.5d. Iterates
+///   F <- alpha * S F + (1 - alpha) * Y0
+/// with S the symmetric-normalized adjacency and Y0 the one-hot training
+/// labels (clamped). If a GNN cannot beat this, its parameters add nothing
+/// over the graph itself.
+class LabelPropagation : public TabularModel {
+ public:
+  explicit LabelPropagation(LabelPropagationOptions options = {});
+
+  Status Fit(const TabularDataset& data, const Split& split) override;
+  StatusOr<Matrix> Predict(const TabularDataset& data) override;
+  std::string Name() const override { return "label_prop"; }
+
+ private:
+  LabelPropagationOptions options_;
+  Matrix scores_;  // n x C propagated label distribution
+  bool fitted_ = false;
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_MODELS_LABEL_PROP_H_

@@ -1,0 +1,70 @@
+#ifndef GNN4TDL_MODELS_LUNAR_H_
+#define GNN4TDL_MODELS_LUNAR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/transforms.h"
+#include "models/model.h"
+#include "nn/module.h"
+#include "train/trainer.h"
+
+namespace gnn4tdl {
+
+/// Options for LunarDetector.
+struct LunarOptions {
+  size_t k = 10;
+  size_t hidden_dim = 32;
+  /// Ratio of generated negative (synthetic anomaly) samples to real rows.
+  double negative_ratio = 1.0;
+  /// Negatives are sampled uniformly from the bounding box of the data
+  /// expanded by this factor, plus Gaussian-perturbed real rows.
+  double box_expand = 1.2;
+  double perturb_std = 1.0;
+  /// Divide each distance vector by its own k-th (largest) entry. This makes
+  /// the score scale-invariant, so points in sparse-but-regular clusters are
+  /// not misranked — the local-outlier behavior LUNAR generalizes.
+  bool normalize_distances = true;
+  FeaturizerOptions featurizer;
+  TrainOptions train;
+  uint64_t seed = 8;
+};
+
+/// LUNAR (Goodge et al., AAAI'22): unifies local-outlier methods via message
+/// passing on the kNN graph. Each node's incoming messages are its k
+/// nearest-neighbor *distances* (edge features); a learned network maps the
+/// sorted distance vector to an anomaly score. Training uses generated
+/// negative samples (uniform box + perturbed points), so no anomaly labels
+/// are needed — the distance-preserving specialized design of Table 6.
+class LunarDetector : public TabularModel {
+ public:
+  explicit LunarDetector(LunarOptions options = {});
+  ~LunarDetector() override;
+
+  /// Unsupervised: labels in `data` are ignored during training (used only
+  /// by the caller for evaluation). `split` is unused.
+  Status Fit(const TabularDataset& data, const Split& split) override;
+
+  /// One column of anomaly scores in [0, 1] (higher = more anomalous).
+  StatusOr<Matrix> Predict(const TabularDataset& data) override;
+  std::string Name() const override { return "lunar(knn-gnn)"; }
+
+ private:
+  /// Sorted ascending distances from each row of `queries` to its k nearest
+  /// rows of `reference` (excluding exact self-matches when `exclude_self`).
+  Matrix DistanceVectors(const Matrix& queries, const Matrix& reference,
+                         bool exclude_self) const;
+
+  LunarOptions options_;
+  mutable Rng rng_;
+  Featurizer featurizer_;
+  Matrix x_reference_;  // featurized training rows (the "normal" pool)
+  /// Local kNN radius of each reference row (computed lazily).
+  mutable std::vector<double> ref_radius_;
+  std::unique_ptr<Mlp> score_net_;
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_MODELS_LUNAR_H_

@@ -1,0 +1,55 @@
+#ifndef GNN4TDL_MODELS_MLP_H_
+#define GNN4TDL_MODELS_MLP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/transforms.h"
+#include "models/model.h"
+#include "nn/module.h"
+#include "train/trainer.h"
+
+namespace gnn4tdl {
+
+/// Options for the deep-tabular baseline.
+struct MlpModelOptions {
+  /// Hidden layer widths; empty = a linear (logistic / least-squares) model.
+  std::vector<size_t> hidden_dims = {64, 64};
+  double dropout = 0.1;
+  /// Mini-batch size for SGD-style epochs (0 = full batch). Each trainer
+  /// step samples one batch of training rows.
+  size_t batch_size = 0;
+  FeaturizerOptions featurizer;
+  TrainOptions train;
+  uint64_t seed = 1;
+};
+
+/// The conventional deep TDL baseline (Section 2.5's comparator): featurize
+/// the table, train an MLP on the labeled rows only. No instance correlation
+/// is modeled — exactly the gap the survey argues GNNs fill.
+class MlpModel : public TabularModel {
+ public:
+  explicit MlpModel(MlpModelOptions options = {});
+
+  Status Fit(const TabularDataset& data, const Split& split) override;
+  StatusOr<Matrix> Predict(const TabularDataset& data) override;
+  std::string Name() const override {
+    return options_.hidden_dims.empty() ? "linear" : "mlp";
+  }
+
+ private:
+  MlpModelOptions options_;
+  Rng rng_;
+  Featurizer featurizer_;
+  std::unique_ptr<Mlp> net_;
+  TaskType task_ = TaskType::kNone;
+};
+
+/// Convenience factory for the linear baseline (no hidden layers).
+std::unique_ptr<MlpModel> MakeLinearModel(TrainOptions train = {},
+                                          uint64_t seed = 1);
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_MODELS_MLP_H_

@@ -1,0 +1,100 @@
+#ifndef GNN4TDL_NN_MODULE_H_
+#define GNN4TDL_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace gnn4tdl {
+
+/// Base class for anything holding trainable parameters. Subclasses register
+/// their parameter tensors (and submodules) in the constructor; optimizers
+/// consume Parameters().
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module and its registered submodules.
+  std::vector<Tensor> Parameters() const;
+
+  /// Total number of trainable scalars.
+  size_t NumParameters() const;
+
+  /// Clears accumulated gradients on all parameters.
+  void ZeroGrad() const;
+
+ protected:
+  /// Registers a parameter created from `init`; returns the tensor handle.
+  Tensor RegisterParameter(Matrix init);
+
+  /// Registers a submodule whose parameters are included in Parameters().
+  /// The submodule must outlive this module (typically a member).
+  void RegisterSubmodule(Module* submodule);
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<Module*> submodules_;
+};
+
+/// Fully connected layer: Y = X W + b (bias optional).
+class Linear : public Module {
+ public:
+  /// Glorot-uniform weight init; zero bias.
+  Linear(size_t in_dim, size_t out_dim, Rng& rng, bool bias = true);
+
+  Tensor Forward(const Tensor& x) const;
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  size_t in_dim_;
+  size_t out_dim_;
+  Tensor weight_;
+  Tensor bias_;  // undefined if bias == false
+};
+
+/// Activation functions selectable by config.
+enum class Activation { kRelu, kLeakyRelu, kSigmoid, kTanh, kNone };
+
+/// Applies `act` to `x`.
+Tensor Activate(const Tensor& x, Activation act);
+
+/// Parses "relu" / "leaky_relu" / "sigmoid" / "tanh" / "none".
+Activation ActivationFromName(const std::string& name);
+
+/// Multilayer perceptron: Linear -> act -> [dropout] -> ... -> Linear.
+/// `dims` = {in, hidden..., out}; the final layer has no activation.
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<size_t>& dims, Rng& rng,
+      Activation act = Activation::kRelu, double dropout = 0.0);
+
+  /// `training` enables dropout; `rng` draws the dropout masks.
+  Tensor Forward(const Tensor& x, Rng& rng, bool training = false) const;
+
+  /// Convenience inference pass (no dropout).
+  Tensor Forward(const Tensor& x) const;
+
+  size_t in_dim() const { return layers_.front()->in_dim(); }
+  size_t out_dim() const { return layers_.back()->out_dim(); }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation act_;
+  double dropout_;
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_NN_MODULE_H_

@@ -1,0 +1,766 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace gnn4tdl::ops {
+
+namespace {
+
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  GNN4TDL_CHECK_EQ(a.rows(), b.rows());
+  GNN4TDL_CHECK_EQ(a.cols(), b.cols());
+}
+
+double Softplus(double z) {
+  // Numerically stable log(1 + exp(z)).
+  return z > 0 ? z + std::log1p(std::exp(-z)) : std::log1p(std::exp(z));
+}
+
+double StableSigmoid(double z) {
+  if (z >= 0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  return Tensor::FromOp(a.value() + b.value(), {a, b}, [a, b](const Matrix& g) {
+    if (a.requires_grad()) a.AccumulateGrad(g);
+    if (b.requires_grad()) b.AccumulateGrad(g);
+  });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  return Tensor::FromOp(a.value() - b.value(), {a, b}, [a, b](const Matrix& g) {
+    if (a.requires_grad()) a.AccumulateGrad(g);
+    if (b.requires_grad()) b.AccumulateGrad(-g);
+  });
+}
+
+Tensor CwiseMul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  return Tensor::FromOp(a.value().CwiseMul(b.value()), {a, b},
+                        [a, b](const Matrix& g) {
+                          if (a.requires_grad())
+                            a.AccumulateGrad(g.CwiseMul(b.value()));
+                          if (b.requires_grad())
+                            b.AccumulateGrad(g.CwiseMul(a.value()));
+                        });
+}
+
+Tensor Scale(const Tensor& a, double s) {
+  return Tensor::FromOp(a.value() * s, {a}, [a, s](const Matrix& g) {
+    if (a.requires_grad()) a.AccumulateGrad(g * s);
+  });
+}
+
+Tensor AddScalar(const Tensor& a, double c) {
+  return Tensor::FromOp(a.value().Map([c](double v) { return v + c; }), {a},
+                        [a](const Matrix& g) {
+                          if (a.requires_grad()) a.AccumulateGrad(g);
+                        });
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& b) {
+  GNN4TDL_CHECK_EQ(b.rows(), 1u);
+  GNN4TDL_CHECK_EQ(a.cols(), b.cols());
+  Matrix out = a.value();
+  for (size_t r = 0; r < out.rows(); ++r)
+    for (size_t c = 0; c < out.cols(); ++c) out(r, c) += b.value()(0, c);
+  return Tensor::FromOp(std::move(out), {a, b}, [a, b](const Matrix& g) {
+    if (a.requires_grad()) a.AccumulateGrad(g);
+    if (b.requires_grad()) b.AccumulateGrad(g.ColSum());
+  });
+}
+
+Tensor MulColBroadcast(const Tensor& a, const Tensor& w) {
+  GNN4TDL_CHECK_EQ(w.cols(), 1u);
+  GNN4TDL_CHECK_EQ(a.rows(), w.rows());
+  Matrix out = a.value();
+  for (size_t r = 0; r < out.rows(); ++r) {
+    double s = w.value()(r, 0);
+    for (size_t c = 0; c < out.cols(); ++c) out(r, c) *= s;
+  }
+  return Tensor::FromOp(std::move(out), {a, w}, [a, w](const Matrix& g) {
+    if (a.requires_grad()) {
+      Matrix ga = g;
+      for (size_t r = 0; r < ga.rows(); ++r) {
+        double s = w.value()(r, 0);
+        for (size_t c = 0; c < ga.cols(); ++c) ga(r, c) *= s;
+      }
+      a.AccumulateGrad(ga);
+    }
+    if (w.requires_grad()) {
+      Matrix gw(w.rows(), 1);
+      for (size_t r = 0; r < g.rows(); ++r) {
+        double s = 0.0;
+        for (size_t c = 0; c < g.cols(); ++c) s += g(r, c) * a.value()(r, c);
+        gw(r, 0) = s;
+      }
+      w.AccumulateGrad(gw);
+    }
+  });
+}
+
+Tensor Relu(const Tensor& a) {
+  return Tensor::FromOp(a.value().Map([](double v) { return v > 0 ? v : 0.0; }),
+                        {a}, [a](const Matrix& g) {
+                          if (!a.requires_grad()) return;
+                          Matrix ga = g;
+                          for (size_t i = 0; i < ga.rows(); ++i)
+                            for (size_t j = 0; j < ga.cols(); ++j)
+                              if (a.value()(i, j) <= 0) ga(i, j) = 0.0;
+                          a.AccumulateGrad(ga);
+                        });
+}
+
+Tensor Abs(const Tensor& a) {
+  return Tensor::FromOp(a.value().Map([](double v) { return std::fabs(v); }),
+                        {a}, [a](const Matrix& g) {
+                          if (!a.requires_grad()) return;
+                          Matrix ga = g;
+                          for (size_t i = 0; i < ga.rows(); ++i)
+                            for (size_t j = 0; j < ga.cols(); ++j) {
+                              double v = a.value()(i, j);
+                              ga(i, j) *= v > 0 ? 1.0 : (v < 0 ? -1.0 : 0.0);
+                            }
+                          a.AccumulateGrad(ga);
+                        });
+}
+
+Tensor LeakyRelu(const Tensor& a, double alpha) {
+  return Tensor::FromOp(
+      a.value().Map([alpha](double v) { return v > 0 ? v : alpha * v; }), {a},
+      [a, alpha](const Matrix& g) {
+        if (!a.requires_grad()) return;
+        Matrix ga = g;
+        for (size_t i = 0; i < ga.rows(); ++i)
+          for (size_t j = 0; j < ga.cols(); ++j)
+            if (a.value()(i, j) <= 0) ga(i, j) *= alpha;
+        a.AccumulateGrad(ga);
+      });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  Matrix out = a.value().Map(StableSigmoid);
+  return Tensor::FromOp(out, {a}, [a, out](const Matrix& g) {
+    if (!a.requires_grad()) return;
+    Matrix ga = g;
+    for (size_t i = 0; i < ga.rows(); ++i)
+      for (size_t j = 0; j < ga.cols(); ++j) {
+        double s = out(i, j);
+        ga(i, j) *= s * (1.0 - s);
+      }
+    a.AccumulateGrad(ga);
+  });
+}
+
+Tensor Tanh(const Tensor& a) {
+  Matrix out = a.value().Map([](double v) { return std::tanh(v); });
+  return Tensor::FromOp(out, {a}, [a, out](const Matrix& g) {
+    if (!a.requires_grad()) return;
+    Matrix ga = g;
+    for (size_t i = 0; i < ga.rows(); ++i)
+      for (size_t j = 0; j < ga.cols(); ++j) {
+        double t = out(i, j);
+        ga(i, j) *= 1.0 - t * t;
+      }
+    a.AccumulateGrad(ga);
+  });
+}
+
+Tensor Exp(const Tensor& a) {
+  Matrix out = a.value().Map([](double v) { return std::exp(v); });
+  return Tensor::FromOp(out, {a}, [a, out](const Matrix& g) {
+    if (a.requires_grad()) a.AccumulateGrad(g.CwiseMul(out));
+  });
+}
+
+Tensor Log(const Tensor& a) {
+  return Tensor::FromOp(a.value().Map([](double v) { return std::log(v); }),
+                        {a}, [a](const Matrix& g) {
+                          if (!a.requires_grad()) return;
+                          a.AccumulateGrad(g.CwiseDiv(a.value()));
+                        });
+}
+
+Tensor Dropout(const Tensor& a, double p, Rng& rng, bool training) {
+  if (!training || p <= 0.0) return a;
+  GNN4TDL_CHECK_LT(p, 1.0);
+  Matrix mask(a.rows(), a.cols());
+  const double keep_scale = 1.0 / (1.0 - p);
+  for (size_t i = 0; i < mask.rows(); ++i)
+    for (size_t j = 0; j < mask.cols(); ++j)
+      mask(i, j) = rng.Bernoulli(p) ? 0.0 : keep_scale;
+  return Tensor::FromOp(a.value().CwiseMul(mask), {a},
+                        [a, mask](const Matrix& g) {
+                          if (a.requires_grad()) a.AccumulateGrad(g.CwiseMul(mask));
+                        });
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  GNN4TDL_CHECK_EQ(a.rows(), b.rows());
+  const size_t ac = a.cols();
+  const size_t bc = b.cols();
+  return Tensor::FromOp(
+      a.value().ConcatCols(b.value()), {a, b}, [a, b, ac, bc](const Matrix& g) {
+        if (a.requires_grad()) {
+          Matrix ga(g.rows(), ac);
+          for (size_t r = 0; r < g.rows(); ++r)
+            std::copy(g.row_data(r), g.row_data(r) + ac, ga.row_data(r));
+          a.AccumulateGrad(ga);
+        }
+        if (b.requires_grad()) {
+          Matrix gb(g.rows(), bc);
+          for (size_t r = 0; r < g.rows(); ++r)
+            std::copy(g.row_data(r) + ac, g.row_data(r) + ac + bc,
+                      gb.row_data(r));
+          b.AccumulateGrad(gb);
+        }
+      });
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  GNN4TDL_CHECK(!parts.empty());
+  const size_t cols = parts[0].cols();
+  size_t total_rows = 0;
+  for (const Tensor& p : parts) {
+    GNN4TDL_CHECK_EQ(p.cols(), cols);
+    total_rows += p.rows();
+  }
+  Matrix out(total_rows, cols);
+  size_t row = 0;
+  std::vector<size_t> offsets;
+  for (const Tensor& p : parts) {
+    offsets.push_back(row);
+    std::copy(p.value().data(), p.value().data() + p.rows() * cols,
+              out.row_data(row));
+    row += p.rows();
+  }
+  std::vector<Tensor> parents = parts;
+  return Tensor::FromOp(std::move(out), parts,
+                        [parents, offsets, cols](const Matrix& g) {
+                          for (size_t i = 0; i < parents.size(); ++i) {
+                            const Tensor& p = parents[i];
+                            if (!p.requires_grad()) continue;
+                            Matrix gp(p.rows(), cols);
+                            std::copy(g.row_data(offsets[i]),
+                                      g.row_data(offsets[i]) + p.rows() * cols,
+                                      gp.data());
+                            p.AccumulateGrad(gp);
+                          }
+                        });
+}
+
+Tensor Reshape(const Tensor& a, size_t new_rows, size_t new_cols) {
+  const size_t old_rows = a.rows();
+  const size_t old_cols = a.cols();
+  return Tensor::FromOp(a.value().Reshape(new_rows, new_cols), {a},
+                        [a, old_rows, old_cols](const Matrix& g) {
+                          if (a.requires_grad())
+                            a.AccumulateGrad(g.Reshape(old_rows, old_cols));
+                        });
+}
+
+Tensor Transpose(const Tensor& a) {
+  return Tensor::FromOp(a.value().Transpose(), {a}, [a](const Matrix& g) {
+    if (a.requires_grad()) a.AccumulateGrad(g.Transpose());
+  });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  GNN4TDL_CHECK_EQ(a.cols(), b.rows());
+  return Tensor::FromOp(a.value().Matmul(b.value()), {a, b},
+                        [a, b](const Matrix& g) {
+                          if (a.requires_grad())
+                            a.AccumulateGrad(g.MatmulTranspose(b.value()));
+                          if (b.requires_grad())
+                            b.AccumulateGrad(a.value().TransposeMatmul(g));
+                        });
+}
+
+Tensor SpMM(const SparseMatrix& sp, const Tensor& x) {
+  GNN4TDL_CHECK_EQ(sp.cols(), x.rows());
+  // Copy the sparse operator into the closure so the tape owns it; CSR copies
+  // are cheap relative to training and this removes lifetime hazards.
+  SparseMatrix sp_copy = sp;
+  return Tensor::FromOp(sp.Multiply(x.value()), {x},
+                        [sp_copy, x](const Matrix& g) {
+                          if (x.requires_grad())
+                            x.AccumulateGrad(sp_copy.TransposeMultiply(g));
+                        });
+}
+
+Tensor GatherRows(const Tensor& x, const std::vector<size_t>& idx) {
+  Matrix out(idx.size(), x.cols());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    GNN4TDL_CHECK_LT(idx[i], x.rows());
+    std::copy(x.value().row_data(idx[i]), x.value().row_data(idx[i]) + x.cols(),
+              out.row_data(i));
+  }
+  std::vector<size_t> idx_copy = idx;
+  const size_t n = x.rows();
+  return Tensor::FromOp(std::move(out), {x},
+                        [x, idx_copy, n](const Matrix& g) {
+                          if (!x.requires_grad()) return;
+                          Matrix gx(n, g.cols());
+                          for (size_t i = 0; i < idx_copy.size(); ++i) {
+                            double* dst = gx.row_data(idx_copy[i]);
+                            const double* src = g.row_data(i);
+                            for (size_t c = 0; c < g.cols(); ++c) dst[c] += src[c];
+                          }
+                          x.AccumulateGrad(gx);
+                        });
+}
+
+Tensor ScatterAddRows(const Tensor& x, const std::vector<size_t>& idx,
+                      size_t num_out) {
+  GNN4TDL_CHECK_EQ(idx.size(), x.rows());
+  Matrix out(num_out, x.cols());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    GNN4TDL_CHECK_LT(idx[i], num_out);
+    double* dst = out.row_data(idx[i]);
+    const double* src = x.value().row_data(i);
+    for (size_t c = 0; c < x.cols(); ++c) dst[c] += src[c];
+  }
+  std::vector<size_t> idx_copy = idx;
+  return Tensor::FromOp(std::move(out), {x}, [x, idx_copy](const Matrix& g) {
+    if (!x.requires_grad()) return;
+    Matrix gx(idx_copy.size(), g.cols());
+    for (size_t i = 0; i < idx_copy.size(); ++i)
+      std::copy(g.row_data(idx_copy[i]), g.row_data(idx_copy[i]) + g.cols(),
+                gx.row_data(i));
+    x.AccumulateGrad(gx);
+  });
+}
+
+Tensor EdgeSoftmax(const Tensor& logits, const std::vector<size_t>& dst,
+                   size_t num_groups) {
+  GNN4TDL_CHECK_EQ(logits.cols(), 1u);
+  GNN4TDL_CHECK_EQ(logits.rows(), dst.size());
+  const size_t e_count = dst.size();
+
+  std::vector<double> group_max(num_groups,
+                                -std::numeric_limits<double>::infinity());
+  for (size_t e = 0; e < e_count; ++e) {
+    GNN4TDL_CHECK_LT(dst[e], num_groups);
+    group_max[dst[e]] = std::max(group_max[dst[e]], logits.value()(e, 0));
+  }
+  std::vector<double> group_sum(num_groups, 0.0);
+  Matrix out(e_count, 1);
+  for (size_t e = 0; e < e_count; ++e) {
+    out(e, 0) = std::exp(logits.value()(e, 0) - group_max[dst[e]]);
+    group_sum[dst[e]] += out(e, 0);
+  }
+  for (size_t e = 0; e < e_count; ++e) out(e, 0) /= group_sum[dst[e]];
+
+  std::vector<size_t> dst_copy = dst;
+  Matrix softmax = out;
+  return Tensor::FromOp(
+      std::move(out), {logits},
+      [logits, dst_copy, softmax, num_groups](const Matrix& g) {
+        if (!logits.requires_grad()) return;
+        // d l_e = w_e * (g_e - sum_{e' in group} g_{e'} w_{e'})
+        std::vector<double> group_dot(num_groups, 0.0);
+        for (size_t e = 0; e < dst_copy.size(); ++e)
+          group_dot[dst_copy[e]] += g(e, 0) * softmax(e, 0);
+        Matrix gl(dst_copy.size(), 1);
+        for (size_t e = 0; e < dst_copy.size(); ++e)
+          gl(e, 0) = softmax(e, 0) * (g(e, 0) - group_dot[dst_copy[e]]);
+        logits.AccumulateGrad(gl);
+      });
+}
+
+Tensor RowL2Normalize(const Tensor& a, double eps) {
+  const size_t n = a.rows();
+  const size_t d = a.cols();
+  std::vector<double> norms(n);
+  Matrix out(n, d);
+  for (size_t r = 0; r < n; ++r) {
+    double s = 0.0;
+    for (size_t c = 0; c < d; ++c) s += a.value()(r, c) * a.value()(r, c);
+    norms[r] = std::max(std::sqrt(s), eps);
+    for (size_t c = 0; c < d; ++c) out(r, c) = a.value()(r, c) / norms[r];
+  }
+  Matrix normalized = out;
+  return Tensor::FromOp(std::move(out), {a},
+                        [a, normalized, norms](const Matrix& g) {
+                          if (!a.requires_grad()) return;
+                          Matrix ga(g.rows(), g.cols());
+                          for (size_t r = 0; r < g.rows(); ++r) {
+                            double dot = 0.0;
+                            for (size_t c = 0; c < g.cols(); ++c)
+                              dot += g(r, c) * normalized(r, c);
+                            for (size_t c = 0; c < g.cols(); ++c)
+                              ga(r, c) = (g(r, c) - dot * normalized(r, c)) /
+                                         norms[r];
+                          }
+                          a.AccumulateGrad(ga);
+                        });
+}
+
+Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                     double eps) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  GNN4TDL_CHECK_EQ(gamma.rows(), 1u);
+  GNN4TDL_CHECK_EQ(gamma.cols(), d);
+  GNN4TDL_CHECK_EQ(beta.rows(), 1u);
+  GNN4TDL_CHECK_EQ(beta.cols(), d);
+  GNN4TDL_CHECK_GT(d, 0u);
+
+  // Forward: cache the normalized values x_hat and the inverse stddevs.
+  Matrix x_hat(n, d);
+  std::vector<double> inv_std(n);
+  for (size_t r = 0; r < n; ++r) {
+    double mean = 0.0;
+    for (size_t c = 0; c < d; ++c) mean += x.value()(r, c);
+    mean /= static_cast<double>(d);
+    double var = 0.0;
+    for (size_t c = 0; c < d; ++c) {
+      double centered = x.value()(r, c) - mean;
+      var += centered * centered;
+    }
+    var /= static_cast<double>(d);
+    inv_std[r] = 1.0 / std::sqrt(var + eps);
+    for (size_t c = 0; c < d; ++c)
+      x_hat(r, c) = (x.value()(r, c) - mean) * inv_std[r];
+  }
+  Matrix out(n, d);
+  for (size_t r = 0; r < n; ++r)
+    for (size_t c = 0; c < d; ++c)
+      out(r, c) = x_hat(r, c) * gamma.value()(0, c) + beta.value()(0, c);
+
+  return Tensor::FromOp(
+      std::move(out), {x, gamma, beta},
+      [x, gamma, beta, x_hat, inv_std](const Matrix& g) {
+        const size_t n = g.rows();
+        const size_t d = g.cols();
+        if (gamma.requires_grad()) {
+          Matrix gg(1, d);
+          for (size_t r = 0; r < n; ++r)
+            for (size_t c = 0; c < d; ++c) gg(0, c) += g(r, c) * x_hat(r, c);
+          gamma.AccumulateGrad(gg);
+        }
+        if (beta.requires_grad()) {
+          beta.AccumulateGrad(g.ColSum());
+        }
+        if (x.requires_grad()) {
+          // dx = inv_std * (gy - mean(gy) - x_hat * mean(gy * x_hat)),
+          // where gy = g * gamma (per column).
+          Matrix gx(n, d);
+          for (size_t r = 0; r < n; ++r) {
+            double mean_gy = 0.0, mean_gy_xhat = 0.0;
+            for (size_t c = 0; c < d; ++c) {
+              double gy = g(r, c) * gamma.value()(0, c);
+              mean_gy += gy;
+              mean_gy_xhat += gy * x_hat(r, c);
+            }
+            mean_gy /= static_cast<double>(d);
+            mean_gy_xhat /= static_cast<double>(d);
+            for (size_t c = 0; c < d; ++c) {
+              double gy = g(r, c) * gamma.value()(0, c);
+              gx(r, c) =
+                  inv_std[r] * (gy - mean_gy - x_hat(r, c) * mean_gy_xhat);
+            }
+          }
+          x.AccumulateGrad(gx);
+        }
+      });
+}
+
+Tensor PairNormRows(const Tensor& x, double scale, double eps) {
+  const size_t n = x.rows();
+  GNN4TDL_CHECK_GT(n, 0u);
+  // Column centering: xc = x - 1 * col_mean. Composable from existing ops so
+  // the backward comes for free.
+  Tensor ones_col = Tensor::Constant(Matrix::Ones(n, 1));
+  Tensor col_mean =
+      ops::Scale(ops::MatMul(ops::Transpose(ones_col), x),
+                 1.0 / static_cast<double>(n));       // 1 x d
+  Tensor centered = ops::Sub(x, ops::MatMul(ones_col, col_mean));
+  return ops::Scale(ops::RowL2Normalize(centered, eps), scale);
+}
+
+Tensor SegmentMeanRows(const Tensor& x, const std::vector<size_t>& seg,
+                       size_t num_segments) {
+  GNN4TDL_CHECK_EQ(seg.size(), x.rows());
+  std::vector<double> counts(num_segments, 0.0);
+  for (size_t s : seg) {
+    GNN4TDL_CHECK_LT(s, num_segments);
+    counts[s] += 1.0;
+  }
+  Matrix out(num_segments, x.cols());
+  for (size_t i = 0; i < seg.size(); ++i) {
+    double* dst = out.row_data(seg[i]);
+    const double* src = x.value().row_data(i);
+    for (size_t c = 0; c < x.cols(); ++c) dst[c] += src[c];
+  }
+  for (size_t s = 0; s < num_segments; ++s) {
+    if (counts[s] == 0.0) continue;
+    double* row = out.row_data(s);
+    for (size_t c = 0; c < x.cols(); ++c) row[c] /= counts[s];
+  }
+  std::vector<size_t> seg_copy = seg;
+  return Tensor::FromOp(std::move(out), {x},
+                        [x, seg_copy, counts](const Matrix& g) {
+                          if (!x.requires_grad()) return;
+                          Matrix gx(seg_copy.size(), g.cols());
+                          for (size_t i = 0; i < seg_copy.size(); ++i) {
+                            const size_t s = seg_copy[i];
+                            const double inv = 1.0 / counts[s];
+                            const double* src = g.row_data(s);
+                            double* dst = gx.row_data(i);
+                            for (size_t c = 0; c < g.cols(); ++c)
+                              dst[c] = src[c] * inv;
+                          }
+                          x.AccumulateGrad(gx);
+                        });
+}
+
+Tensor SegmentMaxRows(const Tensor& x, const std::vector<size_t>& seg,
+                      size_t num_segments) {
+  GNN4TDL_CHECK_EQ(seg.size(), x.rows());
+  const size_t d = x.cols();
+  Matrix out(num_segments, d);
+  // argmax[s * d + c] = input row index achieving the max, SIZE_MAX if empty.
+  std::vector<size_t> argmax(num_segments * d, SIZE_MAX);
+  for (size_t i = 0; i < seg.size(); ++i) {
+    const size_t s = seg[i];
+    GNN4TDL_CHECK_LT(s, num_segments);
+    for (size_t c = 0; c < d; ++c) {
+      double v = x.value()(i, c);
+      size_t slot = s * d + c;
+      if (argmax[slot] == SIZE_MAX || v > out(s, c)) {
+        out(s, c) = v;
+        argmax[slot] = i;
+      }
+    }
+  }
+  std::vector<size_t> argmax_copy = argmax;
+  const size_t in_rows = x.rows();
+  return Tensor::FromOp(std::move(out), {x},
+                        [x, argmax_copy, in_rows, d](const Matrix& g) {
+                          if (!x.requires_grad()) return;
+                          Matrix gx(in_rows, d);
+                          for (size_t s = 0; s < g.rows(); ++s)
+                            for (size_t c = 0; c < d; ++c) {
+                              size_t i = argmax_copy[s * d + c];
+                              if (i != SIZE_MAX) gx(i, c) += g(s, c);
+                            }
+                          x.AccumulateGrad(gx);
+                        });
+}
+
+Tensor SumAll(const Tensor& a) {
+  Matrix out(1, 1);
+  out(0, 0) = a.value().Sum();
+  const size_t r = a.rows();
+  const size_t c = a.cols();
+  return Tensor::FromOp(std::move(out), {a}, [a, r, c](const Matrix& g) {
+    if (a.requires_grad()) a.AccumulateGrad(Matrix::Full(r, c, g(0, 0)));
+  });
+}
+
+Tensor MeanAll(const Tensor& a) {
+  GNN4TDL_CHECK_GT(a.rows() * a.cols(), 0u);
+  return Scale(SumAll(a), 1.0 / static_cast<double>(a.rows() * a.cols()));
+}
+
+Tensor SumSquares(const Tensor& a) {
+  Matrix out(1, 1);
+  double s = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j) s += a.value()(i, j) * a.value()(i, j);
+  out(0, 0) = s;
+  return Tensor::FromOp(std::move(out), {a}, [a](const Matrix& g) {
+    if (a.requires_grad()) a.AccumulateGrad(a.value() * (2.0 * g(0, 0)));
+  });
+}
+
+Tensor SumAbs(const Tensor& a) {
+  Matrix out(1, 1);
+  double s = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j) s += std::fabs(a.value()(i, j));
+  out(0, 0) = s;
+  return Tensor::FromOp(std::move(out), {a}, [a](const Matrix& g) {
+    if (!a.requires_grad()) return;
+    Matrix ga = a.value().Map([](double v) {
+      return v > 0 ? 1.0 : (v < 0 ? -1.0 : 0.0);
+    });
+    a.AccumulateGrad(ga * g(0, 0));
+  });
+}
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  const size_t n = logits.rows();
+  const size_t c_dim = logits.cols();
+  Matrix out(n, c_dim);
+  for (size_t r = 0; r < n; ++r) {
+    double mx = -std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < c_dim; ++c) mx = std::max(mx, logits.value()(r, c));
+    double sum = 0.0;
+    for (size_t c = 0; c < c_dim; ++c) {
+      out(r, c) = std::exp(logits.value()(r, c) - mx);
+      sum += out(r, c);
+    }
+    for (size_t c = 0; c < c_dim; ++c) out(r, c) /= sum;
+  }
+  Matrix softmax = out;
+  return Tensor::FromOp(std::move(out), {logits},
+                        [logits, softmax](const Matrix& g) {
+                          if (!logits.requires_grad()) return;
+                          Matrix gl(g.rows(), g.cols());
+                          for (size_t r = 0; r < g.rows(); ++r) {
+                            double dot = 0.0;
+                            for (size_t c = 0; c < g.cols(); ++c)
+                              dot += g(r, c) * softmax(r, c);
+                            for (size_t c = 0; c < g.cols(); ++c)
+                              gl(r, c) = softmax(r, c) * (g(r, c) - dot);
+                          }
+                          logits.AccumulateGrad(gl);
+                        });
+}
+
+Tensor SoftmaxCrossEntropy(const Tensor& logits, const std::vector<int>& labels,
+                           const std::vector<double>& weights) {
+  const size_t n = logits.rows();
+  const size_t c_dim = logits.cols();
+  GNN4TDL_CHECK_EQ(labels.size(), n);
+  std::vector<double> w = weights.empty() ? std::vector<double>(n, 1.0) : weights;
+  GNN4TDL_CHECK_EQ(w.size(), n);
+
+  double w_sum = 0.0;
+  for (double v : w) w_sum += v;
+  GNN4TDL_CHECK_MSG(w_sum > 0.0, "SoftmaxCrossEntropy: all rows masked");
+
+  Matrix probs(n, c_dim);
+  double loss = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    double mx = -std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < c_dim; ++c) mx = std::max(mx, logits.value()(r, c));
+    double sum = 0.0;
+    for (size_t c = 0; c < c_dim; ++c) {
+      probs(r, c) = std::exp(logits.value()(r, c) - mx);
+      sum += probs(r, c);
+    }
+    for (size_t c = 0; c < c_dim; ++c) probs(r, c) /= sum;
+    if (w[r] != 0.0) {
+      const int y = labels[r];
+      GNN4TDL_CHECK_GE(y, 0);
+      GNN4TDL_CHECK_LT(static_cast<size_t>(y), c_dim);
+      loss += w[r] * -std::log(std::max(probs(r, static_cast<size_t>(y)),
+                                        1e-300));
+    }
+  }
+  Matrix out(1, 1);
+  out(0, 0) = loss / w_sum;
+
+  std::vector<int> labels_copy = labels;
+  return Tensor::FromOp(
+      std::move(out), {logits},
+      [logits, probs, labels_copy, w, w_sum](const Matrix& g) {
+        if (!logits.requires_grad()) return;
+        Matrix gl = probs;
+        for (size_t r = 0; r < gl.rows(); ++r) {
+          if (w[r] == 0.0) {
+            for (size_t c = 0; c < gl.cols(); ++c) gl(r, c) = 0.0;
+            continue;
+          }
+          gl(r, static_cast<size_t>(labels_copy[r])) -= 1.0;
+          const double scale = g(0, 0) * w[r] / w_sum;
+          for (size_t c = 0; c < gl.cols(); ++c) gl(r, c) *= scale;
+        }
+        logits.AccumulateGrad(gl);
+      });
+}
+
+Tensor MseLoss(const Tensor& pred, const Matrix& target,
+               const std::vector<double>& weights) {
+  const size_t n = pred.rows();
+  const size_t c_dim = pred.cols();
+  GNN4TDL_CHECK_EQ(target.rows(), n);
+  GNN4TDL_CHECK_EQ(target.cols(), c_dim);
+  std::vector<double> w = weights.empty() ? std::vector<double>(n, 1.0) : weights;
+  GNN4TDL_CHECK_EQ(w.size(), n);
+
+  double w_sum = 0.0;
+  for (double v : w) w_sum += v;
+  GNN4TDL_CHECK_MSG(w_sum > 0.0, "MseLoss: all rows masked");
+  const double denom = w_sum * static_cast<double>(c_dim);
+
+  double loss = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    if (w[r] == 0.0) continue;
+    for (size_t c = 0; c < c_dim; ++c) {
+      double d = pred.value()(r, c) - target(r, c);
+      loss += w[r] * d * d;
+    }
+  }
+  Matrix out(1, 1);
+  out(0, 0) = loss / denom;
+
+  Matrix target_copy = target;
+  return Tensor::FromOp(std::move(out), {pred},
+                        [pred, target_copy, w, denom](const Matrix& g) {
+                          if (!pred.requires_grad()) return;
+                          Matrix gp(pred.rows(), pred.cols());
+                          for (size_t r = 0; r < gp.rows(); ++r) {
+                            if (w[r] == 0.0) continue;
+                            const double scale = 2.0 * g(0, 0) * w[r] / denom;
+                            for (size_t c = 0; c < gp.cols(); ++c)
+                              gp(r, c) = scale * (pred.value()(r, c) -
+                                                  target_copy(r, c));
+                          }
+                          pred.AccumulateGrad(gp);
+                        });
+}
+
+Tensor BceWithLogits(const Tensor& pred, const std::vector<double>& targets,
+                     const std::vector<double>& weights) {
+  const size_t n = pred.rows();
+  GNN4TDL_CHECK_EQ(pred.cols(), 1u);
+  GNN4TDL_CHECK_EQ(targets.size(), n);
+  std::vector<double> w = weights.empty() ? std::vector<double>(n, 1.0) : weights;
+  GNN4TDL_CHECK_EQ(w.size(), n);
+
+  double w_sum = 0.0;
+  for (double v : w) w_sum += v;
+  GNN4TDL_CHECK_MSG(w_sum > 0.0, "BceWithLogits: all rows masked");
+
+  double loss = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    if (w[r] == 0.0) continue;
+    double z = pred.value()(r, 0);
+    loss += w[r] * (Softplus(z) - targets[r] * z);
+  }
+  Matrix out(1, 1);
+  out(0, 0) = loss / w_sum;
+
+  std::vector<double> t_copy = targets;
+  return Tensor::FromOp(std::move(out), {pred},
+                        [pred, t_copy, w, w_sum](const Matrix& g) {
+                          if (!pred.requires_grad()) return;
+                          Matrix gp(pred.rows(), 1);
+                          for (size_t r = 0; r < gp.rows(); ++r) {
+                            if (w[r] == 0.0) continue;
+                            double z = pred.value()(r, 0);
+                            gp(r, 0) = g(0, 0) * w[r] *
+                                       (StableSigmoid(z) - t_copy[r]) / w_sum;
+                          }
+                          pred.AccumulateGrad(gp);
+                        });
+}
+
+}  // namespace gnn4tdl::ops

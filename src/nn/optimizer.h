@@ -1,0 +1,79 @@
+#ifndef GNN4TDL_NN_OPTIMIZER_H_
+#define GNN4TDL_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace gnn4tdl {
+
+/// First-order optimizer over a fixed set of parameter tensors. Subclasses
+/// implement Step(); callers run ZeroGrad() -> forward -> Backward() -> Step().
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the gradients currently accumulated on the
+  /// parameters. Parameters with empty gradients are skipped.
+  virtual void Step() = 0;
+
+  /// Clears gradients on all parameters.
+  void ZeroGrad();
+
+  /// Clips gradients to a maximum global L2 norm (no-op if already below).
+  void ClipGradNorm(double max_norm);
+
+  void set_learning_rate(double lr) { lr_ = lr; }
+  double learning_rate() const { return lr_; }
+
+ protected:
+  std::vector<Tensor> params_;
+  double lr_ = 1e-2;
+};
+
+/// SGD with optional momentum and decoupled weight decay.
+class Sgd : public Optimizer {
+ public:
+  struct Options {
+    double learning_rate = 1e-2;
+    double momentum = 0.0;
+    double weight_decay = 0.0;
+  };
+
+  Sgd(std::vector<Tensor> params, const Options& options);
+  void Step() override;
+
+ private:
+  Options options_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay (AdamW when
+/// weight_decay > 0).
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    double learning_rate = 1e-2;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double weight_decay = 0.0;
+  };
+
+  Adam(std::vector<Tensor> params, const Options& options);
+  void Step() override;
+
+ private:
+  Options options_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  int64_t t_ = 0;
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_NN_OPTIMIZER_H_

@@ -1,0 +1,70 @@
+#include "nn/serialize.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gnn4tdl {
+
+namespace {
+constexpr char kMagic[] = "gnn4tdl-params-v1";
+}  // namespace
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+
+  std::vector<Tensor> params = module.Parameters();
+  out << kMagic << '\n' << params.size() << '\n';
+  out.precision(17);
+  for (const Tensor& p : params) {
+    out << p.rows() << ' ' << p.cols() << '\n';
+    const Matrix& m = p.value();
+    for (size_t r = 0; r < m.rows(); ++r) {
+      for (size_t c = 0; c < m.cols(); ++c) {
+        if (c > 0) out << ' ';
+        out << m(r, c);
+      }
+      out << '\n';
+    }
+  }
+  if (!out) return Status::IoError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+Status LoadParameters(const Module& module, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+
+  std::string magic;
+  if (!(in >> magic) || magic != kMagic) {
+    return Status::InvalidArgument("'" + path + "' is not a gnn4tdl parameter file");
+  }
+  size_t count = 0;
+  if (!(in >> count)) return Status::IoError("truncated parameter file");
+
+  std::vector<Tensor> params = module.Parameters();
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: file has " + std::to_string(count) +
+        ", module has " + std::to_string(params.size()));
+  }
+  for (Tensor& p : params) {
+    size_t rows = 0, cols = 0;
+    if (!(in >> rows >> cols)) return Status::IoError("truncated parameter file");
+    if (rows != p.rows() || cols != p.cols()) {
+      return Status::InvalidArgument(
+          "parameter shape mismatch: file has " + std::to_string(rows) + "x" +
+          std::to_string(cols) + ", module has " + std::to_string(p.rows()) +
+          "x" + std::to_string(p.cols()));
+    }
+    Matrix& m = p.mutable_value();
+    for (size_t r = 0; r < rows; ++r)
+      for (size_t c = 0; c < cols; ++c)
+        if (!(in >> m(r, c))) return Status::IoError("truncated parameter file");
+  }
+  return Status::OK();
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,23 @@
+#ifndef GNN4TDL_NN_SERIALIZE_H_
+#define GNN4TDL_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace gnn4tdl {
+
+/// Writes every parameter of `module` (in Parameters() order, which is
+/// deterministic for a fixed module structure) to a text file. Values are
+/// serialized with 17 significant digits, so doubles round-trip exactly.
+Status SaveParameters(const Module& module, const std::string& path);
+
+/// Loads parameters saved by SaveParameters back into `module`. The module
+/// must have the same structure (same parameter count and shapes) as the one
+/// that was saved — construct it with the same options first.
+Status LoadParameters(const Module& module, const std::string& path);
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_NN_SERIALIZE_H_

@@ -1,0 +1,90 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace gnn4tdl {
+
+namespace {
+std::atomic<uint64_t> g_tensor_seq{0};
+}  // namespace
+
+Tensor Tensor::Leaf(Matrix value, bool requires_grad) {
+  Tensor t;
+  t.impl_ = std::make_shared<Impl>();
+  t.impl_->value = std::move(value);
+  t.impl_->requires_grad = requires_grad;
+  t.impl_->seq = g_tensor_seq.fetch_add(1);
+  return t;
+}
+
+Tensor Tensor::FromOp(Matrix value, std::vector<Tensor> parents,
+                      std::function<void(const Matrix&)> backward_fn) {
+  Tensor t;
+  t.impl_ = std::make_shared<Impl>();
+  t.impl_->value = std::move(value);
+  // An op output needs grad iff any parent does.
+  for (const Tensor& p : parents) {
+    GNN4TDL_CHECK(p.defined());
+    if (p.requires_grad()) t.impl_->requires_grad = true;
+  }
+  t.impl_->parents = std::move(parents);
+  t.impl_->backward_fn = std::move(backward_fn);
+  t.impl_->seq = g_tensor_seq.fetch_add(1);
+  return t;
+}
+
+void Tensor::AccumulateGrad(const Matrix& g) const {
+  GNN4TDL_CHECK(defined());
+  if (impl_->grad.empty()) {
+    impl_->grad = Matrix(impl_->value.rows(), impl_->value.cols());
+  }
+  impl_->grad += g;
+}
+
+void Tensor::ZeroGrad() const {
+  GNN4TDL_CHECK(defined());
+  impl_->grad = Matrix();
+}
+
+void Tensor::Backward() const {
+  GNN4TDL_CHECK(defined());
+  GNN4TDL_CHECK_MSG(rows() == 1 && cols() == 1,
+                    "Backward() requires a scalar (1x1) loss tensor");
+
+  // Collect the reachable subgraph that requires grad.
+  std::vector<Impl*> order;
+  std::unordered_set<Impl*> seen;
+  std::vector<Impl*> stack = {impl_.get()};
+  while (!stack.empty()) {
+    Impl* node = stack.back();
+    stack.pop_back();
+    if (!node->requires_grad || seen.count(node)) continue;
+    seen.insert(node);
+    order.push_back(node);
+    for (const Tensor& p : node->parents) stack.push_back(p.impl_.get());
+  }
+
+  // Reverse creation order is a valid reverse-topological order: an op's
+  // output is always created after all of its parents.
+  std::sort(order.begin(), order.end(),
+            [](const Impl* a, const Impl* b) { return a->seq > b->seq; });
+
+  AccumulateGrad(Matrix::Ones(1, 1));
+  for (Impl* node : order) {
+    if (!node->backward_fn) continue;  // leaf
+    if (node->grad.empty()) continue;  // no gradient reached this node
+    node->backward_fn(node->grad);
+  }
+
+  // Free interior gradient buffers (leaves keep theirs for the optimizer);
+  // the tape itself is freed when the loss tensor goes out of scope.
+  for (Impl* node : order) {
+    if (node->backward_fn) node->grad = Matrix();
+  }
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,83 @@
+#ifndef GNN4TDL_NN_TENSOR_H_
+#define GNN4TDL_NN_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace gnn4tdl {
+
+/// A node in the reverse-mode autodiff tape. Tensor is a cheap shared handle:
+/// copying it copies the handle, not the data. Every op in nn/ops.h creates a
+/// fresh Tensor whose `backward_fn` routes the incoming gradient to its
+/// parents; Backward() on a scalar loss then runs the tape in reverse
+/// creation order.
+///
+/// Parameters are "leaf" tensors created with requires_grad=true; their
+/// gradients accumulate across Backward() calls until ZeroGrad().
+class Tensor {
+ public:
+  /// Null handle; most code should use the factories below.
+  Tensor() = default;
+
+  /// Leaf tensor holding `value`.
+  static Tensor Leaf(Matrix value, bool requires_grad = false);
+
+  /// Leaf wrapper for constants (requires_grad=false).
+  static Tensor Constant(Matrix value) { return Leaf(std::move(value), false); }
+
+  /// Interior node produced by an op. `backward_fn(grad_out)` must accumulate
+  /// into the parents' grads. Ops should only list parents that require grad
+  /// flow (constants may be captured in the closure instead).
+  static Tensor FromOp(Matrix value, std::vector<Tensor> parents,
+                       std::function<void(const Matrix&)> backward_fn);
+
+  bool defined() const { return impl_ != nullptr; }
+
+  const Matrix& value() const { return impl_->value; }
+  /// Mutable access to the stored value. Tensor is a shared handle, so this is
+  /// shallow-const (usable on const handles) — like shared_ptr::operator*.
+  Matrix& mutable_value() const { return impl_->value; }
+
+  /// Accumulated gradient. Zero-shaped until the first Backward() reaches
+  /// this node.
+  const Matrix& grad() const { return impl_->grad; }
+
+  bool requires_grad() const { return impl_->requires_grad; }
+
+  size_t rows() const { return impl_->value.rows(); }
+  size_t cols() const { return impl_->value.cols(); }
+
+  /// Runs reverse-mode autodiff from this node, which must be 1x1 (a scalar
+  /// loss). Gradients accumulate into every reachable tensor with
+  /// requires_grad (leaves keep them until ZeroGrad()).
+  void Backward() const;
+
+  /// Clears this node's accumulated gradient.
+  void ZeroGrad() const;
+
+  /// Adds `g` into this node's gradient buffer (allocating it on first use).
+  void AccumulateGrad(const Matrix& g) const;
+
+  /// Stable identity for use as a map key.
+  const void* id() const { return impl_.get(); }
+
+ private:
+  struct Impl {
+    Matrix value;
+    Matrix grad;  // empty until first accumulation
+    bool requires_grad = false;
+    uint64_t seq = 0;  // creation order; children always have larger seq
+    std::vector<Tensor> parents;
+    std::function<void(const Matrix&)> backward_fn;
+  };
+
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_NN_TENSOR_H_

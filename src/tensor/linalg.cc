@@ -1,0 +1,77 @@
+#include "tensor/linalg.h"
+
+#include <cmath>
+
+namespace gnn4tdl {
+
+StatusOr<Matrix> Cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          return Status::FailedPrecondition(
+              "matrix is not positive definite (pivot " +
+              std::to_string(sum) + " at " + std::to_string(i) + ")");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+StatusOr<Matrix> CholeskySolve(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument("dimension mismatch in CholeskySolve");
+  }
+  StatusOr<Matrix> l_or = Cholesky(a);
+  if (!l_or.ok()) return l_or.status();
+  const Matrix& l = *l_or;
+  const size_t n = a.rows();
+  const size_t m = b.cols();
+
+  // Forward substitution: L z = b.
+  Matrix z(n, m);
+  for (size_t c = 0; c < m; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      double sum = b(i, c);
+      for (size_t k = 0; k < i; ++k) sum -= l(i, k) * z(k, c);
+      z(i, c) = sum / l(i, i);
+    }
+  }
+  // Back substitution: L^T x = z.
+  Matrix x(n, m);
+  for (size_t c = 0; c < m; ++c) {
+    for (size_t ii = n; ii > 0; --ii) {
+      size_t i = ii - 1;
+      double sum = z(i, c);
+      for (size_t k = i + 1; k < n; ++k) sum -= l(k, i) * x(k, c);
+      x(i, c) = sum / l(i, i);
+    }
+  }
+  return x;
+}
+
+StatusOr<Matrix> SolveRidge(const Matrix& x, const Matrix& y, double lambda) {
+  if (x.rows() != y.rows()) {
+    return Status::InvalidArgument("X and y row counts differ");
+  }
+  if (lambda <= 0.0) {
+    return Status::InvalidArgument("ridge lambda must be positive");
+  }
+  Matrix gram = x.TransposeMatmul(x);
+  for (size_t i = 0; i < gram.rows(); ++i) gram(i, i) += lambda;
+  Matrix xty = x.TransposeMatmul(y);
+  return CholeskySolve(gram, xty);
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,23 @@
+#ifndef GNN4TDL_TENSOR_LINALG_H_
+#define GNN4TDL_TENSOR_LINALG_H_
+
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace gnn4tdl {
+
+/// Cholesky factorization of a symmetric positive-definite matrix: A = L L^T
+/// (lower triangular L). Fails if A is not positive definite.
+StatusOr<Matrix> Cholesky(const Matrix& a);
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky; b may have
+/// multiple right-hand-side columns.
+StatusOr<Matrix> CholeskySolve(const Matrix& a, const Matrix& b);
+
+/// Ridge regression: w = (X^T X + lambda I)^{-1} X^T y. X is n x d, y is
+/// n x 1 (or n x m for multiple targets). Always solvable for lambda > 0.
+StatusOr<Matrix> SolveRidge(const Matrix& x, const Matrix& y, double lambda);
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_TENSOR_LINALG_H_

@@ -1,0 +1,295 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace gnn4tdl {
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  GNN4TDL_CHECK_EQ(rows_ * cols_, data_.size());
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Randn(size_t rows, size_t cols, Rng& rng, double stddev) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng.Normal(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::Rand(size_t rows, size_t cols, Rng& rng, double lo, double hi) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng.Uniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::GlorotUniform(size_t fan_in, size_t fan_out, Rng& rng) {
+  double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  return Rand(fan_in, fan_out, rng, -a, a);
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  size_t cols = rows[0].size();
+  Matrix m(rows.size(), cols);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    GNN4TDL_CHECK_EQ(rows[r].size(), cols);
+    std::copy(rows[r].begin(), rows[r].end(), m.row_data(r));
+  }
+  return m;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  GNN4TDL_CHECK_EQ(rows_, other.rows_);
+  GNN4TDL_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  GNN4TDL_CHECK_EQ(rows_, other.rows_);
+  GNN4TDL_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::CwiseMul(const Matrix& other) const {
+  GNN4TDL_CHECK_EQ(rows_, other.rows_);
+  GNN4TDL_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::CwiseDiv(const Matrix& other) const {
+  GNN4TDL_CHECK_EQ(rows_, other.rows_);
+  GNN4TDL_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] /= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= s;
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  GNN4TDL_CHECK_EQ(rows_, other.rows_);
+  GNN4TDL_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  GNN4TDL_CHECK_EQ(rows_, other.rows_);
+  GNN4TDL_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+void Matrix::Axpy(double s, const Matrix& other) {
+  GNN4TDL_CHECK_EQ(rows_, other.rows_);
+  GNN4TDL_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+}
+
+Matrix Matrix::Map(const std::function<double(double)>& f) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v = f(v);
+  return out;
+}
+
+Matrix Matrix::Matmul(const Matrix& other) const {
+  GNN4TDL_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  const size_t k_dim = cols_;
+  const size_t n = other.cols_;
+  // i-k-j loop order: streams through `other` row-major, friendly to cache.
+  for (size_t i = 0; i < rows_; ++i) {
+    double* out_row = out.row_data(i);
+    const double* a_row = row_data(i);
+    for (size_t k = 0; k < k_dim; ++k) {
+      double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.row_data(k);
+      for (size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposeMatmul(const Matrix& other) const {
+  GNN4TDL_CHECK_EQ(rows_, other.rows_);
+  Matrix out(cols_, other.cols_);
+  const size_t n = other.cols_;
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* a_row = row_data(r);
+    const double* b_row = other.row_data(r);
+    for (size_t i = 0; i < cols_; ++i) {
+      double a = a_row[i];
+      if (a == 0.0) continue;
+      double* out_row = out.row_data(i);
+      for (size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatmulTranspose(const Matrix& other) const {
+  GNN4TDL_CHECK_EQ(cols_, other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a_row = row_data(i);
+    double* out_row = out.row_data(i);
+    for (size_t j = 0; j < other.rows_; ++j) {
+      const double* b_row = other.row_data(j);
+      double acc = 0.0;
+      for (size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::Mean() const {
+  GNN4TDL_CHECK(!data_.empty());
+  return Sum() / static_cast<double>(data_.size());
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Matrix::Norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+Matrix Matrix::RowSum() const {
+  Matrix out(rows_, 1);
+  for (size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    const double* row = row_data(r);
+    for (size_t c = 0; c < cols_; ++c) s += row[c];
+    out(r, 0) = s;
+  }
+  return out;
+}
+
+Matrix Matrix::ColSum() const {
+  Matrix out(1, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = row_data(r);
+    for (size_t c = 0; c < cols_; ++c) out(0, c) += row[c];
+  }
+  return out;
+}
+
+Matrix Matrix::ColMean() const {
+  GNN4TDL_CHECK_GT(rows_, 0u);
+  Matrix out = ColSum();
+  out *= 1.0 / static_cast<double>(rows_);
+  return out;
+}
+
+size_t Matrix::ArgMaxRow(size_t r) const {
+  GNN4TDL_CHECK_LT(r, rows_);
+  GNN4TDL_CHECK_GT(cols_, 0u);
+  const double* row = row_data(r);
+  size_t best = 0;
+  for (size_t c = 1; c < cols_; ++c)
+    if (row[c] > row[best]) best = c;
+  return best;
+}
+
+Matrix Matrix::Row(size_t r) const {
+  GNN4TDL_CHECK_LT(r, rows_);
+  Matrix out(1, cols_);
+  std::copy(row_data(r), row_data(r) + cols_, out.data());
+  return out;
+}
+
+Matrix Matrix::GatherRows(const std::vector<size_t>& idx) const {
+  Matrix out(idx.size(), cols_);
+  for (size_t i = 0; i < idx.size(); ++i) {
+    GNN4TDL_CHECK_LT(idx[i], rows_);
+    std::copy(row_data(idx[i]), row_data(idx[i]) + cols_, out.row_data(i));
+  }
+  return out;
+}
+
+Matrix Matrix::ConcatCols(const Matrix& other) const {
+  GNN4TDL_CHECK_EQ(rows_, other.rows_);
+  Matrix out(rows_, cols_ + other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    std::copy(row_data(r), row_data(r) + cols_, out.row_data(r));
+    std::copy(other.row_data(r), other.row_data(r) + other.cols_,
+              out.row_data(r) + cols_);
+  }
+  return out;
+}
+
+Matrix Matrix::ConcatRows(const Matrix& other) const {
+  GNN4TDL_CHECK_EQ(cols_, other.cols_);
+  Matrix out(rows_ + other.rows_, cols_);
+  std::copy(data_.begin(), data_.end(), out.data());
+  std::copy(other.data_.begin(), other.data_.end(), out.data() + data_.size());
+  return out;
+}
+
+Matrix Matrix::Reshape(size_t new_rows, size_t new_cols) const {
+  GNN4TDL_CHECK_EQ(new_rows * new_cols, data_.size());
+  return Matrix(new_rows, new_cols, data_);
+}
+
+bool Matrix::AllClose(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i)
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  return true;
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream os;
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ' ';
+      os << (*this)(r, c);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace gnn4tdl

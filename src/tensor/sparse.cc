@@ -1,0 +1,115 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+
+namespace gnn4tdl {
+
+SparseMatrix SparseMatrix::FromTriplets(size_t rows, size_t cols,
+                                        std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    GNN4TDL_CHECK_LT(t.row, rows);
+    GNN4TDL_CHECK_LT(t.col, cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+
+  for (size_t i = 0; i < triplets.size();) {
+    size_t j = i;
+    double sum = 0.0;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    m.col_idx_.push_back(triplets[i].col);
+    m.values_.push_back(sum);
+    m.row_ptr_[triplets[i].row + 1]++;
+    i = j;
+  }
+  for (size_t r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+SparseMatrix SparseMatrix::FromCsr(size_t rows, size_t cols,
+                                   std::vector<size_t> row_ptr,
+                                   std::vector<size_t> col_idx,
+                                   std::vector<double> values) {
+  GNN4TDL_CHECK_EQ(row_ptr.size(), rows + 1);
+  GNN4TDL_CHECK_EQ(col_idx.size(), values.size());
+  GNN4TDL_CHECK_EQ(row_ptr.back(), col_idx.size());
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
+Matrix SparseMatrix::Multiply(const Matrix& dense) const {
+  GNN4TDL_CHECK_EQ(cols_, dense.rows());
+  Matrix out(rows_, dense.cols());
+  const size_t n = dense.cols();
+  for (size_t r = 0; r < rows_; ++r) {
+    double* out_row = out.row_data(r);
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const double v = values_[k];
+      const double* d_row = dense.row_data(col_idx_[k]);
+      for (size_t j = 0; j < n; ++j) out_row[j] += v * d_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix SparseMatrix::TransposeMultiply(const Matrix& dense) const {
+  GNN4TDL_CHECK_EQ(rows_, dense.rows());
+  Matrix out(cols_, dense.cols());
+  const size_t n = dense.cols();
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* d_row = dense.row_data(r);
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const double v = values_[k];
+      double* out_row = out.row_data(col_idx_[k]);
+      for (size_t j = 0; j < n; ++j) out_row[j] += v * d_row[j];
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::Transpose() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(nnz());
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      triplets.push_back({col_idx_[k], r, values_[k]});
+  return FromTriplets(cols_, rows_, std::move(triplets));
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      out(r, col_idx_[k]) += values_[k];
+  return out;
+}
+
+double SparseMatrix::At(size_t row, size_t col) const {
+  GNN4TDL_CHECK_LT(row, rows_);
+  GNN4TDL_CHECK_LT(col, cols_);
+  auto begin = col_idx_.begin() + static_cast<ptrdiff_t>(row_ptr_[row]);
+  auto end = col_idx_.begin() + static_cast<ptrdiff_t>(row_ptr_[row + 1]);
+  auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<size_t>(it - col_idx_.begin())];
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,146 @@
+#include "train/aux_tasks.h"
+
+#include "common/check.h"
+#include "nn/ops.h"
+
+namespace gnn4tdl {
+
+FeatureReconstructionTask::FeatureReconstructionTask(size_t emb_dim,
+                                                     size_t feature_dim,
+                                                     size_t hidden, Rng& rng)
+    : decoder_({emb_dim, hidden, feature_dim}, rng, Activation::kRelu) {
+  RegisterSubmodule(&decoder_);
+}
+
+Tensor FeatureReconstructionTask::Decode(const Tensor& embeddings) const {
+  return decoder_.Forward(embeddings);
+}
+
+Tensor FeatureReconstructionTask::Loss(const Tensor& embeddings,
+                                       const Matrix& x_target,
+                                       const Matrix* entry_mask) const {
+  Tensor decoded = Decode(embeddings);
+  GNN4TDL_CHECK_EQ(decoded.rows(), x_target.rows());
+  GNN4TDL_CHECK_EQ(decoded.cols(), x_target.cols());
+  Tensor diff = ops::Sub(decoded, Tensor::Constant(x_target));
+  double denom = static_cast<double>(x_target.rows() * x_target.cols());
+  if (entry_mask != nullptr) {
+    GNN4TDL_CHECK_EQ(entry_mask->rows(), x_target.rows());
+    GNN4TDL_CHECK_EQ(entry_mask->cols(), x_target.cols());
+    diff = ops::CwiseMul(diff, Tensor::Constant(*entry_mask));
+    denom = std::max(entry_mask->Sum(), 1.0);
+  }
+  return ops::Scale(ops::SumSquares(diff), 1.0 / denom);
+}
+
+Matrix MaskCorrupt(const Matrix& x, double rate, Rng& rng, Matrix* mask_out) {
+  GNN4TDL_CHECK(rate >= 0.0 && rate < 1.0);
+  Matrix corrupted = x;
+  Matrix mask(x.rows(), x.cols());
+  for (size_t r = 0; r < x.rows(); ++r)
+    for (size_t c = 0; c < x.cols(); ++c)
+      if (rng.Bernoulli(rate)) {
+        corrupted(r, c) = 0.0;
+        mask(r, c) = 1.0;
+      }
+  if (mask_out != nullptr) *mask_out = mask;
+  return corrupted;
+}
+
+Tensor NtXentLoss(const Tensor& z1, const Tensor& z2, double temperature) {
+  GNN4TDL_CHECK_EQ(z1.rows(), z2.rows());
+  GNN4TDL_CHECK_EQ(z1.cols(), z2.cols());
+  GNN4TDL_CHECK_GT(temperature, 0.0);
+  const size_t n = z1.rows();
+
+  Tensor a = ops::RowL2Normalize(z1);
+  Tensor b = ops::RowL2Normalize(z2);
+  // Similarity logits between every view-1 row and every view-2 row.
+  Tensor sim = ops::Scale(ops::MatMul(a, ops::Transpose(b)),
+                          1.0 / temperature);  // n x n
+  std::vector<int> diag(n);
+  for (size_t i = 0; i < n; ++i) diag[i] = static_cast<int>(i);
+  // Symmetric InfoNCE: view1 -> view2 plus view2 -> view1.
+  Tensor l12 = ops::SoftmaxCrossEntropy(sim, diag);
+  Tensor l21 = ops::SoftmaxCrossEntropy(ops::Transpose(sim), diag);
+  return ops::Scale(ops::Add(l12, l21), 0.5);
+}
+
+Tensor SmoothnessPenalty(const Tensor& h, const Graph& g) {
+  GNN4TDL_CHECK_EQ(h.rows(), g.num_nodes());
+  std::vector<Edge> edges = g.EdgeList();
+  if (edges.empty()) return Tensor::Constant(Matrix(1, 1));
+  std::vector<size_t> src, dst;
+  Matrix w(edges.size(), 1);
+  for (size_t e = 0; e < edges.size(); ++e) {
+    src.push_back(edges[e].src);
+    dst.push_back(edges[e].dst);
+    w(e, 0) = edges[e].weight;
+  }
+  Tensor diff = ops::Sub(ops::GatherRows(h, src), ops::GatherRows(h, dst));
+  Tensor weighted = ops::MulColBroadcast(ops::CwiseMul(diff, diff),
+                                         Tensor::Constant(std::move(w)));
+  return ops::Scale(ops::SumAll(weighted),
+                    1.0 / static_cast<double>(edges.size()));
+}
+
+Tensor EdgeCompletionLoss(const Tensor& embeddings, const Graph& g,
+                          size_t num_negatives, Rng& rng) {
+  GNN4TDL_CHECK_EQ(embeddings.rows(), g.num_nodes());
+  const size_t n = g.num_nodes();
+  std::vector<Edge> edges = g.EdgeList();
+  if (edges.empty() || n < 2) return Tensor::Constant(Matrix(1, 1));
+
+  // Positive pairs: the graph's edges. Negative pairs: uniform non-self
+  // pairs (collisions with true edges are rare in sparse graphs and act as
+  // label smoothing).
+  std::vector<size_t> src, dst;
+  std::vector<double> targets;
+  for (const Edge& e : edges) {
+    src.push_back(e.src);
+    dst.push_back(e.dst);
+    targets.push_back(1.0);
+  }
+  for (size_t k = 0; k < num_negatives; ++k) {
+    // Rejection-sample a non-edge (a few tries; give up quietly on dense
+    // graphs where most pairs are edges).
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      size_t a = static_cast<size_t>(rng.Int(0, static_cast<int64_t>(n) - 1));
+      size_t b = static_cast<size_t>(rng.Int(0, static_cast<int64_t>(n) - 1));
+      if (a == b || g.HasEdge(a, b)) continue;
+      src.push_back(a);
+      dst.push_back(b);
+      targets.push_back(0.0);
+      break;
+    }
+  }
+  if (targets.size() == edges.size()) {
+    return Tensor::Constant(Matrix(1, 1));  // no negatives found (dense graph)
+  }
+
+  Tensor hs = ops::GatherRows(embeddings, src);
+  Tensor hd = ops::GatherRows(embeddings, dst);
+  // Pairwise dot products as logits.
+  Tensor ones = Tensor::Constant(
+      Matrix::Ones(embeddings.cols(), 1));
+  Tensor logits = ops::MatMul(ops::CwiseMul(hs, hd), ones);
+  return ops::BceWithLogits(logits, targets);
+}
+
+Tensor SparsityPenalty(const Tensor& edge_weights) {
+  GNN4TDL_CHECK_GT(edge_weights.rows(), 0u);
+  return ops::Scale(ops::SumAbs(edge_weights),
+                    1.0 / static_cast<double>(edge_weights.rows() *
+                                              edge_weights.cols()));
+}
+
+Tensor ConnectivityPenalty(const Tensor& edge_weights,
+                           const std::vector<size_t>& dst, size_t num_nodes,
+                           double eps) {
+  GNN4TDL_CHECK_EQ(edge_weights.rows(), dst.size());
+  Tensor in_weight = ops::ScatterAddRows(edge_weights, dst, num_nodes);
+  Tensor logs = ops::Log(ops::AddScalar(in_weight, eps));
+  return ops::Scale(ops::SumAll(logs), -1.0 / static_cast<double>(num_nodes));
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,69 @@
+#ifndef GNN4TDL_TRAIN_AUX_TASKS_H_
+#define GNN4TDL_TRAIN_AUX_TASKS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "nn/module.h"
+
+namespace gnn4tdl {
+
+// Auxiliary learning tasks (Section 4.4.1 / Table 7). Each returns a scalar
+// loss tensor that a model adds to its main task loss with a weight.
+
+/// Feature-reconstruction head (GINN/GRAPE/ALLG-family): decodes instance
+/// embeddings back to the input features; the MSE keeps embeddings
+/// information-preserving and regularizes against overfitting.
+class FeatureReconstructionTask : public Module {
+ public:
+  FeatureReconstructionTask(size_t emb_dim, size_t feature_dim, size_t hidden,
+                            Rng& rng);
+
+  /// MSE between decode(embeddings) and `x_target`. If `entry_mask` is
+  /// non-null (same shape, 0/1), only masked-in entries contribute — used
+  /// both for missing-value reconstruction and the DAE variant.
+  Tensor Loss(const Tensor& embeddings, const Matrix& x_target,
+              const Matrix* entry_mask = nullptr) const;
+
+  /// Raw decoded features (for imputation readout).
+  Tensor Decode(const Tensor& embeddings) const;
+
+ private:
+  Mlp decoder_;
+};
+
+/// Zeroes a random `rate` of entries; `mask_out` (optional) receives 1 where
+/// an entry was corrupted. Implements the SLAPS/HES-GSL denoising-autoencoder
+/// corruption.
+Matrix MaskCorrupt(const Matrix& x, double rate, Rng& rng,
+                   Matrix* mask_out = nullptr);
+
+/// NT-Xent contrastive loss between two views' embeddings (SUBLIME/TabGSL):
+/// row i of z1 and row i of z2 are positives; all other rows are negatives.
+Tensor NtXentLoss(const Tensor& z1, const Tensor& z2, double temperature = 0.5);
+
+/// Graph smoothness (Dirichlet energy) regularizer (IDGL-family):
+///   (1/|E|) * sum_{(i,j) in E} w_ij ||h_i - h_j||^2.
+/// Penalizes embeddings that vary across edges.
+Tensor SmoothnessPenalty(const Tensor& h, const Graph& g);
+
+/// Graph-completion self-supervision (Section 6, graph-based SSL task (c)):
+/// score node pairs by embedding dot products and train existing edges
+/// toward 1 and sampled non-edges toward 0 with a logistic loss. Teaches the
+/// encoder the higher-order relationships the graph encodes.
+Tensor EdgeCompletionLoss(const Tensor& embeddings, const Graph& g,
+                          size_t num_negatives, Rng& rng);
+
+/// L1 sparsity on learned edge weights (Table2Graph).
+Tensor SparsityPenalty(const Tensor& edge_weights);
+
+/// Connectivity regularizer for learned graphs (LDS/IDGL): penalizes nodes
+/// whose total learned in-weight collapses toward zero,
+///   -(1/n) * sum_v log(sum_{e: dst=v} w_e + eps).
+Tensor ConnectivityPenalty(const Tensor& edge_weights,
+                           const std::vector<size_t>& dst, size_t num_nodes,
+                           double eps = 1e-6);
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_TRAIN_AUX_TASKS_H_

@@ -1,0 +1,109 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/check.h"
+
+namespace gnn4tdl {
+
+double ScheduledLearningRate(LrSchedule schedule, double base_lr, int epoch,
+                             int max_epochs) {
+  GNN4TDL_CHECK_GT(max_epochs, 0);
+  const double progress =
+      std::clamp(static_cast<double>(epoch) / static_cast<double>(max_epochs),
+                 0.0, 1.0);
+  switch (schedule) {
+    case LrSchedule::kConstant:
+      return base_lr;
+    case LrSchedule::kCosine:
+      return base_lr * 0.5 * (1.0 + std::cos(3.14159265358979323846 * progress));
+    case LrSchedule::kStep: {
+      double lr = base_lr;
+      if (progress >= 0.5) lr *= 0.1;
+      if (progress >= 0.75) lr *= 0.1;
+      return lr;
+    }
+    case LrSchedule::kWarmupCosine: {
+      const double warmup = 0.1;
+      if (progress < warmup) return base_lr * (progress / warmup);
+      double t = (progress - warmup) / (1.0 - warmup);
+      return base_lr * 0.5 * (1.0 + std::cos(3.14159265358979323846 * t));
+    }
+  }
+  GNN4TDL_CHECK_MSG(false, "unknown lr schedule");
+  return base_lr;
+}
+
+Trainer::Trainer(std::vector<Tensor> params, const TrainOptions& options)
+    : params_(std::move(params)),
+      options_(options),
+      optimizer_(params_, {.learning_rate = options.learning_rate,
+                           .weight_decay = options.weight_decay}) {}
+
+void Trainer::SnapshotParams() {
+  best_values_.clear();
+  best_values_.reserve(params_.size());
+  for (const Tensor& p : params_) best_values_.push_back(p.value());
+}
+
+void Trainer::RestoreParams() {
+  GNN4TDL_CHECK_EQ(best_values_.size(), params_.size());
+  for (size_t i = 0; i < params_.size(); ++i)
+    params_[i].mutable_value() = best_values_[i];
+}
+
+TrainResult Trainer::Fit(const std::function<Tensor()>& loss_fn,
+                         const std::function<double()>& val_metric_fn) {
+  TrainResult result;
+  double best_metric = -std::numeric_limits<double>::infinity();
+  int epochs_since_best = 0;
+
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    if (options_.lr_schedule != LrSchedule::kConstant) {
+      optimizer_.set_learning_rate(ScheduledLearningRate(
+          options_.lr_schedule, options_.learning_rate, epoch,
+          options_.max_epochs));
+    }
+    optimizer_.ZeroGrad();
+    Tensor loss = loss_fn();
+    GNN4TDL_CHECK_MSG(loss.rows() == 1 && loss.cols() == 1,
+                      "loss_fn must return a scalar tensor");
+    result.final_train_loss = loss.value()(0, 0);
+    loss.Backward();
+    if (options_.grad_clip > 0.0) optimizer_.ClipGradNorm(options_.grad_clip);
+    optimizer_.Step();
+    ++result.epochs_run;
+
+    if (val_metric_fn) {
+      double metric = val_metric_fn();
+      if (metric > best_metric) {
+        best_metric = metric;
+        epochs_since_best = 0;
+        if (options_.patience > 0) SnapshotParams();
+      } else {
+        ++epochs_since_best;
+      }
+      if (options_.verbose && epoch % 20 == 0) {
+        std::fprintf(stderr, "epoch %4d  loss %.5f  val %.4f\n", epoch,
+                     result.final_train_loss, metric);
+      }
+      if (options_.patience > 0 && epochs_since_best >= options_.patience) {
+        break;
+      }
+    } else if (options_.verbose && epoch % 20 == 0) {
+      std::fprintf(stderr, "epoch %4d  loss %.5f\n", epoch,
+                   result.final_train_loss);
+    }
+  }
+
+  if (val_metric_fn && options_.patience > 0 && !best_values_.empty()) {
+    RestoreParams();
+  }
+  result.best_val_metric = val_metric_fn ? best_metric : 0.0;
+  return result;
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,127 @@
+// Tests for the CTR generator, the FM pooling channel, and PairNorm.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "data/split.h"
+#include "gradcheck_util.h"
+#include "models/feature_graph.h"
+#include "models/knn_gnn.h"
+#include "nn/ops.h"
+
+namespace gnn4tdl {
+namespace {
+
+TEST(CtrDataTest, ShapeAndImbalance) {
+  CtrOptions opts;
+  opts.num_rows = 2000;
+  TabularDataset data = MakeCtrData(opts);
+  EXPECT_EQ(data.NumRows(), 2000u);
+  EXPECT_EQ(data.NumCols(), 5u);  // user, item, context + 2 numeric
+  EXPECT_EQ(data.task(), TaskType::kBinaryClassification);
+  double positives = 0;
+  for (int y : data.class_labels()) positives += y;
+  double rate = positives / 2000.0;
+  EXPECT_GT(rate, 0.1);
+  EXPECT_LT(rate, 0.5);  // positives are the minority
+}
+
+TEST(CtrDataTest, DeterministicForSeed) {
+  TabularDataset a = MakeCtrData({.num_rows = 100, .seed = 5});
+  TabularDataset b = MakeCtrData({.num_rows = 100, .seed = 5});
+  EXPECT_EQ(a.class_labels(), b.class_labels());
+  EXPECT_EQ(a.column(0).codes, b.column(0).codes);
+}
+
+TEST(CtrDataTest, UserEffectsAreReal) {
+  // Per-user click rates should vary more than binomial noise alone allows.
+  CtrOptions opts;
+  opts.num_rows = 6000;
+  opts.num_users = 10;
+  opts.interaction_scale = 0.0;  // isolate the main effects
+  opts.noise = 0.0;
+  TabularDataset data = MakeCtrData(opts);
+  std::vector<double> clicks(10, 0.0), count(10, 0.0);
+  for (size_t i = 0; i < data.NumRows(); ++i) {
+    int u = data.column(0).codes[i];
+    clicks[static_cast<size_t>(u)] += data.class_labels()[i];
+    count[static_cast<size_t>(u)] += 1.0;
+  }
+  double min_rate = 1.0, max_rate = 0.0;
+  for (size_t u = 0; u < 10; ++u) {
+    double rate = clicks[u] / count[u];
+    min_rate = std::min(min_rate, rate);
+    max_rate = std::max(max_rate, rate);
+  }
+  EXPECT_GT(max_rate - min_rate, 0.1);
+}
+
+TEST(FmChannelTest, ModelTrainsWithFmPooling) {
+  TabularDataset data = MakeCtrData({.num_rows = 600, .seed = 3});
+  Rng rng(1);
+  Split split = StratifiedSplit(data.class_labels(), 0.5, 0.2, rng);
+  FeatureGraphOptions opts;
+  opts.embed_dim = 8;
+  opts.fm_channel = true;
+  opts.train.max_epochs = 60;
+  opts.train.learning_rate = 0.03;
+  opts.train.patience = 0;
+  FeatureGraphModel model(opts);
+  auto result = FitAndEvaluate(model, data, split, split.test);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->auroc, 0.5);
+}
+
+TEST(PairNormTest, RowsHaveEqualNormAfter) {
+  Rng rng(2);
+  Tensor x = Tensor::Constant(Matrix::Randn(8, 5, rng, 3.0));
+  Tensor out = ops::PairNormRows(x, 2.0);
+  for (size_t r = 0; r < 8; ++r) {
+    double norm = 0.0;
+    for (size_t c = 0; c < 5; ++c) norm += out.value()(r, c) * out.value()(r, c);
+    EXPECT_NEAR(std::sqrt(norm), 2.0, 1e-9);
+  }
+}
+
+TEST(PairNormTest, ColumnsAreCentered) {
+  Rng rng(3);
+  // Shift all rows by a large constant: PairNorm must remove it.
+  Matrix x = Matrix::Randn(10, 4, rng);
+  for (size_t r = 0; r < 10; ++r)
+    for (size_t c = 0; c < 4; ++c) x(r, c) += 100.0;
+  Tensor out = ops::PairNormRows(Tensor::Constant(x));
+  Matrix col_mean = out.value().ColMean();
+  // Column means of the centered+normalized output stay near zero (exact
+  // zero before normalization; normalization reintroduces only small terms).
+  EXPECT_LT(col_mean.MaxAbs(), 0.2);
+}
+
+TEST(PairNormTest, GradCheck) {
+  Rng rng(4);
+  Tensor x = Tensor::Leaf(Matrix::Randn(5, 3, rng), true);
+  Tensor coefs = Tensor::Constant(Matrix::Randn(5, 3, rng));
+  testing::ExpectGradientsMatch({x}, [&] {
+    return ops::SumSquares(ops::CwiseMul(ops::PairNormRows(x, 1.5), coefs));
+  });
+}
+
+TEST(PairNormTest, DeepGcnStaysDiverse) {
+  // Oversmoothing check: after many GCN-style propagations the row spread
+  // collapses; with PairNorm in between, rows stay distinguishable.
+  TabularDataset data = MakeClusters({.num_rows = 150, .num_classes = 2});
+  Rng rng(5);
+  Split split = StratifiedSplit(data.class_labels(), 0.5, 0.2, rng);
+  InstanceGraphGnnOptions opts;
+  opts.num_layers = 3;
+  opts.use_pair_norm = true;
+  opts.hidden_dim = 16;
+  opts.train.max_epochs = 60;
+  opts.train.learning_rate = 0.02;
+  InstanceGraphGnn model(opts);
+  auto result = FitAndEvaluate(model, data, split, split.test);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->accuracy, 0.8);
+}
+
+}  // namespace
+}  // namespace gnn4tdl

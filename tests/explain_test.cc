@@ -1,0 +1,87 @@
+#include "models/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "models/gbdt.h"
+#include "models/mlp.h"
+
+namespace gnn4tdl {
+namespace {
+
+/// Two informative columns, two pure-noise columns, binary label from the
+/// informative pair.
+TabularDataset SignalAndNoise(uint64_t seed = 1) {
+  Rng rng(seed);
+  const size_t n = 400;
+  TabularDataset data(n);
+  std::vector<double> s0(n), s1(n), n0(n), n1(n);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    s0[i] = rng.Normal();
+    s1[i] = rng.Normal();
+    n0[i] = rng.Normal();
+    n1[i] = rng.Normal();
+    labels[i] = s0[i] + s1[i] > 0 ? 1 : 0;
+  }
+  GNN4TDL_CHECK(data.AddNumericColumn("signal0", s0).ok());
+  GNN4TDL_CHECK(data.AddNumericColumn("signal1", s1).ok());
+  GNN4TDL_CHECK(data.AddNumericColumn("noise0", n0).ok());
+  GNN4TDL_CHECK(data.AddNumericColumn("noise1", n1).ok());
+  GNN4TDL_CHECK(data.SetClassLabels(labels, 2,
+                                    TaskType::kBinaryClassification).ok());
+  return data;
+}
+
+TEST(GbdtImportanceTest, SignalColumnsDominate) {
+  TabularDataset data = SignalAndNoise();
+  Rng rng(2);
+  Split split = StratifiedSplit(data.class_labels(), 0.6, 0.2, rng);
+  GbdtModel model({.num_rounds = 60});
+  ASSERT_TRUE(model.Fit(data, split).ok());
+  std::vector<double> importance = model.FeatureImportance();
+  ASSERT_EQ(importance.size(), 4u);
+  double total = importance[0] + importance[1] + importance[2] + importance[3];
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(importance[0] + importance[1], 0.9);
+}
+
+TEST(GbdtImportanceTest, EmptyBeforeFit) {
+  GbdtModel model;
+  EXPECT_TRUE(model.FeatureImportance().empty());
+}
+
+TEST(OcclusionImportanceTest, SignalColumnsDominateForMlp) {
+  TabularDataset data = SignalAndNoise(3);
+  Rng rng(4);
+  Split split = StratifiedSplit(data.class_labels(), 0.6, 0.2, rng);
+  MlpModel model({.hidden_dims = {16},
+                  .train = {.max_epochs = 120, .learning_rate = 0.05}});
+  ASSERT_TRUE(model.Fit(data, split).ok());
+  auto importance = OcclusionImportance(model, data, split.test);
+  ASSERT_TRUE(importance.ok());
+  ASSERT_EQ(importance->size(), 4u);
+  EXPECT_GT((*importance)[0] + (*importance)[1], 0.8);
+}
+
+TEST(OcclusionImportanceTest, NormalizedToOne) {
+  TabularDataset data = SignalAndNoise(5);
+  Rng rng(6);
+  Split split = StratifiedSplit(data.class_labels(), 0.6, 0.2, rng);
+  GbdtModel model({.num_rounds = 30});
+  ASSERT_TRUE(model.Fit(data, split).ok());
+  auto importance = OcclusionImportance(model, data);
+  ASSERT_TRUE(importance.ok());
+  double total = 0.0;
+  for (double v : *importance) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(OcclusionImportanceTest, FailsOnUnfittedModel) {
+  TabularDataset data = SignalAndNoise(7);
+  MlpModel model;
+  EXPECT_FALSE(OcclusionImportance(model, data).ok());
+}
+
+}  // namespace
+}  // namespace gnn4tdl

@@ -1,0 +1,261 @@
+// Tests for label propagation, k-fold cross-validation, neighbor sampling,
+// and the missing-aware kNN construction (GNN4MV-style).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/cross_validation.h"
+#include "data/synthetic.h"
+#include "graph/sampling.h"
+#include "models/label_prop.h"
+#include "models/knn_gnn.h"
+#include "models/mlp.h"
+
+namespace gnn4tdl {
+namespace {
+
+TEST(LabelPropagationTest, ClassifiesClustersWithFewLabels) {
+  TabularDataset data = MakeClusters({.num_rows = 300,
+                                      .num_classes = 3,
+                                      .class_sep = 3.0});
+  Rng rng(1);
+  Split split = LabelScarceSplit(data.class_labels(), 3, 0.1, 0.4, rng);
+  LabelPropagation model;
+  auto result = FitAndEvaluate(model, data, split, split.test);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->accuracy, 0.85);
+}
+
+TEST(LabelPropagationTest, SeedsStayClamped) {
+  TabularDataset data = MakeClusters({.num_rows = 100, .num_classes = 2});
+  Rng rng(2);
+  Split split = StratifiedSplit(data.class_labels(), 0.3, 0.1, rng);
+  LabelPropagation model;
+  ASSERT_TRUE(model.Fit(data, split).ok());
+  auto scores = model.Predict(data);
+  ASSERT_TRUE(scores.ok());
+  for (size_t i : split.train) {
+    EXPECT_EQ(static_cast<int>(scores->ArgMaxRow(i)), data.class_labels()[i]);
+  }
+}
+
+TEST(LabelPropagationTest, RejectsRegression) {
+  TabularDataset data = MakeRegressionData({.num_rows = 50});
+  Rng rng(3);
+  Split split = RandomSplit(50, 0.5, 0.2, rng);
+  LabelPropagation model;
+  EXPECT_FALSE(model.Fit(data, split).ok());
+}
+
+TEST(KFoldTest, FoldsPartitionAndStratify) {
+  TabularDataset data = MakeClusters({.num_rows = 120, .num_classes = 3});
+  Rng rng(4);
+  std::vector<Split> folds = KFoldSplits(data, 4, 0.1, rng);
+  ASSERT_EQ(folds.size(), 4u);
+  std::vector<int> test_count(120, 0);
+  for (const Split& fold : folds) {
+    for (size_t i : fold.test) test_count[i]++;
+    // Each fold partitions all rows.
+    EXPECT_EQ(fold.train.size() + fold.val.size() + fold.test.size(), 120u);
+    // Every class appears in every fold's test set (stratified).
+    std::vector<bool> present(3, false);
+    for (size_t i : fold.test)
+      present[static_cast<size_t>(data.class_labels()[i])] = true;
+    for (bool p : present) EXPECT_TRUE(p);
+  }
+  // Each row is a test row exactly once across the folds.
+  for (int count : test_count) EXPECT_EQ(count, 1);
+}
+
+TEST(KFoldTest, CrossValidateAggregates) {
+  TabularDataset data = MakeClusters({.num_rows = 200, .num_classes = 2});
+  Rng rng(5);
+  auto result = CrossValidate(
+      data, 3, 0.1, rng,
+      [](const TabularDataset& d, const Split& split) -> StatusOr<double> {
+        MlpModel model({.hidden_dims = {16},
+                        .train = {.max_epochs = 60, .learning_rate = 0.05}});
+        auto eval = FitAndEvaluate(model, d, split, split.test);
+        if (!eval.ok()) return eval.status();
+        return eval->accuracy;
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->fold_metrics.size(), 3u);
+  EXPECT_GT(result->mean, 0.8);
+  EXPECT_GE(result->stddev, 0.0);
+}
+
+TEST(KFoldTest, PropagatesCallbackErrors) {
+  TabularDataset data = MakeClusters({.num_rows = 40});
+  Rng rng(6);
+  auto result = CrossValidate(
+      data, 2, 0.0, rng,
+      [](const TabularDataset&, const Split&) -> StatusOr<double> {
+        return Status::Internal("boom");
+      });
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(SampleNeighborsTest, CapsOutDegree) {
+  Rng rng(7);
+  Matrix x = Matrix::Randn(80, 4, rng);
+  Graph g = KnnGraph(x, {.k = 15});
+  Rng sample_rng(8);
+  Graph sampled = SampleNeighbors(g, 5, sample_rng);
+  EXPECT_EQ(sampled.num_nodes(), g.num_nodes());
+  for (size_t v = 0; v < sampled.num_nodes(); ++v)
+    EXPECT_LE(sampled.Neighbors(v).size(), 5u);
+  // Sampled edges are a subset of the original edges.
+  for (const Edge& e : sampled.EdgeList())
+    EXPECT_TRUE(g.HasEdge(e.src, e.dst));
+}
+
+TEST(SampleNeighborsTest, SmallDegreesUntouched) {
+  Graph g = Graph::FromEdges(4, {{0, 1, 1.0}, {2, 3, 1.0}});
+  Rng rng(9);
+  Graph sampled = SampleNeighbors(g, 10, rng);
+  EXPECT_EQ(sampled.num_edges(), g.num_edges());
+}
+
+TEST(MissingAwareKnnTest, MatchesFeatureKnnOnCompleteData) {
+  // Without missing values, co-observed distance = standardized Euclidean,
+  // so the two constructions should be highly similar.
+  TabularDataset data = MakeClusters({.num_rows = 120, .num_classes = 2});
+  Graph g = MissingAwareKnnGraph(data, 8);
+  EXPECT_EQ(g.num_nodes(), 120u);
+  EXPECT_TRUE(g.IsSymmetric());
+  EXPECT_GT(g.EdgeHomophily(data.class_labels()), 0.8);
+}
+
+TEST(MissingAwareKnnTest, HomophilySurvivesMissingness) {
+  TabularDataset data = MakeClusters({.num_rows = 200,
+                                      .num_classes = 2,
+                                      .class_sep = 3.0});
+  InjectMissing(data, 0.3, MissingMechanism::kMcar, 10);
+  Graph g = MissingAwareKnnGraph(data, 8);
+  EXPECT_GT(g.EdgeHomophily(data.class_labels()), 0.75);
+}
+
+TEST(MissingAwareKnnTest, GnnTrainsWithoutImputation) {
+  TabularDataset data = MakeClusters({.num_rows = 200, .num_classes = 2});
+  InjectMissing(data, 0.3, MissingMechanism::kMcar, 11);
+  Rng rng(12);
+  Split split = StratifiedSplit(data.class_labels(), 0.3, 0.2, rng);
+  InstanceGraphGnnOptions opts;
+  opts.graph_source = GraphSource::kMissingAwareKnn;
+  opts.hidden_dim = 16;
+  opts.train.max_epochs = 80;
+  opts.train.learning_rate = 0.02;
+  InstanceGraphGnn model(opts);
+  auto result = FitAndEvaluate(model, data, split, split.test);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->accuracy, 0.8);
+}
+
+TEST(NeighborSampleOptionTest, ModelTrainsWithSampledGraph) {
+  TabularDataset data = MakeClusters({.num_rows = 200, .num_classes = 2});
+  Rng rng(13);
+  Split split = StratifiedSplit(data.class_labels(), 0.3, 0.2, rng);
+  InstanceGraphGnnOptions opts;
+  opts.knn.k = 15;
+  opts.neighbor_sample = 4;
+  opts.hidden_dim = 16;
+  opts.train.max_epochs = 80;
+  opts.train.learning_rate = 0.02;
+  InstanceGraphGnn model(opts);
+  auto result = FitAndEvaluate(model, data, split, split.test);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->accuracy, 0.8);
+  // The sampled graph's mean out-degree is capped.
+  double total = 0;
+  for (size_t v = 0; v < model.graph().num_nodes(); ++v)
+    total += static_cast<double>(model.graph().Neighbors(v).size());
+  EXPECT_LE(total / 200.0, 4.0 + 1e-9);
+}
+
+TEST(InductivePredictionTest, UnseenRowsClassifiedAccurately) {
+  // Train transductively on one sample; score a disjoint fresh sample drawn
+  // from the same cluster structure (same generator seed = same centers,
+  // rows split apart).
+  TabularDataset all = MakeClusters({.num_rows = 450,
+                                     .num_classes = 3,
+                                     .class_sep = 2.5,
+                                     .seed = 21});
+  // First 300 rows = training world, last 150 = unseen deployment rows.
+  TabularDataset train_world(300), unseen(150);
+  for (size_t c = 0; c < all.NumCols(); ++c) {
+    const auto& vals = all.column(c).numeric;
+    GNN4TDL_CHECK(train_world
+                      .AddNumericColumn(all.column(c).name,
+                                        {vals.begin(), vals.begin() + 300})
+                      .ok());
+    GNN4TDL_CHECK(unseen
+                      .AddNumericColumn(all.column(c).name,
+                                        {vals.begin() + 300, vals.end()})
+                      .ok());
+  }
+  std::vector<int> train_labels(all.class_labels().begin(),
+                                all.class_labels().begin() + 300);
+  std::vector<int> unseen_labels(all.class_labels().begin() + 300,
+                                 all.class_labels().end());
+  GNN4TDL_CHECK(train_world.SetClassLabels(train_labels, 3).ok());
+  GNN4TDL_CHECK(unseen.SetClassLabels(unseen_labels, 3).ok());
+
+  Rng rng(22);
+  Split split = StratifiedSplit(train_world.class_labels(), 0.5, 0.2, rng);
+  InstanceGraphGnnOptions opts;
+  opts.hidden_dim = 16;
+  opts.train.max_epochs = 120;
+  opts.train.learning_rate = 0.02;
+  InstanceGraphGnn model(opts);
+  ASSERT_TRUE(model.Fit(train_world, split).ok());
+
+  auto logits = model.PredictInductive(unseen);
+  ASSERT_TRUE(logits.ok()) << logits.status().ToString();
+  ASSERT_EQ(logits->rows(), 150u);
+  size_t correct = 0;
+  for (size_t i = 0; i < 150; ++i)
+    if (static_cast<int>(logits->ArgMaxRow(i)) == unseen_labels[i]) ++correct;
+  EXPECT_GE(correct, 130u);  // > 86% on unseen rows
+}
+
+TEST(InductivePredictionTest, WorksForEveryOperatorBackbone) {
+  TabularDataset data = MakeClusters({.num_rows = 150, .num_classes = 2,
+                                      .seed = 31});
+  TabularDataset fresh = MakeClusters({.num_rows = 30, .num_classes = 2,
+                                       .seed = 31});
+  Rng rng(32);
+  Split split = StratifiedSplit(data.class_labels(), 0.5, 0.2, rng);
+  for (GnnBackbone b : {GnnBackbone::kGcn, GnnBackbone::kSage,
+                        GnnBackbone::kGat, GnnBackbone::kGin}) {
+    InstanceGraphGnnOptions opts;
+    opts.backbone = b;
+    opts.hidden_dim = 8;
+    opts.gat_heads = 2;
+    opts.train.max_epochs = 40;
+    InstanceGraphGnn model(opts);
+    ASSERT_TRUE(model.Fit(data, split).ok()) << GnnBackboneName(b);
+    auto logits = model.PredictInductive(fresh);
+    ASSERT_TRUE(logits.ok()) << GnnBackboneName(b) << ": "
+                             << logits.status().ToString();
+    EXPECT_EQ(logits->rows(), 30u) << GnnBackboneName(b);
+  }
+}
+
+TEST(InductivePredictionTest, RejectsIdentityInit) {
+  TabularDataset data = MakeClusters({.num_rows = 80, .num_classes = 2});
+  Rng rng(33);
+  Split split = StratifiedSplit(data.class_labels(), 0.5, 0.2, rng);
+  InstanceGraphGnnOptions opts;
+  opts.node_init = NodeInit::kIdentity;
+  opts.hidden_dim = 8;
+  opts.train.max_epochs = 10;
+  InstanceGraphGnn model(opts);
+  ASSERT_TRUE(model.Fit(data, split).ok());
+  EXPECT_FALSE(model.PredictInductive(data).ok());
+}
+
+}  // namespace
+}  // namespace gnn4tdl

@@ -1,0 +1,170 @@
+// Tests for the Section 6 "future directions" implementations: graph
+// perturbations, the structure-biased graph transformer, and the general
+// heterogeneous RGCN model.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "gnn/graph_transformer.h"
+#include "gradcheck_util.h"
+#include "graph/perturb.h"
+#include "models/hetero_rgcn.h"
+#include "models/knn_gnn.h"
+#include "nn/ops.h"
+
+namespace gnn4tdl {
+namespace {
+
+Graph Ring(size_t n) {
+  std::vector<Edge> edges;
+  for (size_t i = 0; i < n; ++i) edges.push_back({i, (i + 1) % n, 1.0});
+  return Graph::FromEdges(n, edges);
+}
+
+TEST(PerturbTest, DropEdgesRemovesRequestedFraction) {
+  Graph g = Ring(20);  // 20 undirected edges
+  Graph dropped = DropEdges(g, 0.5, 1);
+  EXPECT_EQ(dropped.num_edges(), 20u);  // 10 undirected = 20 directed
+  EXPECT_TRUE(dropped.IsSymmetric());
+}
+
+TEST(PerturbTest, DropAllAndNone) {
+  Graph g = Ring(10);
+  EXPECT_EQ(DropEdges(g, 1.0, 2).num_edges(), 0u);
+  EXPECT_EQ(DropEdges(g, 0.0, 2).num_edges(), g.num_edges());
+}
+
+TEST(PerturbTest, AddRandomEdgesGrowsEdgeSet) {
+  Graph g = Ring(30);
+  Graph grown = AddRandomEdges(g, 1.0, 3);
+  EXPECT_GT(grown.num_edges(), g.num_edges());
+  EXPECT_TRUE(grown.IsSymmetric());
+}
+
+TEST(PerturbTest, RewirePreservesEdgeCountApproximately) {
+  Graph g = Ring(50);
+  Graph rewired = RewireEdges(g, 0.5, 4);
+  // Collapsing duplicates can shrink slightly; never grows.
+  EXPECT_LE(rewired.num_edges(), g.num_edges());
+  EXPECT_GE(rewired.num_edges(), g.num_edges() / 2);
+  EXPECT_TRUE(rewired.IsSymmetric());
+}
+
+TEST(PerturbTest, RewireLowersHomophilyOnClusteredGraph) {
+  // Two cliques: homophily 1.0; random rewiring must lower it.
+  std::vector<Edge> edges;
+  for (size_t i = 0; i < 10; ++i)
+    for (size_t j = i + 1; j < 10; ++j) {
+      edges.push_back({i, j, 1.0});
+      edges.push_back({10 + i, 10 + j, 1.0});
+    }
+  Graph g = Graph::FromEdges(20, edges);
+  std::vector<int> labels(20);
+  for (size_t i = 10; i < 20; ++i) labels[i] = 1;
+  ASSERT_NEAR(g.EdgeHomophily(labels), 1.0, 1e-12);
+  Graph noisy = RewireEdges(g, 0.5, 5);
+  EXPECT_LT(noisy.EdgeHomophily(labels), 0.9);
+}
+
+TEST(PerturbTest, SparsifyKeepsRequestedFraction) {
+  Graph g = Ring(200);
+  Graph sparse = SparsifyEdges(g, 0.3, 6);
+  double kept = static_cast<double>(sparse.num_edges()) /
+                static_cast<double>(g.num_edges());
+  EXPECT_NEAR(kept, 0.3, 0.1);
+}
+
+TEST(GraphTransformerTest, OutputShapeAndResidualPath) {
+  Rng rng(1);
+  Graph g = Ring(6);
+  Matrix adj = g.GcnNormalized().ToDense();
+  GraphTransformerLayer layer(4, 4, rng);
+  Tensor h = Tensor::Constant(Matrix::Randn(6, 4, rng));
+  Tensor out = layer.Forward(h, adj);
+  EXPECT_EQ(out.rows(), 6u);
+  EXPECT_EQ(out.cols(), 4u);
+}
+
+TEST(GraphTransformerTest, GradCheck) {
+  Rng rng(2);
+  Graph g = Ring(5);
+  Matrix adj = g.GcnNormalized().ToDense();
+  GraphTransformerLayer layer(3, 3, rng);
+  Tensor h = Tensor::Constant(Matrix::Randn(5, 3, rng));
+  testing::ExpectGradientsMatch(
+      layer.Parameters(),
+      [&] { return ops::SumSquares(ops::Tanh(layer.Forward(h, adj))); },
+      /*eps=*/1e-6, /*tol=*/1e-4);
+}
+
+TEST(GraphTransformerTest, StructureBiasChangesOutput) {
+  Rng rng(3);
+  Graph g = Ring(6);
+  Matrix adj = g.GcnNormalized().ToDense();
+  Matrix no_adj(6, 6);
+  GraphTransformerLayer layer(4, 4, rng);
+  Tensor h = Tensor::Constant(Matrix::Randn(6, 4, rng));
+  Tensor with_structure = layer.Forward(h, adj);
+  Tensor without = layer.Forward(h, no_adj);
+  EXPECT_FALSE(with_structure.value().AllClose(without.value(), 1e-9));
+}
+
+TEST(GraphTransformerTest, BackboneTrainsOnClusters) {
+  TabularDataset data = MakeClusters({.num_rows = 150, .num_classes = 2});
+  Rng rng(4);
+  Split split = StratifiedSplit(data.class_labels(), 0.5, 0.2, rng);
+  InstanceGraphGnnOptions opts;
+  opts.backbone = GnnBackbone::kTransformer;
+  opts.hidden_dim = 16;
+  opts.num_layers = 1;
+  opts.train.max_epochs = 60;
+  opts.train.learning_rate = 0.02;
+  InstanceGraphGnn model(opts);
+  auto result = FitAndEvaluate(model, data, split, split.test);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->accuracy, 0.8);
+}
+
+TEST(HeteroRgcnTest, LearnsRelationalData) {
+  TabularDataset data = MakeMultiRelational({.num_rows = 300,
+                                             .num_relations = 2,
+                                             .cardinality = 20,
+                                             .numeric_signal = 0.5});
+  Rng rng(5);
+  Split split = StratifiedSplit(data.class_labels(), 0.3, 0.2, rng);
+  HeteroRgcnOptions opts;
+  opts.train.max_epochs = 150;
+  opts.train.learning_rate = 0.02;
+  opts.train.patience = 40;
+  HeteroRgcnModel model(opts);
+  auto result = FitAndEvaluate(model, data, split, split.test);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->accuracy, 0.6);
+  EXPECT_EQ(model.hetero_graph().num_relations(), 2u);
+}
+
+TEST(HeteroRgcnTest, RequiresCategoricalColumns) {
+  TabularDataset data = MakeClusters({.num_rows = 50});
+  Rng rng(6);
+  Split split = StratifiedSplit(data.class_labels(), 0.5, 0.2, rng);
+  HeteroRgcnModel model;
+  EXPECT_FALSE(model.Fit(data, split).ok());
+}
+
+TEST(HeteroRgcnTest, AllCategoricalTableWorks) {
+  TabularDataset data = MakeMultiRelational({.num_rows = 200,
+                                             .num_relations = 2,
+                                             .cardinality = 10,
+                                             .dim_numeric = 0});
+  Rng rng(7);
+  Split split = StratifiedSplit(data.class_labels(), 0.5, 0.2, rng);
+  HeteroRgcnOptions opts;
+  opts.train.max_epochs = 100;
+  HeteroRgcnModel model(opts);
+  auto result = FitAndEvaluate(model, data, split, split.test);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->accuracy, 0.55);
+}
+
+}  // namespace
+}  // namespace gnn4tdl

@@ -1,0 +1,59 @@
+#ifndef GNN4TDL_TESTS_GRADCHECK_UTIL_H_
+#define GNN4TDL_TESTS_GRADCHECK_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+
+namespace gnn4tdl::testing {
+
+/// Verifies the analytic gradients of `make_loss` against central finite
+/// differences, for every entry of every tensor in `inputs`. `make_loss` must
+/// rebuild the computation from the inputs' *current values* on every call
+/// (inputs are perturbed in place between calls) and return a scalar tensor.
+inline void ExpectGradientsMatch(const std::vector<Tensor>& inputs,
+                                 const std::function<Tensor()>& make_loss,
+                                 double eps = 1e-6, double tol = 1e-5) {
+  // Analytic pass.
+  for (const Tensor& t : inputs) t.ZeroGrad();
+  Tensor loss = make_loss();
+  ASSERT_EQ(loss.rows(), 1u);
+  ASSERT_EQ(loss.cols(), 1u);
+  loss.Backward();
+
+  std::vector<Matrix> analytic;
+  analytic.reserve(inputs.size());
+  for (const Tensor& t : inputs) {
+    ASSERT_TRUE(t.requires_grad());
+    analytic.push_back(t.grad().empty() ? Matrix(t.rows(), t.cols()) : t.grad());
+  }
+
+  // Numeric pass.
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const Tensor& t = inputs[i];
+    for (size_t r = 0; r < t.rows(); ++r) {
+      for (size_t c = 0; c < t.cols(); ++c) {
+        const double orig = t.value()(r, c);
+        t.mutable_value()(r, c) = orig + eps;
+        const double up = make_loss().value()(0, 0);
+        t.mutable_value()(r, c) = orig - eps;
+        const double down = make_loss().value()(0, 0);
+        t.mutable_value()(r, c) = orig;
+        const double numeric = (up - down) / (2.0 * eps);
+        const double got = analytic[i](r, c);
+        const double scale = std::max({1.0, std::fabs(numeric), std::fabs(got)});
+        EXPECT_NEAR(got, numeric, tol * scale)
+            << "input " << i << " entry (" << r << "," << c << ")";
+      }
+    }
+  }
+  for (const Tensor& t : inputs) t.ZeroGrad();
+}
+
+}  // namespace gnn4tdl::testing
+
+#endif  // GNN4TDL_TESTS_GRADCHECK_UTIL_H_

@@ -1,0 +1,146 @@
+#include "data/impute.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace gnn4tdl {
+namespace {
+
+TabularDataset CorrelatedData(size_t n = 300, uint64_t seed = 1) {
+  // Columns 0..3 strongly correlated (shared latent factor): good for
+  // regression/kNN imputers to exploit.
+  Rng rng(seed);
+  TabularDataset data(n);
+  std::vector<std::vector<double>> cols(4, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    double latent = rng.Normal(0, 2.0);
+    for (size_t c = 0; c < 4; ++c) cols[c][i] = latent + rng.Normal(0, 0.3);
+  }
+  for (size_t c = 0; c < 4; ++c)
+    GNN4TDL_CHECK(data.AddNumericColumn("x" + std::to_string(c),
+                                        cols[c]).ok());
+  return data;
+}
+
+TEST(SimpleImputeTest, FillsWithColumnMean) {
+  TabularDataset data(4);
+  ASSERT_TRUE(data.AddNumericColumn("x", {1.0, 3.0, std::nan(""), 2.0}).ok());
+  ASSERT_TRUE(SimpleImpute(data).ok());
+  EXPECT_NEAR(data.column(0).numeric[2], 2.0, 1e-12);
+  EXPECT_EQ(data.MissingFraction(), 0.0);
+}
+
+TEST(SimpleImputeTest, MedianOption) {
+  TabularDataset data(5);
+  ASSERT_TRUE(
+      data.AddNumericColumn("x", {1.0, 1.0, 100.0, std::nan(""), 2.0}).ok());
+  ASSERT_TRUE(SimpleImpute(data, SimpleImputeStrategy::kMedian).ok());
+  EXPECT_NEAR(data.column(0).numeric[3], 2.0, 1e-12);  // robust to the outlier
+}
+
+TEST(SimpleImputeTest, CategoricalMode) {
+  TabularDataset data(4);
+  ASSERT_TRUE(data.AddCategoricalColumn("c", {0, 1, 1, -1}, {"a", "b"}).ok());
+  ASSERT_TRUE(SimpleImpute(data).ok());
+  EXPECT_EQ(data.column(0).codes[3], 1);
+}
+
+TEST(SimpleImputeTest, FailsOnAllMissingColumn) {
+  TabularDataset data(2);
+  ASSERT_TRUE(
+      data.AddNumericColumn("x", {std::nan(""), std::nan("")}).ok());
+  EXPECT_FALSE(SimpleImpute(data).ok());
+}
+
+TEST(KnnImputeTest, UsesNeighborValues) {
+  // Two tight clusters with different values; a missing cell should copy its
+  // own cluster, not the global mean.
+  TabularDataset data(6);
+  ASSERT_TRUE(data.AddNumericColumn("a", {0.0, 0.1, 0.2, 10.0, 10.1,
+                                          10.2}).ok());
+  ASSERT_TRUE(data.AddNumericColumn("b", {1.0, 1.0, std::nan(""), 5.0, 5.0,
+                                          5.0}).ok());
+  ASSERT_TRUE(KnnImpute(data, {.k = 2}).ok());
+  EXPECT_NEAR(data.column(1).numeric[2], 1.0, 0.2);  // cluster-local fill
+}
+
+TEST(KnnImputeTest, BeatsMeanOnCorrelatedData) {
+  TabularDataset truth = CorrelatedData();
+  TabularDataset holey = truth;
+  std::vector<HeldOutCell> cells = HideNumericCells(holey, 0.2, 5);
+  ASSERT_FALSE(cells.empty());
+
+  TabularDataset knn_imputed = holey;
+  ASSERT_TRUE(KnnImpute(knn_imputed, {.k = 10}).ok());
+  TabularDataset mean_imputed = holey;
+  ASSERT_TRUE(SimpleImpute(mean_imputed).ok());
+
+  auto knn_rmse = ImputationRmse(knn_imputed, cells);
+  auto mean_rmse = ImputationRmse(mean_imputed, cells);
+  ASSERT_TRUE(knn_rmse.ok());
+  ASSERT_TRUE(mean_rmse.ok());
+  EXPECT_LT(*knn_rmse, *mean_rmse * 0.7);
+}
+
+TEST(IterativeImputeTest, BeatsMeanOnCorrelatedData) {
+  TabularDataset truth = CorrelatedData(300, 2);
+  TabularDataset holey = truth;
+  std::vector<HeldOutCell> cells = HideNumericCells(holey, 0.2, 6);
+
+  TabularDataset iter_imputed = holey;
+  ASSERT_TRUE(IterativeImpute(iter_imputed).ok());
+  TabularDataset mean_imputed = holey;
+  ASSERT_TRUE(SimpleImpute(mean_imputed).ok());
+
+  auto iter_rmse = ImputationRmse(iter_imputed, cells);
+  auto mean_rmse = ImputationRmse(mean_imputed, cells);
+  ASSERT_TRUE(iter_rmse.ok());
+  ASSERT_TRUE(mean_rmse.ok());
+  EXPECT_LT(*iter_rmse, *mean_rmse * 0.5);
+}
+
+TEST(IterativeImputeTest, LeavesObservedCellsUntouched) {
+  TabularDataset truth = CorrelatedData(100, 3);
+  TabularDataset holey = truth;
+  HideNumericCells(holey, 0.2, 7);
+  TabularDataset imputed = holey;
+  ASSERT_TRUE(IterativeImpute(imputed).ok());
+  for (size_t c = 0; c < truth.NumCols(); ++c)
+    for (size_t r = 0; r < truth.NumRows(); ++r) {
+      if (!std::isnan(holey.column(c).numeric[r])) {
+        EXPECT_EQ(imputed.column(c).numeric[r], holey.column(c).numeric[r]);
+      }
+    }
+}
+
+TEST(HideNumericCellsTest, RateAndDeterminism) {
+  TabularDataset a = CorrelatedData(500, 4);
+  TabularDataset b = a;
+  auto cells_a = HideNumericCells(a, 0.3, 9);
+  auto cells_b = HideNumericCells(b, 0.3, 9);
+  EXPECT_EQ(cells_a.size(), cells_b.size());
+  EXPECT_NEAR(static_cast<double>(cells_a.size()) / (500.0 * 4.0), 0.3, 0.03);
+}
+
+TEST(ImputationRmseTest, ZeroForPerfectImputation) {
+  TabularDataset truth = CorrelatedData(50, 10);
+  TabularDataset holey = truth;
+  auto cells = HideNumericCells(holey, 0.2, 11);
+  // "Impute" with the truth itself.
+  auto rmse = ImputationRmse(truth, cells);
+  ASSERT_TRUE(rmse.ok());
+  EXPECT_NEAR(*rmse, 0.0, 1e-12);
+}
+
+TEST(ImputationRmseTest, FailsOnStillMissingCells) {
+  TabularDataset truth = CorrelatedData(50, 12);
+  TabularDataset holey = truth;
+  auto cells = HideNumericCells(holey, 0.2, 13);
+  EXPECT_FALSE(ImputationRmse(holey, cells).ok());
+}
+
+}  // namespace
+}  // namespace gnn4tdl

@@ -1,0 +1,65 @@
+#include "tensor/linalg.h"
+
+#include <gtest/gtest.h>
+
+namespace gnn4tdl {
+namespace {
+
+TEST(CholeskyTest, FactorizesKnownMatrix) {
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_TRUE(l->Matmul(l->Transpose()).AllClose(a, 1e-12));
+  EXPECT_EQ((*l)(0, 1), 0.0);  // lower triangular
+}
+
+TEST(CholeskyTest, RejectsNonPositiveDefinite) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky(a).ok());
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_FALSE(Cholesky(Matrix(2, 3)).ok());
+}
+
+TEST(CholeskySolveTest, SolvesSystem) {
+  Rng rng(1);
+  // Random SPD matrix: A = B B^T + I.
+  Matrix b = Matrix::Randn(5, 5, rng);
+  Matrix a = b.MatmulTranspose(b);
+  for (size_t i = 0; i < 5; ++i) a(i, i) += 1.0;
+  Matrix x_true = Matrix::Randn(5, 2, rng);
+  Matrix rhs = a.Matmul(x_true);
+  auto x = CholeskySolve(a, rhs);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(x->AllClose(x_true, 1e-9));
+}
+
+TEST(SolveRidgeTest, RecoversLinearCoefficients) {
+  Rng rng(2);
+  Matrix x = Matrix::Randn(200, 3, rng);
+  Matrix w_true = Matrix::FromRows({{2.0}, {-1.0}, {0.5}});
+  Matrix y = x.Matmul(w_true);
+  auto w = SolveRidge(x, y, 1e-6);
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(w->AllClose(w_true, 1e-3));
+}
+
+TEST(SolveRidgeTest, RegularizationShrinksCoefficients) {
+  Rng rng(3);
+  Matrix x = Matrix::Randn(50, 2, rng);
+  Matrix y = x.Matmul(Matrix::FromRows({{5.0}, {5.0}}));
+  auto small = SolveRidge(x, y, 1e-6);
+  auto large = SolveRidge(x, y, 1e3);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LT(large->Norm(), small->Norm());
+}
+
+TEST(SolveRidgeTest, RejectsBadInputs) {
+  EXPECT_FALSE(SolveRidge(Matrix(3, 2), Matrix(4, 1), 1.0).ok());
+  EXPECT_FALSE(SolveRidge(Matrix(3, 2), Matrix(3, 1), 0.0).ok());
+}
+
+}  // namespace
+}  // namespace gnn4tdl

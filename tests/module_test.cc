@@ -1,0 +1,80 @@
+#include "nn/module.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+
+namespace gnn4tdl {
+namespace {
+
+TEST(ModuleTest, LinearForwardShape) {
+  Rng rng(1);
+  Linear lin(4, 3, rng);
+  Tensor x = Tensor::Constant(Matrix::Randn(5, 4, rng));
+  Tensor y = lin.Forward(x);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 3u);
+}
+
+TEST(ModuleTest, LinearWithoutBiasHasOneParameter) {
+  Rng rng(2);
+  Linear with_bias(4, 3, rng, /*bias=*/true);
+  Linear without_bias(4, 3, rng, /*bias=*/false);
+  EXPECT_EQ(with_bias.Parameters().size(), 2u);
+  EXPECT_EQ(without_bias.Parameters().size(), 1u);
+}
+
+TEST(ModuleTest, LinearComputesAffineMap) {
+  Rng rng(3);
+  Linear lin(2, 1, rng);
+  lin.weight().mutable_value() = Matrix::FromRows({{2.0}, {3.0}});
+  lin.bias().mutable_value() = Matrix::FromRows({{1.0}});
+  Tensor x = Tensor::Constant(Matrix::FromRows({{1.0, 1.0}}));
+  EXPECT_NEAR(lin.Forward(x).value()(0, 0), 6.0, 1e-12);
+}
+
+TEST(ModuleTest, NumParametersCountsScalars) {
+  Rng rng(4);
+  Mlp mlp({3, 5, 2}, rng);
+  // (3*5 + 5) + (5*2 + 2) = 32.
+  EXPECT_EQ(mlp.NumParameters(), 32u);
+}
+
+TEST(ModuleTest, MlpParametersIncludeAllLayers) {
+  Rng rng(5);
+  Mlp mlp({3, 4, 4, 2}, rng);
+  EXPECT_EQ(mlp.Parameters().size(), 6u);  // 3 layers x (W, b)
+}
+
+TEST(ModuleTest, ZeroGradClearsAllParameterGrads) {
+  Rng rng(6);
+  Mlp mlp({2, 3, 2}, rng);
+  Tensor x = Tensor::Constant(Matrix::Randn(4, 2, rng));
+  ops::SumSquares(mlp.Forward(x)).Backward();
+  bool any_grad = false;
+  for (const Tensor& p : mlp.Parameters())
+    if (!p.grad().empty()) any_grad = true;
+  EXPECT_TRUE(any_grad);
+  mlp.ZeroGrad();
+  for (const Tensor& p : mlp.Parameters()) EXPECT_TRUE(p.grad().empty());
+}
+
+TEST(ModuleTest, ActivationFromNameParses) {
+  EXPECT_EQ(ActivationFromName("relu"), Activation::kRelu);
+  EXPECT_EQ(ActivationFromName("tanh"), Activation::kTanh);
+  EXPECT_EQ(ActivationFromName("none"), Activation::kNone);
+}
+
+TEST(ModuleTest, MlpTrainingModeUsesDropout) {
+  Rng rng(7);
+  Mlp mlp({10, 50, 1}, rng, Activation::kRelu, /*dropout=*/0.9);
+  Tensor x = Tensor::Constant(Matrix::Ones(1, 10));
+  Rng d1(1);
+  Tensor train_out = mlp.Forward(x, d1, /*training=*/true);
+  Tensor eval_out = mlp.Forward(x);
+  // With 90% dropout the training output almost surely differs from eval.
+  EXPECT_FALSE(train_out.value().AllClose(eval_out.value(), 1e-9));
+}
+
+}  // namespace
+}  // namespace gnn4tdl

@@ -1,0 +1,128 @@
+// Tests for the graph-autoencoder outlier detector and the GSL edge-saliency
+// explainer.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "models/gae_outlier.h"
+#include "models/learned_graph.h"
+
+namespace gnn4tdl {
+namespace {
+
+TEST(GaeOutlierTest, ScoresOutliersAboveInliers) {
+  TabularDataset data = MakeAnomalyData({.num_inliers = 280,
+                                         .num_outliers = 20,
+                                         .dim = 6});
+  Split unused;
+  GaeOutlierOptions opts;
+  opts.train.max_epochs = 200;
+  opts.train.learning_rate = 0.02;
+  GaeOutlierDetector model(opts);
+  auto result = FitAndEvaluate(model, data, unused, {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->auroc, 0.85);
+}
+
+TEST(GaeOutlierTest, ScoresAreNonNegative) {
+  TabularDataset data = MakeAnomalyData({.num_inliers = 90,
+                                         .num_outliers = 10});
+  Split unused;
+  GaeOutlierOptions opts;
+  opts.train.max_epochs = 50;
+  GaeOutlierDetector model(opts);
+  ASSERT_TRUE(model.Fit(data, unused).ok());
+  auto scores = model.Predict(data);
+  ASSERT_TRUE(scores.ok());
+  for (size_t r = 0; r < scores->rows(); ++r)
+    EXPECT_GE((*scores)(r, 0), 0.0);
+}
+
+TEST(GaeOutlierTest, TransductivePredictGuard) {
+  TabularDataset data = MakeAnomalyData({.num_inliers = 50,
+                                         .num_outliers = 5});
+  TabularDataset other = MakeAnomalyData({.num_inliers = 30,
+                                          .num_outliers = 3});
+  Split unused;
+  GaeOutlierOptions opts;
+  opts.train.max_epochs = 10;
+  GaeOutlierDetector model(opts);
+  ASSERT_TRUE(model.Fit(data, unused).ok());
+  EXPECT_FALSE(model.Predict(other).ok());
+}
+
+TEST(ExplainEdgesTest, SaliencyAlignedWithCandidates) {
+  TabularDataset data = MakeClusters({.num_rows = 120, .num_classes = 2});
+  Rng rng(1);
+  Split split = StratifiedSplit(data.class_labels(), 0.5, 0.2, rng);
+  LearnedGraphOptions opts;
+  opts.hidden_dim = 16;
+  opts.train.max_epochs = 60;
+  opts.train.learning_rate = 0.02;
+  LearnedGraphGnn model(opts);
+  ASSERT_TRUE(model.Fit(data, split).ok());
+
+  auto saliency = model.ExplainEdges(/*node=*/0);
+  ASSERT_TRUE(saliency.ok()) << saliency.status().ToString();
+  EXPECT_EQ(saliency->rows(), model.candidate_edges().src.size());
+  EXPECT_EQ(saliency->cols(), 1u);
+  for (size_t e = 0; e < saliency->rows(); ++e)
+    EXPECT_GE((*saliency)(e, 0), 0.0);
+
+  // Edges touching the explained node's 2-hop neighborhood should carry all
+  // of the saliency mass; a sanity proxy: total saliency is positive.
+  EXPECT_GT(saliency->Sum(), 0.0);
+
+  // Explaining leaves no residual gradients on the model parameters
+  // (training afterwards must be unaffected): verified by a second call
+  // producing identical output.
+  auto saliency2 = model.ExplainEdges(0);
+  ASSERT_TRUE(saliency2.ok());
+  EXPECT_TRUE(saliency2->AllClose(*saliency, 1e-12));
+}
+
+TEST(ExplainEdgesTest, LocalEdgesDominate) {
+  TabularDataset data = MakeClusters({.num_rows = 100, .num_classes = 2});
+  Rng rng(2);
+  Split split = StratifiedSplit(data.class_labels(), 0.5, 0.2, rng);
+  LearnedGraphOptions opts;
+  opts.hidden_dim = 16;
+  opts.num_layers = 1;  // 1 layer => only edges into `node` matter
+  opts.train.max_epochs = 40;
+  LearnedGraphGnn model(opts);
+  ASSERT_TRUE(model.Fit(data, split).ok());
+
+  const size_t node = 7;
+  auto saliency = model.ExplainEdges(node);
+  ASSERT_TRUE(saliency.ok());
+  const CandidateEdges& edges = model.candidate_edges();
+  double incident = 0.0, other = 0.0;
+  for (size_t e = 0; e < edges.src.size(); ++e) {
+    if (edges.dst[e] == node) {
+      incident += (*saliency)(e, 0);
+    } else {
+      other += (*saliency)(e, 0);
+    }
+  }
+  // With a single aggregation layer, only edges whose destination is the
+  // node (plus normalization coupling within its group) can influence it.
+  EXPECT_GT(incident, 0.0);
+  EXPECT_NEAR(other, 0.0, 1e-9);
+}
+
+TEST(ExplainEdgesTest, RejectsBadInputs) {
+  TabularDataset data = MakeClusters({.num_rows = 60, .num_classes = 2});
+  Rng rng(3);
+  Split split = StratifiedSplit(data.class_labels(), 0.5, 0.2, rng);
+  LearnedGraphOptions opts;
+  opts.hidden_dim = 8;
+  opts.train.max_epochs = 10;
+  LearnedGraphGnn model(opts);
+  EXPECT_FALSE(model.ExplainEdges(0).ok());  // before Fit
+  ASSERT_TRUE(model.Fit(data, split).ok());
+  EXPECT_FALSE(model.ExplainEdges(999).ok());
+  EXPECT_FALSE(model.ExplainEdges(0, 99).ok());
+}
+
+}  // namespace
+}  // namespace gnn4tdl

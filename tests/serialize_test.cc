@@ -1,0 +1,81 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+
+namespace gnn4tdl {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripPreservesPredictionsExactly) {
+  Rng rng1(1);
+  Mlp original({4, 8, 3}, rng1);
+  const std::string path = TempPath("mlp_params.txt");
+  ASSERT_TRUE(SaveParameters(original, path).ok());
+
+  Rng rng2(99);  // different init — must be fully overwritten by the load
+  Mlp restored({4, 8, 3}, rng2);
+  ASSERT_TRUE(LoadParameters(restored, path).ok());
+
+  Rng rng3(5);
+  Tensor x = Tensor::Constant(Matrix::Randn(10, 4, rng3));
+  EXPECT_TRUE(original.Forward(x).value().AllClose(
+      restored.Forward(x).value(), 0.0));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsShapeMismatch) {
+  Rng rng(2);
+  Mlp small({4, 8, 3}, rng);
+  Mlp big({4, 16, 3}, rng);
+  const std::string path = TempPath("mismatch_params.txt");
+  ASSERT_TRUE(SaveParameters(small, path).ok());
+  Status s = LoadParameters(big, path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsWrongMagic) {
+  const std::string path = TempPath("bogus_params.txt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("not-a-parameter-file\n", f);
+    std::fclose(f);
+  }
+  Rng rng(3);
+  Mlp mlp({2, 2}, rng);
+  EXPECT_FALSE(LoadParameters(mlp, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsIoError) {
+  Rng rng(4);
+  Mlp mlp({2, 2}, rng);
+  Status s = LoadParameters(mlp, "/nonexistent/params.txt");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, RoundTripExactForExtremeValues) {
+  Rng rng(5);
+  Linear lin(2, 2, rng);
+  lin.weight().mutable_value()(0, 0) = 1e-300;
+  lin.weight().mutable_value()(0, 1) = -1.2345678901234567e100;
+  lin.weight().mutable_value()(1, 0) = 3.0000000000000004;
+  const std::string path = TempPath("extreme_params.txt");
+  ASSERT_TRUE(SaveParameters(lin, path).ok());
+  Rng rng2(6);
+  Linear restored(2, 2, rng2);
+  ASSERT_TRUE(LoadParameters(restored, path).ok());
+  EXPECT_TRUE(restored.weight().value().AllClose(lin.weight().value(), 0.0));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gnn4tdl

@@ -1,0 +1,84 @@
+#include "tensor/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gnn4tdl {
+namespace {
+
+TEST(SparseTest, FromTripletsBuildsSortedCsr) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      3, 3, {{2, 1, 5.0}, {0, 2, 1.0}, {0, 0, 2.0}});
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.At(0, 0), 2.0);
+  EXPECT_EQ(m.At(0, 2), 1.0);
+  EXPECT_EQ(m.At(2, 1), 5.0);
+  EXPECT_EQ(m.At(1, 1), 0.0);
+}
+
+TEST(SparseTest, DuplicateTripletsAreSummed) {
+  SparseMatrix m =
+      SparseMatrix::FromTriplets(2, 2, {{0, 1, 1.0}, {0, 1, 2.5}});
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_EQ(m.At(0, 1), 3.5);
+}
+
+TEST(SparseTest, MultiplyMatchesDense) {
+  Rng rng(11);
+  std::vector<Triplet> trips;
+  for (int i = 0; i < 20; ++i)
+    trips.push_back({static_cast<size_t>(rng.Int(0, 4)),
+                     static_cast<size_t>(rng.Int(0, 5)), rng.Normal()});
+  SparseMatrix sp = SparseMatrix::FromTriplets(5, 6, trips);
+  Matrix x = Matrix::Randn(6, 3, rng);
+  EXPECT_TRUE(sp.Multiply(x).AllClose(sp.ToDense().Matmul(x), 1e-12));
+}
+
+TEST(SparseTest, TransposeMultiplyMatchesDense) {
+  Rng rng(12);
+  std::vector<Triplet> trips;
+  for (int i = 0; i < 15; ++i)
+    trips.push_back({static_cast<size_t>(rng.Int(0, 3)),
+                     static_cast<size_t>(rng.Int(0, 6)), rng.Normal()});
+  SparseMatrix sp = SparseMatrix::FromTriplets(4, 7, trips);
+  Matrix x = Matrix::Randn(4, 2, rng);
+  EXPECT_TRUE(sp.TransposeMultiply(x).AllClose(
+      sp.ToDense().Transpose().Matmul(x), 1e-12));
+}
+
+TEST(SparseTest, TransposeRoundTrip) {
+  SparseMatrix m =
+      SparseMatrix::FromTriplets(2, 3, {{0, 2, 1.0}, {1, 0, -2.0}});
+  SparseMatrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.At(2, 0), 1.0);
+  EXPECT_EQ(t.At(0, 1), -2.0);
+  EXPECT_TRUE(t.Transpose().ToDense().AllClose(m.ToDense(), 0.0));
+}
+
+TEST(SparseTest, RowNnzCountsEntries) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      3, 3, {{0, 0, 1.0}, {0, 1, 1.0}, {2, 2, 1.0}});
+  EXPECT_EQ(m.RowNnz(0), 2u);
+  EXPECT_EQ(m.RowNnz(1), 0u);
+  EXPECT_EQ(m.RowNnz(2), 1u);
+}
+
+TEST(SparseTest, EmptyMatrixMultiplies) {
+  SparseMatrix m = SparseMatrix::FromTriplets(3, 4, {});
+  Matrix x = Matrix::Ones(4, 2);
+  Matrix out = m.Multiply(x);
+  EXPECT_EQ(out.rows(), 3u);
+  EXPECT_EQ(out.Sum(), 0.0);
+}
+
+TEST(SparseTest, FromCsrDirect) {
+  SparseMatrix m = SparseMatrix::FromCsr(2, 2, {0, 1, 2}, {1, 0}, {3.0, 4.0});
+  EXPECT_EQ(m.At(0, 1), 3.0);
+  EXPECT_EQ(m.At(1, 0), 4.0);
+}
+
+}  // namespace
+}  // namespace gnn4tdl

@@ -1,0 +1,252 @@
+#include "train/trainer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gradcheck_util.h"
+#include "graph/graph.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "train/aux_tasks.h"
+
+namespace gnn4tdl {
+namespace {
+
+TEST(TrainerTest, ReducesQuadraticLoss) {
+  Tensor x = Tensor::Leaf(Matrix::Full(1, 2, 5.0), true);
+  Trainer trainer({x}, {.max_epochs = 200, .learning_rate = 0.1, .patience = 0});
+  TrainResult result = trainer.Fit([&] { return ops::SumSquares(x); });
+  EXPECT_EQ(result.epochs_run, 200);
+  EXPECT_LT(result.final_train_loss, 1e-3);
+}
+
+TEST(TrainerTest, EarlyStoppingHaltsAndRestoresBest) {
+  // Validation metric that peaks at epoch 10 then degrades: training should
+  // stop within patience and restore the epoch-10 parameters.
+  Tensor x = Tensor::Leaf(Matrix::Zeros(1, 1), true);
+  int epoch = 0;
+  Trainer trainer({x}, {.max_epochs = 500, .learning_rate = 0.1, .patience = 5});
+  TrainResult result = trainer.Fit(
+      [&] {
+        ++epoch;
+        // Drive x upward forever.
+        return ops::SumSquares(ops::AddScalar(x, -100.0));
+      },
+      [&]() -> double { return epoch <= 10 ? epoch : 10.0 - epoch; });
+  EXPECT_LE(result.epochs_run, 20);
+  EXPECT_NEAR(result.best_val_metric, 10.0, 1e-9);
+  // Restored value is from epoch 10, far from convergence to 100.
+  EXPECT_LT(x.value()(0, 0), 50.0);
+}
+
+TEST(TrainerTest, GradClipKeepsUpdatesBounded) {
+  Tensor x = Tensor::Leaf(Matrix::Full(1, 1, 1e6), true);
+  Trainer trainer({x}, {.max_epochs = 1,
+                        .learning_rate = 1.0,
+                        .patience = 0,
+                        .grad_clip = 1.0});
+  trainer.Fit([&] { return ops::SumSquares(x); });
+  // Without clipping the Adam update is bounded anyway, but the gradient
+  // seen by the optimizer must have norm <= 1; Adam step is then <= lr.
+  EXPECT_GT(x.value()(0, 0), 1e6 - 2.0);
+}
+
+TEST(AuxTaskTest, ReconstructionLossDecreasesUnderTraining) {
+  Rng rng(1);
+  Matrix x_target = Matrix::Randn(20, 5, rng);
+  Tensor emb = Tensor::Constant(Matrix::Randn(20, 4, rng));
+  FeatureReconstructionTask task(4, 5, 8, rng);
+  double initial = task.Loss(emb, x_target).value()(0, 0);
+  Trainer trainer(task.Parameters(), {.max_epochs = 200,
+                                      .learning_rate = 0.05,
+                                      .patience = 0});
+  trainer.Fit([&] { return task.Loss(emb, x_target); });
+  double final = task.Loss(emb, x_target).value()(0, 0);
+  EXPECT_LT(final, initial * 0.5);
+}
+
+TEST(AuxTaskTest, ReconstructionMaskRestrictsLoss) {
+  Rng rng(2);
+  Tensor emb = Tensor::Constant(Matrix::Randn(4, 3, rng));
+  FeatureReconstructionTask task(3, 2, 4, rng);
+  Matrix target = Matrix::Full(4, 2, 100.0);
+  Matrix zero_mask(4, 2);  // nothing counted -> denominator clamps, loss 0
+  Tensor loss = task.Loss(emb, target, &zero_mask);
+  EXPECT_EQ(loss.value()(0, 0), 0.0);
+}
+
+TEST(AuxTaskTest, MaskCorruptRateAndMask) {
+  Rng rng(3);
+  Matrix x = Matrix::Full(100, 100, 7.0);
+  Matrix mask;
+  Matrix corrupted = MaskCorrupt(x, 0.25, rng, &mask);
+  double corrupted_frac = mask.Sum() / 10000.0;
+  EXPECT_NEAR(corrupted_frac, 0.25, 0.02);
+  for (size_t r = 0; r < 100; ++r)
+    for (size_t c = 0; c < 100; ++c) {
+      if (mask(r, c) == 1.0) {
+        EXPECT_EQ(corrupted(r, c), 0.0);
+      } else {
+        EXPECT_EQ(corrupted(r, c), 7.0);
+      }
+    }
+}
+
+TEST(AuxTaskTest, NtXentPrefersAlignedViews) {
+  Rng rng(4);
+  Matrix base = Matrix::Randn(10, 6, rng);
+  Tensor z = Tensor::Constant(base);
+  Tensor z_same = Tensor::Constant(base);
+  Tensor z_rand = Tensor::Constant(Matrix::Randn(10, 6, rng));
+  double aligned = NtXentLoss(z, z_same).value()(0, 0);
+  double random = NtXentLoss(z, z_rand).value()(0, 0);
+  EXPECT_LT(aligned, random);
+}
+
+TEST(AuxTaskTest, NtXentGradCheck) {
+  Rng rng(5);
+  Tensor z1 = Tensor::Leaf(Matrix::Randn(5, 3, rng), true);
+  Tensor z2 = Tensor::Leaf(Matrix::Randn(5, 3, rng), true);
+  testing::ExpectGradientsMatch({z1, z2},
+                                [&] { return NtXentLoss(z1, z2, 0.7); });
+}
+
+TEST(AuxTaskTest, SmoothnessZeroForConstantEmbeddings) {
+  Graph g = Graph::FromEdges(4, {{0, 1, 1.0}, {1, 2, 1.0}});
+  Tensor h = Tensor::Constant(Matrix::Ones(4, 3));
+  EXPECT_NEAR(SmoothnessPenalty(h, g).value()(0, 0), 0.0, 1e-12);
+}
+
+TEST(AuxTaskTest, SmoothnessPositiveForVaryingEmbeddings) {
+  Graph g = Graph::FromEdges(2, {{0, 1, 2.0}});
+  Tensor h = Tensor::Constant(Matrix::FromRows({{0.0}, {3.0}}));
+  // Two directed edges of weight 2, diff^2 = 9: mean = (2*9*2)/2 = 18.
+  EXPECT_NEAR(SmoothnessPenalty(h, g).value()(0, 0), 18.0, 1e-12);
+}
+
+TEST(AuxTaskTest, SparsityPenaltyIsMeanAbs) {
+  Tensor w = Tensor::Constant(Matrix::FromRows({{0.5}, {-1.5}}));
+  EXPECT_NEAR(SparsityPenalty(w).value()(0, 0), 1.0, 1e-12);
+}
+
+TEST(AuxTaskTest, ConnectivityPenalizesIsolatedNodes) {
+  // Node 1 receives tiny total weight -> much larger penalty than node 0.
+  Tensor w_good = Tensor::Constant(Matrix::FromRows({{1.0}, {1.0}}));
+  Tensor w_bad = Tensor::Constant(Matrix::FromRows({{1.0}, {1e-6}}));
+  std::vector<size_t> dst = {0, 1};
+  double good = ConnectivityPenalty(w_good, dst, 2).value()(0, 0);
+  double bad = ConnectivityPenalty(w_bad, dst, 2).value()(0, 0);
+  EXPECT_GT(bad, good + 1.0);
+}
+
+TEST(AuxTaskTest, EdgeCompletionPrefersEdgeAlignedEmbeddings) {
+  // Edge-aligned embeddings (positive pairs have positive dot products) must
+  // score a lower loss than the same embeddings with one endpoint flipped
+  // (positive pairs anti-aligned). Identical negative samples via same seed.
+  Graph g = Graph::FromEdges(6, {{0, 1, 1.0}, {2, 3, 1.0}, {4, 5, 1.0}});
+  Matrix aligned(6, 3);
+  for (size_t pair = 0; pair < 3; ++pair) {
+    aligned(2 * pair, pair) = 2.0;
+    aligned(2 * pair + 1, pair) = 2.0;
+  }
+  Matrix anti = aligned;
+  for (size_t pair = 0; pair < 3; ++pair) anti(2 * pair + 1, pair) = -2.0;
+  Rng rng1(1), rng2(1);
+  double good_loss = EdgeCompletionLoss(Tensor::Constant(aligned), g, 30, rng1)
+                         .value()(0, 0);
+  double bad_loss = EdgeCompletionLoss(Tensor::Constant(anti), g, 30, rng2)
+                        .value()(0, 0);
+  EXPECT_LT(good_loss, bad_loss);
+}
+
+TEST(AuxTaskTest, EdgeCompletionLossIsTrainable) {
+  // Gradient descent on the embeddings alone drives the loss down.
+  Graph g = Graph::FromEdges(8, {{0, 1, 1.0}, {2, 3, 1.0}, {4, 5, 1.0},
+                                 {6, 7, 1.0}});
+  Rng data_rng(4);
+  Tensor h = Tensor::Leaf(Matrix::Randn(8, 4, data_rng, 0.1), true);
+  Adam opt({h}, {.learning_rate = 0.05});
+  Rng fixed(11);
+  double initial = EdgeCompletionLoss(h, g, 40, fixed).value()(0, 0);
+  for (int step = 0; step < 150; ++step) {
+    opt.ZeroGrad();
+    Rng rng(11);  // fixed negatives: a deterministic objective
+    EdgeCompletionLoss(h, g, 40, rng).Backward();
+    opt.Step();
+  }
+  Rng fixed2(11);
+  double final = EdgeCompletionLoss(h, g, 40, fixed2).value()(0, 0);
+  EXPECT_LT(final, initial * 0.5);
+}
+
+TEST(AuxTaskTest, EdgeCompletionEmptyGraphIsZero) {
+  Graph g(5);
+  Rng rng(2);
+  Tensor h = Tensor::Constant(Matrix::Ones(5, 3));
+  EXPECT_EQ(EdgeCompletionLoss(h, g, 10, rng).value()(0, 0), 0.0);
+}
+
+TEST(AuxTaskTest, EdgeCompletionGradCheck) {
+  Graph g = Graph::FromEdges(4, {{0, 1, 1.0}, {2, 3, 1.0}});
+  Rng data_rng(3);
+  Tensor h = Tensor::Leaf(Matrix::Randn(4, 3, data_rng), true);
+  // Fix the negative sample by reseeding inside the closure.
+  testing::ExpectGradientsMatch({h}, [&] {
+    Rng rng(7);
+    return EdgeCompletionLoss(h, g, 8, rng);
+  });
+}
+
+TEST(AuxTaskTest, SmoothnessGradCheck) {
+  Rng rng(6);
+  Graph g = Graph::FromEdges(4, {{0, 1, 1.0}, {1, 2, 0.5}, {2, 3, 2.0}});
+  Tensor h = Tensor::Leaf(Matrix::Randn(4, 2, rng), true);
+  testing::ExpectGradientsMatch({h}, [&] { return SmoothnessPenalty(h, g); });
+}
+
+TEST(LrScheduleTest, ConstantIsFlat) {
+  for (int e : {0, 50, 199})
+    EXPECT_EQ(ScheduledLearningRate(LrSchedule::kConstant, 0.1, e, 200), 0.1);
+}
+
+TEST(LrScheduleTest, CosineDecaysMonotonically) {
+  double prev = 1e9;
+  for (int e = 0; e < 100; ++e) {
+    double lr = ScheduledLearningRate(LrSchedule::kCosine, 0.1, e, 100);
+    EXPECT_LE(lr, prev + 1e-12);
+    prev = lr;
+  }
+  EXPECT_NEAR(ScheduledLearningRate(LrSchedule::kCosine, 0.1, 0, 100), 0.1,
+              1e-12);
+  EXPECT_LT(ScheduledLearningRate(LrSchedule::kCosine, 0.1, 99, 100), 0.01);
+}
+
+TEST(LrScheduleTest, StepDropsTwice) {
+  EXPECT_NEAR(ScheduledLearningRate(LrSchedule::kStep, 1.0, 10, 100), 1.0,
+              1e-12);
+  EXPECT_NEAR(ScheduledLearningRate(LrSchedule::kStep, 1.0, 60, 100), 0.1,
+              1e-12);
+  EXPECT_NEAR(ScheduledLearningRate(LrSchedule::kStep, 1.0, 90, 100), 0.01,
+              1e-12);
+}
+
+TEST(LrScheduleTest, WarmupRampsFromZero) {
+  double early = ScheduledLearningRate(LrSchedule::kWarmupCosine, 1.0, 1, 100);
+  double mid = ScheduledLearningRate(LrSchedule::kWarmupCosine, 1.0, 10, 100);
+  EXPECT_LT(early, 0.3);
+  EXPECT_NEAR(mid, 1.0, 1e-9);
+}
+
+TEST(LrScheduleTest, TrainerWithCosineConverges) {
+  Tensor x = Tensor::Leaf(Matrix::Full(1, 2, 5.0), true);
+  Trainer trainer({x}, {.max_epochs = 300,
+                        .learning_rate = 0.1,
+                        .lr_schedule = LrSchedule::kCosine,
+                        .patience = 0});
+  TrainResult result = trainer.Fit([&] { return ops::SumSquares(x); });
+  EXPECT_LT(result.final_train_loss, 1e-2);
+}
+
+}  // namespace
+}  // namespace gnn4tdl

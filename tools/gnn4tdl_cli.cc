@@ -1,0 +1,256 @@
+// gnn4tdl command-line runner: the GNN4TDL pipeline on any CSV file.
+//
+//   gnn4tdl_cli --csv data.csv --label target
+//               --formulation instance_graph --construction knn
+//               --backbone gcn --knn-k 10 --epochs 200
+//
+// Without --csv it runs a synthetic demo. With --folds N it reports
+// N-fold cross-validated metrics instead of a single split.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/pipeline.h"
+#include "data/cross_validation.h"
+#include "data/csv.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+
+namespace gnn4tdl {
+namespace {
+
+struct CliArgs {
+  std::string csv;
+  std::string label = "label";
+  bool regression = false;
+  std::string formulation = "instance_graph";
+  std::string construction = "knn";
+  std::string backbone = "gcn";
+  size_t knn_k = 10;
+  size_t hidden = 32;
+  size_t layers = 2;
+  int epochs = 200;
+  double lr = 0.02;
+  double train_frac = 0.6;
+  double val_frac = 0.2;
+  size_t folds = 0;
+  uint64_t seed = 42;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: gnn4tdl_cli [options]\n"
+      "  --csv PATH            input CSV (header row; omit for a synthetic demo)\n"
+      "  --label NAME          label column name (default: label)\n"
+      "  --regression          treat the label as a regression target\n"
+      "  --formulation NAME    instance_graph | feature_graph | bipartite |\n"
+      "                        multiplex | hetero_graph | hypergraph | no_graph\n"
+      "  --construction NAME   intrinsic | knn | threshold | fully_connected |\n"
+      "                        same_feature_value | learned_metric |\n"
+      "                        learned_neural | learned_direct\n"
+      "  --backbone NAME       gcn | sage | gat | gin | ggnn | appnp |\n"
+      "                        graph_transformer\n"
+      "  --knn-k N             kNN degree (default 10)\n"
+      "  --hidden N            hidden width (default 32)\n"
+      "  --layers N            GNN depth (default 2)\n"
+      "  --epochs N            max training epochs (default 200)\n"
+      "  --lr F                learning rate (default 0.02)\n"
+      "  --train-frac F        training fraction (default 0.6)\n"
+      "  --val-frac F          validation fraction (default 0.2)\n"
+      "  --folds N             N-fold cross-validation instead of one split\n"
+      "  --seed N              rng seed (default 42)\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (flag == "--help" || flag == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else if (flag == "--regression") {
+      args->regression = true;
+    } else if (flag == "--csv") {
+      const char* v = next();
+      if (!v) return false;
+      args->csv = v;
+    } else if (flag == "--label") {
+      const char* v = next();
+      if (!v) return false;
+      args->label = v;
+    } else if (flag == "--formulation") {
+      const char* v = next();
+      if (!v) return false;
+      args->formulation = v;
+    } else if (flag == "--construction") {
+      const char* v = next();
+      if (!v) return false;
+      args->construction = v;
+    } else if (flag == "--backbone") {
+      const char* v = next();
+      if (!v) return false;
+      args->backbone = v;
+    } else if (flag == "--knn-k") {
+      const char* v = next();
+      if (!v) return false;
+      args->knn_k = static_cast<size_t>(std::atoi(v));
+    } else if (flag == "--hidden") {
+      const char* v = next();
+      if (!v) return false;
+      args->hidden = static_cast<size_t>(std::atoi(v));
+    } else if (flag == "--layers") {
+      const char* v = next();
+      if (!v) return false;
+      args->layers = static_cast<size_t>(std::atoi(v));
+    } else if (flag == "--epochs") {
+      const char* v = next();
+      if (!v) return false;
+      args->epochs = std::atoi(v);
+    } else if (flag == "--lr") {
+      const char* v = next();
+      if (!v) return false;
+      args->lr = std::atof(v);
+    } else if (flag == "--train-frac") {
+      const char* v = next();
+      if (!v) return false;
+      args->train_frac = std::atof(v);
+    } else if (flag == "--val-frac") {
+      const char* v = next();
+      if (!v) return false;
+      args->val_frac = std::atof(v);
+    } else if (flag == "--folds") {
+      const char* v = next();
+      if (!v) return false;
+      args->folds = static_cast<size_t>(std::atoi(v));
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      PrintUsage();
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(const CliArgs& args) {
+  // --- Data ------------------------------------------------------------------
+  TabularDataset data;
+  if (args.csv.empty()) {
+    std::printf("no --csv given: running the synthetic demo dataset\n");
+    data = MakeMultiRelational({.num_rows = 500,
+                                .num_relations = 2,
+                                .cardinality = 20,
+                                .numeric_signal = 0.6,
+                                .seed = args.seed});
+  } else {
+    CsvReadOptions read_opts;
+    read_opts.label_column = args.label;
+    read_opts.regression_label = args.regression;
+    StatusOr<TabularDataset> loaded = ReadCsv(args.csv, read_opts);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "failed to read %s: %s\n", args.csv.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    data = std::move(*loaded);
+  }
+  std::printf("data: %zu rows x %zu columns, task=%s\n", data.NumRows(),
+              data.NumCols(), TaskTypeName(data.task()));
+
+  // --- Config ----------------------------------------------------------------
+  PipelineConfig config;
+  {
+    auto f = GraphFormulationFromName(args.formulation);
+    auto c = ConstructionMethodFromName(args.construction);
+    if (!f.ok() || !c.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   (!f.ok() ? f.status() : c.status()).ToString().c_str());
+      return 1;
+    }
+    config.formulation = *f;
+    config.construction = *c;
+  }
+  config.backbone = GnnBackboneFromName(args.backbone);
+  config.knn_k = args.knn_k;
+  config.hidden_dim = args.hidden;
+  config.num_layers = args.layers;
+  config.train.max_epochs = args.epochs;
+  config.train.learning_rate = args.lr;
+  config.seed = args.seed;
+  std::printf("pipeline: %s\n\n", config.Describe().c_str());
+
+  const bool classification = data.task() != TaskType::kRegression;
+
+  // --- Cross-validation mode ---------------------------------------------------
+  if (args.folds >= 2) {
+    Rng rng(args.seed);
+    auto result = CrossValidate(
+        data, args.folds, args.val_frac, rng,
+        [&](const TabularDataset& d, const Split& split) -> StatusOr<double> {
+          auto r = RunPipeline(config, d, split);
+          if (!r.ok()) return r.status();
+          return classification ? r->eval.accuracy : r->eval.r2;
+        });
+    if (!result.ok()) {
+      std::fprintf(stderr, "cross-validation failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%zu-fold %s: %.4f ± %.4f\n", args.folds,
+                classification ? "accuracy" : "R^2", result->mean,
+                result->stddev);
+    return 0;
+  }
+
+  // --- Single split -------------------------------------------------------------
+  Rng rng(args.seed);
+  Split split = classification
+                    ? StratifiedSplit(data.class_labels(), args.train_frac,
+                                      args.val_frac, rng)
+                    : RandomSplit(data.NumRows(), args.train_frac,
+                                  args.val_frac, rng);
+  auto result = RunPipeline(config, data, split);
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("model: %s   fit: %.2fs\n", result->model_name.c_str(),
+              result->fit_seconds);
+  if (classification) {
+    std::printf("test accuracy: %.4f   macro-F1: %.4f", result->eval.accuracy,
+                result->eval.macro_f1);
+    if (data.num_classes() == 2)
+      std::printf("   AUROC: %.4f", result->eval.auroc);
+    std::printf("\n");
+  } else {
+    std::printf("test RMSE: %.4f   MAE: %.4f   R^2: %.4f\n", result->eval.rmse,
+                result->eval.mae, result->eval.r2);
+  }
+  if (result->graph_edges > 0) {
+    std::printf("graph: %zu edges, label homophily %.2f\n",
+                result->graph_edges, result->edge_homophily);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gnn4tdl
+
+int main(int argc, char** argv) {
+  gnn4tdl::CliArgs args;
+  if (!gnn4tdl::ParseArgs(argc, argv, &args)) return 2;
+  return gnn4tdl::Run(args);
+}
