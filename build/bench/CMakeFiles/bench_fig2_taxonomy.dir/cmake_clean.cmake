@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_taxonomy.dir/bench_fig2_taxonomy.cc.o"
+  "CMakeFiles/bench_fig2_taxonomy.dir/bench_fig2_taxonomy.cc.o.d"
+  "bench_fig2_taxonomy"
+  "bench_fig2_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec25_why_gnns.dir/bench_sec25_why_gnns.cc.o"
+  "CMakeFiles/bench_sec25_why_gnns.dir/bench_sec25_why_gnns.cc.o.d"
+  "bench_sec25_why_gnns"
+  "bench_sec25_why_gnns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec25_why_gnns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec25_why_gnns.
+# This may be replaced when dependencies are built.

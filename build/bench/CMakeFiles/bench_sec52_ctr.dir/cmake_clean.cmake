@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_ctr.dir/bench_sec52_ctr.cc.o"
+  "CMakeFiles/bench_sec52_ctr.dir/bench_sec52_ctr.cc.o.d"
+  "bench_sec52_ctr"
+  "bench_sec52_ctr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_ctr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec54_imputation.dir/bench_sec54_imputation.cc.o"
+  "CMakeFiles/bench_sec54_imputation.dir/bench_sec54_imputation.cc.o.d"
+  "bench_sec54_imputation"
+  "bench_sec54_imputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec54_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

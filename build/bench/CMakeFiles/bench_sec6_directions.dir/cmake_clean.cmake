@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_directions.dir/bench_sec6_directions.cc.o"
+  "CMakeFiles/bench_sec6_directions.dir/bench_sec6_directions.cc.o.d"
+  "bench_sec6_directions"
+  "bench_sec6_directions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_directions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_rule_construction.dir/bench_table3_rule_construction.cc.o"
+  "CMakeFiles/bench_table3_rule_construction.dir/bench_table3_rule_construction.cc.o.d"
+  "bench_table3_rule_construction"
+  "bench_table3_rule_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_rule_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_specialized.dir/bench_table6_specialized.cc.o"
+  "CMakeFiles/bench_table6_specialized.dir/bench_table6_specialized.cc.o.d"
+  "bench_table6_specialized"
+  "bench_table6_specialized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_specialized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_risk.dir/medical_risk.cpp.o"
+  "CMakeFiles/medical_risk.dir/medical_risk.cpp.o.d"
+  "medical_risk"
+  "medical_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

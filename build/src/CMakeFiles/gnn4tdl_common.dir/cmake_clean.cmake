@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn4tdl_common.dir/common/rng.cc.o"
+  "CMakeFiles/gnn4tdl_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/gnn4tdl_common.dir/common/status.cc.o"
+  "CMakeFiles/gnn4tdl_common.dir/common/status.cc.o.d"
+  "libgnn4tdl_common.a"
+  "libgnn4tdl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn4tdl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

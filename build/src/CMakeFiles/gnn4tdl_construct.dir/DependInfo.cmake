@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/construct/intrinsic.cc" "src/CMakeFiles/gnn4tdl_construct.dir/construct/intrinsic.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_construct.dir/construct/intrinsic.cc.o.d"
+  "/root/repo/src/construct/learned.cc" "src/CMakeFiles/gnn4tdl_construct.dir/construct/learned.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_construct.dir/construct/learned.cc.o.d"
+  "/root/repo/src/construct/rule_based.cc" "src/CMakeFiles/gnn4tdl_construct.dir/construct/rule_based.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_construct.dir/construct/rule_based.cc.o.d"
+  "/root/repo/src/construct/similarity.cc" "src/CMakeFiles/gnn4tdl_construct.dir/construct/similarity.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_construct.dir/construct/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn4tdl_construct.dir/construct/intrinsic.cc.o"
+  "CMakeFiles/gnn4tdl_construct.dir/construct/intrinsic.cc.o.d"
+  "CMakeFiles/gnn4tdl_construct.dir/construct/learned.cc.o"
+  "CMakeFiles/gnn4tdl_construct.dir/construct/learned.cc.o.d"
+  "CMakeFiles/gnn4tdl_construct.dir/construct/rule_based.cc.o"
+  "CMakeFiles/gnn4tdl_construct.dir/construct/rule_based.cc.o.d"
+  "CMakeFiles/gnn4tdl_construct.dir/construct/similarity.cc.o"
+  "CMakeFiles/gnn4tdl_construct.dir/construct/similarity.cc.o.d"
+  "libgnn4tdl_construct.a"
+  "libgnn4tdl_construct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn4tdl_construct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

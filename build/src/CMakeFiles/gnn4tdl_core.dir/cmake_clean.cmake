@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn4tdl_core.dir/core/pipeline.cc.o"
+  "CMakeFiles/gnn4tdl_core.dir/core/pipeline.cc.o.d"
+  "CMakeFiles/gnn4tdl_core.dir/core/taxonomy.cc.o"
+  "CMakeFiles/gnn4tdl_core.dir/core/taxonomy.cc.o.d"
+  "libgnn4tdl_core.a"
+  "libgnn4tdl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn4tdl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/cross_validation.cc" "src/CMakeFiles/gnn4tdl_data.dir/data/cross_validation.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_data.dir/data/cross_validation.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/gnn4tdl_data.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_data.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/impute.cc" "src/CMakeFiles/gnn4tdl_data.dir/data/impute.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_data.dir/data/impute.cc.o.d"
+  "/root/repo/src/data/metrics.cc" "src/CMakeFiles/gnn4tdl_data.dir/data/metrics.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_data.dir/data/metrics.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/CMakeFiles/gnn4tdl_data.dir/data/split.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_data.dir/data/split.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/gnn4tdl_data.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_data.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/data/tabular.cc" "src/CMakeFiles/gnn4tdl_data.dir/data/tabular.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_data.dir/data/tabular.cc.o.d"
+  "/root/repo/src/data/transforms.cc" "src/CMakeFiles/gnn4tdl_data.dir/data/transforms.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_data.dir/data/transforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

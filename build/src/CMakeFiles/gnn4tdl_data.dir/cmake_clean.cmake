@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn4tdl_data.dir/data/cross_validation.cc.o"
+  "CMakeFiles/gnn4tdl_data.dir/data/cross_validation.cc.o.d"
+  "CMakeFiles/gnn4tdl_data.dir/data/csv.cc.o"
+  "CMakeFiles/gnn4tdl_data.dir/data/csv.cc.o.d"
+  "CMakeFiles/gnn4tdl_data.dir/data/impute.cc.o"
+  "CMakeFiles/gnn4tdl_data.dir/data/impute.cc.o.d"
+  "CMakeFiles/gnn4tdl_data.dir/data/metrics.cc.o"
+  "CMakeFiles/gnn4tdl_data.dir/data/metrics.cc.o.d"
+  "CMakeFiles/gnn4tdl_data.dir/data/split.cc.o"
+  "CMakeFiles/gnn4tdl_data.dir/data/split.cc.o.d"
+  "CMakeFiles/gnn4tdl_data.dir/data/synthetic.cc.o"
+  "CMakeFiles/gnn4tdl_data.dir/data/synthetic.cc.o.d"
+  "CMakeFiles/gnn4tdl_data.dir/data/tabular.cc.o"
+  "CMakeFiles/gnn4tdl_data.dir/data/tabular.cc.o.d"
+  "CMakeFiles/gnn4tdl_data.dir/data/transforms.cc.o"
+  "CMakeFiles/gnn4tdl_data.dir/data/transforms.cc.o.d"
+  "libgnn4tdl_data.a"
+  "libgnn4tdl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn4tdl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/appnp.cc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/appnp.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/appnp.cc.o.d"
+  "/root/repo/src/gnn/bipartite_conv.cc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/bipartite_conv.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/bipartite_conv.cc.o.d"
+  "/root/repo/src/gnn/gat.cc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/gat.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/gat.cc.o.d"
+  "/root/repo/src/gnn/gcn.cc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/gcn.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/gcn.cc.o.d"
+  "/root/repo/src/gnn/ggnn.cc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/ggnn.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/ggnn.cc.o.d"
+  "/root/repo/src/gnn/gin.cc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/gin.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/gin.cc.o.d"
+  "/root/repo/src/gnn/graph_transformer.cc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/graph_transformer.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/graph_transformer.cc.o.d"
+  "/root/repo/src/gnn/hypergraph_conv.cc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/hypergraph_conv.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/hypergraph_conv.cc.o.d"
+  "/root/repo/src/gnn/readout.cc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/readout.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/readout.cc.o.d"
+  "/root/repo/src/gnn/rgcn.cc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/rgcn.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/rgcn.cc.o.d"
+  "/root/repo/src/gnn/sage.cc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/sage.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_gnn.dir/gnn/sage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

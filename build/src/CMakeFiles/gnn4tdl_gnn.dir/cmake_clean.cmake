@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/appnp.cc.o"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/appnp.cc.o.d"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/bipartite_conv.cc.o"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/bipartite_conv.cc.o.d"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/gat.cc.o"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/gat.cc.o.d"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/gcn.cc.o"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/gcn.cc.o.d"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/ggnn.cc.o"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/ggnn.cc.o.d"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/gin.cc.o"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/gin.cc.o.d"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/graph_transformer.cc.o"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/graph_transformer.cc.o.d"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/hypergraph_conv.cc.o"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/hypergraph_conv.cc.o.d"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/readout.cc.o"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/readout.cc.o.d"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/rgcn.cc.o"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/rgcn.cc.o.d"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/sage.cc.o"
+  "CMakeFiles/gnn4tdl_gnn.dir/gnn/sage.cc.o.d"
+  "libgnn4tdl_gnn.a"
+  "libgnn4tdl_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn4tdl_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

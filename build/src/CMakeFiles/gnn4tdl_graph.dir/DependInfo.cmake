@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bipartite.cc" "src/CMakeFiles/gnn4tdl_graph.dir/graph/bipartite.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_graph.dir/graph/bipartite.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/gnn4tdl_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/gnn4tdl_graph.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_graph.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/hetero.cc" "src/CMakeFiles/gnn4tdl_graph.dir/graph/hetero.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_graph.dir/graph/hetero.cc.o.d"
+  "/root/repo/src/graph/hypergraph.cc" "src/CMakeFiles/gnn4tdl_graph.dir/graph/hypergraph.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_graph.dir/graph/hypergraph.cc.o.d"
+  "/root/repo/src/graph/multiplex.cc" "src/CMakeFiles/gnn4tdl_graph.dir/graph/multiplex.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_graph.dir/graph/multiplex.cc.o.d"
+  "/root/repo/src/graph/perturb.cc" "src/CMakeFiles/gnn4tdl_graph.dir/graph/perturb.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_graph.dir/graph/perturb.cc.o.d"
+  "/root/repo/src/graph/sampling.cc" "src/CMakeFiles/gnn4tdl_graph.dir/graph/sampling.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_graph.dir/graph/sampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

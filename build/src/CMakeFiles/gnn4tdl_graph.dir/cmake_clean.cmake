@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn4tdl_graph.dir/graph/bipartite.cc.o"
+  "CMakeFiles/gnn4tdl_graph.dir/graph/bipartite.cc.o.d"
+  "CMakeFiles/gnn4tdl_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/gnn4tdl_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/gnn4tdl_graph.dir/graph/graph_io.cc.o"
+  "CMakeFiles/gnn4tdl_graph.dir/graph/graph_io.cc.o.d"
+  "CMakeFiles/gnn4tdl_graph.dir/graph/hetero.cc.o"
+  "CMakeFiles/gnn4tdl_graph.dir/graph/hetero.cc.o.d"
+  "CMakeFiles/gnn4tdl_graph.dir/graph/hypergraph.cc.o"
+  "CMakeFiles/gnn4tdl_graph.dir/graph/hypergraph.cc.o.d"
+  "CMakeFiles/gnn4tdl_graph.dir/graph/multiplex.cc.o"
+  "CMakeFiles/gnn4tdl_graph.dir/graph/multiplex.cc.o.d"
+  "CMakeFiles/gnn4tdl_graph.dir/graph/perturb.cc.o"
+  "CMakeFiles/gnn4tdl_graph.dir/graph/perturb.cc.o.d"
+  "CMakeFiles/gnn4tdl_graph.dir/graph/sampling.cc.o"
+  "CMakeFiles/gnn4tdl_graph.dir/graph/sampling.cc.o.d"
+  "libgnn4tdl_graph.a"
+  "libgnn4tdl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn4tdl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

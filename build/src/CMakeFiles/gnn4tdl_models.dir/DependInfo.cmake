@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/bipartite_imputer.cc" "src/CMakeFiles/gnn4tdl_models.dir/models/bipartite_imputer.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_models.dir/models/bipartite_imputer.cc.o.d"
+  "/root/repo/src/models/explain.cc" "src/CMakeFiles/gnn4tdl_models.dir/models/explain.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_models.dir/models/explain.cc.o.d"
+  "/root/repo/src/models/feature_graph.cc" "src/CMakeFiles/gnn4tdl_models.dir/models/feature_graph.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_models.dir/models/feature_graph.cc.o.d"
+  "/root/repo/src/models/gae_outlier.cc" "src/CMakeFiles/gnn4tdl_models.dir/models/gae_outlier.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_models.dir/models/gae_outlier.cc.o.d"
+  "/root/repo/src/models/gbdt.cc" "src/CMakeFiles/gnn4tdl_models.dir/models/gbdt.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_models.dir/models/gbdt.cc.o.d"
+  "/root/repo/src/models/hetero_rgcn.cc" "src/CMakeFiles/gnn4tdl_models.dir/models/hetero_rgcn.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_models.dir/models/hetero_rgcn.cc.o.d"
+  "/root/repo/src/models/hypergraph_model.cc" "src/CMakeFiles/gnn4tdl_models.dir/models/hypergraph_model.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_models.dir/models/hypergraph_model.cc.o.d"
+  "/root/repo/src/models/knn_baseline.cc" "src/CMakeFiles/gnn4tdl_models.dir/models/knn_baseline.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_models.dir/models/knn_baseline.cc.o.d"
+  "/root/repo/src/models/knn_gnn.cc" "src/CMakeFiles/gnn4tdl_models.dir/models/knn_gnn.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_models.dir/models/knn_gnn.cc.o.d"
+  "/root/repo/src/models/label_prop.cc" "src/CMakeFiles/gnn4tdl_models.dir/models/label_prop.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_models.dir/models/label_prop.cc.o.d"
+  "/root/repo/src/models/learned_graph.cc" "src/CMakeFiles/gnn4tdl_models.dir/models/learned_graph.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_models.dir/models/learned_graph.cc.o.d"
+  "/root/repo/src/models/lunar.cc" "src/CMakeFiles/gnn4tdl_models.dir/models/lunar.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_models.dir/models/lunar.cc.o.d"
+  "/root/repo/src/models/mlp.cc" "src/CMakeFiles/gnn4tdl_models.dir/models/mlp.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_models.dir/models/mlp.cc.o.d"
+  "/root/repo/src/models/model.cc" "src/CMakeFiles/gnn4tdl_models.dir/models/model.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_models.dir/models/model.cc.o.d"
+  "/root/repo/src/models/tabgnn.cc" "src/CMakeFiles/gnn4tdl_models.dir/models/tabgnn.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_models.dir/models/tabgnn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_construct.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn4tdl_models.dir/models/bipartite_imputer.cc.o"
+  "CMakeFiles/gnn4tdl_models.dir/models/bipartite_imputer.cc.o.d"
+  "CMakeFiles/gnn4tdl_models.dir/models/explain.cc.o"
+  "CMakeFiles/gnn4tdl_models.dir/models/explain.cc.o.d"
+  "CMakeFiles/gnn4tdl_models.dir/models/feature_graph.cc.o"
+  "CMakeFiles/gnn4tdl_models.dir/models/feature_graph.cc.o.d"
+  "CMakeFiles/gnn4tdl_models.dir/models/gae_outlier.cc.o"
+  "CMakeFiles/gnn4tdl_models.dir/models/gae_outlier.cc.o.d"
+  "CMakeFiles/gnn4tdl_models.dir/models/gbdt.cc.o"
+  "CMakeFiles/gnn4tdl_models.dir/models/gbdt.cc.o.d"
+  "CMakeFiles/gnn4tdl_models.dir/models/hetero_rgcn.cc.o"
+  "CMakeFiles/gnn4tdl_models.dir/models/hetero_rgcn.cc.o.d"
+  "CMakeFiles/gnn4tdl_models.dir/models/hypergraph_model.cc.o"
+  "CMakeFiles/gnn4tdl_models.dir/models/hypergraph_model.cc.o.d"
+  "CMakeFiles/gnn4tdl_models.dir/models/knn_baseline.cc.o"
+  "CMakeFiles/gnn4tdl_models.dir/models/knn_baseline.cc.o.d"
+  "CMakeFiles/gnn4tdl_models.dir/models/knn_gnn.cc.o"
+  "CMakeFiles/gnn4tdl_models.dir/models/knn_gnn.cc.o.d"
+  "CMakeFiles/gnn4tdl_models.dir/models/label_prop.cc.o"
+  "CMakeFiles/gnn4tdl_models.dir/models/label_prop.cc.o.d"
+  "CMakeFiles/gnn4tdl_models.dir/models/learned_graph.cc.o"
+  "CMakeFiles/gnn4tdl_models.dir/models/learned_graph.cc.o.d"
+  "CMakeFiles/gnn4tdl_models.dir/models/lunar.cc.o"
+  "CMakeFiles/gnn4tdl_models.dir/models/lunar.cc.o.d"
+  "CMakeFiles/gnn4tdl_models.dir/models/mlp.cc.o"
+  "CMakeFiles/gnn4tdl_models.dir/models/mlp.cc.o.d"
+  "CMakeFiles/gnn4tdl_models.dir/models/model.cc.o"
+  "CMakeFiles/gnn4tdl_models.dir/models/model.cc.o.d"
+  "CMakeFiles/gnn4tdl_models.dir/models/tabgnn.cc.o"
+  "CMakeFiles/gnn4tdl_models.dir/models/tabgnn.cc.o.d"
+  "libgnn4tdl_models.a"
+  "libgnn4tdl_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn4tdl_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/gnn4tdl_nn.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_nn.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/CMakeFiles/gnn4tdl_nn.dir/nn/ops.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_nn.dir/nn/ops.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/gnn4tdl_nn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_nn.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/gnn4tdl_nn.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_nn.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/CMakeFiles/gnn4tdl_nn.dir/nn/tensor.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_nn.dir/nn/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn4tdl_nn.dir/nn/module.cc.o"
+  "CMakeFiles/gnn4tdl_nn.dir/nn/module.cc.o.d"
+  "CMakeFiles/gnn4tdl_nn.dir/nn/ops.cc.o"
+  "CMakeFiles/gnn4tdl_nn.dir/nn/ops.cc.o.d"
+  "CMakeFiles/gnn4tdl_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/gnn4tdl_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/gnn4tdl_nn.dir/nn/serialize.cc.o"
+  "CMakeFiles/gnn4tdl_nn.dir/nn/serialize.cc.o.d"
+  "CMakeFiles/gnn4tdl_nn.dir/nn/tensor.cc.o"
+  "CMakeFiles/gnn4tdl_nn.dir/nn/tensor.cc.o.d"
+  "libgnn4tdl_nn.a"
+  "libgnn4tdl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn4tdl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgnn4tdl_nn.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn4tdl_tensor.dir/tensor/linalg.cc.o"
+  "CMakeFiles/gnn4tdl_tensor.dir/tensor/linalg.cc.o.d"
+  "CMakeFiles/gnn4tdl_tensor.dir/tensor/matrix.cc.o"
+  "CMakeFiles/gnn4tdl_tensor.dir/tensor/matrix.cc.o.d"
+  "CMakeFiles/gnn4tdl_tensor.dir/tensor/sparse.cc.o"
+  "CMakeFiles/gnn4tdl_tensor.dir/tensor/sparse.cc.o.d"
+  "libgnn4tdl_tensor.a"
+  "libgnn4tdl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn4tdl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/aux_tasks.cc" "src/CMakeFiles/gnn4tdl_train.dir/train/aux_tasks.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_train.dir/train/aux_tasks.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/CMakeFiles/gnn4tdl_train.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/gnn4tdl_train.dir/train/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

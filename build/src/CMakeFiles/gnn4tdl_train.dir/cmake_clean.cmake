@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn4tdl_train.dir/train/aux_tasks.cc.o"
+  "CMakeFiles/gnn4tdl_train.dir/train/aux_tasks.cc.o.d"
+  "CMakeFiles/gnn4tdl_train.dir/train/trainer.cc.o"
+  "CMakeFiles/gnn4tdl_train.dir/train/trainer.cc.o.d"
+  "libgnn4tdl_train.a"
+  "libgnn4tdl_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn4tdl_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

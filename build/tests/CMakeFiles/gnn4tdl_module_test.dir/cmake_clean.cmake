@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn4tdl_module_test.dir/module_test.cc.o"
+  "CMakeFiles/gnn4tdl_module_test.dir/module_test.cc.o.d"
+  "gnn4tdl_module_test"
+  "gnn4tdl_module_test.pdb"
+  "gnn4tdl_module_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn4tdl_module_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gnn4tdl_outlier_explain_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pipeline_test.cc" "tests/CMakeFiles/gnn4tdl_pipeline_test.dir/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/gnn4tdl_pipeline_test.dir/pipeline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_construct.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnn4tdl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gnn4tdl_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_sparse_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_autograd_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_gradcheck_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_module_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_data_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_construct_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_gnn_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_train_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_models_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_impute_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_property_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_extensions2_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_explain_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_common_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_outlier_explain_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_ctr_pairnorm_test[1]_include.cmake")
+include("/root/repo/build/tests/gnn4tdl_regression_models_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn4tdl_cli.dir/gnn4tdl_cli.cc.o"
+  "CMakeFiles/gnn4tdl_cli.dir/gnn4tdl_cli.cc.o.d"
+  "gnn4tdl_cli"
+  "gnn4tdl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn4tdl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
