@@ -24,7 +24,7 @@ const char* SimilarityMetricName(SimilarityMetric m) {
   return "unknown";
 }
 
-SimilarityMetric SimilarityMetricFromName(const std::string& name) {
+StatusOr<SimilarityMetric> SimilarityMetricFromName(const std::string& name) {
   if (name == "euclidean") return SimilarityMetric::kEuclidean;
   if (name == "manhattan") return SimilarityMetric::kManhattan;
   if (name == "cosine") return SimilarityMetric::kCosine;
@@ -32,8 +32,7 @@ SimilarityMetric SimilarityMetricFromName(const std::string& name) {
     return SimilarityMetric::kRbf;
   if (name == "pearson") return SimilarityMetric::kPearson;
   if (name == "inner_product") return SimilarityMetric::kInnerProduct;
-  GNN4TDL_CHECK_MSG(false, "unknown similarity metric name");
-  return SimilarityMetric::kEuclidean;
+  return Status::InvalidArgument("unknown similarity metric: '" + name + "'");
 }
 
 double RowSimilarity(const Matrix& x, size_t a, size_t b, SimilarityMetric m,

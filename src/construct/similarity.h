@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/status.h"
 #include "tensor/matrix.h"
 
 namespace gnn4tdl {
@@ -20,7 +21,10 @@ enum class SimilarityMetric {
 };
 
 const char* SimilarityMetricName(SimilarityMetric m);
-SimilarityMetric SimilarityMetricFromName(const std::string& name);
+
+/// Parses a metric name produced by SimilarityMetricName (plus the "gaussian"
+/// / "heat" aliases for rbf). Unknown names are InvalidArgument.
+StatusOr<SimilarityMetric> SimilarityMetricFromName(const std::string& name);
 
 /// Similarity between rows `a` and `b` of `x`. `gamma` is the RBF bandwidth
 /// (ignored by other metrics).

@@ -1,8 +1,14 @@
 #include "data/transforms.h"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 namespace gnn4tdl {
+
+namespace {
+constexpr char kFeaturizerMagic[] = "gnn4tdl-featurizer-v1";
+}  // namespace
 
 Status Featurizer::Fit(const TabularDataset& data,
                        const std::vector<size_t>& fit_rows) {
@@ -130,6 +136,66 @@ StatusOr<Matrix> Featurizer::Transform(const TabularDataset& data) const {
   }
   GNN4TDL_CHECK_EQ(out_col, output_dim_);
   return x;
+}
+
+Status Featurizer::Save(std::ostream& out) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("Featurizer::Save before Fit");
+  }
+  if (!out) return Status::IoError("featurizer output stream is not writable");
+  std::streamsize old_precision = out.precision(17);
+  out << kFeaturizerMagic << '\n';
+  out << options_.standardize << ' ' << options_.one_hot << ' '
+      << options_.missing_fill << ' ' << options_.add_missing_indicators
+      << '\n';
+  out << num_source_cols_ << ' ' << output_dim_ << '\n';
+  for (size_t c = 0; c < num_source_cols_; ++c) {
+    out << numeric_stats_[c].mean << ' ' << numeric_stats_[c].stddev << ' '
+        << cardinalities_[c] << ' ' << (has_missing_[c] ? 1 : 0) << '\n';
+  }
+  for (size_t j = 0; j < output_to_source_.size(); ++j) {
+    out << output_to_source_[j] << (j + 1 < output_to_source_.size() ? ' ' : '\n');
+  }
+  out.precision(old_precision);
+  if (!out) return Status::IoError("write failure on featurizer stream");
+  return Status::OK();
+}
+
+StatusOr<Featurizer> Featurizer::Load(std::istream& in) {
+  std::string magic;
+  if (!(in >> magic) || magic != kFeaturizerMagic) {
+    return Status::InvalidArgument("stream is not a gnn4tdl featurizer block");
+  }
+  FeaturizerOptions options;
+  if (!(in >> options.standardize >> options.one_hot >> options.missing_fill >>
+        options.add_missing_indicators)) {
+    return Status::IoError("truncated featurizer block");
+  }
+  Featurizer f(options);
+  if (!(in >> f.num_source_cols_ >> f.output_dim_)) {
+    return Status::IoError("truncated featurizer block");
+  }
+  f.numeric_stats_.resize(f.num_source_cols_);
+  f.cardinalities_.resize(f.num_source_cols_);
+  f.has_missing_.resize(f.num_source_cols_);
+  for (size_t c = 0; c < f.num_source_cols_; ++c) {
+    size_t cardinality = 0;
+    int missing = 0;
+    if (!(in >> f.numeric_stats_[c].mean >> f.numeric_stats_[c].stddev >>
+          cardinality >> missing)) {
+      return Status::IoError("truncated featurizer block");
+    }
+    f.cardinalities_[c] = cardinality;
+    f.has_missing_[c] = missing != 0;
+  }
+  f.output_to_source_.resize(f.output_dim_);
+  for (size_t j = 0; j < f.output_dim_; ++j) {
+    if (!(in >> f.output_to_source_[j])) {
+      return Status::IoError("truncated featurizer block");
+    }
+  }
+  f.fitted_ = true;
+  return f;
 }
 
 StatusOr<Matrix> Featurizer::FitTransform(const TabularDataset& data) {

@@ -1,6 +1,7 @@
 #ifndef GNN4TDL_DATA_TRANSFORMS_H_
 #define GNN4TDL_DATA_TRANSFORMS_H_
 
+#include <iosfwd>
 #include <vector>
 
 #include "common/status.h"
@@ -55,6 +56,14 @@ class Featurizer {
   const std::vector<size_t>& OutputToSourceColumn() const {
     return output_to_source_;
   }
+
+  /// Serializes the fitted transform (options + per-column statistics) as a
+  /// self-delimiting text block, so a serving process can reproduce
+  /// Transform() exactly without the training data.
+  Status Save(std::ostream& out) const;
+
+  /// Restores a featurizer saved by Save(). The result is fitted.
+  static StatusOr<Featurizer> Load(std::istream& in);
 
  private:
   struct NumericStats {

@@ -9,34 +9,37 @@ namespace {
 constexpr char kMagic[] = "# gnn4tdl-edgelist";
 }  // namespace
 
-Status WriteEdgeList(const Graph& g, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
-  out << kMagic << ' ' << g.num_nodes() << '\n';
-  out.precision(17);
+Status WriteEdgeList(const Graph& g, std::ostream& out, bool with_edge_count) {
+  if (!out) return Status::IoError("edge list output stream is not writable");
+  out << kMagic << ' ' << g.num_nodes();
+  if (with_edge_count) out << ' ' << g.num_edges();
+  out << '\n';
+  std::streamsize old_precision = out.precision(17);
   for (const Edge& e : g.EdgeList())
     out << e.src << '\t' << e.dst << '\t' << e.weight << '\n';
-  if (!out) return Status::IoError("write failure on '" + path + "'");
+  out.precision(old_precision);
+  if (!out) return Status::IoError("write failure on edge list stream");
   return Status::OK();
 }
 
-StatusOr<Graph> ReadEdgeList(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open '" + path + "'");
-
+StatusOr<Graph> ReadEdgeList(std::istream& in) {
   std::string line;
-  if (!std::getline(in, line)) return Status::IoError("empty file: " + path);
+  if (!std::getline(in, line)) return Status::IoError("empty edge list stream");
   std::istringstream header(line);
   std::string hash, tag;
   size_t num_nodes = 0;
   if (!(header >> hash >> tag >> num_nodes) || hash != "#" ||
       tag != "gnn4tdl-edgelist") {
-    return Status::InvalidArgument("'" + path + "' is not a gnn4tdl edge list");
+    return Status::InvalidArgument("stream is not a gnn4tdl edge list");
   }
+  size_t num_edges = 0;
+  const bool has_edge_count = static_cast<bool>(header >> num_edges);
 
   std::vector<Edge> edges;
+  if (has_edge_count) edges.reserve(num_edges);
   size_t line_no = 1;
-  while (std::getline(in, line)) {
+  while ((!has_edge_count || edges.size() < num_edges) &&
+         std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream row(line);
@@ -51,7 +54,35 @@ StatusOr<Graph> ReadEdgeList(const std::string& path) {
     }
     edges.push_back(e);
   }
+  if (has_edge_count && edges.size() < num_edges) {
+    return Status::IoError("edge list truncated: expected " +
+                           std::to_string(num_edges) + " edges, got " +
+                           std::to_string(edges.size()));
+  }
   return Graph::FromEdges(num_nodes, edges, /*symmetrize=*/false);
+}
+
+Status WriteEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  Status s = WriteEdgeList(g, out, /*with_edge_count=*/false);
+  if (!s.ok()) return s;
+  if (!out) return Status::IoError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+StatusOr<Graph> ReadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  StatusOr<Graph> g = ReadEdgeList(in);
+  if (!g.ok() && g.status().code() == StatusCode::kInvalidArgument) {
+    return Status::InvalidArgument("'" + path + "' is not a gnn4tdl edge list");
+  }
+  if (!g.ok() && g.status().code() == StatusCode::kIoError &&
+      g.status().message() == "empty edge list stream") {
+    return Status::IoError("empty file: " + path);
+  }
+  return g;
 }
 
 }  // namespace gnn4tdl

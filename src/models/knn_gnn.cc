@@ -4,8 +4,10 @@
 #include "gnn/appnp.h"
 #include "gnn/graph_transformer.h"
 #include "graph/sampling.h"
+#include "nn/serialize.h"
 
 #include <algorithm>
+#include <cmath>
 #include "nn/ops.h"
 
 namespace gnn4tdl {
@@ -30,7 +32,7 @@ const char* GnnBackboneName(GnnBackbone b) {
   return "unknown";
 }
 
-GnnBackbone GnnBackboneFromName(const std::string& name) {
+StatusOr<GnnBackbone> GnnBackboneFromName(const std::string& name) {
   if (name == "gcn") return GnnBackbone::kGcn;
   if (name == "sage") return GnnBackbone::kSage;
   if (name == "gat") return GnnBackbone::kGat;
@@ -38,8 +40,7 @@ GnnBackbone GnnBackboneFromName(const std::string& name) {
   if (name == "ggnn") return GnnBackbone::kGgnn;
   if (name == "appnp") return GnnBackbone::kAppnp;
   if (name == "graph_transformer") return GnnBackbone::kTransformer;
-  GNN4TDL_CHECK_MSG(false, "unknown backbone name");
-  return GnnBackbone::kGcn;
+  return Status::InvalidArgument("unknown GNN backbone: '" + name + "'");
 }
 
 const char* GraphSourceName(GraphSource s) {
@@ -72,6 +73,49 @@ const char* TrainStrategyName(TrainStrategy s) {
   return "unknown";
 }
 
+namespace {
+
+/// Graph::GcnNormalized with the normalization degrees supplied externally:
+/// `deg_no_self[v]` is the weighted degree of v *excluding* the self-loop
+/// added here (replicating Graph::GcnNormalized arithmetic exactly). Used to
+/// normalize a k-hop subgraph with the degrees of the graph it was cut from.
+SparseMatrix GcnNormalizedWithDegrees(const Graph& g,
+                                      const std::vector<double>& deg_no_self) {
+  const SparseMatrix& adj = g.adjacency();
+  const size_t n = g.num_nodes();
+  std::vector<Triplet> triplets;
+  triplets.reserve(adj.nnz() + n);
+  for (size_t v = 0; v < n; ++v)
+    for (size_t k = adj.row_ptr()[v]; k < adj.row_ptr()[v + 1]; ++k)
+      triplets.push_back({v, adj.col_idx()[k], adj.values()[k]});
+  for (size_t v = 0; v < n; ++v) triplets.push_back({v, v, 1.0});
+  for (Triplet& t : triplets) {
+    double du = deg_no_self[t.row] + 1.0;
+    double dv = deg_no_self[t.col] + 1.0;
+    double ds = du > 0 ? std::sqrt(du) : 1.0;
+    double dd = dv > 0 ? std::sqrt(dv) : 1.0;
+    t.value /= ds * dd;
+  }
+  return SparseMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+/// Graph::RowNormalized with externally supplied weighted degrees.
+SparseMatrix RowNormalizedWithDegrees(const Graph& g,
+                                      const std::vector<double>& deg) {
+  const SparseMatrix& adj = g.adjacency();
+  const size_t n = g.num_nodes();
+  std::vector<Triplet> triplets;
+  triplets.reserve(adj.nnz());
+  for (size_t v = 0; v < n; ++v) {
+    if (deg[v] == 0.0) continue;
+    for (size_t k = adj.row_ptr()[v]; k < adj.row_ptr()[v + 1]; ++k)
+      triplets.push_back({v, adj.col_idx()[k], adj.values()[k] / deg[v]});
+  }
+  return SparseMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+}  // namespace
+
 /// The message-passing operators a backbone consumes, derived from a graph.
 /// Kept separate from the Encoder's parameters so the same trained weights
 /// can run on a different graph — the mechanism behind inductive prediction
@@ -81,16 +125,21 @@ struct InstanceGraphGnn::Operators {
   GatLayer::EdgeIndex edge_index;
   Matrix dense;
 
-  static Operators Build(GnnBackbone backbone, const Graph& graph) {
+  static Operators Build(GnnBackbone backbone, const Graph& graph,
+                         const std::vector<double>* degree_override = nullptr) {
     Operators out;
     switch (backbone) {
       case GnnBackbone::kGcn:
       case GnnBackbone::kAppnp:
-        out.sparse = graph.GcnNormalized();
+        out.sparse = degree_override
+                         ? GcnNormalizedWithDegrees(graph, *degree_override)
+                         : graph.GcnNormalized();
         break;
       case GnnBackbone::kSage:
       case GnnBackbone::kGgnn:
-        out.sparse = graph.RowNormalized();
+        out.sparse = degree_override
+                         ? RowNormalizedWithDegrees(graph, *degree_override)
+                         : graph.RowNormalized();
         break;
       case GnnBackbone::kGin:
         out.sparse = graph.adjacency();
@@ -99,7 +148,10 @@ struct InstanceGraphGnn::Operators {
         out.edge_index = GatLayer::BuildEdgeIndex(graph);
         break;
       case GnnBackbone::kTransformer:
-        out.dense = graph.GcnNormalized().ToDense();
+        out.dense = (degree_override
+                         ? GcnNormalizedWithDegrees(graph, *degree_override)
+                         : graph.GcnNormalized())
+                        .ToDense();
         break;
     }
     return out;
@@ -547,6 +599,92 @@ StatusOr<Matrix> InstanceGraphGnn::PredictInductive(
 StatusOr<Matrix> InstanceGraphGnn::Embeddings() const {
   if (!fitted_) return Status::FailedPrecondition("Embeddings before Fit");
   return Encode(Tensor::Constant(x_cache_), false).value();
+}
+
+namespace {
+
+/// Module view over the encoder+head pair, so nn/serialize can write/read
+/// the inference-relevant parameters as one deterministic block (auxiliary
+/// task heads are deliberately excluded — they are training-only).
+class TrainedBundle : public Module {
+ public:
+  TrainedBundle(Module* encoder, Module* head) {
+    RegisterSubmodule(encoder);
+    RegisterSubmodule(head);
+  }
+};
+
+}  // namespace
+
+size_t InstanceGraphGnn::output_dim() const {
+  return head_ != nullptr ? head_->out_dim() : 0;
+}
+
+Status InstanceGraphGnn::SaveTrainedParameters(std::ostream& out) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("SaveTrainedParameters before Fit");
+  }
+  TrainedBundle bundle(encoder_.get(), head_.get());
+  return SaveParameters(bundle, out);
+}
+
+Status InstanceGraphGnn::LoadTrainedParameters(std::istream& in) {
+  if (encoder_ == nullptr || head_ == nullptr) {
+    return Status::FailedPrecondition(
+        "LoadTrainedParameters before Fit or RestoreForInference");
+  }
+  TrainedBundle bundle(encoder_.get(), head_.get());
+  return LoadParameters(bundle, in);
+}
+
+Status InstanceGraphGnn::RestoreForInference(TaskType task, size_t num_outputs,
+                                             Featurizer featurizer, Graph graph,
+                                             Matrix x_cache) {
+  if (task == TaskType::kNone) {
+    return Status::InvalidArgument("cannot restore an unlabeled-task model");
+  }
+  if (num_outputs == 0) {
+    return Status::InvalidArgument("num_outputs must be positive");
+  }
+  if (graph.num_nodes() != x_cache.rows()) {
+    return Status::InvalidArgument(
+        "graph node count does not match feature row count");
+  }
+  task_ = task;
+  featurizer_ = std::move(featurizer);
+  graph_ = std::move(graph);
+  graph_set_ = true;
+  x_cache_ = std::move(x_cache);
+
+  encoder_ = std::make_unique<Encoder>(options_, x_cache_.cols(), rng_);
+  operators_ =
+      std::make_unique<Operators>(Operators::Build(options_.backbone, graph_));
+  const bool jk = options_.use_jumping_knowledge &&
+                  options_.backbone == GnnBackbone::kGcn;
+  const size_t emb_dim =
+      jk ? options_.hidden_dim * options_.num_layers : options_.hidden_dim;
+  head_ = std::make_unique<Linear>(emb_dim, num_outputs, rng_);
+  recon_.reset();
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<Matrix> InstanceGraphGnn::ScoreOnGraph(
+    const Matrix& x, const Graph& graph,
+    const std::vector<double>* degree_override) const {
+  if (!fitted_) return Status::FailedPrecondition("ScoreOnGraph before Fit");
+  if (x.rows() != graph.num_nodes()) {
+    return Status::InvalidArgument("feature rows do not match graph nodes");
+  }
+  if (degree_override != nullptr &&
+      degree_override->size() != graph.num_nodes()) {
+    return Status::InvalidArgument("degree override size mismatch");
+  }
+  Operators local_ops =
+      Operators::Build(options_.backbone, graph, degree_override);
+  Tensor emb = encoder_->Forward(Tensor::Constant(x), local_ops, rng_,
+                                 /*training=*/false);
+  return head_->Forward(emb).value();
 }
 
 }  // namespace gnn4tdl

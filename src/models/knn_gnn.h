@@ -1,6 +1,7 @@
 #ifndef GNN4TDL_MODELS_KNN_GNN_H_
 #define GNN4TDL_MODELS_KNN_GNN_H_
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,7 +31,10 @@ enum class GnnBackbone {
 };
 
 const char* GnnBackboneName(GnnBackbone b);
-GnnBackbone GnnBackboneFromName(const std::string& name);
+
+/// Parses a backbone name produced by GnnBackboneName. Unknown names are
+/// InvalidArgument.
+StatusOr<GnnBackbone> GnnBackboneFromName(const std::string& name);
 
 /// How the instance graph is obtained (Table 3 / Section 4.2).
 enum class GraphSource {
@@ -141,6 +145,46 @@ class InstanceGraphGnn : public TabularModel {
 
   /// The constructed graph (after Fit).
   const Graph& graph() const { return graph_; }
+
+  // --- Serving hooks (consumed by src/serve) --------------------------------
+
+  const InstanceGraphGnnOptions& options() const { return options_; }
+  /// Fitted feature transform (valid after Fit / RestoreForInference).
+  const Featurizer& featurizer() const { return featurizer_; }
+  /// Featurized training matrix (valid after Fit / RestoreForInference).
+  const Matrix& feature_cache() const { return x_cache_; }
+  TaskType task() const { return task_; }
+  bool fitted() const { return fitted_; }
+  /// Output dimension of the head (num_classes, or 1 for regression).
+  size_t output_dim() const;
+
+  /// Writes the trained encoder+head parameters as an nn/serialize block.
+  Status SaveTrainedParameters(std::ostream& out) const;
+
+  /// Loads parameters written by SaveTrainedParameters into the assembled
+  /// encoder+head (call after Fit or RestoreForInference).
+  Status LoadTrainedParameters(std::istream& in);
+
+  /// Rebuilds the inference state from frozen-artifact pieces without
+  /// training: assembles encoder/head for `num_outputs` outputs, installs the
+  /// fitted featurizer, training graph, and featurized training matrix, and
+  /// marks the model fitted. Weights are randomly initialized until
+  /// LoadTrainedParameters overwrites them.
+  Status RestoreForInference(TaskType task, size_t num_outputs,
+                             Featurizer featurizer, Graph graph,
+                             Matrix x_cache);
+
+  /// Forward-only scoring on an alternative graph with this model's trained
+  /// weights: builds the backbone's message-passing operator from `graph` and
+  /// returns head logits for every node (`x` holds one feature row per node).
+  /// `degree_override`, when non-null, supplies the weighted degree of each
+  /// node (excluding the self-loop GCN normalization adds) to use instead of
+  /// degrees computed from `graph` — the mechanism serve/InductiveAttacher
+  /// uses to make k-hop subgraph scoring bit-exact with full-graph inductive
+  /// prediction.
+  StatusOr<Matrix> ScoreOnGraph(
+      const Matrix& x, const Graph& graph,
+      const std::vector<double>* degree_override = nullptr) const;
 
  private:
   struct Operators;

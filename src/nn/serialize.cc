@@ -11,13 +11,12 @@ namespace {
 constexpr char kMagic[] = "gnn4tdl-params-v1";
 }  // namespace
 
-Status SaveParameters(const Module& module, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+Status SaveParameters(const Module& module, std::ostream& out) {
+  if (!out) return Status::IoError("parameter output stream is not writable");
 
   std::vector<Tensor> params = module.Parameters();
   out << kMagic << '\n' << params.size() << '\n';
-  out.precision(17);
+  std::streamsize old_precision = out.precision(17);
   for (const Tensor& p : params) {
     out << p.rows() << ' ' << p.cols() << '\n';
     const Matrix& m = p.value();
@@ -29,20 +28,18 @@ Status SaveParameters(const Module& module, const std::string& path) {
       out << '\n';
     }
   }
-  if (!out) return Status::IoError("write failure on '" + path + "'");
+  out.precision(old_precision);
+  if (!out) return Status::IoError("write failure on parameter stream");
   return Status::OK();
 }
 
-Status LoadParameters(const Module& module, const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open '" + path + "'");
-
+Status LoadParameters(const Module& module, std::istream& in) {
   std::string magic;
   if (!(in >> magic) || magic != kMagic) {
-    return Status::InvalidArgument("'" + path + "' is not a gnn4tdl parameter file");
+    return Status::InvalidArgument("stream is not a gnn4tdl parameter block");
   }
   size_t count = 0;
-  if (!(in >> count)) return Status::IoError("truncated parameter file");
+  if (!(in >> count)) return Status::IoError("truncated parameter block");
 
   std::vector<Tensor> params = module.Parameters();
   if (count != params.size()) {
@@ -52,7 +49,7 @@ Status LoadParameters(const Module& module, const std::string& path) {
   }
   for (Tensor& p : params) {
     size_t rows = 0, cols = 0;
-    if (!(in >> rows >> cols)) return Status::IoError("truncated parameter file");
+    if (!(in >> rows >> cols)) return Status::IoError("truncated parameter block");
     if (rows != p.rows() || cols != p.cols()) {
       return Status::InvalidArgument(
           "parameter shape mismatch: file has " + std::to_string(rows) + "x" +
@@ -62,9 +59,30 @@ Status LoadParameters(const Module& module, const std::string& path) {
     Matrix& m = p.mutable_value();
     for (size_t r = 0; r < rows; ++r)
       for (size_t c = 0; c < cols; ++c)
-        if (!(in >> m(r, c))) return Status::IoError("truncated parameter file");
+        if (!(in >> m(r, c))) return Status::IoError("truncated parameter block");
   }
   return Status::OK();
+}
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  Status s = SaveParameters(module, out);
+  if (!s.ok()) return s;
+  if (!out) return Status::IoError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+Status LoadParameters(const Module& module, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  Status s = LoadParameters(module, in);
+  if (!s.ok() && s.code() == StatusCode::kInvalidArgument &&
+      s.message() == "stream is not a gnn4tdl parameter block") {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a gnn4tdl parameter file");
+  }
+  return s;
 }
 
 }  // namespace gnn4tdl

@@ -1,6 +1,7 @@
 #ifndef GNN4TDL_NN_SERIALIZE_H_
 #define GNN4TDL_NN_SERIALIZE_H_
 
+#include <iosfwd>
 #include <string>
 
 #include "common/status.h"
@@ -17,6 +18,13 @@ Status SaveParameters(const Module& module, const std::string& path);
 /// must have the same structure (same parameter count and shapes) as the one
 /// that was saved — construct it with the same options first.
 Status LoadParameters(const Module& module, const std::string& path);
+
+/// Stream variants of the same format, for embedding a parameter block inside
+/// a larger artifact (e.g. a serve/FrozenModel file). The block is
+/// self-delimiting: it records its own parameter count, so the stream is left
+/// positioned immediately after the block.
+Status SaveParameters(const Module& module, std::ostream& out);
+Status LoadParameters(const Module& module, std::istream& in);
 
 }  // namespace gnn4tdl
 

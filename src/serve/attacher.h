@@ -1,0 +1,81 @@
+#ifndef GNN4TDL_SERVE_ATTACHER_H_
+#define GNN4TDL_SERVE_ATTACHER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "serve/knn_index.h"
+#include "tensor/matrix.h"
+
+namespace gnn4tdl {
+
+/// Options for InductiveAttacher.
+struct InductiveAttacherOptions {
+  /// Attach edges per new row (the trained model's knn.k).
+  size_t k = 10;
+  /// Message-passing depth of the model (effective number of propagation
+  /// steps). The extracted subgraph covers every training node within `hops`
+  /// hops of a new row — the exact receptive field of the new rows.
+  size_t hops = 2;
+  /// Include every training node regardless of distance. Required for
+  /// backbones whose receptive field is global (graph transformer) or whose
+  /// layers couple all rows (PairNorm); otherwise a pure efficiency/accuracy
+  /// trade-off knob.
+  bool full_neighborhood = false;
+};
+
+/// One micro-batch of new rows attached to the frozen training graph.
+/// Node layout: the included training nodes first (in ascending original id
+/// order, so CSR column order — and therefore floating-point summation order
+/// — matches the full extended graph), then the new rows.
+struct AttachedBatch {
+  Graph graph;
+  /// One feature row per subgraph node.
+  Matrix features;
+  /// Weighted degree of each subgraph node *in the full extended graph*
+  /// (training graph + this batch's attach edges, excluding the self-loop GCN
+  /// normalization adds). Passing this to InstanceGraphGnn::ScoreOnGraph
+  /// makes subgraph scoring bit-exact with full-graph PredictInductive.
+  std::vector<double> degrees;
+  /// Original training-graph ids of the included training nodes, ascending.
+  std::vector<size_t> train_nodes;
+  size_t num_new = 0;
+
+  /// Local subgraph id of new row `i`.
+  size_t NewNodeLocal(size_t i) const { return train_nodes.size() + i; }
+};
+
+/// Connects incoming rows to the frozen training graph for inductive
+/// inference: each new row gets `k` attach edges to its nearest training
+/// rows (via the prebuilt KnnIndex), and only the training nodes inside the
+/// new rows' `hops`-hop receptive field are materialized — the irregular
+/// neighborhood gather is bounded per request instead of touching the whole
+/// training set.
+///
+/// The referenced graph, feature matrix, and index must outlive the attacher
+/// (FrozenModel owns all three behind stable pointers).
+class InductiveAttacher {
+ public:
+  InductiveAttacher(const Graph* train_graph, const Matrix* x_train,
+                    const KnnIndex* index, InductiveAttacherOptions options);
+
+  /// Builds the attached subgraph for a batch of featurized new rows
+  /// (n_new x dim). New rows attach to training rows only, never to each
+  /// other, matching InstanceGraphGnn::PredictInductive semantics.
+  StatusOr<AttachedBatch> Attach(const Matrix& x_new) const;
+
+  const InductiveAttacherOptions& options() const { return options_; }
+
+ private:
+  const Graph* train_graph_;
+  const Matrix* x_train_;
+  const KnnIndex* index_;
+  InductiveAttacherOptions options_;
+  /// Weighted degrees of the training graph, precomputed at build time.
+  std::vector<double> full_degree_;
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_SERVE_ATTACHER_H_

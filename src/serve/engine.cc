@@ -1,0 +1,180 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace gnn4tdl {
+
+namespace {
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+std::string ServeStats::ToString() const {
+  std::ostringstream out;
+  out << "requests=" << requests << " batches=" << batches
+      << " rejected=" << rejected << " mean_batch=" << mean_batch_rows
+      << " p50_ms=" << p50_ms << " p95_ms=" << p95_ms << " p99_ms=" << p99_ms
+      << " max_ms=" << max_ms << " throughput_rps=" << throughput_rps
+      << " max_queue_depth=" << max_queue_depth;
+  return out.str();
+}
+
+ServingEngine::ServingEngine(const FrozenModel* model, ServingOptions options)
+    : model_(model), options_(options) {
+  GNN4TDL_CHECK(model_ != nullptr);
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.deadline_ms < 0.0) options_.deadline_ms = 0.0;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+ServingEngine::~ServingEngine() { Stop(); }
+
+void ServingEngine::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::future<std::vector<double>> ServingEngine::Submit(
+    std::vector<double> features) {
+  Request req;
+  req.features = std::move(features);
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<std::vector<double>> future = req.promise.get_future();
+
+  std::string reject;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      reject = "serving engine is stopped";
+    } else if (req.features.size() != model_->feature_dim()) {
+      reject = "feature vector has " + std::to_string(req.features.size()) +
+               " entries, the frozen model expects " +
+               std::to_string(model_->feature_dim());
+    } else if (queue_.size() >= options_.queue_capacity) {
+      reject = "serving queue is full (" +
+               std::to_string(options_.queue_capacity) + " rows)";
+      ++rejected_;
+    } else {
+      if (!any_request_) {
+        any_request_ = true;
+        first_submit_ = req.enqueued;
+      }
+      queue_.push_back(std::move(req));
+      max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+    }
+  }
+  if (!reject.empty()) {
+    req.promise.set_exception(
+        std::make_exception_ptr(std::runtime_error(reject)));
+  } else {
+    cv_.notify_one();
+  }
+  return future;
+}
+
+void ServingEngine::WorkerLoop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stopping_ and fully drained
+
+      // Hold the batch open until it fills or the oldest request's deadline
+      // passes; stop requests close it immediately.
+      auto deadline =
+          queue_.front().enqueued +
+          std::chrono::microseconds(
+              static_cast<long long>(options_.deadline_ms * 1000.0));
+      cv_.wait_until(lock, deadline, [this] {
+        return stopping_ || queue_.size() >= options_.max_batch;
+      });
+
+      size_t take = std::min(queue_.size(), options_.max_batch);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+
+    Matrix x(batch.size(), model_->feature_dim());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      std::copy(batch[i].features.begin(), batch[i].features.end(),
+                x.row_data(i));
+    }
+    StatusOr<Matrix> logits = model_->ScoreFeatures(x);
+    auto done = std::chrono::steady_clock::now();
+
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!logits.ok()) {
+        batch[i].promise.set_exception(std::make_exception_ptr(
+            std::runtime_error(logits.status().ToString())));
+      } else {
+        std::vector<double> row(logits->row_data(i),
+                                logits->row_data(i) + logits->cols());
+        batch[i].promise.set_value(std::move(row));
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_rows_.push_back(batch.size());
+      for (const Request& req : batch) {
+        double ms = std::chrono::duration<double, std::milli>(
+                        done - req.enqueued)
+                        .count();
+        latencies_ms_.push_back(ms);
+      }
+      last_complete_ = done;
+    }
+  }
+}
+
+ServeStats ServingEngine::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServeStats stats;
+  stats.requests = latencies_ms_.size();
+  stats.batches = batch_rows_.size();
+  stats.rejected = rejected_;
+  stats.max_queue_depth = max_queue_depth_;
+  if (!batch_rows_.empty()) {
+    size_t total = 0;
+    for (size_t b : batch_rows_) total += b;
+    stats.mean_batch_rows =
+        static_cast<double>(total) / static_cast<double>(batch_rows_.size());
+  }
+  if (!latencies_ms_.empty()) {
+    std::vector<double> sorted = latencies_ms_;
+    std::sort(sorted.begin(), sorted.end());
+    stats.p50_ms = Percentile(sorted, 0.50);
+    stats.p95_ms = Percentile(sorted, 0.95);
+    stats.p99_ms = Percentile(sorted, 0.99);
+    stats.max_ms = sorted.back();
+    double span_s = std::chrono::duration<double>(last_complete_ -
+                                                  first_submit_)
+                        .count();
+    stats.throughput_rps =
+        span_s > 0.0 ? static_cast<double>(stats.requests) / span_s : 0.0;
+  }
+  return stats;
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,260 @@
+#include "serve/frozen_model.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "graph/graph_io.h"
+
+namespace gnn4tdl {
+
+namespace {
+
+constexpr char kFrozenMagic[] = "gnn4tdl-frozen-model-v1";
+
+/// Number of message-passing steps the backbone runs — the receptive-field
+/// radius the attacher must cover.
+size_t EffectiveHops(const InstanceGraphGnnOptions& o) {
+  if (o.backbone == GnnBackbone::kAppnp) {
+    return std::max<size_t>(o.appnp_steps, 1);
+  }
+  return std::max<size_t>(o.num_layers, 1);
+}
+
+/// True when per-node outputs depend on nodes outside any k-hop ball (global
+/// attention, or PairNorm's batch statistics): the attacher must then keep
+/// the whole training graph to stay faithful to PredictInductive.
+bool NeedsFullNeighborhood(const InstanceGraphGnnOptions& o) {
+  return o.backbone == GnnBackbone::kTransformer || o.use_pair_norm;
+}
+
+Status ExpectField(std::istream& in, const std::string& want) {
+  std::string got;
+  if (!(in >> got)) {
+    return Status::IoError("frozen model: truncated before field '" + want +
+                           "'");
+  }
+  if (got != want) {
+    return Status::IoError("frozen model: expected field '" + want +
+                           "', got '" + got + "'");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status ReadField(std::istream& in, const std::string& name, T& out) {
+  GNN4TDL_RETURN_IF_ERROR(ExpectField(in, name));
+  if (!(in >> out)) {
+    return Status::IoError("frozen model: unreadable value for field '" +
+                           name + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FrozenModel::Save(const InstanceGraphGnn& model, std::ostream& out) {
+  if (!model.fitted()) {
+    return Status::FailedPrecondition("FrozenModel::Save before Fit");
+  }
+  if (model.options().node_init == NodeInit::kIdentity) {
+    return Status::FailedPrecondition(
+        "identity node init is transductive-only and cannot be frozen for "
+        "inductive serving");
+  }
+  if (!out) return Status::IoError("frozen model stream is not writable");
+
+  const InstanceGraphGnnOptions& o = model.options();
+  std::streamsize old_precision = out.precision(17);
+  out << kFrozenMagic << '\n';
+  out << "task " << static_cast<int>(model.task()) << '\n';
+  out << "num_outputs " << model.output_dim() << '\n';
+  out << "backbone " << GnnBackboneName(o.backbone) << '\n';
+  out << "hidden_dim " << o.hidden_dim << '\n';
+  out << "num_layers " << o.num_layers << '\n';
+  out << "gat_heads " << o.gat_heads << '\n';
+  out << "appnp_steps " << o.appnp_steps << '\n';
+  out << "appnp_alpha " << o.appnp_alpha << '\n';
+  out << "use_pair_norm " << (o.use_pair_norm ? 1 : 0) << '\n';
+  out << "use_jumping_knowledge " << (o.use_jumping_knowledge ? 1 : 0) << '\n';
+  out << "knn_k " << o.knn.k << '\n';
+  out << "knn_metric " << SimilarityMetricName(o.knn.metric) << '\n';
+  out << "knn_gamma " << o.knn.gamma << '\n';
+  out << "seed " << o.seed << '\n';
+  out.precision(old_precision);
+
+  GNN4TDL_RETURN_IF_ERROR(model.featurizer().Save(out));
+  GNN4TDL_RETURN_IF_ERROR(
+      WriteEdgeList(model.graph(), out, /*with_edge_count=*/true));
+
+  const Matrix& x = model.feature_cache();
+  old_precision = out.precision(17);
+  out << "features " << x.rows() << ' ' << x.cols() << '\n';
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.row_data(i);
+    for (size_t j = 0; j < x.cols(); ++j) {
+      out << row[j] << (j + 1 < x.cols() ? ' ' : '\n');
+    }
+  }
+  out.precision(old_precision);
+
+  GNN4TDL_RETURN_IF_ERROR(model.SaveTrainedParameters(out));
+  if (!out) return Status::IoError("write failure on frozen model stream");
+  return Status::OK();
+}
+
+Status FrozenModel::Save(const InstanceGraphGnn& model,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  GNN4TDL_RETURN_IF_ERROR(Save(model, out));
+  if (!out) return Status::IoError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+StatusOr<FrozenModel> FrozenModel::Load(std::istream& in,
+                                        FrozenModelOptions options) {
+  std::string magic;
+  if (!(in >> magic) || magic != kFrozenMagic) {
+    return Status::InvalidArgument(
+        "stream is not a gnn4tdl frozen model (bad magic)");
+  }
+
+  int task_int = 0;
+  size_t num_outputs = 0;
+  GNN4TDL_RETURN_IF_ERROR(ReadField(in, "task", task_int));
+  GNN4TDL_RETURN_IF_ERROR(ReadField(in, "num_outputs", num_outputs));
+
+  InstanceGraphGnnOptions o;
+  std::string backbone_name, metric_name;
+  int pair_norm = 0, jk = 0;
+  GNN4TDL_RETURN_IF_ERROR(ReadField(in, "backbone", backbone_name));
+  GNN4TDL_RETURN_IF_ERROR(ReadField(in, "hidden_dim", o.hidden_dim));
+  GNN4TDL_RETURN_IF_ERROR(ReadField(in, "num_layers", o.num_layers));
+  GNN4TDL_RETURN_IF_ERROR(ReadField(in, "gat_heads", o.gat_heads));
+  GNN4TDL_RETURN_IF_ERROR(ReadField(in, "appnp_steps", o.appnp_steps));
+  GNN4TDL_RETURN_IF_ERROR(ReadField(in, "appnp_alpha", o.appnp_alpha));
+  GNN4TDL_RETURN_IF_ERROR(ReadField(in, "use_pair_norm", pair_norm));
+  GNN4TDL_RETURN_IF_ERROR(ReadField(in, "use_jumping_knowledge", jk));
+  GNN4TDL_RETURN_IF_ERROR(ReadField(in, "knn_k", o.knn.k));
+  GNN4TDL_RETURN_IF_ERROR(ReadField(in, "knn_metric", metric_name));
+  GNN4TDL_RETURN_IF_ERROR(ReadField(in, "knn_gamma", o.knn.gamma));
+  GNN4TDL_RETURN_IF_ERROR(ReadField(in, "seed", o.seed));
+
+  StatusOr<GnnBackbone> backbone = GnnBackboneFromName(backbone_name);
+  if (!backbone.ok()) return backbone.status();
+  o.backbone = *backbone;
+  StatusOr<SimilarityMetric> metric = SimilarityMetricFromName(metric_name);
+  if (!metric.ok()) return metric.status();
+  o.knn.metric = *metric;
+  o.use_pair_norm = pair_norm != 0;
+  o.use_jumping_knowledge = jk != 0;
+  o.node_init = NodeInit::kFeatures;
+  // The graph ships with the artifact; construction never reruns at serve
+  // time.
+  o.graph_source = GraphSource::kPrecomputed;
+
+  const TaskType task = static_cast<TaskType>(task_int);
+  if (task != TaskType::kBinaryClassification &&
+      task != TaskType::kMultiClassification &&
+      task != TaskType::kRegression && task != TaskType::kAnomalyDetection) {
+    return Status::IoError("frozen model: unknown task code " +
+                           std::to_string(task_int));
+  }
+
+  StatusOr<Featurizer> featurizer = Featurizer::Load(in);
+  if (!featurizer.ok()) return featurizer.status();
+
+  in >> std::ws;  // ReadEdgeList is line-oriented; start it on the magic line
+  StatusOr<Graph> graph = ReadEdgeList(in);
+  if (!graph.ok()) return graph.status();
+
+  size_t n = 0, d = 0;
+  GNN4TDL_RETURN_IF_ERROR(ExpectField(in, "features"));
+  if (!(in >> n >> d)) {
+    return Status::IoError("frozen model: unreadable feature matrix header");
+  }
+  Matrix x_cache(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    double* row = x_cache.row_data(i);
+    for (size_t j = 0; j < d; ++j) {
+      if (!(in >> row[j])) {
+        return Status::IoError("frozen model: truncated feature matrix at row " +
+                               std::to_string(i));
+      }
+    }
+  }
+
+  FrozenModel frozen;
+  frozen.model_ = std::make_unique<InstanceGraphGnn>(o);
+  GNN4TDL_RETURN_IF_ERROR(frozen.model_->RestoreForInference(
+      task, num_outputs, std::move(*featurizer), std::move(*graph),
+      std::move(x_cache)));
+  GNN4TDL_RETURN_IF_ERROR(frozen.model_->LoadTrainedParameters(in));
+
+  StatusOr<KnnIndex> index =
+      KnnIndex::Build(frozen.model_->feature_cache(), o.knn.metric,
+                      o.knn.gamma, options.index);
+  if (!index.ok()) return index.status();
+  frozen.index_ = std::make_unique<KnnIndex>(std::move(*index));
+
+  InductiveAttacherOptions attach;
+  attach.k = std::max<size_t>(o.knn.k, 1);
+  attach.hops = EffectiveHops(o);
+  attach.full_neighborhood = NeedsFullNeighborhood(o);
+  frozen.attacher_ = std::make_unique<InductiveAttacher>(
+      &frozen.model_->graph(), &frozen.model_->feature_cache(),
+      frozen.index_.get(), attach);
+  return frozen;
+}
+
+StatusOr<FrozenModel> FrozenModel::Load(const std::string& path,
+                                        FrozenModelOptions options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  StatusOr<FrozenModel> frozen = Load(in, options);
+  if (!frozen.ok() &&
+      frozen.status().code() == StatusCode::kInvalidArgument) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a gnn4tdl frozen model");
+  }
+  return frozen;
+}
+
+StatusOr<Matrix> FrozenModel::Featurize(const TabularDataset& rows) const {
+  return model_->featurizer().Transform(rows);
+}
+
+StatusOr<Matrix> FrozenModel::ScoreFeatures(const Matrix& x_new) const {
+  StatusOr<AttachedBatch> batch = attacher_->Attach(x_new);
+  if (!batch.ok()) return batch.status();
+  StatusOr<Matrix> logits =
+      model_->ScoreOnGraph(batch->features, batch->graph, &batch->degrees);
+  if (!logits.ok()) return logits.status();
+  const size_t n_sub = batch->train_nodes.size();
+  Matrix out(batch->num_new, logits->cols());
+  for (size_t i = 0; i < batch->num_new; ++i) {
+    std::copy(logits->row_data(n_sub + i),
+              logits->row_data(n_sub + i) + logits->cols(), out.row_data(i));
+  }
+  return out;
+}
+
+StatusOr<Matrix> FrozenModel::Score(const TabularDataset& rows) const {
+  StatusOr<Matrix> x = Featurize(rows);
+  if (!x.ok()) return x.status();
+  return ScoreFeatures(*x);
+}
+
+TaskType FrozenModel::task() const { return model_->task(); }
+size_t FrozenModel::num_outputs() const { return model_->output_dim(); }
+size_t FrozenModel::feature_dim() const {
+  return model_->feature_cache().cols();
+}
+size_t FrozenModel::num_train_rows() const {
+  return model_->feature_cache().rows();
+}
+
+}  // namespace gnn4tdl

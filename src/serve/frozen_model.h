@@ -1,0 +1,85 @@
+#ifndef GNN4TDL_SERVE_FROZEN_MODEL_H_
+#define GNN4TDL_SERVE_FROZEN_MODEL_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "data/tabular.h"
+#include "models/knn_gnn.h"
+#include "serve/attacher.h"
+#include "serve/knn_index.h"
+#include "tensor/matrix.h"
+
+namespace gnn4tdl {
+
+/// Options for loading a frozen artifact.
+struct FrozenModelOptions {
+  /// Tuning for the serving-side kNN index the attacher queries. Defaults to
+  /// the exact brute-force index, which reproduces the training-side neighbor
+  /// search bit for bit.
+  KnnIndexOptions index;
+};
+
+/// A trained InstanceGraphGnn packaged for online inductive inference: one
+/// versioned artifact file bundling the trained parameters, the construction
+/// options, the training-graph snapshot, the fitted feature transforms, and
+/// the featurized training matrix. Load() reconstructs everything in a fresh
+/// process — no training data or Fit() call required — and wires up an
+/// InductiveAttacher so incoming rows can be scored against the frozen
+/// instance graph.
+///
+/// For GCN/SAGE-family backbones the served scores are bit-identical to
+/// InstanceGraphGnn::PredictInductive on the original model: the attacher
+/// extracts the exact receptive field of the new rows and overrides node
+/// degrees with their full-extended-graph values, so the k-hop subgraph
+/// forward pass computes the same floating-point sums as the full graph.
+class FrozenModel {
+ public:
+  FrozenModel(FrozenModel&&) = default;
+  FrozenModel& operator=(FrozenModel&&) = default;
+
+  /// Writes a fitted model as a frozen artifact. Identity node-init models
+  /// are rejected (they are transductive-only, mirroring PredictInductive).
+  static Status Save(const InstanceGraphGnn& model, std::ostream& out);
+  static Status Save(const InstanceGraphGnn& model, const std::string& path);
+
+  /// Reconstructs a frozen artifact written by Save().
+  static StatusOr<FrozenModel> Load(std::istream& in,
+                                    FrozenModelOptions options = {});
+  static StatusOr<FrozenModel> Load(const std::string& path,
+                                    FrozenModelOptions options = {});
+
+  /// Featurizes raw rows with the frozen transform (schema must match the
+  /// training table).
+  StatusOr<Matrix> Featurize(const TabularDataset& rows) const;
+
+  /// Scores already-featurized rows (n_new x feature_dim()): attach to the
+  /// frozen graph, forward the trained weights over the extracted subgraph,
+  /// return n_new x num_outputs() logits. The whole batch shares one
+  /// extended graph (PredictInductive micro-batch semantics).
+  StatusOr<Matrix> ScoreFeatures(const Matrix& x_new) const;
+
+  /// Featurize + ScoreFeatures.
+  StatusOr<Matrix> Score(const TabularDataset& rows) const;
+
+  TaskType task() const;
+  size_t num_outputs() const;
+  size_t feature_dim() const;
+  size_t num_train_rows() const;
+  const InstanceGraphGnn& model() const { return *model_; }
+  const KnnIndex& index() const { return *index_; }
+  const InductiveAttacher& attacher() const { return *attacher_; }
+
+ private:
+  FrozenModel() = default;
+
+  std::unique_ptr<InstanceGraphGnn> model_;
+  std::unique_ptr<KnnIndex> index_;
+  std::unique_ptr<InductiveAttacher> attacher_;
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_SERVE_FROZEN_MODEL_H_

@@ -1,0 +1,79 @@
+#ifndef GNN4TDL_SERVE_KNN_INDEX_H_
+#define GNN4TDL_SERVE_KNN_INDEX_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "construct/similarity.h"
+#include "tensor/matrix.h"
+
+namespace gnn4tdl {
+
+/// Options for KnnIndex.
+struct KnnIndexOptions {
+  /// 0 = exact brute-force scan (results identical to ranking every
+  /// reference row by construct/similarity RowSimilarity). > 0 partitions the
+  /// reference rows into this many clusters at build time and scans only the
+  /// `num_probes` clusters whose centroids are most similar to the query —
+  /// approximate, but cuts the per-query gather that dominates serving cost.
+  size_t num_clusters = 0;
+  size_t num_probes = 2;
+  /// Lloyd refinement sweeps for the cluster assignment.
+  size_t kmeans_iters = 4;
+  uint64_t seed = 1;
+};
+
+/// A neighbor hit: reference row index and its similarity to the query.
+struct KnnHit {
+  size_t index;
+  double similarity;
+};
+
+/// Read-only k-nearest-neighbor index over the rows of a frozen reference
+/// matrix (the featurized training table of a FrozenModel). Built once at
+/// load time, queried per request by serve/InductiveAttacher.
+///
+/// The exact mode computes similarities with the same arithmetic as
+/// RowSimilarity, so the selected neighbor *set* matches what
+/// InstanceGraphGnn::PredictInductive finds (ties aside).
+class KnnIndex {
+ public:
+  static StatusOr<KnnIndex> Build(Matrix reference, SimilarityMetric metric,
+                                  double gamma = 1.0,
+                                  KnnIndexOptions options = {});
+
+  /// The k reference rows most similar to `query` (length dim()), best
+  /// first.
+  std::vector<KnnHit> Query(const double* query, size_t k) const;
+
+  /// Queries every row of `x` (n x dim()); out[i] = hits for row i.
+  std::vector<std::vector<KnnHit>> QueryBatch(const Matrix& x, size_t k) const;
+
+  size_t num_rows() const { return reference_.rows(); }
+  size_t dim() const { return reference_.cols(); }
+  bool exact() const { return centroids_.empty(); }
+  const Matrix& reference() const { return reference_; }
+
+ private:
+  KnnIndex(Matrix reference, SimilarityMetric metric, double gamma)
+      : reference_(std::move(reference)), metric_(metric), gamma_(gamma) {}
+
+  double Similarity(const double* query, size_t row) const;
+  void ScanInto(const double* query, const std::vector<size_t>& rows,
+                std::vector<KnnHit>& hits) const;
+
+  Matrix reference_;
+  SimilarityMetric metric_;
+  double gamma_;
+
+  // Cluster-pruned mode (empty when exact).
+  Matrix centroids_;                         // num_clusters x dim
+  std::vector<std::vector<size_t>> members_; // rows per cluster
+  size_t num_probes_ = 2;
+};
+
+}  // namespace gnn4tdl
+
+#endif  // GNN4TDL_SERVE_KNN_INDEX_H_

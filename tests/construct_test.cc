@@ -53,8 +53,17 @@ TEST(SimilarityTest, MetricNamesRoundTrip) {
        {SimilarityMetric::kEuclidean, SimilarityMetric::kCosine,
         SimilarityMetric::kRbf, SimilarityMetric::kPearson,
         SimilarityMetric::kManhattan, SimilarityMetric::kInnerProduct}) {
-    EXPECT_EQ(SimilarityMetricFromName(SimilarityMetricName(m)), m);
+    StatusOr<SimilarityMetric> parsed =
+        SimilarityMetricFromName(SimilarityMetricName(m));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, m);
   }
+}
+
+TEST(SimilarityTest, UnknownMetricNameIsInvalidArgument) {
+  StatusOr<SimilarityMetric> parsed = SimilarityMetricFromName("bogus");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(KnnGraphTest, ConnectsNearestNeighbors) {

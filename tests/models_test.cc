@@ -502,5 +502,23 @@ TEST(LearnedGraphGnnTest, RegularizersRun) {
   EXPECT_GT(result->accuracy, 0.7);
 }
 
+TEST(BackboneNameTest, RoundTripsEveryBackbone) {
+  for (GnnBackbone b :
+       {GnnBackbone::kGcn, GnnBackbone::kSage, GnnBackbone::kGat,
+        GnnBackbone::kGin, GnnBackbone::kGgnn, GnnBackbone::kAppnp,
+        GnnBackbone::kTransformer}) {
+    StatusOr<GnnBackbone> parsed = GnnBackboneFromName(GnnBackboneName(b));
+    ASSERT_TRUE(parsed.ok()) << GnnBackboneName(b);
+    EXPECT_EQ(*parsed, b);
+  }
+}
+
+TEST(BackboneNameTest, UnknownNameIsInvalidArgument) {
+  StatusOr<GnnBackbone> parsed = GnnBackboneFromName("resnet50");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("resnet50"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace gnn4tdl

@@ -1,0 +1,513 @@
+// Tests for src/serve: KnnIndex, InductiveAttacher, FrozenModel artifacts,
+// and the micro-batching ServingEngine. The load-bearing claims: frozen
+// subgraph scoring is bit-exact with full-graph PredictInductive for the
+// degree-normalized backbones, and the artifact round-trips through a file
+// into a fresh process.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "construct/similarity.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "models/knn_gnn.h"
+#include "serve/attacher.h"
+#include "serve/engine.h"
+#include "serve/frozen_model.h"
+#include "serve/knn_index.h"
+
+namespace gnn4tdl {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Matrix RandomFeatures(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::Randn(n, d, rng);
+}
+
+std::vector<size_t> BruteForceKnn(const Matrix& reference, const double* query,
+                                  size_t k, SimilarityMetric metric,
+                                  double gamma) {
+  // The PredictInductive idiom: similarity via a 2-row stacked matrix.
+  Matrix stacked(2, reference.cols());
+  std::vector<std::pair<double, size_t>> scored;
+  for (size_t j = 0; j < reference.rows(); ++j) {
+    std::copy(query, query + reference.cols(), stacked.row_data(0));
+    std::copy(reference.row_data(j), reference.row_data(j) + reference.cols(),
+              stacked.row_data(1));
+    scored.push_back({RowSimilarity(stacked, 0, 1, metric, gamma), j});
+  }
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<ptrdiff_t>(k),
+                    scored.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<size_t> ids;
+  for (size_t t = 0; t < k; ++t) ids.push_back(scored[t].second);
+  return ids;
+}
+
+TEST(KnnIndexTest, ExactModeMatchesBruteForce) {
+  Matrix reference = RandomFeatures(80, 6, 5);
+  Matrix queries = RandomFeatures(10, 6, 9);
+  for (SimilarityMetric metric :
+       {SimilarityMetric::kEuclidean, SimilarityMetric::kCosine,
+        SimilarityMetric::kRbf}) {
+    StatusOr<KnnIndex> index = KnnIndex::Build(reference, metric, 0.5);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    EXPECT_TRUE(index->exact());
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      std::vector<KnnHit> hits = index->Query(queries.row_data(q), 7);
+      std::vector<size_t> expected =
+          BruteForceKnn(reference, queries.row_data(q), 7, metric, 0.5);
+      ASSERT_EQ(hits.size(), expected.size());
+      for (size_t t = 0; t < hits.size(); ++t) {
+        EXPECT_EQ(hits[t].index, expected[t])
+            << "metric " << SimilarityMetricName(metric) << " query " << q
+            << " rank " << t;
+      }
+    }
+  }
+}
+
+TEST(KnnIndexTest, QueryOrdersBestFirstAndClampsK) {
+  Matrix reference = RandomFeatures(20, 4, 11);
+  StatusOr<KnnIndex> index =
+      KnnIndex::Build(reference, SimilarityMetric::kEuclidean);
+  ASSERT_TRUE(index.ok());
+  std::vector<KnnHit> hits = index->Query(reference.row_data(3), 100);
+  EXPECT_EQ(hits.size(), reference.rows());  // k clamps to n
+  EXPECT_EQ(hits[0].index, 3u);              // a row is its own best match
+  for (size_t t = 1; t < hits.size(); ++t)
+    EXPECT_GE(hits[t - 1].similarity, hits[t].similarity);
+}
+
+TEST(KnnIndexTest, ClusteredModeHasUsefulRecall) {
+  Matrix reference = RandomFeatures(300, 8, 21);
+  StatusOr<KnnIndex> exact =
+      KnnIndex::Build(reference, SimilarityMetric::kEuclidean);
+  ASSERT_TRUE(exact.ok());
+  KnnIndexOptions opts;
+  opts.num_clusters = 10;
+  opts.num_probes = 3;
+  StatusOr<KnnIndex> clustered =
+      KnnIndex::Build(reference, SimilarityMetric::kEuclidean, 1.0, opts);
+  ASSERT_TRUE(clustered.ok());
+  EXPECT_FALSE(clustered->exact());
+
+  Matrix queries = RandomFeatures(20, 8, 33);
+  size_t found = 0, total = 0;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    std::vector<KnnHit> truth = exact->Query(queries.row_data(q), 10);
+    std::vector<KnnHit> approx = clustered->Query(queries.row_data(q), 10);
+    EXPECT_EQ(approx.size(), 10u);
+    for (const KnnHit& t : truth) {
+      ++total;
+      for (const KnnHit& a : approx) {
+        if (a.index == t.index) {
+          ++found;
+          break;
+        }
+      }
+    }
+  }
+  // Probing 3/10 clusters should recover well over half the true neighbors.
+  EXPECT_GT(static_cast<double>(found) / static_cast<double>(total), 0.5);
+}
+
+TEST(KnnIndexTest, RejectsEmptyReference) {
+  StatusOr<KnnIndex> index =
+      KnnIndex::Build(Matrix(), SimilarityMetric::kEuclidean);
+  EXPECT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kInvalidArgument);
+}
+
+class ServeModelTest : public ::testing::Test {
+ protected:
+  static InstanceGraphGnnOptions Options(GnnBackbone backbone) {
+    InstanceGraphGnnOptions options;
+    options.backbone = backbone;
+    options.hidden_dim = 16;
+    options.num_layers = 2;
+    options.knn.k = 8;
+    options.train.max_epochs = 30;
+    options.train.verbose = false;
+    options.seed = 3;
+    return options;
+  }
+
+  static TabularDataset TrainData() {
+    return MakeClusters({.num_rows = 200,
+                         .num_classes = 3,
+                         .dim_informative = 6,
+                         .dim_noise = 2,
+                         .seed = 7});
+  }
+
+  static TabularDataset FreshRows(size_t n) {
+    return MakeClusters({.num_rows = n,
+                         .num_classes = 3,
+                         .dim_informative = 6,
+                         .dim_noise = 2,
+                         .seed = 91});
+  }
+
+  static Split TrainSplit(const TabularDataset& data) {
+    Rng rng(17);
+    return StratifiedSplit(data.class_labels(), 0.7, 0.15, rng);
+  }
+};
+
+TEST_F(ServeModelTest, FrozenScoresBitExactWithPredictInductiveGcn) {
+  TabularDataset data = TrainData();
+  InstanceGraphGnn model(Options(GnnBackbone::kGcn));
+  ASSERT_TRUE(model.Fit(data, TrainSplit(data)).ok());
+
+  TabularDataset fresh = FreshRows(12);
+  StatusOr<Matrix> reference = model.PredictInductive(fresh);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  std::stringstream artifact;
+  ASSERT_TRUE(FrozenModel::Save(model, artifact).ok());
+  StatusOr<FrozenModel> frozen = FrozenModel::Load(artifact);
+  ASSERT_TRUE(frozen.ok()) << frozen.status().ToString();
+
+  StatusOr<Matrix> served = frozen->Score(fresh);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  // The k-hop subgraph forward pass must reproduce the full extended-graph
+  // floating-point arithmetic exactly, through the artifact round trip.
+  EXPECT_TRUE(served->AllClose(*reference, 0.0));
+
+  // The attacher genuinely prunes: the 2-hop receptive field of 12 rows in a
+  // k=8 graph of 200 nodes stays a strict subgraph.
+  StatusOr<Matrix> x = frozen->Featurize(fresh);
+  ASSERT_TRUE(x.ok());
+  StatusOr<AttachedBatch> batch = frozen->attacher().Attach(*x);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->num_new, 12u);
+  EXPECT_EQ(batch->graph.num_nodes(), batch->train_nodes.size() + 12);
+  EXPECT_EQ(batch->degrees.size(), batch->graph.num_nodes());
+}
+
+TEST_F(ServeModelTest, FrozenScoresBitExactWithPredictInductiveSage) {
+  TabularDataset data = TrainData();
+  InstanceGraphGnn model(Options(GnnBackbone::kSage));
+  ASSERT_TRUE(model.Fit(data, TrainSplit(data)).ok());
+
+  TabularDataset fresh = FreshRows(10);
+  StatusOr<Matrix> reference = model.PredictInductive(fresh);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  std::stringstream artifact;
+  ASSERT_TRUE(FrozenModel::Save(model, artifact).ok());
+  StatusOr<FrozenModel> frozen = FrozenModel::Load(artifact);
+  ASSERT_TRUE(frozen.ok()) << frozen.status().ToString();
+  StatusOr<Matrix> served = frozen->Score(fresh);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_TRUE(served->AllClose(*reference, 0.0));
+}
+
+TEST_F(ServeModelTest, FrozenScoresBitExactWithPredictInductiveGin) {
+  // GIN aggregates over the raw adjacency (no degree normalization), so the
+  // receptive-field subgraph is exact without any degree override.
+  TabularDataset data = TrainData();
+  InstanceGraphGnn model(Options(GnnBackbone::kGin));
+  ASSERT_TRUE(model.Fit(data, TrainSplit(data)).ok());
+
+  TabularDataset fresh = FreshRows(8);
+  StatusOr<Matrix> reference = model.PredictInductive(fresh);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  std::stringstream artifact;
+  ASSERT_TRUE(FrozenModel::Save(model, artifact).ok());
+  StatusOr<FrozenModel> frozen = FrozenModel::Load(artifact);
+  ASSERT_TRUE(frozen.ok()) << frozen.status().ToString();
+  StatusOr<Matrix> served = frozen->Score(fresh);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_TRUE(served->AllClose(*reference, 0.0));
+}
+
+TEST_F(ServeModelTest, SingleRowScoringIsDeterministic) {
+  TabularDataset data = TrainData();
+  InstanceGraphGnn model(Options(GnnBackbone::kGcn));
+  ASSERT_TRUE(model.Fit(data, TrainSplit(data)).ok());
+  std::stringstream artifact;
+  ASSERT_TRUE(FrozenModel::Save(model, artifact).ok());
+  StatusOr<FrozenModel> frozen = FrozenModel::Load(artifact);
+  ASSERT_TRUE(frozen.ok());
+
+  TabularDataset fresh = FreshRows(6);
+  StatusOr<Matrix> x = frozen->Featurize(fresh);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < x->rows(); ++i) {
+    Matrix row(1, x->cols());
+    std::copy(x->row_data(i), x->row_data(i) + x->cols(), row.row_data(0));
+    StatusOr<Matrix> first = frozen->ScoreFeatures(row);
+    StatusOr<Matrix> second = frozen->ScoreFeatures(row);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    EXPECT_TRUE(first->AllClose(*second, 0.0));
+  }
+}
+
+// Copies the listed rows (in order) into a new dataset, labels included.
+TabularDataset SubsetRows(const TabularDataset& data,
+                          const std::vector<size_t>& rows) {
+  TabularDataset out(rows.size());
+  for (size_t c = 0; c < data.NumCols(); ++c) {
+    const Column& col = data.column(c);
+    if (col.type == ColumnType::kNumerical) {
+      std::vector<double> values;
+      values.reserve(rows.size());
+      for (size_t r : rows) values.push_back(col.numeric[r]);
+      EXPECT_TRUE(out.AddNumericColumn(col.name, std::move(values)).ok());
+    } else {
+      std::vector<int> codes;
+      codes.reserve(rows.size());
+      for (size_t r : rows) codes.push_back(col.codes[r]);
+      EXPECT_TRUE(
+          out.AddCategoricalColumn(col.name, std::move(codes), col.categories)
+              .ok());
+    }
+  }
+  std::vector<int> labels;
+  labels.reserve(rows.size());
+  for (size_t r : rows) labels.push_back(data.class_labels()[r]);
+  EXPECT_TRUE(
+      out.SetClassLabels(std::move(labels), data.num_classes(), data.task())
+          .ok());
+  return out;
+}
+
+TEST_F(ServeModelTest, FrozenAccuracyWithinNoiseOfTransductive) {
+  // The acceptance check: fit on a training subset, freeze, reload, score
+  // genuinely held-out rows of the same table; accuracy must be in the same
+  // band as the transductive full-graph Predict on the train split.
+  for (GnnBackbone backbone : {GnnBackbone::kGcn, GnnBackbone::kSage}) {
+    TabularDataset full = MakeClusters({.num_rows = 300,
+                                        .num_classes = 3,
+                                        .dim_informative = 6,
+                                        .dim_noise = 2,
+                                        .seed = 7});
+    Rng perm_rng(5);
+    std::vector<size_t> perm = perm_rng.Permutation(full.NumRows());
+    std::vector<size_t> train_rows(perm.begin(), perm.begin() + 200);
+    std::vector<size_t> heldout_rows(perm.begin() + 200, perm.end());
+    TabularDataset data = SubsetRows(full, train_rows);
+    TabularDataset heldout = SubsetRows(full, heldout_rows);
+
+    Split split = TrainSplit(data);
+    InstanceGraphGnnOptions options = Options(backbone);
+    options.train.max_epochs = 60;
+    InstanceGraphGnn model(options);
+    ASSERT_TRUE(model.Fit(data, split).ok());
+
+    StatusOr<Matrix> transductive = model.Predict(data);
+    ASSERT_TRUE(transductive.ok());
+    size_t correct = 0;
+    for (size_t i : split.test) {
+      if (static_cast<int>(transductive->ArgMaxRow(i)) ==
+          data.class_labels()[i])
+        ++correct;
+    }
+    double transductive_acc =
+        static_cast<double>(correct) / static_cast<double>(split.test.size());
+
+    std::string path = TempPath(std::string("frozen_acc_") +
+                                GnnBackboneName(backbone) + ".gnn4tdl");
+    ASSERT_TRUE(FrozenModel::Save(model, path).ok());
+    StatusOr<FrozenModel> frozen = FrozenModel::Load(path);
+    ASSERT_TRUE(frozen.ok()) << frozen.status().ToString();
+
+    StatusOr<Matrix> served = frozen->Score(heldout);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    correct = 0;
+    for (size_t i = 0; i < served->rows(); ++i) {
+      if (static_cast<int>(served->ArgMaxRow(i)) == heldout.class_labels()[i])
+        ++correct;
+    }
+    double frozen_acc =
+        static_cast<double>(correct) / static_cast<double>(served->rows());
+
+    EXPECT_GT(transductive_acc, 0.7) << GnnBackboneName(backbone);
+    EXPECT_GT(frozen_acc, 0.7) << GnnBackboneName(backbone);
+    EXPECT_NEAR(frozen_acc, transductive_acc, 0.15)
+        << GnnBackboneName(backbone);
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(ServeModelTest, ArtifactFileRoundTrip) {
+  TabularDataset data = TrainData();
+  InstanceGraphGnn model(Options(GnnBackbone::kGcn));
+  ASSERT_TRUE(model.Fit(data, TrainSplit(data)).ok());
+
+  std::string path = TempPath("roundtrip.gnn4tdl");
+  ASSERT_TRUE(FrozenModel::Save(model, path).ok());
+  StatusOr<FrozenModel> frozen = FrozenModel::Load(path);
+  ASSERT_TRUE(frozen.ok()) << frozen.status().ToString();
+  EXPECT_EQ(frozen->task(), model.task());
+  EXPECT_EQ(frozen->num_outputs(), model.output_dim());
+  EXPECT_EQ(frozen->num_train_rows(), model.feature_cache().rows());
+  EXPECT_EQ(frozen->feature_dim(), model.feature_cache().cols());
+  EXPECT_EQ(frozen->model().graph().num_edges(), model.graph().num_edges());
+  EXPECT_TRUE(
+      frozen->model().feature_cache().AllClose(model.feature_cache(), 0.0));
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeModelTest, SaveRejectsUnfittedAndIdentityInit) {
+  InstanceGraphGnn unfitted(Options(GnnBackbone::kGcn));
+  std::stringstream out;
+  Status s = FrozenModel::Save(unfitted, out);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+
+  InstanceGraphGnnOptions options = Options(GnnBackbone::kGcn);
+  options.node_init = NodeInit::kIdentity;
+  TabularDataset data = TrainData();
+  InstanceGraphGnn identity(options);
+  ASSERT_TRUE(identity.Fit(data, TrainSplit(data)).ok());
+  Status s2 = FrozenModel::Save(identity, out);
+  EXPECT_EQ(s2.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeModelTest, LoadRejectsGarbage) {
+  std::stringstream garbage("definitely-not-a-frozen-model 1 2 3");
+  StatusOr<FrozenModel> frozen = FrozenModel::Load(garbage);
+  EXPECT_FALSE(frozen.ok());
+  EXPECT_EQ(frozen.status().code(), StatusCode::kInvalidArgument);
+
+  StatusOr<FrozenModel> missing = FrozenModel::Load("/nonexistent/m.gnn4tdl");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(ServeModelTest, EngineSingleRequestBatchesAreBitDeterministic) {
+  TabularDataset data = TrainData();
+  InstanceGraphGnn model(Options(GnnBackbone::kGcn));
+  ASSERT_TRUE(model.Fit(data, TrainSplit(data)).ok());
+  std::stringstream artifact;
+  ASSERT_TRUE(FrozenModel::Save(model, artifact).ok());
+  StatusOr<FrozenModel> frozen = FrozenModel::Load(artifact);
+  ASSERT_TRUE(frozen.ok());
+
+  TabularDataset fresh = FreshRows(10);
+  StatusOr<Matrix> x = frozen->Featurize(fresh);
+  ASSERT_TRUE(x.ok());
+
+  ServingOptions opts;
+  opts.max_batch = 1;  // every request scores alone -> equals ScoreFeatures
+  opts.deadline_ms = 0.0;
+  ServingEngine engine(&*frozen, opts);
+  for (size_t i = 0; i < x->rows(); ++i) {
+    std::future<std::vector<double>> f = engine.Submit(
+        std::vector<double>(x->row_data(i), x->row_data(i) + x->cols()));
+    std::vector<double> served = f.get();
+
+    Matrix row(1, x->cols());
+    std::copy(x->row_data(i), x->row_data(i) + x->cols(), row.row_data(0));
+    StatusOr<Matrix> direct = frozen->ScoreFeatures(row);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_EQ(served.size(), direct->cols());
+    for (size_t c = 0; c < served.size(); ++c)
+      EXPECT_EQ(served[c], (*direct)(0, c));
+  }
+  engine.Stop();
+  ServeStats stats = engine.Stats();
+  EXPECT_EQ(stats.requests, x->rows());
+  EXPECT_EQ(stats.batches, x->rows());
+  EXPECT_DOUBLE_EQ(stats.mean_batch_rows, 1.0);
+}
+
+TEST_F(ServeModelTest, EngineMicroBatchingAgreesWithDirectScoring) {
+  TabularDataset data = TrainData();
+  InstanceGraphGnn model(Options(GnnBackbone::kGcn));
+  ASSERT_TRUE(model.Fit(data, TrainSplit(data)).ok());
+  std::stringstream artifact;
+  ASSERT_TRUE(FrozenModel::Save(model, artifact).ok());
+  StatusOr<FrozenModel> frozen = FrozenModel::Load(artifact);
+  ASSERT_TRUE(frozen.ok());
+
+  TabularDataset fresh = FreshRows(64);
+  StatusOr<Matrix> x = frozen->Featurize(fresh);
+  ASSERT_TRUE(x.ok());
+  StatusOr<Matrix> direct = frozen->ScoreFeatures(*x);
+  ASSERT_TRUE(direct.ok());
+
+  ServingOptions opts;
+  opts.max_batch = 8;
+  opts.deadline_ms = 5.0;
+  ServingEngine engine(&*frozen, opts);
+  std::vector<std::future<std::vector<double>>> futures;
+  for (size_t i = 0; i < x->rows(); ++i) {
+    futures.push_back(engine.Submit(
+        std::vector<double>(x->row_data(i), x->row_data(i) + x->cols())));
+  }
+  size_t agree = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    std::vector<double> served = futures[i].get();
+    size_t served_argmax = 0;
+    for (size_t c = 1; c < served.size(); ++c)
+      if (served[c] > served[served_argmax]) served_argmax = c;
+    if (served_argmax == direct->ArgMaxRow(i)) ++agree;
+  }
+  engine.Stop();
+  ServeStats stats = engine.Stats();
+  EXPECT_EQ(stats.requests, 64u);
+  EXPECT_GE(stats.batches, 64u / opts.max_batch);
+  EXPECT_GT(stats.throughput_rps, 0.0);
+  // Batch composition perturbs shared-anchor degrees slightly; predictions
+  // must still agree with the one-shot batch scoring almost always.
+  EXPECT_GE(static_cast<double>(agree) / 64.0, 0.9);
+}
+
+TEST_F(ServeModelTest, EngineRejectsWrongDimension) {
+  TabularDataset data = TrainData();
+  InstanceGraphGnn model(Options(GnnBackbone::kGcn));
+  ASSERT_TRUE(model.Fit(data, TrainSplit(data)).ok());
+  std::stringstream artifact;
+  ASSERT_TRUE(FrozenModel::Save(model, artifact).ok());
+  StatusOr<FrozenModel> frozen = FrozenModel::Load(artifact);
+  ASSERT_TRUE(frozen.ok());
+
+  ServingEngine engine(&*frozen, {});
+  std::future<std::vector<double>> f =
+      engine.Submit(std::vector<double>(frozen->feature_dim() + 1, 0.0));
+  EXPECT_THROW(f.get(), std::runtime_error);
+  engine.Stop();
+  EXPECT_EQ(engine.Stats().requests, 0u);
+}
+
+TEST_F(ServeModelTest, AttacherFullNeighborhoodKeepsEveryTrainingNode) {
+  TabularDataset data = TrainData();
+  InstanceGraphGnn model(Options(GnnBackbone::kGcn));
+  ASSERT_TRUE(model.Fit(data, TrainSplit(data)).ok());
+
+  StatusOr<KnnIndex> index = KnnIndex::Build(
+      model.feature_cache(), model.options().knn.metric,
+      model.options().knn.gamma);
+  ASSERT_TRUE(index.ok());
+  InductiveAttacherOptions opts;
+  opts.k = 8;
+  opts.hops = 2;
+  opts.full_neighborhood = true;
+  InductiveAttacher attacher(&model.graph(), &model.feature_cache(),
+                             &*index, opts);
+
+  TabularDataset fresh = FreshRows(4);
+  StatusOr<Matrix> x = model.featurizer().Transform(fresh);
+  ASSERT_TRUE(x.ok());
+  StatusOr<AttachedBatch> batch = attacher.Attach(*x);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->train_nodes.size(), model.feature_cache().rows());
+  EXPECT_EQ(batch->graph.num_nodes(), model.feature_cache().rows() + 4);
+}
+
+}  // namespace
+}  // namespace gnn4tdl

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full sanitizer gate: configure, build, and run the entire test suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer (the `asan` CMake preset).
+# Usage: tools/check.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+ctest --preset asan -j "$(nproc)" "$@"

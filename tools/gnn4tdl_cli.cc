@@ -6,23 +6,46 @@
 //
 // Without --csv it runs a synthetic demo. With --folds N it reports
 // N-fold cross-validated metrics instead of a single split.
+//
+// Serving subcommands (the online-inference path):
+//
+//   gnn4tdl_cli freeze --out model.gnn4tdl [--csv data.csv ...]
+//   gnn4tdl_cli score --model model.gnn4tdl [--csv new_rows.csv]
+//   gnn4tdl_cli serve --model model.gnn4tdl [--batch 16 --deadline-ms 2]
+//
+// `freeze` trains an instance-graph GNN and writes a frozen artifact;
+// `score` reloads it in a fresh process and scores rows inductively;
+// `serve` pushes rows through the micro-batching engine and reports
+// latency/throughput stats. Without --csv all three use the same synthetic
+// demo table (regenerated deterministically from --seed).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/pipeline.h"
 #include "data/cross_validation.h"
 #include "data/csv.h"
 #include "data/split.h"
 #include "data/synthetic.h"
+#include "models/knn_gnn.h"
+#include "serve/engine.h"
+#include "serve/frozen_model.h"
 
 namespace gnn4tdl {
 namespace {
 
 struct CliArgs {
+  std::string command;  // "", "freeze", "score", or "serve"
+  std::string out = "model.gnn4tdl";
+  std::string model;
+  size_t batch = 16;
+  double deadline_ms = 2.0;
   std::string csv;
   std::string label = "label";
   bool regression = false;
@@ -61,11 +84,34 @@ void PrintUsage() {
       "  --train-frac F        training fraction (default 0.6)\n"
       "  --val-frac F          validation fraction (default 0.2)\n"
       "  --folds N             N-fold cross-validation instead of one split\n"
-      "  --seed N              rng seed (default 42)\n");
+      "  --seed N              rng seed (default 42)\n"
+      "\n"
+      "subcommands:\n"
+      "  freeze                train an instance-graph GNN and write a frozen\n"
+      "                        artifact (--out, default model.gnn4tdl)\n"
+      "  score                 load a frozen artifact (--model) and score rows\n"
+      "                        inductively\n"
+      "  serve                 load a frozen artifact (--model) and run the\n"
+      "                        micro-batching engine over the input rows\n"
+      "  --out PATH            freeze: artifact output path\n"
+      "  --model PATH          score/serve: artifact to load\n"
+      "  --batch N             serve: max rows per micro-batch (default 16)\n"
+      "  --deadline-ms F       serve: batch deadline in ms (default 2)\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
-  for (int i = 1; i < argc; ++i) {
+  int start = 1;
+  if (argc > 1 && argv[1][0] != '-') {
+    args->command = argv[1];
+    if (args->command != "freeze" && args->command != "score" &&
+        args->command != "serve") {
+      std::fprintf(stderr, "unknown subcommand: %s\n", args->command.c_str());
+      PrintUsage();
+      return false;
+    }
+    start = 2;
+  }
+  for (int i = start; i < argc; ++i) {
     std::string flag = argv[i];
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
@@ -135,6 +181,22 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (!v) return false;
       args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--out") {
+      const char* v = next();
+      if (!v) return false;
+      args->out = v;
+    } else if (flag == "--model") {
+      const char* v = next();
+      if (!v) return false;
+      args->model = v;
+    } else if (flag == "--batch") {
+      const char* v = next();
+      if (!v) return false;
+      args->batch = static_cast<size_t>(std::atoi(v));
+    } else if (flag == "--deadline-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args->deadline_ms = std::atof(v);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       PrintUsage();
@@ -142,6 +204,184 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
     }
   }
   return true;
+}
+
+StatusOr<TabularDataset> LoadData(const CliArgs& args) {
+  if (args.csv.empty()) {
+    std::printf("no --csv given: using the synthetic demo dataset\n");
+    return MakeMultiRelational({.num_rows = 500,
+                                .num_relations = 2,
+                                .cardinality = 20,
+                                .numeric_signal = 0.6,
+                                .seed = args.seed});
+  }
+  CsvReadOptions read_opts;
+  read_opts.label_column = args.label;
+  read_opts.regression_label = args.regression;
+  return ReadCsv(args.csv, read_opts);
+}
+
+int RunFreeze(const CliArgs& args) {
+  StatusOr<TabularDataset> data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "failed to load data: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+
+  InstanceGraphGnnOptions options;
+  {
+    auto b = GnnBackboneFromName(args.backbone);
+    if (!b.ok()) {
+      std::fprintf(stderr, "%s\n", b.status().ToString().c_str());
+      return 1;
+    }
+    options.backbone = *b;
+  }
+  options.knn.k = args.knn_k;
+  options.hidden_dim = args.hidden;
+  options.num_layers = args.layers;
+  options.train.max_epochs = args.epochs;
+  options.train.learning_rate = args.lr;
+  options.seed = args.seed;
+
+  const bool classification = data->task() != TaskType::kRegression;
+  Rng rng(args.seed);
+  Split split = classification
+                    ? StratifiedSplit(data->class_labels(), args.train_frac,
+                                      args.val_frac, rng)
+                    : RandomSplit(data->NumRows(), args.train_frac,
+                                  args.val_frac, rng);
+
+  InstanceGraphGnn model(options);
+  std::printf("training %s on %zu rows...\n", GnnBackboneName(options.backbone),
+              data->NumRows());
+  Status fit = model.Fit(*data, split);
+  if (!fit.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n", fit.ToString().c_str());
+    return 1;
+  }
+  Status save = FrozenModel::Save(model, args.out);
+  if (!save.ok()) {
+    std::fprintf(stderr, "freeze failed: %s\n", save.ToString().c_str());
+    return 1;
+  }
+  std::printf("frozen artifact written to %s (%zu train rows, graph %zu edges, "
+              "%zu outputs)\n",
+              args.out.c_str(), model.feature_cache().rows(),
+              model.graph().num_edges(), model.output_dim());
+  return 0;
+}
+
+int RunScore(const CliArgs& args) {
+  if (args.model.empty()) {
+    std::fprintf(stderr, "score requires --model PATH\n");
+    return 1;
+  }
+  StatusOr<FrozenModel> frozen = FrozenModel::Load(args.model);
+  if (!frozen.ok()) {
+    std::fprintf(stderr, "failed to load %s: %s\n", args.model.c_str(),
+                 frozen.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %s: task=%s, %zu train rows, %zu features, %zu outputs\n",
+              args.model.c_str(), TaskTypeName(frozen->task()),
+              frozen->num_train_rows(), frozen->feature_dim(),
+              frozen->num_outputs());
+
+  StatusOr<TabularDataset> data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "failed to load data: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<Matrix> logits = frozen->Score(*data);
+  if (!logits.ok()) {
+    std::fprintf(stderr, "scoring failed: %s\n",
+                 logits.status().ToString().c_str());
+    return 1;
+  }
+
+  const bool classification = frozen->task() != TaskType::kRegression;
+  const size_t preview = std::min<size_t>(logits->rows(), 10);
+  for (size_t i = 0; i < preview; ++i) {
+    if (classification) {
+      std::printf("row %zu: class %zu\n", i, logits->ArgMaxRow(i));
+    } else {
+      std::printf("row %zu: %.6f\n", i, (*logits)(i, 0));
+    }
+  }
+  if (logits->rows() > preview) {
+    std::printf("... (%zu rows scored)\n", logits->rows());
+  }
+
+  if (classification && !data->class_labels().empty()) {
+    size_t correct = 0;
+    for (size_t i = 0; i < logits->rows(); ++i) {
+      if (static_cast<int>(logits->ArgMaxRow(i)) == data->class_labels()[i])
+        ++correct;
+    }
+    std::printf("inductive accuracy vs labels: %.4f\n",
+                static_cast<double>(correct) /
+                    static_cast<double>(logits->rows()));
+  }
+  return 0;
+}
+
+int RunServe(const CliArgs& args) {
+  if (args.model.empty()) {
+    std::fprintf(stderr, "serve requires --model PATH\n");
+    return 1;
+  }
+  StatusOr<FrozenModel> frozen = FrozenModel::Load(args.model);
+  if (!frozen.ok()) {
+    std::fprintf(stderr, "failed to load %s: %s\n", args.model.c_str(),
+                 frozen.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<TabularDataset> data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "failed to load data: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<Matrix> x = frozen->Featurize(*data);
+  if (!x.ok()) {
+    std::fprintf(stderr, "featurize failed: %s\n",
+                 x.status().ToString().c_str());
+    return 1;
+  }
+
+  ServingOptions serve_opts;
+  serve_opts.max_batch = args.batch;
+  serve_opts.deadline_ms = args.deadline_ms;
+  ServingEngine engine(&*frozen, serve_opts);
+  std::printf("serving %zu rows (max_batch=%zu, deadline=%.1fms)...\n",
+              x->rows(), serve_opts.max_batch, serve_opts.deadline_ms);
+
+  std::vector<std::future<std::vector<double>>> futures;
+  futures.reserve(x->rows());
+  for (size_t i = 0; i < x->rows(); ++i) {
+    futures.push_back(engine.Submit(
+        std::vector<double>(x->row_data(i), x->row_data(i) + x->cols())));
+  }
+  size_t failed = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (const std::exception& e) {
+      if (++failed == 1)
+        std::fprintf(stderr, "request failed: %s\n", e.what());
+    }
+  }
+  engine.Stop();
+  ServeStats stats = engine.Stats();
+  std::printf("%s\n", stats.ToString().c_str());
+  if (failed > 0) {
+    std::fprintf(stderr, "%zu requests failed\n", failed);
+    return 1;
+  }
+  return 0;
 }
 
 int Run(const CliArgs& args) {
@@ -182,7 +422,14 @@ int Run(const CliArgs& args) {
     config.formulation = *f;
     config.construction = *c;
   }
-  config.backbone = GnnBackboneFromName(args.backbone);
+  {
+    auto b = GnnBackboneFromName(args.backbone);
+    if (!b.ok()) {
+      std::fprintf(stderr, "%s\n", b.status().ToString().c_str());
+      return 1;
+    }
+    config.backbone = *b;
+  }
   config.knn_k = args.knn_k;
   config.hidden_dim = args.hidden;
   config.num_layers = args.layers;
@@ -252,5 +499,8 @@ int Run(const CliArgs& args) {
 int main(int argc, char** argv) {
   gnn4tdl::CliArgs args;
   if (!gnn4tdl::ParseArgs(argc, argv, &args)) return 2;
+  if (args.command == "freeze") return gnn4tdl::RunFreeze(args);
+  if (args.command == "score") return gnn4tdl::RunScore(args);
+  if (args.command == "serve") return gnn4tdl::RunServe(args);
   return gnn4tdl::Run(args);
 }
