@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_BENCH_BENCH_UTIL_H_
-#define GNN4TDL_BENCH_BENCH_UTIL_H_
+#pragma once
 
 // Shared helpers for the experiment harness: fixed-width league tables and
 // multi-seed mean/stddev aggregation. Each bench binary regenerates one table
@@ -81,5 +80,3 @@ inline void Banner(const char* title, const char* claim) {
 }
 
 }  // namespace gnn4tdl::bench
-
-#endif  // GNN4TDL_BENCH_BENCH_UTIL_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_COMMON_CHECK_H_
-#define GNN4TDL_COMMON_CHECK_H_
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,5 +31,3 @@
 #define GNN4TDL_CHECK_LE(a, b) GNN4TDL_CHECK((a) <= (b))
 #define GNN4TDL_CHECK_GT(a, b) GNN4TDL_CHECK((a) > (b))
 #define GNN4TDL_CHECK_GE(a, b) GNN4TDL_CHECK((a) >= (b))
-
-#endif  // GNN4TDL_COMMON_CHECK_H_

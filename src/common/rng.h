@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_COMMON_RNG_H_
-#define GNN4TDL_COMMON_RNG_H_
+#pragma once
 
 #include <cstdint>
 #include <random>
@@ -54,5 +53,3 @@ class Rng {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_COMMON_RNG_H_

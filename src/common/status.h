@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_COMMON_STATUS_H_
-#define GNN4TDL_COMMON_STATUS_H_
+#pragma once
 
 #include <cassert>
 #include <optional>
@@ -30,7 +29,11 @@ const char* StatusCodeName(StatusCode code);
 ///
 ///   Status s = DoThing();
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// The class-level [[nodiscard]] makes silently dropping any Status a
+/// compile-time warning (promoted to an error by -Werror=unused-result) and a
+/// gnn4tdl_lint violation.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -76,7 +79,7 @@ class Status {
 
 /// Either a value of type T or an error Status. Never holds both.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from an error status. Must not be OK.
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
@@ -121,5 +124,3 @@ class StatusOr {
   } while (false)
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_COMMON_STATUS_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_CONSTRUCT_INTRINSIC_H_
-#define GNN4TDL_CONSTRUCT_INTRINSIC_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -51,5 +50,3 @@ Hypergraph HypergraphFromTable(const TabularDataset& data,
                                std::vector<std::string>* node_names = nullptr);
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_CONSTRUCT_INTRINSIC_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_CONSTRUCT_LEARNED_H_
-#define GNN4TDL_CONSTRUCT_LEARNED_H_
+#pragma once
 
 #include <vector>
 
@@ -76,5 +75,3 @@ Tensor WeightedAggregate(const Tensor& h, const Tensor& edge_weights,
                          const CandidateEdges& edges, size_t num_nodes);
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_CONSTRUCT_LEARNED_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_CONSTRUCT_RULE_BASED_H_
-#define GNN4TDL_CONSTRUCT_RULE_BASED_H_
+#pragma once
 
 #include <vector>
 
@@ -79,5 +78,3 @@ Graph MissingAwareKnnGraph(const TabularDataset& data, size_t k);
 Graph FeatureCorrelationGraph(const Matrix& x, double threshold = 0.3);
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_CONSTRUCT_RULE_BASED_H_

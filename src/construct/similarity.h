@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_CONSTRUCT_SIMILARITY_H_
-#define GNN4TDL_CONSTRUCT_SIMILARITY_H_
+#pragma once
 
 #include <string>
 
@@ -38,5 +37,3 @@ Matrix PairwiseSimilarity(const Matrix& x, SimilarityMetric m,
                           double gamma = 1.0);
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_CONSTRUCT_SIMILARITY_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_CORE_PIPELINE_H_
-#define GNN4TDL_CORE_PIPELINE_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -70,5 +69,3 @@ StatusOr<PipelineResult> RunPipeline(const PipelineConfig& config,
                                      const Split& split);
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_CORE_PIPELINE_H_

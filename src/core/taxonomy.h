@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_CORE_TAXONOMY_H_
-#define GNN4TDL_CORE_TAXONOMY_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -53,5 +52,3 @@ std::vector<GraphFormulation> AllGraphFormulations();
 std::vector<ConstructionMethod> AllConstructionMethods();
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_CORE_TAXONOMY_H_

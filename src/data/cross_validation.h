@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_DATA_CROSS_VALIDATION_H_
-#define GNN4TDL_DATA_CROSS_VALIDATION_H_
+#pragma once
 
 #include <functional>
 #include <vector>
@@ -32,5 +31,3 @@ StatusOr<CrossValidationResult> CrossValidate(
         metric_fn);
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_DATA_CROSS_VALIDATION_H_

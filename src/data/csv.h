@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_DATA_CSV_H_
-#define GNN4TDL_DATA_CSV_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -32,5 +31,3 @@ StatusOr<TabularDataset> ReadCsv(const std::string& path,
 Status WriteCsv(const TabularDataset& data, const std::string& path);
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_DATA_CSV_H_

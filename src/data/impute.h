@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_DATA_IMPUTE_H_
-#define GNN4TDL_DATA_IMPUTE_H_
+#pragma once
 
 #include <cstdint>
 #include <utility>
@@ -59,5 +58,3 @@ StatusOr<double> ImputationRmse(const TabularDataset& imputed,
                                 const std::vector<HeldOutCell>& cells);
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_DATA_IMPUTE_H_

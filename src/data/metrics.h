@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_DATA_METRICS_H_
-#define GNN4TDL_DATA_METRICS_H_
+#pragma once
 
 #include <vector>
 
@@ -44,5 +43,3 @@ Matrix ConfusionMatrix(const Matrix& logits, const std::vector<int>& labels,
 std::vector<double> PositiveClassScores(const Matrix& logits);
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_DATA_METRICS_H_

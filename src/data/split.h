@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_DATA_SPLIT_H_
-#define GNN4TDL_DATA_SPLIT_H_
+#pragma once
 
 #include <vector>
 
@@ -35,5 +34,3 @@ Split LabelScarceSplit(const std::vector<int>& labels, size_t labels_per_class,
                        double val_frac, double test_frac, Rng& rng);
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_DATA_SPLIT_H_

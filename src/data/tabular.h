@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_DATA_TABULAR_H_
-#define GNN4TDL_DATA_TABULAR_H_
+#pragma once
 
 #include <cmath>
 #include <string>
@@ -118,5 +117,3 @@ class TabularDataset {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_DATA_TABULAR_H_

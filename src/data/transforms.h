@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_DATA_TRANSFORMS_H_
-#define GNN4TDL_DATA_TRANSFORMS_H_
+#pragma once
 
 #include <iosfwd>
 #include <vector>
@@ -87,5 +86,3 @@ std::vector<std::pair<double, double>> StandardizeColumns(
     Matrix& x, const std::vector<size_t>& fit_rows = {});
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_DATA_TRANSFORMS_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_GNN_APPNP_H_
-#define GNN4TDL_GNN_APPNP_H_
+#pragma once
 
 #include "nn/tensor.h"
 #include "tensor/sparse.h"
@@ -15,5 +14,3 @@ Tensor AppnpPropagate(const Tensor& h0, const SparseMatrix& norm_adj,
                       size_t steps = 10, double alpha = 0.1);
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_GNN_APPNP_H_

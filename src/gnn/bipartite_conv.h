@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_GNN_BIPARTITE_CONV_H_
-#define GNN4TDL_GNN_BIPARTITE_CONV_H_
+#pragma once
 
 #include <utility>
 
@@ -37,5 +36,3 @@ class GrapeConv : public Module {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_GNN_BIPARTITE_CONV_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_GNN_GAT_H_
-#define GNN4TDL_GNN_GAT_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -43,5 +42,3 @@ class GatLayer : public Module {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_GNN_GAT_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_GNN_GCN_H_
-#define GNN4TDL_GNN_GCN_H_
+#pragma once
 
 #include "nn/module.h"
 #include "tensor/sparse.h"
@@ -24,5 +23,3 @@ class GcnLayer : public Module {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_GNN_GCN_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_GNN_GGNN_H_
-#define GNN4TDL_GNN_GGNN_H_
+#pragma once
 
 #include "nn/module.h"
 #include "tensor/sparse.h"
@@ -26,5 +25,3 @@ class GgnnLayer : public Module {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_GNN_GGNN_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_GNN_GIN_H_
-#define GNN4TDL_GNN_GIN_H_
+#pragma once
 
 #include "nn/module.h"
 #include "tensor/sparse.h"
@@ -28,5 +27,3 @@ class GinLayer : public Module {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_GNN_GIN_H_

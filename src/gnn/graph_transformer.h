@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_GNN_GRAPH_TRANSFORMER_H_
-#define GNN4TDL_GNN_GRAPH_TRANSFORMER_H_
+#pragma once
 
 #include <memory>
 
@@ -43,5 +42,3 @@ class GraphTransformerLayer : public Module {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_GNN_GRAPH_TRANSFORMER_H_

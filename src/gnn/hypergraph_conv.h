@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_GNN_HYPERGRAPH_CONV_H_
-#define GNN4TDL_GNN_HYPERGRAPH_CONV_H_
+#pragma once
 
 #include "graph/hypergraph.h"
 #include "nn/module.h"
@@ -38,5 +37,3 @@ class HypergraphConvLayer : public Module {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_GNN_HYPERGRAPH_CONV_H_

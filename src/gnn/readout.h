@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_GNN_READOUT_H_
-#define GNN4TDL_GNN_READOUT_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -25,5 +24,3 @@ Tensor SegmentReadout(const Tensor& h, const std::vector<size_t>& seg,
                       size_t num_segments, ReadoutType type);
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_GNN_READOUT_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_GNN_RGCN_H_
-#define GNN4TDL_GNN_RGCN_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -32,5 +31,3 @@ class RgcnLayer : public Module {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_GNN_RGCN_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_GNN_SAGE_H_
-#define GNN4TDL_GNN_SAGE_H_
+#pragma once
 
 #include "nn/module.h"
 #include "tensor/sparse.h"
@@ -25,5 +24,3 @@ class SageLayer : public Module {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_GNN_SAGE_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_GRAPH_BIPARTITE_H_
-#define GNN4TDL_GRAPH_BIPARTITE_H_
+#pragma once
 
 #include <vector>
 
@@ -56,5 +55,3 @@ class BipartiteGraph {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_GRAPH_BIPARTITE_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_GRAPH_GRAPH_H_
-#define GNN4TDL_GRAPH_GRAPH_H_
+#pragma once
 
 #include <vector>
 
@@ -72,5 +71,3 @@ class Graph {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_GRAPH_GRAPH_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_GRAPH_GRAPH_IO_H_
-#define GNN4TDL_GRAPH_GRAPH_IO_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -13,26 +12,24 @@ namespace gnn4tdl {
 /// <num_nodes>", then one "src\tdst\tweight" line per stored (directed)
 /// entry. The format round-trips through ReadEdgeList and loads directly
 /// into networkx / Gephi for visualization.
-Status WriteEdgeList(const Graph& g, const std::string& path);
+[[nodiscard]] Status WriteEdgeList(const Graph& g, const std::string& path);
 
 /// Reads a graph written by WriteEdgeList. Edges are taken as-is (no
 /// symmetrization: the file already contains both directions for symmetric
 /// graphs).
-StatusOr<Graph> ReadEdgeList(const std::string& path);
+[[nodiscard]] StatusOr<Graph> ReadEdgeList(const std::string& path);
 
 /// Stream variant for embedding a graph inside a larger artifact (e.g. a
 /// serve/FrozenModel file). With `with_edge_count` the header carries the
 /// edge count ("# gnn4tdl-edgelist <num_nodes> <num_edges>") so the reader
 /// stops after exactly that many edges and leaves the stream positioned after
 /// the block; without it the block is only safe at end-of-stream.
-Status WriteEdgeList(const Graph& g, std::ostream& out,
-                     bool with_edge_count = false);
+[[nodiscard]] Status WriteEdgeList(const Graph& g, std::ostream& out,
+                                   bool with_edge_count = false);
 
 /// Reads an edge list from a stream. If the header carries an edge count,
 /// exactly that many edge lines are consumed; otherwise reads to end of
 /// stream. Standalone files written without the count still parse.
-StatusOr<Graph> ReadEdgeList(std::istream& in);
+[[nodiscard]] StatusOr<Graph> ReadEdgeList(std::istream& in);
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_GRAPH_GRAPH_IO_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_GRAPH_HETERO_H_
-#define GNN4TDL_GRAPH_HETERO_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -65,5 +64,3 @@ class HeteroGraph {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_GRAPH_HETERO_H_

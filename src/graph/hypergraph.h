@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_GRAPH_HYPERGRAPH_H_
-#define GNN4TDL_GRAPH_HYPERGRAPH_H_
+#pragma once
 
 #include <vector>
 
@@ -45,5 +44,3 @@ class Hypergraph {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_GRAPH_HYPERGRAPH_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_GRAPH_MULTIPLEX_H_
-#define GNN4TDL_GRAPH_MULTIPLEX_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -40,5 +39,3 @@ class MultiplexGraph {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_GRAPH_MULTIPLEX_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_GRAPH_PERTURB_H_
-#define GNN4TDL_GRAPH_PERTURB_H_
+#pragma once
 
 #include <cstdint>
 
@@ -29,5 +28,3 @@ Graph RewireEdges(const Graph& g, double fraction, uint64_t seed);
 Graph SparsifyEdges(const Graph& g, double keep_prob, uint64_t seed);
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_GRAPH_PERTURB_H_

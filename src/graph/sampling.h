@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_GRAPH_SAMPLING_H_
-#define GNN4TDL_GRAPH_SAMPLING_H_
+#pragma once
 
 #include "common/rng.h"
 #include "graph/graph.h"
@@ -14,5 +13,3 @@ namespace gnn4tdl {
 Graph SampleNeighbors(const Graph& g, size_t max_neighbors, Rng& rng);
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_GRAPH_SAMPLING_H_

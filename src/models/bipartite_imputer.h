@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_MODELS_BIPARTITE_IMPUTER_H_
-#define GNN4TDL_MODELS_BIPARTITE_IMPUTER_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -65,5 +64,3 @@ class GrapeModel : public TabularModel {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_MODELS_BIPARTITE_IMPUTER_H_

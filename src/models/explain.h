@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_MODELS_EXPLAIN_H_
-#define GNN4TDL_MODELS_EXPLAIN_H_
+#pragma once
 
 #include <vector>
 
@@ -20,5 +19,3 @@ StatusOr<std::vector<double>> OcclusionImportance(
     const std::vector<size_t>& rows = {});
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_MODELS_EXPLAIN_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_MODELS_FEATURE_GRAPH_H_
-#define GNN4TDL_MODELS_FEATURE_GRAPH_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -78,5 +77,3 @@ class FeatureGraphModel : public TabularModel {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_MODELS_FEATURE_GRAPH_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_MODELS_GAE_OUTLIER_H_
-#define GNN4TDL_MODELS_GAE_OUTLIER_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -56,5 +55,3 @@ class GaeOutlierDetector : public TabularModel {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_MODELS_GAE_OUTLIER_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_MODELS_GBDT_H_
-#define GNN4TDL_MODELS_GBDT_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -73,5 +72,3 @@ class GbdtModel : public TabularModel {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_MODELS_GBDT_H_

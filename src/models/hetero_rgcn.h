@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_MODELS_HETERO_RGCN_H_
-#define GNN4TDL_MODELS_HETERO_RGCN_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -60,5 +59,3 @@ class HeteroRgcnModel : public TabularModel {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_MODELS_HETERO_RGCN_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_MODELS_HYPERGRAPH_MODEL_H_
-#define GNN4TDL_MODELS_HYPERGRAPH_MODEL_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -55,5 +54,3 @@ class HypergraphModel : public TabularModel {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_MODELS_HYPERGRAPH_MODEL_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_MODELS_KNN_BASELINE_H_
-#define GNN4TDL_MODELS_KNN_BASELINE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -57,5 +56,3 @@ class KnnDistanceDetector : public TabularModel {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_MODELS_KNN_BASELINE_H_

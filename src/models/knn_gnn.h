@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_MODELS_KNN_GNN_H_
-#define GNN4TDL_MODELS_KNN_GNN_H_
+#pragma once
 
 #include <iosfwd>
 #include <memory>
@@ -209,5 +208,3 @@ class InstanceGraphGnn : public TabularModel {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_MODELS_KNN_GNN_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_MODELS_LABEL_PROP_H_
-#define GNN4TDL_MODELS_LABEL_PROP_H_
+#pragma once
 
 #include <string>
 
@@ -39,5 +38,3 @@ class LabelPropagation : public TabularModel {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_MODELS_LABEL_PROP_H_

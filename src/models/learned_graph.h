@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_MODELS_LEARNED_GRAPH_H_
-#define GNN4TDL_MODELS_LEARNED_GRAPH_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -87,5 +86,3 @@ class LearnedGraphGnn : public TabularModel {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_MODELS_LEARNED_GRAPH_H_

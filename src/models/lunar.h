@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_MODELS_LUNAR_H_
-#define GNN4TDL_MODELS_LUNAR_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -66,5 +65,3 @@ class LunarDetector : public TabularModel {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_MODELS_LUNAR_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_MODELS_MLP_H_
-#define GNN4TDL_MODELS_MLP_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -51,5 +50,3 @@ std::unique_ptr<MlpModel> MakeLinearModel(TrainOptions train = {},
                                           uint64_t seed = 1);
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_MODELS_MLP_H_

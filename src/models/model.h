@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_MODELS_MODEL_H_
-#define GNN4TDL_MODELS_MODEL_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -65,5 +64,3 @@ EvalResult EvaluatePredictions(const Matrix& predictions,
                                const std::vector<size_t>& rows);
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_MODELS_MODEL_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_MODELS_TABGNN_H_
-#define GNN4TDL_MODELS_TABGNN_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -64,5 +63,3 @@ class TabGnnModel : public TabularModel {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_MODELS_TABGNN_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_NN_MODULE_H_
-#define GNN4TDL_NN_MODULE_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -96,5 +95,3 @@ class Mlp : public Module {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_NN_MODULE_H_

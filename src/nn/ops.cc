@@ -32,6 +32,7 @@ double StableSigmoid(double z) {
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
+  TapeOpScope op_scope("Add");
   CheckSameShape(a, b);
   return Tensor::FromOp(a.value() + b.value(), {a, b}, [a, b](const Matrix& g) {
     if (a.requires_grad()) a.AccumulateGrad(g);
@@ -40,6 +41,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
+  TapeOpScope op_scope("Sub");
   CheckSameShape(a, b);
   return Tensor::FromOp(a.value() - b.value(), {a, b}, [a, b](const Matrix& g) {
     if (a.requires_grad()) a.AccumulateGrad(g);
@@ -48,6 +50,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 }
 
 Tensor CwiseMul(const Tensor& a, const Tensor& b) {
+  TapeOpScope op_scope("CwiseMul");
   CheckSameShape(a, b);
   return Tensor::FromOp(a.value().CwiseMul(b.value()), {a, b},
                         [a, b](const Matrix& g) {
@@ -59,12 +62,14 @@ Tensor CwiseMul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Scale(const Tensor& a, double s) {
+  TapeOpScope op_scope("Scale");
   return Tensor::FromOp(a.value() * s, {a}, [a, s](const Matrix& g) {
     if (a.requires_grad()) a.AccumulateGrad(g * s);
   });
 }
 
 Tensor AddScalar(const Tensor& a, double c) {
+  TapeOpScope op_scope("AddScalar");
   return Tensor::FromOp(a.value().Map([c](double v) { return v + c; }), {a},
                         [a](const Matrix& g) {
                           if (a.requires_grad()) a.AccumulateGrad(g);
@@ -72,6 +77,7 @@ Tensor AddScalar(const Tensor& a, double c) {
 }
 
 Tensor AddRowBroadcast(const Tensor& a, const Tensor& b) {
+  TapeOpScope op_scope("AddRowBroadcast");
   GNN4TDL_CHECK_EQ(b.rows(), 1u);
   GNN4TDL_CHECK_EQ(a.cols(), b.cols());
   Matrix out = a.value();
@@ -84,6 +90,7 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& b) {
 }
 
 Tensor MulColBroadcast(const Tensor& a, const Tensor& w) {
+  TapeOpScope op_scope("MulColBroadcast");
   GNN4TDL_CHECK_EQ(w.cols(), 1u);
   GNN4TDL_CHECK_EQ(a.rows(), w.rows());
   Matrix out = a.value();
@@ -113,6 +120,7 @@ Tensor MulColBroadcast(const Tensor& a, const Tensor& w) {
 }
 
 Tensor Relu(const Tensor& a) {
+  TapeOpScope op_scope("Relu");
   return Tensor::FromOp(a.value().Map([](double v) { return v > 0 ? v : 0.0; }),
                         {a}, [a](const Matrix& g) {
                           if (!a.requires_grad()) return;
@@ -125,6 +133,7 @@ Tensor Relu(const Tensor& a) {
 }
 
 Tensor Abs(const Tensor& a) {
+  TapeOpScope op_scope("Abs");
   return Tensor::FromOp(a.value().Map([](double v) { return std::fabs(v); }),
                         {a}, [a](const Matrix& g) {
                           if (!a.requires_grad()) return;
@@ -139,6 +148,7 @@ Tensor Abs(const Tensor& a) {
 }
 
 Tensor LeakyRelu(const Tensor& a, double alpha) {
+  TapeOpScope op_scope("LeakyRelu");
   return Tensor::FromOp(
       a.value().Map([alpha](double v) { return v > 0 ? v : alpha * v; }), {a},
       [a, alpha](const Matrix& g) {
@@ -152,6 +162,7 @@ Tensor LeakyRelu(const Tensor& a, double alpha) {
 }
 
 Tensor Sigmoid(const Tensor& a) {
+  TapeOpScope op_scope("Sigmoid");
   Matrix out = a.value().Map(StableSigmoid);
   return Tensor::FromOp(out, {a}, [a, out](const Matrix& g) {
     if (!a.requires_grad()) return;
@@ -166,6 +177,7 @@ Tensor Sigmoid(const Tensor& a) {
 }
 
 Tensor Tanh(const Tensor& a) {
+  TapeOpScope op_scope("Tanh");
   Matrix out = a.value().Map([](double v) { return std::tanh(v); });
   return Tensor::FromOp(out, {a}, [a, out](const Matrix& g) {
     if (!a.requires_grad()) return;
@@ -180,6 +192,7 @@ Tensor Tanh(const Tensor& a) {
 }
 
 Tensor Exp(const Tensor& a) {
+  TapeOpScope op_scope("Exp");
   Matrix out = a.value().Map([](double v) { return std::exp(v); });
   return Tensor::FromOp(out, {a}, [a, out](const Matrix& g) {
     if (a.requires_grad()) a.AccumulateGrad(g.CwiseMul(out));
@@ -187,6 +200,7 @@ Tensor Exp(const Tensor& a) {
 }
 
 Tensor Log(const Tensor& a) {
+  TapeOpScope op_scope("Log");
   return Tensor::FromOp(a.value().Map([](double v) { return std::log(v); }),
                         {a}, [a](const Matrix& g) {
                           if (!a.requires_grad()) return;
@@ -195,6 +209,7 @@ Tensor Log(const Tensor& a) {
 }
 
 Tensor Dropout(const Tensor& a, double p, Rng& rng, bool training) {
+  TapeOpScope op_scope("Dropout");
   if (!training || p <= 0.0) return a;
   GNN4TDL_CHECK_LT(p, 1.0);
   Matrix mask(a.rows(), a.cols());
@@ -209,6 +224,7 @@ Tensor Dropout(const Tensor& a, double p, Rng& rng, bool training) {
 }
 
 Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  TapeOpScope op_scope("ConcatCols");
   GNN4TDL_CHECK_EQ(a.rows(), b.rows());
   const size_t ac = a.cols();
   const size_t bc = b.cols();
@@ -231,6 +247,7 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
 }
 
 Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  TapeOpScope op_scope("ConcatRows");
   GNN4TDL_CHECK(!parts.empty());
   const size_t cols = parts[0].cols();
   size_t total_rows = 0;
@@ -263,6 +280,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
 }
 
 Tensor Reshape(const Tensor& a, size_t new_rows, size_t new_cols) {
+  TapeOpScope op_scope("Reshape");
   const size_t old_rows = a.rows();
   const size_t old_cols = a.cols();
   return Tensor::FromOp(a.value().Reshape(new_rows, new_cols), {a},
@@ -273,12 +291,14 @@ Tensor Reshape(const Tensor& a, size_t new_rows, size_t new_cols) {
 }
 
 Tensor Transpose(const Tensor& a) {
+  TapeOpScope op_scope("Transpose");
   return Tensor::FromOp(a.value().Transpose(), {a}, [a](const Matrix& g) {
     if (a.requires_grad()) a.AccumulateGrad(g.Transpose());
   });
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TapeOpScope op_scope("MatMul");
   GNN4TDL_CHECK_EQ(a.cols(), b.rows());
   return Tensor::FromOp(a.value().Matmul(b.value()), {a, b},
                         [a, b](const Matrix& g) {
@@ -290,6 +310,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor SpMM(const SparseMatrix& sp, const Tensor& x) {
+  TapeOpScope op_scope("SpMM");
   GNN4TDL_CHECK_EQ(sp.cols(), x.rows());
   // Copy the sparse operator into the closure so the tape owns it; CSR copies
   // are cheap relative to training and this removes lifetime hazards.
@@ -302,6 +323,7 @@ Tensor SpMM(const SparseMatrix& sp, const Tensor& x) {
 }
 
 Tensor GatherRows(const Tensor& x, const std::vector<size_t>& idx) {
+  TapeOpScope op_scope("GatherRows");
   Matrix out(idx.size(), x.cols());
   for (size_t i = 0; i < idx.size(); ++i) {
     GNN4TDL_CHECK_LT(idx[i], x.rows());
@@ -325,6 +347,7 @@ Tensor GatherRows(const Tensor& x, const std::vector<size_t>& idx) {
 
 Tensor ScatterAddRows(const Tensor& x, const std::vector<size_t>& idx,
                       size_t num_out) {
+  TapeOpScope op_scope("ScatterAddRows");
   GNN4TDL_CHECK_EQ(idx.size(), x.rows());
   Matrix out(num_out, x.cols());
   for (size_t i = 0; i < idx.size(); ++i) {
@@ -346,6 +369,7 @@ Tensor ScatterAddRows(const Tensor& x, const std::vector<size_t>& idx,
 
 Tensor EdgeSoftmax(const Tensor& logits, const std::vector<size_t>& dst,
                    size_t num_groups) {
+  TapeOpScope op_scope("EdgeSoftmax");
   GNN4TDL_CHECK_EQ(logits.cols(), 1u);
   GNN4TDL_CHECK_EQ(logits.rows(), dst.size());
   const size_t e_count = dst.size();
@@ -382,6 +406,7 @@ Tensor EdgeSoftmax(const Tensor& logits, const std::vector<size_t>& dst,
 }
 
 Tensor RowL2Normalize(const Tensor& a, double eps) {
+  TapeOpScope op_scope("RowL2Normalize");
   const size_t n = a.rows();
   const size_t d = a.cols();
   std::vector<double> norms(n);
@@ -411,6 +436,7 @@ Tensor RowL2Normalize(const Tensor& a, double eps) {
 
 Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                      double eps) {
+  TapeOpScope op_scope("LayerNormRows");
   const size_t n = x.rows();
   const size_t d = x.cols();
   GNN4TDL_CHECK_EQ(gamma.rows(), 1u);
@@ -480,6 +506,7 @@ Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta,
 }
 
 Tensor PairNormRows(const Tensor& x, double scale, double eps) {
+  TapeOpScope op_scope("PairNormRows");
   const size_t n = x.rows();
   GNN4TDL_CHECK_GT(n, 0u);
   // Column centering: xc = x - 1 * col_mean. Composable from existing ops so
@@ -494,6 +521,7 @@ Tensor PairNormRows(const Tensor& x, double scale, double eps) {
 
 Tensor SegmentMeanRows(const Tensor& x, const std::vector<size_t>& seg,
                        size_t num_segments) {
+  TapeOpScope op_scope("SegmentMeanRows");
   GNN4TDL_CHECK_EQ(seg.size(), x.rows());
   std::vector<double> counts(num_segments, 0.0);
   for (size_t s : seg) {
@@ -530,6 +558,7 @@ Tensor SegmentMeanRows(const Tensor& x, const std::vector<size_t>& seg,
 
 Tensor SegmentMaxRows(const Tensor& x, const std::vector<size_t>& seg,
                       size_t num_segments) {
+  TapeOpScope op_scope("SegmentMaxRows");
   GNN4TDL_CHECK_EQ(seg.size(), x.rows());
   const size_t d = x.cols();
   Matrix out(num_segments, d);
@@ -563,6 +592,7 @@ Tensor SegmentMaxRows(const Tensor& x, const std::vector<size_t>& seg,
 }
 
 Tensor SumAll(const Tensor& a) {
+  TapeOpScope op_scope("SumAll");
   Matrix out(1, 1);
   out(0, 0) = a.value().Sum();
   const size_t r = a.rows();
@@ -573,11 +603,13 @@ Tensor SumAll(const Tensor& a) {
 }
 
 Tensor MeanAll(const Tensor& a) {
+  TapeOpScope op_scope("MeanAll");
   GNN4TDL_CHECK_GT(a.rows() * a.cols(), 0u);
   return Scale(SumAll(a), 1.0 / static_cast<double>(a.rows() * a.cols()));
 }
 
 Tensor SumSquares(const Tensor& a) {
+  TapeOpScope op_scope("SumSquares");
   Matrix out(1, 1);
   double s = 0.0;
   for (size_t i = 0; i < a.rows(); ++i)
@@ -589,6 +621,7 @@ Tensor SumSquares(const Tensor& a) {
 }
 
 Tensor SumAbs(const Tensor& a) {
+  TapeOpScope op_scope("SumAbs");
   Matrix out(1, 1);
   double s = 0.0;
   for (size_t i = 0; i < a.rows(); ++i)
@@ -604,6 +637,7 @@ Tensor SumAbs(const Tensor& a) {
 }
 
 Tensor SoftmaxRows(const Tensor& logits) {
+  TapeOpScope op_scope("SoftmaxRows");
   const size_t n = logits.rows();
   const size_t c_dim = logits.cols();
   Matrix out(n, c_dim);
@@ -635,6 +669,7 @@ Tensor SoftmaxRows(const Tensor& logits) {
 
 Tensor SoftmaxCrossEntropy(const Tensor& logits, const std::vector<int>& labels,
                            const std::vector<double>& weights) {
+  TapeOpScope op_scope("SoftmaxCrossEntropy");
   const size_t n = logits.rows();
   const size_t c_dim = logits.cols();
   GNN4TDL_CHECK_EQ(labels.size(), n);
@@ -688,6 +723,7 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits, const std::vector<int>& labels,
 
 Tensor MseLoss(const Tensor& pred, const Matrix& target,
                const std::vector<double>& weights) {
+  TapeOpScope op_scope("MseLoss");
   const size_t n = pred.rows();
   const size_t c_dim = pred.cols();
   GNN4TDL_CHECK_EQ(target.rows(), n);
@@ -729,6 +765,7 @@ Tensor MseLoss(const Tensor& pred, const Matrix& target,
 
 Tensor BceWithLogits(const Tensor& pred, const std::vector<double>& targets,
                      const std::vector<double>& weights) {
+  TapeOpScope op_scope("BceWithLogits");
   const size_t n = pred.rows();
   GNN4TDL_CHECK_EQ(pred.cols(), 1u);
   GNN4TDL_CHECK_EQ(targets.size(), n);

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_NN_OPS_H_
-#define GNN4TDL_NN_OPS_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -150,5 +149,3 @@ Tensor BceWithLogits(const Tensor& pred, const std::vector<double>& targets,
                      const std::vector<double>& weights = {});
 
 }  // namespace gnn4tdl::ops
-
-#endif  // GNN4TDL_NN_OPS_H_

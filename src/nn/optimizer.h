@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_NN_OPTIMIZER_H_
-#define GNN4TDL_NN_OPTIMIZER_H_
+#pragma once
 
 #include <vector>
 
@@ -75,5 +74,3 @@ class Adam : public Optimizer {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_NN_OPTIMIZER_H_

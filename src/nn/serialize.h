@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_NN_SERIALIZE_H_
-#define GNN4TDL_NN_SERIALIZE_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -12,20 +11,20 @@ namespace gnn4tdl {
 /// Writes every parameter of `module` (in Parameters() order, which is
 /// deterministic for a fixed module structure) to a text file. Values are
 /// serialized with 17 significant digits, so doubles round-trip exactly.
-Status SaveParameters(const Module& module, const std::string& path);
+[[nodiscard]] Status SaveParameters(const Module& module,
+                                    const std::string& path);
 
 /// Loads parameters saved by SaveParameters back into `module`. The module
 /// must have the same structure (same parameter count and shapes) as the one
 /// that was saved — construct it with the same options first.
-Status LoadParameters(const Module& module, const std::string& path);
+[[nodiscard]] Status LoadParameters(const Module& module,
+                                    const std::string& path);
 
 /// Stream variants of the same format, for embedding a parameter block inside
 /// a larger artifact (e.g. a serve/FrozenModel file). The block is
 /// self-delimiting: it records its own parameter count, so the stream is left
 /// positioned immediately after the block.
-Status SaveParameters(const Module& module, std::ostream& out);
-Status LoadParameters(const Module& module, std::istream& in);
+[[nodiscard]] Status SaveParameters(const Module& module, std::ostream& out);
+[[nodiscard]] Status LoadParameters(const Module& module, std::istream& in);
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_NN_SERIALIZE_H_

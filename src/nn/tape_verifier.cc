@@ -1,0 +1,137 @@
+#include "nn/tape_verifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace gnn4tdl {
+
+namespace {
+
+/// First non-finite entry of `m`, or {false, ...} if all entries are finite.
+struct NonFinite {
+  bool found = false;
+  size_t row = 0;
+  size_t col = 0;
+  double value = 0.0;
+};
+
+NonFinite FindNonFinite(const Matrix& m) {
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      if (!std::isfinite(m(r, c))) return {true, r, c, m(r, c)};
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+TapeVerifier::TapeVerifier(TapeVerifierOptions options) : options_(options) {}
+
+Status TapeVerifier::Verify(const Tensor& root) const {
+  if (!root.defined()) {
+    return Status::FailedPrecondition("TapeVerifier: root tensor is undefined");
+  }
+
+  std::vector<std::string> errors;
+  auto full = [&] { return errors.size() >= options_.max_errors; };
+
+  // Reachability walk over every node (not just requires_grad ones: structure
+  // damage and NaN origins can hide in no-grad branches). Iterative DFS with
+  // tri-color marking so a cycle — impossible via the factories, but this is
+  // the pass that must not assume that — is detected instead of looping.
+  std::vector<Tensor::Impl*> order;  // every reachable node, discovery order
+  std::unordered_map<Tensor::Impl*, int> color;  // 1 = on stack, 2 = done
+  struct Frame {
+    Tensor::Impl* node;
+    size_t next_parent = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root.impl_.get()});
+  color[root.impl_.get()] = 1;
+  order.push_back(root.impl_.get());
+
+  while (!stack.empty() && !full()) {
+    Frame& frame = stack.back();
+    Tensor::Impl* node = frame.node;
+    if (frame.next_parent == 0 && options_.check_structure) {
+      if (node->backward_fn && node->parents.empty()) {
+        errors.push_back(Tensor::DescribeNode(node) +
+                         ": interior node has no parents — its backward_fn "
+                         "can route gradient nowhere");
+      }
+    }
+    if (frame.next_parent >= node->parents.size()) {
+      color[node] = 2;
+      stack.pop_back();
+      continue;
+    }
+    const Tensor& parent = node->parents[frame.next_parent++];
+    if (!parent.defined()) {
+      if (options_.check_structure) {
+        errors.push_back(Tensor::DescribeNode(node) + ": parent " +
+                         std::to_string(frame.next_parent - 1) +
+                         " is an empty tensor handle");
+      }
+      continue;
+    }
+    Tensor::Impl* p = parent.impl_.get();
+    if (options_.check_structure && p->seq >= node->seq) {
+      errors.push_back(Tensor::DescribeNode(node) + ": parent " +
+                       Tensor::DescribeNode(p) +
+                       " was created after its child — reverse-creation-order "
+                       "backward replay would visit them out of order");
+    }
+    auto it = color.find(p);
+    if (it == color.end()) {
+      color[p] = 1;
+      order.push_back(p);
+      stack.push_back({p});
+    } else if (it->second == 1 && options_.check_structure) {
+      errors.push_back("cycle through " + Tensor::DescribeNode(p) +
+                       " reached again from " + Tensor::DescribeNode(node));
+      // Do not re-enter: the node stays gray, the edge is reported once.
+    }
+  }
+
+  // Creation order makes "first offending op" well-defined for both probes.
+  std::sort(order.begin(), order.end(),
+            [](const Tensor::Impl* a, const Tensor::Impl* b) {
+              return a->seq < b->seq;
+            });
+
+  if (options_.check_finite) {
+    for (Tensor::Impl* node : order) {
+      if (full()) break;
+      NonFinite hit = FindNonFinite(node->value);
+      if (hit.found) {
+        errors.push_back(
+            Tensor::DescribeNode(node) + ": first non-finite value " +
+            std::to_string(hit.value) + " at (" + std::to_string(hit.row) +
+            ", " + std::to_string(hit.col) + ")" +
+            (node->backward_fn ? "" : " — poisoned input, not an op product"));
+        break;  // downstream nodes are infected, not informative
+      }
+    }
+  }
+
+  if (options_.check_backward_shapes) {
+    for (Tensor::Impl* node : order) {
+      if (full()) break;
+      Tensor::ProbeBackward(node, &errors);
+    }
+  }
+
+  if (errors.empty()) return Status::OK();
+  if (errors.size() > options_.max_errors) errors.resize(options_.max_errors);
+  std::string joined = "TapeVerifier: " + std::to_string(errors.size()) +
+                       " violation(s):";
+  for (const std::string& e : errors) joined += "\n  " + e;
+  return Status::FailedPrecondition(std::move(joined));
+}
+
+}  // namespace gnn4tdl

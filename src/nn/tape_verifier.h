@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "nn/tensor.h"
+
+namespace gnn4tdl {
+
+/// What TapeVerifier::Verify checks. All checks are read-only with respect to
+/// tensor values and gradients; the tape itself is never modified.
+struct TapeVerifierOptions {
+  /// Validate the tape reachable from the root is a well-formed DAG: every
+  /// parent handle is defined, every parent was created strictly before its
+  /// child (the invariant Backward()'s reverse-creation-order replay relies
+  /// on), no interior node is parentless, and there are no cycles.
+  bool check_structure = true;
+
+  /// Dry-run every interior node's backward_fn with a zero upstream gradient,
+  /// with gradient accumulation redirected into validation: a backward_fn
+  /// that emits a gradient whose shape differs from its parent's value, or
+  /// that accumulates into a tensor it never declared as a parent, is
+  /// reported with the offending node named. (A backward_fn that aborts
+  /// internally on a GNN4TDL_CHECK before reaching AccumulateGrad is outside
+  /// this net — the probe validates the tape contract, not arbitrary code.)
+  bool check_backward_shapes = true;
+
+  /// NaN/Inf poisoning: scan node values in creation order and report the
+  /// FIRST node holding a non-finite entry — the op that introduced the
+  /// poison, not the downstream nodes it infected. Opt-in because healthy
+  /// training can transit large magnitudes, and scanning every value is the
+  /// costliest check.
+  bool check_finite = false;
+
+  /// Stop collecting after this many violations.
+  size_t max_errors = 8;
+};
+
+/// Static/dynamic analysis pass over a reverse-mode autodiff tape, meant to
+/// run on the loss tensor *before* Backward(). Debug-mode tooling: when no
+/// verifier is constructed the tape machinery pays nothing beyond a
+/// thread-local flag test inside AccumulateGrad.
+///
+///   TapeVerifier verifier({.check_finite = true});
+///   Status s = verifier.Verify(loss);
+///   if (!s.ok()) ...  // message names the offending tape node
+///
+/// Trainer wires this in via TrainOptions::verify_tape_every.
+class TapeVerifier {
+ public:
+  explicit TapeVerifier(TapeVerifierOptions options = {});
+
+  /// Analyzes the tape reachable from `root`. Returns OK iff no violations;
+  /// otherwise FailedPrecondition with one line per violation, each naming
+  /// the offending node as "tape node #<seq> (op=<name>, RxC)".
+  Status Verify(const Tensor& root) const;
+
+ private:
+  TapeVerifierOptions options_;
+};
+
+}  // namespace gnn4tdl

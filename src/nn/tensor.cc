@@ -9,8 +9,33 @@
 namespace gnn4tdl {
 
 namespace {
+
 std::atomic<uint64_t> g_tensor_seq{0};
+
+// Innermost live TapeOpScope's name for this thread ("" = none).
+thread_local const char* g_current_op = "";
+
+// Installed by Tensor::ProbeBackward for the duration of one backward_fn
+// dry-run. While active, AccumulateGrad validates instead of mutating.
+struct ProbeState {
+  bool active = false;
+  std::string node_desc;                // the interior node being probed
+  std::vector<const void*> parent_ids;  // its declared parents (Impl*)
+  std::vector<std::string>* errors = nullptr;
+};
+thread_local ProbeState g_probe;
+
+std::string ShapeString(size_t rows, size_t cols) {
+  return std::to_string(rows) + "x" + std::to_string(cols);
+}
+
 }  // namespace
+
+TapeOpScope::TapeOpScope(const char* name) : prev_(g_current_op) {
+  g_current_op = name;
+}
+
+TapeOpScope::~TapeOpScope() { g_current_op = prev_; }
 
 Tensor Tensor::Leaf(Matrix value, bool requires_grad) {
   Tensor t;
@@ -22,7 +47,8 @@ Tensor Tensor::Leaf(Matrix value, bool requires_grad) {
 }
 
 Tensor Tensor::FromOp(Matrix value, std::vector<Tensor> parents,
-                      std::function<void(const Matrix&)> backward_fn) {
+                      std::function<void(const Matrix&)> backward_fn,
+                      std::string op) {
   Tensor t;
   t.impl_ = std::make_shared<Impl>();
   t.impl_->value = std::move(value);
@@ -33,12 +59,55 @@ Tensor Tensor::FromOp(Matrix value, std::vector<Tensor> parents,
   }
   t.impl_->parents = std::move(parents);
   t.impl_->backward_fn = std::move(backward_fn);
+  t.impl_->op = op.empty() ? std::string(g_current_op) : std::move(op);
   t.impl_->seq = g_tensor_seq.fetch_add(1);
   return t;
 }
 
+std::string Tensor::DescribeNode(const Impl* node) {
+  std::string desc = "tape node #" + std::to_string(node->seq) + " (";
+  if (node->backward_fn) {
+    desc += "op=" + (node->op.empty() ? std::string("?") : node->op);
+  } else {
+    desc += node->op.empty() ? "leaf" : "leaf op=" + node->op;
+  }
+  desc += ", " + ShapeString(node->value.rows(), node->value.cols()) + ")";
+  return desc;
+}
+
+void Tensor::ProbeBackward(Impl* node, std::vector<std::string>* errors) {
+  if (!node->backward_fn) return;
+  g_probe.active = true;
+  g_probe.node_desc = DescribeNode(node);
+  g_probe.parent_ids.clear();
+  for (const Tensor& p : node->parents) {
+    g_probe.parent_ids.push_back(p.impl_.get());
+  }
+  g_probe.errors = errors;
+  node->backward_fn(Matrix::Zeros(node->value.rows(), node->value.cols()));
+  g_probe.active = false;
+  g_probe.errors = nullptr;
+}
+
 void Tensor::AccumulateGrad(const Matrix& g) const {
   GNN4TDL_CHECK(defined());
+  if (g_probe.active) {
+    // TapeVerifier dry-run: report problems, touch nothing.
+    if (std::find(g_probe.parent_ids.begin(), g_probe.parent_ids.end(),
+                  impl_.get()) == g_probe.parent_ids.end()) {
+      g_probe.errors->push_back(
+          g_probe.node_desc + ": backward_fn accumulates into " +
+          DescribeNode(impl_.get()) + ", which is not a declared parent");
+    }
+    if (g.rows() != impl_->value.rows() || g.cols() != impl_->value.cols()) {
+      g_probe.errors->push_back(
+          g_probe.node_desc + ": backward_fn produced a " +
+          ShapeString(g.rows(), g.cols()) + " gradient for " +
+          DescribeNode(impl_.get()) + ", expected " +
+          ShapeString(impl_->value.rows(), impl_->value.cols()));
+    }
+    return;
+  }
   if (impl_->grad.empty()) {
     impl_->grad = Matrix(impl_->value.rows(), impl_->value.cols());
   }

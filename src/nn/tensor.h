@@ -1,14 +1,16 @@
-#ifndef GNN4TDL_NN_TENSOR_H_
-#define GNN4TDL_NN_TENSOR_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "tensor/matrix.h"
 
 namespace gnn4tdl {
+
+class TapeVerifier;
 
 /// A node in the reverse-mode autodiff tape. Tensor is a cheap shared handle:
 /// copying it copies the handle, not the data. Every op in nn/ops.h creates a
@@ -32,8 +34,12 @@ class Tensor {
   /// Interior node produced by an op. `backward_fn(grad_out)` must accumulate
   /// into the parents' grads. Ops should only list parents that require grad
   /// flow (constants may be captured in the closure instead).
+  ///
+  /// `op` names the producing op in TapeVerifier diagnostics; when empty, the
+  /// innermost live TapeOpScope on this thread supplies the name.
   static Tensor FromOp(Matrix value, std::vector<Tensor> parents,
-                       std::function<void(const Matrix&)> backward_fn);
+                       std::function<void(const Matrix&)> backward_fn,
+                       std::string op = {});
 
   bool defined() const { return impl_ != nullptr; }
 
@@ -47,6 +53,9 @@ class Tensor {
   const Matrix& grad() const { return impl_->grad; }
 
   bool requires_grad() const { return impl_->requires_grad; }
+
+  /// Name of the op that produced this node ("" for leaves and unnamed ops).
+  const std::string& op_name() const { return impl_->op; }
 
   size_t rows() const { return impl_->value.rows(); }
   size_t cols() const { return impl_->value.cols(); }
@@ -66,18 +75,46 @@ class Tensor {
   const void* id() const { return impl_.get(); }
 
  private:
+  friend class TapeVerifier;
+
   struct Impl {
     Matrix value;
     Matrix grad;  // empty until first accumulation
     bool requires_grad = false;
     uint64_t seq = 0;  // creation order; children always have larger seq
+    std::string op;    // producing op, for diagnostics ("" = leaf/unnamed)
     std::vector<Tensor> parents;
     std::function<void(const Matrix&)> backward_fn;
   };
 
+  /// "tape node #<seq> (op=<op>, RxC)" — how verifier messages name nodes.
+  static std::string DescribeNode(const Impl* node);
+
+  /// TapeVerifier's shape probe: dry-runs `node->backward_fn` with a zero
+  /// upstream gradient while AccumulateGrad is redirected to validate — not
+  /// mutate — so a backward_fn that emits a wrongly-shaped gradient or writes
+  /// to an undeclared tensor is reported into `errors` instead of corrupting
+  /// grads or aborting.
+  static void ProbeBackward(Impl* node, std::vector<std::string>* errors);
+
   std::shared_ptr<Impl> impl_;
 };
 
-}  // namespace gnn4tdl
+/// RAII op-name annotation for the tape. While alive, FromOp calls on this
+/// thread that pass no explicit name tag their nodes with `name`; scopes nest,
+/// innermost wins (an op composed of other ops labels only the nodes it
+/// creates directly). Every op in nn/ops.cc opens one, so TapeVerifier errors
+/// can say "op=MatMul" instead of just a node number.
+class TapeOpScope {
+ public:
+  explicit TapeOpScope(const char* name);
+  ~TapeOpScope();
 
-#endif  // GNN4TDL_NN_TENSOR_H_
+  TapeOpScope(const TapeOpScope&) = delete;
+  TapeOpScope& operator=(const TapeOpScope&) = delete;
+
+ private:
+  const char* prev_;
+};
+
+}  // namespace gnn4tdl

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_SERVE_ATTACHER_H_
-#define GNN4TDL_SERVE_ATTACHER_H_
+#pragma once
 
 #include <vector>
 
@@ -63,7 +62,7 @@ class InductiveAttacher {
   /// Builds the attached subgraph for a batch of featurized new rows
   /// (n_new x dim). New rows attach to training rows only, never to each
   /// other, matching InstanceGraphGnn::PredictInductive semantics.
-  StatusOr<AttachedBatch> Attach(const Matrix& x_new) const;
+  [[nodiscard]] StatusOr<AttachedBatch> Attach(const Matrix& x_new) const;
 
   const InductiveAttacherOptions& options() const { return options_; }
 
@@ -77,5 +76,3 @@ class InductiveAttacher {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_SERVE_ATTACHER_H_

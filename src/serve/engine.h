@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_SERVE_ENGINE_H_
-#define GNN4TDL_SERVE_ENGINE_H_
+#pragma once
 
 #include <chrono>
 #include <condition_variable>
@@ -105,5 +104,3 @@ class ServingEngine {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_SERVE_ENGINE_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_SERVE_FROZEN_MODEL_H_
-#define GNN4TDL_SERVE_FROZEN_MODEL_H_
+#pragma once
 
 #include <iosfwd>
 #include <memory>
@@ -42,27 +41,29 @@ class FrozenModel {
 
   /// Writes a fitted model as a frozen artifact. Identity node-init models
   /// are rejected (they are transductive-only, mirroring PredictInductive).
-  static Status Save(const InstanceGraphGnn& model, std::ostream& out);
-  static Status Save(const InstanceGraphGnn& model, const std::string& path);
+  [[nodiscard]] static Status Save(const InstanceGraphGnn& model,
+                                   std::ostream& out);
+  [[nodiscard]] static Status Save(const InstanceGraphGnn& model,
+                                   const std::string& path);
 
   /// Reconstructs a frozen artifact written by Save().
-  static StatusOr<FrozenModel> Load(std::istream& in,
-                                    FrozenModelOptions options = {});
-  static StatusOr<FrozenModel> Load(const std::string& path,
-                                    FrozenModelOptions options = {});
+  [[nodiscard]] static StatusOr<FrozenModel> Load(std::istream& in,
+                                                  FrozenModelOptions options = {});
+  [[nodiscard]] static StatusOr<FrozenModel> Load(const std::string& path,
+                                                  FrozenModelOptions options = {});
 
   /// Featurizes raw rows with the frozen transform (schema must match the
   /// training table).
-  StatusOr<Matrix> Featurize(const TabularDataset& rows) const;
+  [[nodiscard]] StatusOr<Matrix> Featurize(const TabularDataset& rows) const;
 
   /// Scores already-featurized rows (n_new x feature_dim()): attach to the
   /// frozen graph, forward the trained weights over the extracted subgraph,
   /// return n_new x num_outputs() logits. The whole batch shares one
   /// extended graph (PredictInductive micro-batch semantics).
-  StatusOr<Matrix> ScoreFeatures(const Matrix& x_new) const;
+  [[nodiscard]] StatusOr<Matrix> ScoreFeatures(const Matrix& x_new) const;
 
   /// Featurize + ScoreFeatures.
-  StatusOr<Matrix> Score(const TabularDataset& rows) const;
+  [[nodiscard]] StatusOr<Matrix> Score(const TabularDataset& rows) const;
 
   TaskType task() const;
   size_t num_outputs() const;
@@ -81,5 +82,3 @@ class FrozenModel {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_SERVE_FROZEN_MODEL_H_

@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_SERVE_KNN_INDEX_H_
-#define GNN4TDL_SERVE_KNN_INDEX_H_
+#pragma once
 
 #include <cstdint>
 #include <utility>
@@ -40,9 +39,10 @@ struct KnnHit {
 /// InstanceGraphGnn::PredictInductive finds (ties aside).
 class KnnIndex {
  public:
-  static StatusOr<KnnIndex> Build(Matrix reference, SimilarityMetric metric,
-                                  double gamma = 1.0,
-                                  KnnIndexOptions options = {});
+  [[nodiscard]] static StatusOr<KnnIndex> Build(Matrix reference,
+                                                SimilarityMetric metric,
+                                                double gamma = 1.0,
+                                                KnnIndexOptions options = {});
 
   /// The k reference rows most similar to `query` (length dim()), best
   /// first.
@@ -75,5 +75,3 @@ class KnnIndex {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_SERVE_KNN_INDEX_H_

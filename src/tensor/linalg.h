@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_TENSOR_LINALG_H_
-#define GNN4TDL_TENSOR_LINALG_H_
+#pragma once
 
 #include "common/status.h"
 #include "tensor/matrix.h"
@@ -19,5 +18,3 @@ StatusOr<Matrix> CholeskySolve(const Matrix& a, const Matrix& b);
 StatusOr<Matrix> SolveRidge(const Matrix& x, const Matrix& y, double lambda);
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_TENSOR_LINALG_H_

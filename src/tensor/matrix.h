@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_TENSOR_MATRIX_H_
-#define GNN4TDL_TENSOR_MATRIX_H_
+#pragma once
 
 #include <cstddef>
 #include <functional>
@@ -160,5 +159,3 @@ class Matrix {
 inline Matrix operator*(double s, const Matrix& m) { return m * s; }
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_TENSOR_MATRIX_H_

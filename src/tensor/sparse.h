@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_TENSOR_SPARSE_H_
-#define GNN4TDL_TENSOR_SPARSE_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -75,5 +74,3 @@ class SparseMatrix {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_TENSOR_SPARSE_H_

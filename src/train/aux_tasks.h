@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_TRAIN_AUX_TASKS_H_
-#define GNN4TDL_TRAIN_AUX_TASKS_H_
+#pragma once
 
 #include <vector>
 
@@ -65,5 +64,3 @@ Tensor ConnectivityPenalty(const Tensor& edge_weights,
                            double eps = 1e-6);
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_TRAIN_AUX_TASKS_H_

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "nn/tape_verifier.h"
 
 namespace gnn4tdl {
 
@@ -72,6 +73,20 @@ TrainResult Trainer::Fit(const std::function<Tensor()>& loss_fn,
     GNN4TDL_CHECK_MSG(loss.rows() == 1 && loss.cols() == 1,
                       "loss_fn must return a scalar tensor");
     result.final_train_loss = loss.value()(0, 0);
+    if (options_.verify_tape_every > 0 &&
+        epoch % options_.verify_tape_every == 0) {
+      TapeVerifier verifier({.check_finite = options_.verify_finite});
+      result.tape_status = verifier.Verify(loss);
+      if (!result.tape_status.ok()) {
+        // A malformed tape (or poisoned values) makes every further step
+        // garbage; stop here and surface the diagnosis instead.
+        if (options_.verbose) {
+          std::fprintf(stderr, "epoch %4d  %s\n", epoch,
+                       result.tape_status.ToString().c_str());
+        }
+        break;
+      }
+    }
     loss.Backward();
     if (options_.grad_clip > 0.0) optimizer_.ClipGradNorm(options_.grad_clip);
     optimizer_.Step();

@@ -1,9 +1,9 @@
-#ifndef GNN4TDL_TRAIN_TRAINER_H_
-#define GNN4TDL_TRAIN_TRAINER_H_
+#pragma once
 
 #include <functional>
 #include <vector>
 
+#include "common/status.h"
 #include "nn/optimizer.h"
 #include "nn/tensor.h"
 
@@ -33,6 +33,13 @@ struct TrainOptions {
   /// Global gradient-norm clip (0 = off).
   double grad_clip = 0.0;
   bool verbose = false;
+  /// Run TapeVerifier over the loss tape before Backward() every N epochs
+  /// (0 = never). A failed verification aborts the run; see
+  /// TrainResult::tape_status.
+  int verify_tape_every = 0;
+  /// Include the NaN/Inf poisoning scan in those verification passes, so the
+  /// eventual report names the op that first produced a non-finite value.
+  bool verify_finite = true;
 };
 
 /// Outcome of a training run.
@@ -40,6 +47,10 @@ struct TrainResult {
   int epochs_run = 0;
   double best_val_metric = 0.0;
   double final_train_loss = 0.0;
+  /// OK unless a TapeVerifier pass (TrainOptions::verify_tape_every) failed,
+  /// in which case training stopped at that epoch and the message names the
+  /// offending tape node.
+  Status tape_status;
 };
 
 /// Full-batch gradient trainer (the dominant regime in GNN4TDL: the whole
@@ -70,5 +81,3 @@ class Trainer {
 };
 
 }  // namespace gnn4tdl
-
-#endif  // GNN4TDL_TRAIN_TRAINER_H_

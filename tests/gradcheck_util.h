@@ -1,5 +1,4 @@
-#ifndef GNN4TDL_TESTS_GRADCHECK_UTIL_H_
-#define GNN4TDL_TESTS_GRADCHECK_UTIL_H_
+#pragma once
 
 #include <cmath>
 #include <functional>
@@ -55,5 +54,3 @@ inline void ExpectGradientsMatch(const std::vector<Tensor>& inputs,
 }
 
 }  // namespace gnn4tdl::testing
-
-#endif  // GNN4TDL_TESTS_GRADCHECK_UTIL_H_

@@ -1,0 +1,211 @@
+// Tests for nn/tape_verifier.h: the debug-mode analysis pass over the
+// reverse-mode tape. The load-bearing claims: a well-formed tape passes with
+// no side effects on values or gradients, a backward_fn that emits a
+// wrongly-shaped gradient (or writes to an undeclared tensor) is caught with
+// the offending node named, the NaN/Inf poisoning scan names the op that
+// FIRST produced a non-finite value rather than the downstream nodes it
+// infected, and Trainer aborts with the diagnosis when wired in.
+
+#include "nn/tape_verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "nn/ops.h"
+#include "nn/tensor.h"
+#include "train/trainer.h"
+
+namespace gnn4tdl {
+namespace {
+
+Matrix Filled(size_t r, size_t c, double v) { return Matrix::Full(r, c, v); }
+
+// A small but representative tape: two parameters, matmul, nonlinearity,
+// reduction to a scalar loss.
+struct SmallNet {
+  Tensor x = Tensor::Constant(Filled(4, 3, 0.5));
+  Tensor w = Tensor::Leaf(Filled(3, 2, 0.1), /*requires_grad=*/true);
+  Tensor b = Tensor::Leaf(Filled(1, 2, 0.0), /*requires_grad=*/true);
+
+  Tensor Loss() {
+    Tensor h = ops::AddRowBroadcast(ops::MatMul(x, w), b);
+    return ops::MeanAll(ops::Relu(h));
+  }
+};
+
+TEST(TapeVerifierTest, CleanGraphPassesAllChecks) {
+  SmallNet net;
+  Tensor loss = net.Loss();
+  TapeVerifier verifier({.check_finite = true});
+  Status s = verifier.Verify(loss);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(TapeVerifierTest, OpsRecordTheirNames) {
+  SmallNet net;
+  Tensor product = ops::MatMul(net.x, net.w);
+  EXPECT_EQ(product.op_name(), "MatMul");
+  EXPECT_EQ(ops::Relu(product).op_name(), "Relu");
+  EXPECT_EQ(net.w.op_name(), "");  // leaves carry no op
+}
+
+TEST(TapeVerifierTest, VerifyDoesNotDisturbValuesOrGradients) {
+  SmallNet net;
+  Tensor loss = net.Loss();
+  Matrix loss_before = loss.value();
+
+  TapeVerifier verifier({.check_finite = true});
+  ASSERT_TRUE(verifier.Verify(loss).ok());
+
+  // The shape probe dry-runs every backward_fn; none of that may leak into
+  // real gradient buffers or values.
+  EXPECT_TRUE(net.w.grad().empty());
+  EXPECT_TRUE(net.b.grad().empty());
+  EXPECT_TRUE(loss.value().AllClose(loss_before, 0.0));
+
+  // And the subsequent real Backward() matches an unverified run exactly.
+  loss.Backward();
+  Matrix gw_verified = net.w.grad();
+  SmallNet fresh;
+  Tensor fresh_loss = fresh.Loss();
+  fresh_loss.Backward();
+  EXPECT_TRUE(gw_verified.AllClose(fresh.w.grad(), 0.0));
+}
+
+TEST(TapeVerifierTest, ShapeBrokenBackwardIsCaughtAndNamed) {
+  Tensor a = Tensor::Leaf(Filled(3, 3, 1.0), /*requires_grad=*/true);
+  // Deliberately broken op: routes a 2x5 gradient into a 3x3 parent.
+  Tensor bad = Tensor::FromOp(
+      Filled(3, 3, 2.0), {a},
+      [a](const Matrix&) { a.AccumulateGrad(Matrix::Zeros(2, 5)); },
+      "BadShapeOp");
+  Tensor loss = ops::MeanAll(bad);
+
+  Status s = TapeVerifier().Verify(loss);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("op=BadShapeOp"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("2x5"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("expected 3x3"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(TapeVerifierTest, AccumulationIntoUndeclaredParentIsCaught) {
+  Tensor a = Tensor::Leaf(Filled(2, 2, 1.0), /*requires_grad=*/true);
+  Tensor hidden = Tensor::Leaf(Filled(2, 2, 1.0), /*requires_grad=*/true);
+  // Captures `hidden` in the closure but never declares it as a parent, so
+  // Backward() would silently feed it gradient outside the declared DAG.
+  Tensor bad = Tensor::FromOp(
+      Filled(2, 2, 2.0), {a},
+      [a, hidden](const Matrix& g) {
+        a.AccumulateGrad(g);
+        hidden.AccumulateGrad(g);
+      },
+      "LeakyCapture");
+  Tensor loss = ops::MeanAll(bad);
+
+  Status s = TapeVerifier().Verify(loss);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("op=LeakyCapture"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("not a declared parent"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(TapeVerifierTest, NanPoisoningNamesTheFirstOffendingOp) {
+  Tensor x = Tensor::Leaf(Filled(2, 2, 1.0), /*requires_grad=*/true);
+  Tensor clean = ops::Relu(x);
+  // The op that introduces the poison...
+  Matrix poisoned_value = clean.value();
+  poisoned_value(1, 0) = std::numeric_limits<double>::quiet_NaN();
+  Tensor poisoned = Tensor::FromOp(
+      std::move(poisoned_value), {clean},
+      [clean](const Matrix& g) { clean.AccumulateGrad(g); }, "PoisonOp");
+  // ...and downstream ops that merely inherit it.
+  Tensor loss = ops::MeanAll(ops::Scale(poisoned, 2.0));
+  ASSERT_TRUE(std::isnan(loss.value()(0, 0)));
+
+  Status s = TapeVerifier({.check_finite = true}).Verify(loss);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("op=PoisonOp"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("non-finite"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("(1, 0)"), std::string::npos) << s.ToString();
+  // The infected downstream nodes must NOT be the ones reported.
+  EXPECT_EQ(s.message().find("op=Scale"), std::string::npos) << s.ToString();
+  EXPECT_EQ(s.message().find("op=MeanAll"), std::string::npos) << s.ToString();
+}
+
+TEST(TapeVerifierTest, InfinityIsAlsoTrapped) {
+  Tensor x = Tensor::Constant(Filled(1, 1, 0.0));
+  Tensor inf = ops::Log(x);  // log(0) = -inf, flagged at the Log node
+  Tensor loss = ops::SumAll(inf);
+  Status s = TapeVerifier({.check_finite = true}).Verify(loss);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("op=Log"), std::string::npos) << s.ToString();
+}
+
+TEST(TapeVerifierTest, FiniteCheckIsOptIn) {
+  Tensor x = Tensor::Constant(Filled(1, 1, 0.0));
+  Tensor loss = ops::SumAll(ops::Log(x));
+  // Structure and backward shapes are fine; without the poisoning scan the
+  // NaN/Inf values pass.
+  Status s = TapeVerifier().Verify(loss);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(TapeVerifierTest, UndefinedRootIsRejected) {
+  Tensor undefined;
+  Status s = TapeVerifier().Verify(undefined);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(TrainerTapeVerifyTest, CleanTrainingReportsOkTapeStatus) {
+  Tensor w = Tensor::Leaf(Filled(2, 1, 0.5), /*requires_grad=*/true);
+  Tensor x = Tensor::Constant(Filled(4, 2, 1.0));
+  TrainOptions options;
+  options.max_epochs = 5;
+  options.patience = 0;
+  options.verify_tape_every = 1;
+  Trainer trainer({w}, options);
+  TrainResult result = trainer.Fit([&] {
+    return ops::MseLoss(ops::MatMul(x, w), Matrix::Full(4, 1, 1.0), {});
+  });
+  EXPECT_TRUE(result.tape_status.ok()) << result.tape_status.ToString();
+  EXPECT_EQ(result.epochs_run, 5);
+}
+
+TEST(TrainerTapeVerifyTest, NanLossAbortsTrainingWithDiagnosis) {
+  Tensor w = Tensor::Leaf(Filled(1, 1, 0.5), /*requires_grad=*/true);
+  int epoch = 0;
+  TrainOptions options;
+  options.max_epochs = 20;
+  options.patience = 0;
+  options.verify_tape_every = 1;  // verify every epoch
+  Trainer trainer({w}, options);
+  TrainResult result = trainer.Fit([&] {
+    // Healthy for two epochs, then an op starts emitting NaN.
+    ++epoch;
+    Tensor pre = ops::Scale(w, 2.0);
+    if (epoch <= 2) return ops::SumAll(pre);
+    Matrix poison(1, 1);
+    poison(0, 0) = std::numeric_limits<double>::quiet_NaN();
+    Tensor bad = Tensor::FromOp(
+        std::move(poison), {pre},
+        [pre](const Matrix& g) { pre.AccumulateGrad(g); }, "ExplodingOp");
+    return ops::SumAll(bad);
+  });
+  EXPECT_FALSE(result.tape_status.ok());
+  EXPECT_NE(result.tape_status.message().find("op=ExplodingOp"),
+            std::string::npos)
+      << result.tape_status.ToString();
+  // Training stopped at the poisoned epoch instead of running to max_epochs.
+  EXPECT_EQ(result.epochs_run, 2);
+}
+
+}  // namespace
+}  // namespace gnn4tdl

@@ -1,11 +1,58 @@
 #!/usr/bin/env bash
-# Full sanitizer gate: configure, build, and run the entire test suite under
-# AddressSanitizer + UndefinedBehaviorSanitizer (the `asan` CMake preset).
+# Umbrella correctness gate: lint -> asan -> tsan.
+#
+#   stage 1  lint  build gnn4tdl_lint (default preset) and scan the tree
+#   stage 2  asan  full test suite under Address+UB sanitizers
+#   stage 3  tsan  full test suite under ThreadSanitizer
+#
+# Every stage runs even if an earlier one fails; the summary at the end
+# lists per-stage PASS/FAIL and the script exits non-zero if any failed.
 # Usage: tools/check.sh [extra ctest args...]
-set -euo pipefail
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
-cmake --preset asan
-cmake --build --preset asan -j "$(nproc)"
-ctest --preset asan -j "$(nproc)" "$@"
+declare -A results
+overall=0
+
+run_stage() {
+  local name="$1"
+  shift
+  echo
+  echo "==== stage: ${name} ===="
+  if "$@"; then
+    results[$name]=PASS
+  else
+    results[$name]=FAIL
+    overall=1
+  fi
+}
+
+lint_stage() {
+  cmake --preset default &&
+    cmake --build --preset default -j "$(nproc)" --target gnn4tdl_lint &&
+    ./build/tools/lint/gnn4tdl_lint --root .
+}
+
+asan_stage() {
+  cmake --preset asan &&
+    cmake --build --preset asan -j "$(nproc)" &&
+    ctest --preset asan -j "$(nproc)" "$@"
+}
+
+tsan_stage() {
+  cmake --preset tsan &&
+    cmake --build --preset tsan -j "$(nproc)" &&
+    ctest --preset tsan -j "$(nproc)" "$@"
+}
+
+run_stage lint lint_stage
+run_stage asan asan_stage "$@"
+run_stage tsan tsan_stage "$@"
+
+echo
+echo "==== check.sh summary ===="
+for stage in lint asan tsan; do
+  printf '  %-5s %s\n' "$stage" "${results[$stage]}"
+done
+exit "$overall"

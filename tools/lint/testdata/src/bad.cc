@@ -1,0 +1,19 @@
+// Seeded lint-fixture source: one specimen per remaining rule. Never
+// compiled — gnn4tdl_lint reads it as text.
+
+#include "bad.h"
+
+void Caller(Helper* helper) {
+  DoThing();               // status-discard: bare call, result dropped
+  helper->ComputeThing();  // status-discard: through a member chain
+  (void)DoThing();         // sanctioned discard idiom — must NOT be flagged
+  Status kept = DoThing(); // checked — must NOT be flagged
+
+  std::srand(42);          // banned-call
+  int r = std::rand();     // banned-call
+
+  std::cout << r;          // cout-in-src
+
+  int* buffer = new int[8];  // raw-new-delete
+  delete[] buffer;           // raw-new-delete
+}

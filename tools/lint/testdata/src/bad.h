@@ -1,0 +1,8 @@
+// Seeded lint-fixture header: deliberately violates missing-pragma-once and
+// using-namespace-in-header, and declares the Status-returning functions the
+// .cc file discards. Never compiled — gnn4tdl_lint reads it as text.
+
+using namespace std;
+
+Status DoThing();
+StatusOr<int> ComputeThing();
