@@ -161,7 +161,7 @@ void WriteJson(const std::vector<ServingResult>& results, size_t train_rows,
     std::fprintf(stderr, "cannot write BENCH_serving.json\n");
     return;
   }
-  out << "{\n  \"bench\": \"serving\",\n";
+  bench::WriteJsonHeader(out, "serving");
   out << "  \"train_rows\": " << train_rows << ",\n";
   out << "  \"serve_rows\": " << serve_rows << ",\n";
   out << "  \"models\": [\n";

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gnn4tdl {
+
+/// Half-open index range [begin, end) handed to a ParallelFor body or a
+/// reduction chunk.
+struct Range {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+};
+
+/// Thread count requested via the GNN4TDL_THREADS environment variable,
+/// falling back to std::thread::hardware_concurrency() when unset. Always at
+/// least 1; values are clamped to [1, 256] and unparsable strings fall back
+/// to 1 (serial). Read once per call — ThreadPool::Global() samples it only
+/// at first use.
+size_t ThreadCountFromEnv();
+
+/// Fixed-size thread pool with deterministic chunked dispatch — deliberately
+/// no work stealing. A job is a number of chunks; workers (plus the caller,
+/// which participates) pull chunk indices from a shared cursor under a mutex.
+/// Which thread runs which chunk is scheduling-dependent, but every chunk's
+/// work is defined purely by its index, so results never depend on the
+/// assignment.
+///
+/// Threading contract:
+///  - Run() executes chunk_fn(0..num_chunks-1) and blocks until all chunks
+///    finish. Concurrent Run() calls from different threads are serialized.
+///  - With num_threads() == 1 (or a single chunk) everything executes inline
+///    on the caller — the serial fallback, bit-exact with pre-pool code.
+///  - The first exception thrown by a chunk cancels the remaining chunks and
+///    is rethrown on the calling thread.
+///  - All kernels in tensor/ and nn/ route through the singleton Global()
+///    pool, sized by GNN4TDL_THREADS at first use; SetNumThreads() resizes it
+///    (tests and the bench sweep only — it must not race with running jobs).
+class ThreadPool {
+ public:
+  /// Process-wide pool shared by every kernel (and the serving engine's
+  /// batched forwards). Sized by GNN4TDL_THREADS at first call.
+  static ThreadPool& Global();
+
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const {
+    return num_threads_.load(std::memory_order_relaxed);
+  }
+
+  /// Joins all workers and respawns `n - 1` of them (the caller is the n-th
+  /// lane). Callable only while no job is running.
+  void SetNumThreads(size_t n);
+
+  /// Runs chunk_fn(c) for every c in [0, num_chunks), blocking until done.
+  void Run(size_t num_chunks, const std::function<void(size_t)>& chunk_fn);
+
+ private:
+  void WorkerLoop();
+  void StartWorkers(size_t num_workers);
+  void StopWorkers();
+  // Grabs the next chunk index of the active job; false when drained.
+  bool NextChunk(size_t* chunk, const std::function<void(size_t)>** fn);
+  void FinishChunk();
+  void RunChunk(size_t chunk, const std::function<void(size_t)>& fn);
+
+  // Serializes Run() callers (and SetNumThreads) so at most one job is
+  // in flight; the pool is shared but not reentrant.
+  std::mutex run_mu_;
+
+  // Guards everything below.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: new job or shutdown
+  std::condition_variable done_cv_;  // caller: all chunks finished
+  std::vector<std::thread> workers_;
+  std::atomic<size_t> num_threads_{1};
+  bool shutdown_ = false;
+
+  // Active job state. job_fn_ is non-null only while a job is in flight.
+  uint64_t job_generation_ = 0;
+  const std::function<void(size_t)>* job_fn_ = nullptr;
+  size_t job_num_chunks_ = 0;
+  size_t job_next_chunk_ = 0;
+  size_t job_pending_chunks_ = 0;
+  std::exception_ptr job_error_;
+};
+
+/// Deterministic partition of [begin, end) into at most `max_chunks` chunks
+/// of at least `grain` indices each (the last chunks may be one index
+/// larger). Boundaries depend only on the range, grain, and max_chunks —
+/// never on scheduling — which is what makes chunked reductions reproducible
+/// for a fixed thread count.
+std::vector<Range> PartitionRange(size_t begin, size_t end, size_t grain,
+                                  size_t max_chunks);
+
+/// Parallel loop: body(chunk_begin, chunk_end) over a deterministic partition
+/// of [begin, end) with up to 4 chunks per pool thread (for load balance).
+/// The body must only write data disjoint across chunks; under that contract
+/// results are bit-exact with serial execution for every thread count.
+///
+/// Nested ParallelFor (a body that itself calls ParallelFor, on any thread
+/// currently inside one) throws std::logic_error — kernels must stay
+/// leaf-level. Exceptions thrown by the body propagate to the caller.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body);
+
+/// Deterministic parallel sum: chunk_sum(b, e) returns the serial sum of its
+/// chunk, and the per-chunk partials are combined by a fixed pairwise tree.
+/// For a fixed thread count the result is identical across runs; with one
+/// chunk (threads=1 or a small range) it equals the serial sum bit-for-bit.
+/// Partials are combined in chunk order, so thread counts only differ by
+/// floating-point association (observed differences ~1e-15 relative).
+double ParallelReduceSum(size_t begin, size_t end, size_t grain,
+                         const std::function<double(size_t, size_t)>& chunk_sum);
+
+/// In-place pairwise tree combine of per-chunk partial accumulators:
+/// combine(parts[i], parts[i+stride]) folds the right element into the left,
+/// strides doubling, leaving the total in parts[0]. Deterministic for a fixed
+/// parts.size(). Used by accumulating kernels (SpMM-transpose, edge-softmax)
+/// whose partials are whole matrices or per-group arrays.
+template <typename T, typename Combine>
+void TreeCombine(std::vector<T>& parts, Combine&& combine) {
+  for (size_t stride = 1; stride < parts.size(); stride *= 2) {
+    for (size_t i = 0; i + stride < parts.size(); i += 2 * stride) {
+      combine(parts[i], parts[i + stride]);
+    }
+  }
+}
+
+/// True while the calling thread is inside a ParallelFor/reduction body.
+/// Exposed so tests can assert the nested-call guard and kernels can assert
+/// they are at leaf level.
+bool InParallelRegion();
+
+}  // namespace gnn4tdl

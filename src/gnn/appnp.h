@@ -10,6 +10,11 @@ namespace gnn4tdl {
 /// iterations. Parameter-free; the predictive model lives in H_0. Deep
 /// propagation without oversmoothing — the survey's answer (via DGN et al.)
 /// to high-order connectivity (Section 2.5c).
+///
+/// Survey mapping: Table 5, row "APPNP" — the personalized-PageRank fixed
+/// point Z = α (I − (1−α) Â)^{-1} H_0 approximated by the power iteration
+/// above. Each step is one SpMM plus an elementwise axpy, both on the shared
+/// thread pool and bit-exact at every thread count.
 Tensor AppnpPropagate(const Tensor& h0, const SparseMatrix& norm_adj,
                       size_t steps = 10, double alpha = 0.1);
 

@@ -15,6 +15,11 @@ namespace gnn4tdl {
 ///   h_v'          = W [h_v ; mean_u msg(u -> v)]
 /// Missing cells contribute no message — the formulation's native missing-
 /// value handling (Section 4.1.2).
+///
+/// Survey mapping: Table 5, row "GRAPE" (bipartite instance-feature graphs,
+/// Section 4.1.2) — the edge-featured mean-aggregation update above, with
+/// the observed cell value e_uv as the survey's edge attribute. Message
+/// matmuls and the mean aggregation run on the shared thread pool.
 class GrapeConv : public Module {
  public:
   GrapeConv(size_t left_dim, size_t right_dim, size_t out_dim, Rng& rng);

@@ -13,6 +13,12 @@ namespace gnn4tdl {
 /// node's in-edges, aggregate. Heads are concatenated, so out_dim must be a
 /// multiple of num_heads. Self-loops are added to the edge set so every node
 /// attends at least to itself.
+///
+/// Survey mapping: Table 5, row "GAT" (Section 4.3) — attention coefficients
+/// α_ij = softmax_j(LeakyReLU(aᵀ [W h_i ; W h_j])) and update
+/// h_i' = σ(Σ_j α_ij W h_j). The per-destination softmax is the
+/// SegmentSoftmax kernel (tensor/sparse), whose forward and backward are
+/// tree-reduced on the shared pool — deterministic for a fixed thread count.
 class GatLayer : public Module {
  public:
   GatLayer(size_t in_dim, size_t out_dim, size_t num_heads, Rng& rng);

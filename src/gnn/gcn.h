@@ -7,7 +7,13 @@ namespace gnn4tdl {
 
 /// Graph convolution (Kipf & Welling): H' = Â (H W + b), with Â the
 /// symmetrically normalized adjacency from Graph::GcnNormalized(). The
-/// workhorse layer of most GNN4TDL methods (Table 5).
+/// workhorse layer of most GNN4TDL methods.
+///
+/// Survey mapping: Table 5, row "GCN" (Section 4.3, basic GNN models) — the
+/// spectral message-passing update H^(l+1) = σ(D̃^{-1/2} Ã D̃^{-1/2} H^(l)
+/// W^(l)), the default backbone of the instance-graph methods the survey
+/// catalogs. Both SpMM and the inner matmul run on the shared thread pool;
+/// the layer is bit-exact at every thread count (docs/KERNELS.md).
 class GcnLayer : public Module {
  public:
   GcnLayer(size_t in_dim, size_t out_dim, Rng& rng);

@@ -8,6 +8,11 @@ namespace gnn4tdl {
 /// Gated graph layer (Li et al., GGNN): a GRU cell whose input is the
 /// aggregated neighbor message. Dimension-preserving (state stays `dim`).
 /// Fi-GNN uses this gate to regulate information flow on feature graphs.
+///
+/// Survey mapping: Table 5, row "GGNN" — the recurrent update
+/// h_v' = GRU(h_v, Σ_{u∈N(v)} Â_vu h_u), which the survey's feature-graph
+/// methods (Fi-GNN, Section 4.2) use for interaction modeling. The
+/// aggregation is one SpMM; all six gate matmuls run on the shared pool.
 class GgnnLayer : public Module {
  public:
   GgnnLayer(size_t dim, Rng& rng);

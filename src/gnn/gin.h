@@ -9,6 +9,12 @@ namespace gnn4tdl {
 /// with a learnable eps. `sum_adj` is the *unnormalized* adjacency
 /// (Graph::adjacency()): GIN's expressiveness argument relies on sum
 /// aggregation.
+///
+/// Survey mapping: Table 5, row "GIN" (Section 4.3) — the
+/// Weisfeiler-Lehman-strength update h_v' = MLP((1 + ε) h_v + Σ_{u∈N(v)}
+/// h_u), cited by the survey for maximal discriminative power among
+/// neighborhood aggregators. Sum aggregation is one SpMM; the MLP is
+/// thread-pool matmuls — bit-exact at every thread count.
 class GinLayer : public Module {
  public:
   GinLayer(size_t in_dim, size_t out_dim, size_t hidden_dim, Rng& rng);

@@ -18,6 +18,13 @@ namespace gnn4tdl {
 /// answer). When beta -> 0 the layer ignores the graph; large beta recovers
 /// neighborhood-dominated attention — so the model *learns* how much
 /// structure to use.
+///
+/// Survey mapping: Section 6 ("future directions: graph transformers"); no
+/// Table 5 row — the survey catalogs transformers as an emerging direction
+/// rather than an established GNN4TDL backbone. Defining equation:
+/// attn = softmax(Q Kᵀ/√d_k + β Â), H' = H + attn · V W_o. The dense
+/// n × n attention matmuls dominate cost and are row-partitioned on the
+/// shared thread pool; SoftmaxRows is bit-exact at every thread count.
 class GraphTransformerLayer : public Module {
  public:
   GraphTransformerLayer(size_t dim, size_t attn_dim, Rng& rng);

@@ -10,6 +10,12 @@ namespace gnn4tdl {
 /// applied as two SpMM steps through the hyperedge space. Also exposes the
 /// intermediate hyperedge embeddings, which HCL/PET-style models read out as
 /// *instance* representations (each row of the table is a hyperedge).
+///
+/// Survey mapping: Table 5, row "HGNN" (hypergraph formulations, Section
+/// 4.1.3) — the normalized incidence-based convolution above, where the
+/// survey's rows-as-hyperedges view makes each table row a hyperedge over
+/// its cell nodes. Both incidence SpMMs and the inner matmul run on the
+/// shared thread pool, bit-exact at every thread count.
 class HypergraphConvLayer : public Module {
  public:
   HypergraphConvLayer(size_t in_dim, size_t out_dim, Rng& rng);

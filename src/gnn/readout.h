@@ -9,6 +9,13 @@ namespace gnn4tdl {
 
 /// Permutation-invariant readout functions R({h_i}) (Section 2.3): map node
 /// embeddings to a graph-level representation.
+///
+/// Survey mapping: Section 2.3, the readout stage of the survey's three-step
+/// GNN pipeline (aggregate → update → readout); equation
+/// h_G = R({h_v : v ∈ G}) with R ∈ {mean, sum, max}. Not a Table 5 row —
+/// every cataloged model composes one of these. Whole-set readouts are
+/// tree-reduced on the shared pool (deterministic for a fixed thread
+/// count); SegmentReadout is partitioned by output row and bit-exact.
 enum class ReadoutType { kMean, kSum, kMax };
 
 const char* ReadoutTypeName(ReadoutType t);

@@ -11,7 +11,13 @@ namespace gnn4tdl {
 /// Relational GCN (Schlichtkrull et al.): per-relation weight matrices plus a
 /// self transform,
 ///   H' = H W_self + sum_r (D_r^{-1} A_r) H W_r.
-/// The layer for heterogeneous and multi-relational formulations (Table 5).
+/// The layer for heterogeneous and multi-relational formulations.
+///
+/// Survey mapping: Table 5, row "R-GCN" (heterogeneous/multiplex graphs,
+/// Section 4.1.4) — the relation-typed update h_v' = W_0 h_v +
+/// Σ_r Σ_{u∈N_r(v)} (1/c_{v,r}) W_r h_u. One SpMM + matmul pair per
+/// relation on the shared thread pool; the relation sum is a fixed-order
+/// serial accumulation, so the layer stays bit-exact at every thread count.
 class RgcnLayer : public Module {
  public:
   RgcnLayer(size_t in_dim, size_t out_dim, size_t num_relations, Rng& rng);

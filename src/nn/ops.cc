@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace gnn4tdl::ops {
 
@@ -13,6 +14,14 @@ namespace {
 void CheckSameShape(const Tensor& a, const Tensor& b) {
   GNN4TDL_CHECK_EQ(a.rows(), b.rows());
   GNN4TDL_CHECK_EQ(a.cols(), b.cols());
+}
+
+// Row-block grain for the row-wise activation/normalization/loss kernels:
+// each chunk holds roughly this many scalar ops. Forward and backward share
+// the same primitives and grains, so training and serving scale alike.
+size_t RowGrain(size_t cost_per_row) {
+  constexpr size_t kFlopGrain = 65536;
+  return std::max<size_t>(1, kFlopGrain / std::max<size_t>(cost_per_row, 1));
 }
 
 double Softplus(double z) {
@@ -125,9 +134,12 @@ Tensor Relu(const Tensor& a) {
                         {a}, [a](const Matrix& g) {
                           if (!a.requires_grad()) return;
                           Matrix ga = g;
-                          for (size_t i = 0; i < ga.rows(); ++i)
-                            for (size_t j = 0; j < ga.cols(); ++j)
-                              if (a.value()(i, j) <= 0) ga(i, j) = 0.0;
+                          ParallelFor(0, ga.rows(), RowGrain(ga.cols()),
+                                      [&](size_t lo, size_t hi) {
+                            for (size_t i = lo; i < hi; ++i)
+                              for (size_t j = 0; j < ga.cols(); ++j)
+                                if (a.value()(i, j) <= 0) ga(i, j) = 0.0;
+                          });
                           a.AccumulateGrad(ga);
                         });
 }
@@ -167,11 +179,13 @@ Tensor Sigmoid(const Tensor& a) {
   return Tensor::FromOp(out, {a}, [a, out](const Matrix& g) {
     if (!a.requires_grad()) return;
     Matrix ga = g;
-    for (size_t i = 0; i < ga.rows(); ++i)
-      for (size_t j = 0; j < ga.cols(); ++j) {
-        double s = out(i, j);
-        ga(i, j) *= s * (1.0 - s);
-      }
+    ParallelFor(0, ga.rows(), RowGrain(ga.cols()), [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i)
+        for (size_t j = 0; j < ga.cols(); ++j) {
+          double s = out(i, j);
+          ga(i, j) *= s * (1.0 - s);
+        }
+    });
     a.AccumulateGrad(ga);
   });
 }
@@ -182,11 +196,13 @@ Tensor Tanh(const Tensor& a) {
   return Tensor::FromOp(out, {a}, [a, out](const Matrix& g) {
     if (!a.requires_grad()) return;
     Matrix ga = g;
-    for (size_t i = 0; i < ga.rows(); ++i)
-      for (size_t j = 0; j < ga.cols(); ++j) {
-        double t = out(i, j);
-        ga(i, j) *= 1.0 - t * t;
-      }
+    ParallelFor(0, ga.rows(), RowGrain(ga.cols()), [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i)
+        for (size_t j = 0; j < ga.cols(); ++j) {
+          double t = out(i, j);
+          ga(i, j) *= 1.0 - t * t;
+        }
+    });
     a.AccumulateGrad(ga);
   });
 }
@@ -370,38 +386,18 @@ Tensor ScatterAddRows(const Tensor& x, const std::vector<size_t>& idx,
 Tensor EdgeSoftmax(const Tensor& logits, const std::vector<size_t>& dst,
                    size_t num_groups) {
   TapeOpScope op_scope("EdgeSoftmax");
-  GNN4TDL_CHECK_EQ(logits.cols(), 1u);
-  GNN4TDL_CHECK_EQ(logits.rows(), dst.size());
-  const size_t e_count = dst.size();
-
-  std::vector<double> group_max(num_groups,
-                                -std::numeric_limits<double>::infinity());
-  for (size_t e = 0; e < e_count; ++e) {
-    GNN4TDL_CHECK_LT(dst[e], num_groups);
-    group_max[dst[e]] = std::max(group_max[dst[e]], logits.value()(e, 0));
-  }
-  std::vector<double> group_sum(num_groups, 0.0);
-  Matrix out(e_count, 1);
-  for (size_t e = 0; e < e_count; ++e) {
-    out(e, 0) = std::exp(logits.value()(e, 0) - group_max[dst[e]]);
-    group_sum[dst[e]] += out(e, 0);
-  }
-  for (size_t e = 0; e < e_count; ++e) out(e, 0) /= group_sum[dst[e]];
-
+  // Forward and backward both delegate to the parallel segment-softmax
+  // kernels in tensor/sparse.h, so the autograd path scales exactly like the
+  // inference path.
+  Matrix out = SegmentSoftmax(logits.value(), dst, num_groups);
   std::vector<size_t> dst_copy = dst;
   Matrix softmax = out;
   return Tensor::FromOp(
       std::move(out), {logits},
       [logits, dst_copy, softmax, num_groups](const Matrix& g) {
         if (!logits.requires_grad()) return;
-        // d l_e = w_e * (g_e - sum_{e' in group} g_{e'} w_{e'})
-        std::vector<double> group_dot(num_groups, 0.0);
-        for (size_t e = 0; e < dst_copy.size(); ++e)
-          group_dot[dst_copy[e]] += g(e, 0) * softmax(e, 0);
-        Matrix gl(dst_copy.size(), 1);
-        for (size_t e = 0; e < dst_copy.size(); ++e)
-          gl(e, 0) = softmax(e, 0) * (g(e, 0) - group_dot[dst_copy[e]]);
-        logits.AccumulateGrad(gl);
+        logits.AccumulateGrad(
+            SegmentSoftmaxBackward(softmax, g, dst_copy, num_groups));
       });
 }
 
@@ -411,25 +407,32 @@ Tensor RowL2Normalize(const Tensor& a, double eps) {
   const size_t d = a.cols();
   std::vector<double> norms(n);
   Matrix out(n, d);
-  for (size_t r = 0; r < n; ++r) {
-    double s = 0.0;
-    for (size_t c = 0; c < d; ++c) s += a.value()(r, c) * a.value()(r, c);
-    norms[r] = std::max(std::sqrt(s), eps);
-    for (size_t c = 0; c < d; ++c) out(r, c) = a.value()(r, c) / norms[r];
-  }
+  // Rows are independent: parallel row blocks, serial per-row loops.
+  ParallelFor(0, n, RowGrain(2 * d), [&](size_t lo, size_t hi) {
+    for (size_t r = lo; r < hi; ++r) {
+      double s = 0.0;
+      for (size_t c = 0; c < d; ++c) s += a.value()(r, c) * a.value()(r, c);
+      norms[r] = std::max(std::sqrt(s), eps);
+      for (size_t c = 0; c < d; ++c) out(r, c) = a.value()(r, c) / norms[r];
+    }
+  });
   Matrix normalized = out;
   return Tensor::FromOp(std::move(out), {a},
                         [a, normalized, norms](const Matrix& g) {
                           if (!a.requires_grad()) return;
                           Matrix ga(g.rows(), g.cols());
-                          for (size_t r = 0; r < g.rows(); ++r) {
-                            double dot = 0.0;
-                            for (size_t c = 0; c < g.cols(); ++c)
-                              dot += g(r, c) * normalized(r, c);
-                            for (size_t c = 0; c < g.cols(); ++c)
-                              ga(r, c) = (g(r, c) - dot * normalized(r, c)) /
-                                         norms[r];
-                          }
+                          ParallelFor(0, g.rows(), RowGrain(2 * g.cols()),
+                                      [&](size_t lo, size_t hi) {
+                            for (size_t r = lo; r < hi; ++r) {
+                              double dot = 0.0;
+                              for (size_t c = 0; c < g.cols(); ++c)
+                                dot += g(r, c) * normalized(r, c);
+                              for (size_t c = 0; c < g.cols(); ++c)
+                                ga(r, c) = (g(r, c) -
+                                            dot * normalized(r, c)) /
+                                           norms[r];
+                            }
+                          });
                           a.AccumulateGrad(ga);
                         });
 }
@@ -446,26 +449,28 @@ Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   GNN4TDL_CHECK_GT(d, 0u);
 
   // Forward: cache the normalized values x_hat and the inverse stddevs.
+  // Row-parallel; per-row statistics keep their serial accumulation order.
   Matrix x_hat(n, d);
   std::vector<double> inv_std(n);
-  for (size_t r = 0; r < n; ++r) {
-    double mean = 0.0;
-    for (size_t c = 0; c < d; ++c) mean += x.value()(r, c);
-    mean /= static_cast<double>(d);
-    double var = 0.0;
-    for (size_t c = 0; c < d; ++c) {
-      double centered = x.value()(r, c) - mean;
-      var += centered * centered;
-    }
-    var /= static_cast<double>(d);
-    inv_std[r] = 1.0 / std::sqrt(var + eps);
-    for (size_t c = 0; c < d; ++c)
-      x_hat(r, c) = (x.value()(r, c) - mean) * inv_std[r];
-  }
   Matrix out(n, d);
-  for (size_t r = 0; r < n; ++r)
-    for (size_t c = 0; c < d; ++c)
-      out(r, c) = x_hat(r, c) * gamma.value()(0, c) + beta.value()(0, c);
+  ParallelFor(0, n, RowGrain(4 * d), [&](size_t lo, size_t hi) {
+    for (size_t r = lo; r < hi; ++r) {
+      double mean = 0.0;
+      for (size_t c = 0; c < d; ++c) mean += x.value()(r, c);
+      mean /= static_cast<double>(d);
+      double var = 0.0;
+      for (size_t c = 0; c < d; ++c) {
+        double centered = x.value()(r, c) - mean;
+        var += centered * centered;
+      }
+      var /= static_cast<double>(d);
+      inv_std[r] = 1.0 / std::sqrt(var + eps);
+      for (size_t c = 0; c < d; ++c)
+        x_hat(r, c) = (x.value()(r, c) - mean) * inv_std[r];
+      for (size_t c = 0; c < d; ++c)
+        out(r, c) = x_hat(r, c) * gamma.value()(0, c) + beta.value()(0, c);
+    }
+  });
 
   return Tensor::FromOp(
       std::move(out), {x, gamma, beta},
@@ -483,23 +488,27 @@ Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta,
         }
         if (x.requires_grad()) {
           // dx = inv_std * (gy - mean(gy) - x_hat * mean(gy * x_hat)),
-          // where gy = g * gamma (per column).
+          // where gy = g * gamma (per column). Row-parallel like the forward;
+          // the gamma/beta reductions above stay serial (they fold over rows
+          // into a single 1 x d accumulator).
           Matrix gx(n, d);
-          for (size_t r = 0; r < n; ++r) {
-            double mean_gy = 0.0, mean_gy_xhat = 0.0;
-            for (size_t c = 0; c < d; ++c) {
-              double gy = g(r, c) * gamma.value()(0, c);
-              mean_gy += gy;
-              mean_gy_xhat += gy * x_hat(r, c);
+          ParallelFor(0, n, RowGrain(6 * d), [&](size_t lo, size_t hi) {
+            for (size_t r = lo; r < hi; ++r) {
+              double mean_gy = 0.0, mean_gy_xhat = 0.0;
+              for (size_t c = 0; c < d; ++c) {
+                double gy = g(r, c) * gamma.value()(0, c);
+                mean_gy += gy;
+                mean_gy_xhat += gy * x_hat(r, c);
+              }
+              mean_gy /= static_cast<double>(d);
+              mean_gy_xhat /= static_cast<double>(d);
+              for (size_t c = 0; c < d; ++c) {
+                double gy = g(r, c) * gamma.value()(0, c);
+                gx(r, c) =
+                    inv_std[r] * (gy - mean_gy - x_hat(r, c) * mean_gy_xhat);
+              }
             }
-            mean_gy /= static_cast<double>(d);
-            mean_gy_xhat /= static_cast<double>(d);
-            for (size_t c = 0; c < d; ++c) {
-              double gy = g(r, c) * gamma.value()(0, c);
-              gx(r, c) =
-                  inv_std[r] * (gy - mean_gy - x_hat(r, c) * mean_gy_xhat);
-            }
-          }
+          });
           x.AccumulateGrad(gx);
         }
       });
@@ -641,28 +650,35 @@ Tensor SoftmaxRows(const Tensor& logits) {
   const size_t n = logits.rows();
   const size_t c_dim = logits.cols();
   Matrix out(n, c_dim);
-  for (size_t r = 0; r < n; ++r) {
-    double mx = -std::numeric_limits<double>::infinity();
-    for (size_t c = 0; c < c_dim; ++c) mx = std::max(mx, logits.value()(r, c));
-    double sum = 0.0;
-    for (size_t c = 0; c < c_dim; ++c) {
-      out(r, c) = std::exp(logits.value()(r, c) - mx);
-      sum += out(r, c);
+  // Row softmax is embarrassingly row-parallel; per-row max/sum stay serial.
+  ParallelFor(0, n, RowGrain(4 * c_dim), [&](size_t lo, size_t hi) {
+    for (size_t r = lo; r < hi; ++r) {
+      double mx = -std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < c_dim; ++c)
+        mx = std::max(mx, logits.value()(r, c));
+      double sum = 0.0;
+      for (size_t c = 0; c < c_dim; ++c) {
+        out(r, c) = std::exp(logits.value()(r, c) - mx);
+        sum += out(r, c);
+      }
+      for (size_t c = 0; c < c_dim; ++c) out(r, c) /= sum;
     }
-    for (size_t c = 0; c < c_dim; ++c) out(r, c) /= sum;
-  }
+  });
   Matrix softmax = out;
   return Tensor::FromOp(std::move(out), {logits},
                         [logits, softmax](const Matrix& g) {
                           if (!logits.requires_grad()) return;
                           Matrix gl(g.rows(), g.cols());
-                          for (size_t r = 0; r < g.rows(); ++r) {
-                            double dot = 0.0;
-                            for (size_t c = 0; c < g.cols(); ++c)
-                              dot += g(r, c) * softmax(r, c);
-                            for (size_t c = 0; c < g.cols(); ++c)
-                              gl(r, c) = softmax(r, c) * (g(r, c) - dot);
-                          }
+                          ParallelFor(0, g.rows(), RowGrain(3 * g.cols()),
+                                      [&](size_t lo, size_t hi) {
+                            for (size_t r = lo; r < hi; ++r) {
+                              double dot = 0.0;
+                              for (size_t c = 0; c < g.cols(); ++c)
+                                dot += g(r, c) * softmax(r, c);
+                              for (size_t c = 0; c < g.cols(); ++c)
+                                gl(r, c) = softmax(r, c) * (g(r, c) - dot);
+                            }
+                          });
                           logits.AccumulateGrad(gl);
                         });
 }
@@ -680,25 +696,33 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits, const std::vector<int>& labels,
   for (double v : w) w_sum += v;
   GNN4TDL_CHECK_MSG(w_sum > 0.0, "SoftmaxCrossEntropy: all rows masked");
 
+  // Per-row probabilities in parallel (write-disjoint rows); the scalar loss
+  // is a tree reduction over row blocks — deterministic for a fixed thread
+  // count, equal to the serial sum at threads=1.
   Matrix probs(n, c_dim);
-  double loss = 0.0;
-  for (size_t r = 0; r < n; ++r) {
-    double mx = -std::numeric_limits<double>::infinity();
-    for (size_t c = 0; c < c_dim; ++c) mx = std::max(mx, logits.value()(r, c));
-    double sum = 0.0;
-    for (size_t c = 0; c < c_dim; ++c) {
-      probs(r, c) = std::exp(logits.value()(r, c) - mx);
-      sum += probs(r, c);
+  double loss = ParallelReduceSum(0, n, RowGrain(5 * c_dim),
+                                  [&](size_t lo, size_t hi) {
+    double chunk_loss = 0.0;
+    for (size_t r = lo; r < hi; ++r) {
+      double mx = -std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < c_dim; ++c)
+        mx = std::max(mx, logits.value()(r, c));
+      double sum = 0.0;
+      for (size_t c = 0; c < c_dim; ++c) {
+        probs(r, c) = std::exp(logits.value()(r, c) - mx);
+        sum += probs(r, c);
+      }
+      for (size_t c = 0; c < c_dim; ++c) probs(r, c) /= sum;
+      if (w[r] != 0.0) {
+        const int y = labels[r];
+        GNN4TDL_CHECK_GE(y, 0);
+        GNN4TDL_CHECK_LT(static_cast<size_t>(y), c_dim);
+        chunk_loss += w[r] * -std::log(std::max(
+                                 probs(r, static_cast<size_t>(y)), 1e-300));
+      }
     }
-    for (size_t c = 0; c < c_dim; ++c) probs(r, c) /= sum;
-    if (w[r] != 0.0) {
-      const int y = labels[r];
-      GNN4TDL_CHECK_GE(y, 0);
-      GNN4TDL_CHECK_LT(static_cast<size_t>(y), c_dim);
-      loss += w[r] * -std::log(std::max(probs(r, static_cast<size_t>(y)),
-                                        1e-300));
-    }
-  }
+    return chunk_loss;
+  });
   Matrix out(1, 1);
   out(0, 0) = loss / w_sum;
 
@@ -708,15 +732,18 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits, const std::vector<int>& labels,
       [logits, probs, labels_copy, w, w_sum](const Matrix& g) {
         if (!logits.requires_grad()) return;
         Matrix gl = probs;
-        for (size_t r = 0; r < gl.rows(); ++r) {
-          if (w[r] == 0.0) {
-            for (size_t c = 0; c < gl.cols(); ++c) gl(r, c) = 0.0;
-            continue;
+        ParallelFor(0, gl.rows(), RowGrain(2 * gl.cols()),
+                    [&](size_t lo, size_t hi) {
+          for (size_t r = lo; r < hi; ++r) {
+            if (w[r] == 0.0) {
+              for (size_t c = 0; c < gl.cols(); ++c) gl(r, c) = 0.0;
+              continue;
+            }
+            gl(r, static_cast<size_t>(labels_copy[r])) -= 1.0;
+            const double scale = g(0, 0) * w[r] / w_sum;
+            for (size_t c = 0; c < gl.cols(); ++c) gl(r, c) *= scale;
           }
-          gl(r, static_cast<size_t>(labels_copy[r])) -= 1.0;
-          const double scale = g(0, 0) * w[r] / w_sum;
-          for (size_t c = 0; c < gl.cols(); ++c) gl(r, c) *= scale;
-        }
+        });
         logits.AccumulateGrad(gl);
       });
 }
@@ -736,14 +763,18 @@ Tensor MseLoss(const Tensor& pred, const Matrix& target,
   GNN4TDL_CHECK_MSG(w_sum > 0.0, "MseLoss: all rows masked");
   const double denom = w_sum * static_cast<double>(c_dim);
 
-  double loss = 0.0;
-  for (size_t r = 0; r < n; ++r) {
-    if (w[r] == 0.0) continue;
-    for (size_t c = 0; c < c_dim; ++c) {
-      double d = pred.value()(r, c) - target(r, c);
-      loss += w[r] * d * d;
+  double loss = ParallelReduceSum(0, n, RowGrain(3 * c_dim),
+                                  [&](size_t lo, size_t hi) {
+    double chunk_loss = 0.0;
+    for (size_t r = lo; r < hi; ++r) {
+      if (w[r] == 0.0) continue;
+      for (size_t c = 0; c < c_dim; ++c) {
+        double d = pred.value()(r, c) - target(r, c);
+        chunk_loss += w[r] * d * d;
+      }
     }
-  }
+    return chunk_loss;
+  });
   Matrix out(1, 1);
   out(0, 0) = loss / denom;
 
@@ -752,13 +783,17 @@ Tensor MseLoss(const Tensor& pred, const Matrix& target,
                         [pred, target_copy, w, denom](const Matrix& g) {
                           if (!pred.requires_grad()) return;
                           Matrix gp(pred.rows(), pred.cols());
-                          for (size_t r = 0; r < gp.rows(); ++r) {
-                            if (w[r] == 0.0) continue;
-                            const double scale = 2.0 * g(0, 0) * w[r] / denom;
-                            for (size_t c = 0; c < gp.cols(); ++c)
-                              gp(r, c) = scale * (pred.value()(r, c) -
-                                                  target_copy(r, c));
-                          }
+                          ParallelFor(0, gp.rows(), RowGrain(2 * gp.cols()),
+                                      [&](size_t lo, size_t hi) {
+                            for (size_t r = lo; r < hi; ++r) {
+                              if (w[r] == 0.0) continue;
+                              const double scale =
+                                  2.0 * g(0, 0) * w[r] / denom;
+                              for (size_t c = 0; c < gp.cols(); ++c)
+                                gp(r, c) = scale * (pred.value()(r, c) -
+                                                    target_copy(r, c));
+                            }
+                          });
                           pred.AccumulateGrad(gp);
                         });
 }
@@ -776,12 +811,15 @@ Tensor BceWithLogits(const Tensor& pred, const std::vector<double>& targets,
   for (double v : w) w_sum += v;
   GNN4TDL_CHECK_MSG(w_sum > 0.0, "BceWithLogits: all rows masked");
 
-  double loss = 0.0;
-  for (size_t r = 0; r < n; ++r) {
-    if (w[r] == 0.0) continue;
-    double z = pred.value()(r, 0);
-    loss += w[r] * (Softplus(z) - targets[r] * z);
-  }
+  double loss = ParallelReduceSum(0, n, RowGrain(8), [&](size_t lo, size_t hi) {
+    double chunk_loss = 0.0;
+    for (size_t r = lo; r < hi; ++r) {
+      if (w[r] == 0.0) continue;
+      double z = pred.value()(r, 0);
+      chunk_loss += w[r] * (Softplus(z) - targets[r] * z);
+    }
+    return chunk_loss;
+  });
   Matrix out(1, 1);
   out(0, 0) = loss / w_sum;
 
@@ -790,12 +828,16 @@ Tensor BceWithLogits(const Tensor& pred, const std::vector<double>& targets,
                         [pred, t_copy, w, w_sum](const Matrix& g) {
                           if (!pred.requires_grad()) return;
                           Matrix gp(pred.rows(), 1);
-                          for (size_t r = 0; r < gp.rows(); ++r) {
-                            if (w[r] == 0.0) continue;
-                            double z = pred.value()(r, 0);
-                            gp(r, 0) = g(0, 0) * w[r] *
-                                       (StableSigmoid(z) - t_copy[r]) / w_sum;
-                          }
+                          ParallelFor(0, gp.rows(), RowGrain(8),
+                                      [&](size_t lo, size_t hi) {
+                            for (size_t r = lo; r < hi; ++r) {
+                              if (w[r] == 0.0) continue;
+                              double z = pred.value()(r, 0);
+                              gp(r, 0) = g(0, 0) * w[r] *
+                                         (StableSigmoid(z) - t_copy[r]) /
+                                         w_sum;
+                            }
+                          });
                           pred.AccumulateGrad(gp);
                         });
 }

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/parallel.h"
+
 namespace gnn4tdl {
 
 namespace {
@@ -37,6 +39,9 @@ ServingEngine::ServingEngine(const FrozenModel* model, ServingOptions options)
   if (options_.max_batch == 0) options_.max_batch = 1;
   if (options_.deadline_ms < 0.0) options_.deadline_ms = 0.0;
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  // Pre-warm the shared kernel pool (sized by GNN4TDL_THREADS) so the first
+  // batch forward does not pay worker spin-up inside its latency budget.
+  ThreadPool::Global();
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 

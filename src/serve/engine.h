@@ -55,6 +55,14 @@ struct ServeStats {
 /// a training node anchoring several queued rows aggregates all of them.
 /// With max_batch = 1 the engine scores exactly like
 /// FrozenModel::ScoreFeatures on each row.
+///
+/// Threading: the engine owns exactly one batching worker; intra-op
+/// parallelism inside each batch forward (SpMM, matmul, edge softmax) comes
+/// from the shared ThreadPool::Global(), sized by GNN4TDL_THREADS. The
+/// constructor pre-warms that pool so the first batch does not pay thread
+/// spin-up. The worker thread is the only caller of the tensor kernels here,
+/// so batches never contend with each other for the pool, and scoring results
+/// are deterministic for a fixed thread count (see common/parallel.h).
 class ServingEngine {
  public:
   explicit ServingEngine(const FrozenModel* model, ServingOptions options = {});

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace gnn4tdl {
 
 StatusOr<Matrix> Cholesky(const Matrix& a) {
@@ -39,25 +41,36 @@ StatusOr<Matrix> CholeskySolve(const Matrix& a, const Matrix& b) {
   const size_t n = a.rows();
   const size_t m = b.cols();
 
+  // The factorization itself is serial (loop-carried dependence), but each
+  // right-hand-side column solves independently: parallel over columns with
+  // the per-column loops unchanged — bit-exact at every thread count. The
+  // grain targets ~n^2/2 flops per column so single-RHS solves stay serial.
+  const size_t col_grain =
+      std::max<size_t>(1, 131072 / std::max<size_t>(n * n, 1));
+
   // Forward substitution: L z = b.
   Matrix z(n, m);
-  for (size_t c = 0; c < m; ++c) {
-    for (size_t i = 0; i < n; ++i) {
-      double sum = b(i, c);
-      for (size_t k = 0; k < i; ++k) sum -= l(i, k) * z(k, c);
-      z(i, c) = sum / l(i, i);
+  ParallelFor(0, m, col_grain, [&](size_t lo, size_t hi) {
+    for (size_t c = lo; c < hi; ++c) {
+      for (size_t i = 0; i < n; ++i) {
+        double sum = b(i, c);
+        for (size_t k = 0; k < i; ++k) sum -= l(i, k) * z(k, c);
+        z(i, c) = sum / l(i, i);
+      }
     }
-  }
+  });
   // Back substitution: L^T x = z.
   Matrix x(n, m);
-  for (size_t c = 0; c < m; ++c) {
-    for (size_t ii = n; ii > 0; --ii) {
-      size_t i = ii - 1;
-      double sum = z(i, c);
-      for (size_t k = i + 1; k < n; ++k) sum -= l(k, i) * x(k, c);
-      x(i, c) = sum / l(i, i);
+  ParallelFor(0, m, col_grain, [&](size_t lo, size_t hi) {
+    for (size_t c = lo; c < hi; ++c) {
+      for (size_t ii = n; ii > 0; --ii) {
+        size_t i = ii - 1;
+        double sum = z(i, c);
+        for (size_t k = i + 1; k < n; ++k) sum -= l(k, i) * x(k, c);
+        x(i, c) = sum / l(i, i);
+      }
     }
-  }
+  });
   return x;
 }
 

@@ -4,7 +4,24 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/parallel.h"
+
 namespace gnn4tdl {
+
+namespace {
+
+// Grain sizes for the parallel kernels (see docs/KERNELS.md). Elementwise
+// chunks are at least kElemGrain doubles; row-partitioned kernels size their
+// chunks so each holds roughly kFlopGrain multiply-adds. Both are far above
+// the pool's per-chunk dispatch cost (~1us) at double-precision speeds.
+constexpr size_t kElemGrain = 16384;
+constexpr size_t kFlopGrain = 65536;
+
+size_t RowGrain(size_t flops_per_row) {
+  return std::max<size_t>(1, kFlopGrain / std::max<size_t>(flops_per_row, 1));
+}
+
+}  // namespace
 
 Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
@@ -49,7 +66,11 @@ Matrix Matrix::operator+(const Matrix& other) const {
   GNN4TDL_CHECK_EQ(rows_, other.rows_);
   GNN4TDL_CHECK_EQ(cols_, other.cols_);
   Matrix out = *this;
-  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  const double* b = other.data_.data();
+  double* o = out.data_.data();
+  ParallelFor(0, data_.size(), kElemGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) o[i] += b[i];
+  });
   return out;
 }
 
@@ -57,7 +78,11 @@ Matrix Matrix::operator-(const Matrix& other) const {
   GNN4TDL_CHECK_EQ(rows_, other.rows_);
   GNN4TDL_CHECK_EQ(cols_, other.cols_);
   Matrix out = *this;
-  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  const double* b = other.data_.data();
+  double* o = out.data_.data();
+  ParallelFor(0, data_.size(), kElemGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) o[i] -= b[i];
+  });
   return out;
 }
 
@@ -65,7 +90,11 @@ Matrix Matrix::CwiseMul(const Matrix& other) const {
   GNN4TDL_CHECK_EQ(rows_, other.rows_);
   GNN4TDL_CHECK_EQ(cols_, other.cols_);
   Matrix out = *this;
-  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  const double* b = other.data_.data();
+  double* o = out.data_.data();
+  ParallelFor(0, data_.size(), kElemGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) o[i] *= b[i];
+  });
   return out;
 }
 
@@ -73,44 +102,72 @@ Matrix Matrix::CwiseDiv(const Matrix& other) const {
   GNN4TDL_CHECK_EQ(rows_, other.rows_);
   GNN4TDL_CHECK_EQ(cols_, other.cols_);
   Matrix out = *this;
-  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] /= other.data_[i];
+  const double* b = other.data_.data();
+  double* o = out.data_.data();
+  ParallelFor(0, data_.size(), kElemGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) o[i] /= b[i];
+  });
   return out;
 }
 
 Matrix Matrix::operator*(double s) const {
   Matrix out = *this;
-  for (double& v : out.data_) v *= s;
+  double* o = out.data_.data();
+  ParallelFor(0, data_.size(), kElemGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) o[i] *= s;
+  });
   return out;
 }
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   GNN4TDL_CHECK_EQ(rows_, other.rows_);
   GNN4TDL_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  const double* b = other.data_.data();
+  double* o = data_.data();
+  ParallelFor(0, data_.size(), kElemGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) o[i] += b[i];
+  });
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   GNN4TDL_CHECK_EQ(rows_, other.rows_);
   GNN4TDL_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  const double* b = other.data_.data();
+  double* o = data_.data();
+  ParallelFor(0, data_.size(), kElemGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) o[i] -= b[i];
+  });
   return *this;
 }
 
 Matrix& Matrix::operator*=(double s) {
-  for (double& v : data_) v *= s;
+  double* o = data_.data();
+  ParallelFor(0, data_.size(), kElemGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) o[i] *= s;
+  });
   return *this;
 }
 
 void Matrix::Axpy(double s, const Matrix& other) {
   GNN4TDL_CHECK_EQ(rows_, other.rows_);
   GNN4TDL_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+  const double* b = other.data_.data();
+  double* o = data_.data();
+  ParallelFor(0, data_.size(), kElemGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) o[i] += s * b[i];
+  });
 }
 
 Matrix Matrix::Map(const std::function<double(double)>& f) const {
+  // Contract: f is applied concurrently from pool threads, so it must be
+  // pure (no shared mutable state; RNG draws go through the serial
+  // factories, never Map).
   Matrix out = *this;
-  for (double& v : out.data_) v = f(v);
+  double* o = out.data_.data();
+  ParallelFor(0, data_.size(), kElemGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) o[i] = f(o[i]);
+  });
   return out;
 }
 
@@ -119,17 +176,21 @@ Matrix Matrix::Matmul(const Matrix& other) const {
   Matrix out(rows_, other.cols_);
   const size_t k_dim = cols_;
   const size_t n = other.cols_;
-  // i-k-j loop order: streams through `other` row-major, friendly to cache.
-  for (size_t i = 0; i < rows_; ++i) {
-    double* out_row = out.row_data(i);
-    const double* a_row = row_data(i);
-    for (size_t k = 0; k < k_dim; ++k) {
-      double a = a_row[k];
-      if (a == 0.0) continue;
-      const double* b_row = other.row_data(k);
-      for (size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
+  // Parallel over blocks of output rows: each row's accumulation runs in the
+  // same i-k-j order as the serial kernel (streams through `other` row-major,
+  // friendly to cache), so results are bit-exact for every thread count.
+  ParallelFor(0, rows_, RowGrain(k_dim * n), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      double* out_row = out.row_data(i);
+      const double* a_row = row_data(i);
+      for (size_t k = 0; k < k_dim; ++k) {
+        double a = a_row[k];
+        if (a == 0.0) continue;
+        const double* b_row = other.row_data(k);
+        for (size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -137,46 +198,64 @@ Matrix Matrix::TransposeMatmul(const Matrix& other) const {
   GNN4TDL_CHECK_EQ(rows_, other.rows_);
   Matrix out(cols_, other.cols_);
   const size_t n = other.cols_;
-  for (size_t r = 0; r < rows_; ++r) {
-    const double* a_row = row_data(r);
-    const double* b_row = other.row_data(r);
-    for (size_t i = 0; i < cols_; ++i) {
-      double a = a_row[i];
-      if (a == 0.0) continue;
-      double* out_row = out.row_data(i);
-      for (size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
+  // Parallel over blocks of *output* rows (i indexes this->cols_): every
+  // thread scans all input rows r but only touches its own output block, and
+  // each out(i, j) accumulates in the same r-ascending order as the serial
+  // kernel — write-disjoint and bit-exact for every thread count.
+  ParallelFor(0, cols_, RowGrain(rows_ * n), [&](size_t lo, size_t hi) {
+    for (size_t r = 0; r < rows_; ++r) {
+      const double* a_row = row_data(r);
+      const double* b_row = other.row_data(r);
+      for (size_t i = lo; i < hi; ++i) {
+        double a = a_row[i];
+        if (a == 0.0) continue;
+        double* out_row = out.row_data(i);
+        for (size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
+      }
     }
-  }
+  });
   return out;
 }
 
 Matrix Matrix::MatmulTranspose(const Matrix& other) const {
   GNN4TDL_CHECK_EQ(cols_, other.cols_);
   Matrix out(rows_, other.rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a_row = row_data(i);
-    double* out_row = out.row_data(i);
-    for (size_t j = 0; j < other.rows_; ++j) {
-      const double* b_row = other.row_data(j);
-      double acc = 0.0;
-      for (size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
-      out_row[j] = acc;
+  ParallelFor(0, rows_, RowGrain(other.rows_ * cols_),
+              [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const double* a_row = row_data(i);
+      double* out_row = out.row_data(i);
+      for (size_t j = 0; j < other.rows_; ++j) {
+        const double* b_row = other.row_data(j);
+        double acc = 0.0;
+        for (size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
+        out_row[j] = acc;
+      }
     }
-  }
+  });
   return out;
 }
 
 Matrix Matrix::Transpose() const {
   Matrix out(cols_, rows_);
-  for (size_t r = 0; r < rows_; ++r)
-    for (size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  // Parallel over output rows: thread-disjoint writes, strided reads.
+  ParallelFor(0, cols_, RowGrain(rows_), [&](size_t lo, size_t hi) {
+    for (size_t c = lo; c < hi; ++c)
+      for (size_t r = 0; r < rows_; ++r) out(c, r) = (*this)(r, c);
+  });
   return out;
 }
 
 double Matrix::Sum() const {
-  double s = 0.0;
-  for (double v : data_) s += v;
-  return s;
+  // Tree-reduced: deterministic for a fixed thread count; equals the serial
+  // left-to-right sum whenever one chunk suffices (threads=1 or small data).
+  const double* d = data_.data();
+  return ParallelReduceSum(0, data_.size(), kElemGrain,
+                           [d](size_t lo, size_t hi) {
+                             double s = 0.0;
+                             for (size_t i = lo; i < hi; ++i) s += d[i];
+                             return s;
+                           });
 }
 
 double Matrix::Mean() const {
@@ -191,19 +270,28 @@ double Matrix::MaxAbs() const {
 }
 
 double Matrix::Norm() const {
-  double s = 0.0;
-  for (double v : data_) s += v * v;
+  const double* d = data_.data();
+  double s = ParallelReduceSum(0, data_.size(), kElemGrain,
+                               [d](size_t lo, size_t hi) {
+                                 double acc = 0.0;
+                                 for (size_t i = lo; i < hi; ++i)
+                                   acc += d[i] * d[i];
+                                 return acc;
+                               });
   return std::sqrt(s);
 }
 
 Matrix Matrix::RowSum() const {
   Matrix out(rows_, 1);
-  for (size_t r = 0; r < rows_; ++r) {
-    double s = 0.0;
-    const double* row = row_data(r);
-    for (size_t c = 0; c < cols_; ++c) s += row[c];
-    out(r, 0) = s;
-  }
+  // Row-disjoint writes, serial accumulation order per row: bit-exact.
+  ParallelFor(0, rows_, RowGrain(cols_), [&](size_t lo, size_t hi) {
+    for (size_t r = lo; r < hi; ++r) {
+      double s = 0.0;
+      const double* row = row_data(r);
+      for (size_t c = 0; c < cols_; ++c) s += row[c];
+      out(r, 0) = s;
+    }
+  });
   return out;
 }
 

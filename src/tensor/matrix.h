@@ -15,6 +15,16 @@ namespace gnn4tdl {
 /// minimal: shapes are fixed at construction, all indexing is bounds-checked
 /// via GNN4TDL_CHECK, and all factory methods that draw random numbers take an
 /// explicit Rng.
+///
+/// Threading & determinism contract (see docs/KERNELS.md): the arithmetic,
+/// matmul-family, and Map kernels run on the shared ThreadPool (sized by
+/// GNN4TDL_THREADS), partitioned over write-disjoint output blocks, so they
+/// are bit-exact with serial execution at every thread count. The scalar
+/// reductions Sum()/Mean()/Norm() are pairwise tree reductions: deterministic
+/// for a fixed thread count, within ~1e-15 relative across thread counts, and
+/// exactly the serial sum at threads=1. The Rng-drawing factories and
+/// ToString() are always serial. Map()'s callable must be pure — it is
+/// invoked concurrently from pool threads.
 class Matrix {
  public:
   /// Empty 0x0 matrix.

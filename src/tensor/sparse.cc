@@ -1,8 +1,27 @@
 #include "tensor/sparse.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/parallel.h"
 
 namespace gnn4tdl {
+
+namespace {
+
+// Row-block grain for SpMM-family kernels: each chunk holds roughly this many
+// multiply-adds (nnz_in_chunk * dense_cols). Rows vary in nnz, so the grain
+// is derived from the average row cost — good enough for the 4x-per-thread
+// oversubscription ParallelFor already applies.
+size_t SpmmRowGrain(size_t nnz, size_t rows, size_t dense_cols) {
+  constexpr size_t kFlopGrain = 65536;
+  const size_t avg_row_cost =
+      std::max<size_t>(1, (nnz / std::max<size_t>(rows, 1)) * dense_cols);
+  return std::max<size_t>(1, kFlopGrain / avg_row_cost);
+}
+
+}  // namespace
 
 SparseMatrix SparseMatrix::FromTriplets(size_t rows, size_t cols,
                                         std::vector<Triplet> triplets) {
@@ -59,30 +78,67 @@ Matrix SparseMatrix::Multiply(const Matrix& dense) const {
   GNN4TDL_CHECK_EQ(cols_, dense.rows());
   Matrix out(rows_, dense.cols());
   const size_t n = dense.cols();
-  for (size_t r = 0; r < rows_; ++r) {
-    double* out_row = out.row_data(r);
-    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const double v = values_[k];
-      const double* d_row = dense.row_data(col_idx_[k]);
-      for (size_t j = 0; j < n; ++j) out_row[j] += v * d_row[j];
+  // CSR rows are independent: parallel over output-row blocks, each row
+  // accumulating in serial k-order — bit-exact for every thread count.
+  ParallelFor(0, rows_, SpmmRowGrain(nnz(), rows_, n),
+              [&](size_t lo, size_t hi) {
+    for (size_t r = lo; r < hi; ++r) {
+      double* out_row = out.row_data(r);
+      for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        const double v = values_[k];
+        const double* d_row = dense.row_data(col_idx_[k]);
+        for (size_t j = 0; j < n; ++j) out_row[j] += v * d_row[j];
+      }
     }
-  }
+  });
   return out;
 }
 
 Matrix SparseMatrix::TransposeMultiply(const Matrix& dense) const {
   GNN4TDL_CHECK_EQ(rows_, dense.rows());
-  Matrix out(cols_, dense.cols());
   const size_t n = dense.cols();
-  for (size_t r = 0; r < rows_; ++r) {
-    const double* d_row = dense.row_data(r);
-    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const double v = values_[k];
-      double* out_row = out.row_data(col_idx_[k]);
-      for (size_t j = 0; j < n; ++j) out_row[j] += v * d_row[j];
+  // The transpose product scatters into out.row(col_idx), so input rows
+  // cannot be split across threads without racing. Instead each chunk of
+  // input rows accumulates into its own zeroed partial output, and the
+  // partials are folded by a fixed pairwise tree: deterministic for a fixed
+  // thread count (chunk boundaries depend only on the pool size), and
+  // identical to the serial kernel whenever one chunk suffices. Partials are
+  // capped at one per pool lane to bound memory at threads * sizeof(out).
+  std::vector<Range> ranges =
+      PartitionRange(0, rows_, SpmmRowGrain(nnz(), rows_, n),
+                     ThreadPool::Global().num_threads());
+  if (ranges.size() <= 1) {
+    Matrix out(cols_, n);
+    for (size_t r = 0; r < rows_; ++r) {
+      const double* d_row = dense.row_data(r);
+      for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        const double v = values_[k];
+        double* out_row = out.row_data(col_idx_[k]);
+        for (size_t j = 0; j < n; ++j) out_row[j] += v * d_row[j];
+      }
     }
+    return out;
   }
-  return out;
+  std::vector<Matrix> partials(ranges.size());
+  ThreadPool::Global().Run(ranges.size(), [&](size_t c) {
+    Matrix part(cols_, n);
+    for (size_t r = ranges[c].begin; r < ranges[c].end; ++r) {
+      const double* d_row = dense.row_data(r);
+      for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        const double v = values_[k];
+        double* out_row = part.row_data(col_idx_[k]);
+        for (size_t j = 0; j < n; ++j) out_row[j] += v * d_row[j];
+      }
+    }
+    partials[c] = std::move(part);
+  });
+  TreeCombine(partials, [](Matrix& into, const Matrix& from) {
+    double* a = into.data();
+    const double* b = from.data();
+    const size_t sz = into.size();
+    for (size_t i = 0; i < sz; ++i) a[i] += b[i];
+  });
+  return std::move(partials[0]);
 }
 
 SparseMatrix SparseMatrix::Transpose() const {
@@ -99,6 +155,102 @@ Matrix SparseMatrix::ToDense() const {
   for (size_t r = 0; r < rows_; ++r)
     for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
       out(r, col_idx_[k]) += values_[k];
+  return out;
+}
+
+namespace {
+
+// Grain for per-edge segment kernels: scatter phases cost a handful of flops
+// per edge, so chunks hold many edges; below this the per-chunk group arrays
+// (num_groups doubles each) would dominate.
+constexpr size_t kSegmentGrain = 8192;
+
+// Folds per-edge contributions into per-group accumulators. The scatter is
+// racy across threads, so each chunk fills its own group array (initialized
+// to `init`) and the arrays are tree-combined with `fold`. One partial per
+// pool lane bounds memory at threads * num_groups doubles.
+template <typename PerEdge, typename Fold>
+std::vector<double> SegmentAccumulate(size_t num_edges, size_t num_groups,
+                                      double init, const PerEdge& per_edge,
+                                      const Fold& fold) {
+  std::vector<Range> ranges =
+      PartitionRange(0, num_edges, kSegmentGrain,
+                     ThreadPool::Global().num_threads());
+  if (ranges.size() <= 1) {
+    std::vector<double> acc(num_groups, init);
+    for (size_t e = 0; e < num_edges; ++e) per_edge(e, acc);
+    return acc;
+  }
+  std::vector<std::vector<double>> partials(ranges.size());
+  ThreadPool::Global().Run(ranges.size(), [&](size_t c) {
+    std::vector<double> acc(num_groups, init);
+    for (size_t e = ranges[c].begin; e < ranges[c].end; ++e) per_edge(e, acc);
+    partials[c] = std::move(acc);
+  });
+  TreeCombine(partials,
+              [&](std::vector<double>& into, const std::vector<double>& from) {
+                for (size_t g = 0; g < into.size(); ++g) fold(into[g], from[g]);
+              });
+  return std::move(partials[0]);
+}
+
+}  // namespace
+
+Matrix SegmentSoftmax(const Matrix& logits, const std::vector<size_t>& seg,
+                      size_t num_groups) {
+  GNN4TDL_CHECK_EQ(logits.cols(), 1u);
+  GNN4TDL_CHECK_EQ(logits.rows(), seg.size());
+  const size_t e_count = seg.size();
+  for (size_t e = 0; e < e_count; ++e) GNN4TDL_CHECK_LT(seg[e], num_groups);
+
+  // Phase 1: per-group max (order-insensitive fold).
+  std::vector<double> group_max = SegmentAccumulate(
+      e_count, num_groups, -std::numeric_limits<double>::infinity(),
+      [&](size_t e, std::vector<double>& acc) {
+        acc[seg[e]] = std::max(acc[seg[e]], logits(e, 0));
+      },
+      [](double& into, double from) { into = std::max(into, from); });
+
+  // Phase 2: shifted exponentials (elementwise, write-disjoint) ...
+  Matrix out(e_count, 1);
+  ParallelFor(0, e_count, kSegmentGrain, [&](size_t lo, size_t hi) {
+    for (size_t e = lo; e < hi; ++e)
+      out(e, 0) = std::exp(logits(e, 0) - group_max[seg[e]]);
+  });
+  // ... and per-group sums (tree-reduced, deterministic per thread count).
+  std::vector<double> group_sum = SegmentAccumulate(
+      e_count, num_groups, 0.0,
+      [&](size_t e, std::vector<double>& acc) { acc[seg[e]] += out(e, 0); },
+      [](double& into, double from) { into += from; });
+
+  // Phase 3: normalize (elementwise).
+  ParallelFor(0, e_count, kSegmentGrain, [&](size_t lo, size_t hi) {
+    for (size_t e = lo; e < hi; ++e) out(e, 0) /= group_sum[seg[e]];
+  });
+  return out;
+}
+
+Matrix SegmentSoftmaxBackward(const Matrix& softmax, const Matrix& grad,
+                              const std::vector<size_t>& seg,
+                              size_t num_groups) {
+  GNN4TDL_CHECK_EQ(softmax.cols(), 1u);
+  GNN4TDL_CHECK_EQ(grad.cols(), 1u);
+  GNN4TDL_CHECK_EQ(softmax.rows(), seg.size());
+  GNN4TDL_CHECK_EQ(grad.rows(), seg.size());
+  const size_t e_count = seg.size();
+
+  std::vector<double> group_dot = SegmentAccumulate(
+      e_count, num_groups, 0.0,
+      [&](size_t e, std::vector<double>& acc) {
+        acc[seg[e]] += grad(e, 0) * softmax(e, 0);
+      },
+      [](double& into, double from) { into += from; });
+
+  Matrix out(e_count, 1);
+  ParallelFor(0, e_count, kSegmentGrain, [&](size_t lo, size_t hi) {
+    for (size_t e = lo; e < hi; ++e)
+      out(e, 0) = softmax(e, 0) * (grad(e, 0) - group_dot[seg[e]]);
+  });
   return out;
 }
 

@@ -73,4 +73,21 @@ class SparseMatrix {
   std::vector<double> values_;
 };
 
+/// Segment (edge) softmax: given per-edge logits (e x 1) and each edge's
+/// destination group in `seg`, returns max-shifted softmax weights normalized
+/// within each group — the attention kernel of GAT-style layers and learned
+/// graph construction. Parallelized with per-chunk partial group max/sum
+/// arrays folded by a fixed pairwise tree: deterministic for a fixed thread
+/// count, bit-exact with the serial kernel when one chunk suffices.
+Matrix SegmentSoftmax(const Matrix& logits, const std::vector<size_t>& seg,
+                      size_t num_groups);
+
+/// Gradient of SegmentSoftmax w.r.t. the logits: given the forward output
+/// `softmax` and upstream gradient `grad` (both e x 1),
+///   d l_e = w_e * (g_e - sum_{e' in group(e)} g_{e'} w_{e'}).
+/// Same parallelization and determinism contract as the forward kernel.
+Matrix SegmentSoftmaxBackward(const Matrix& softmax, const Matrix& grad,
+                              const std::vector<size_t>& seg,
+                              size_t num_groups);
+
 }  // namespace gnn4tdl

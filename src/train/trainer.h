@@ -61,6 +61,14 @@ struct TrainResult {
 /// All six training strategies of Table 8 reduce to sequences of Fit calls
 /// over different parameter sets and closures; see train/strategies in the
 /// model implementations.
+///
+/// Threading & determinism: Fit itself is single-threaded — the epoch loop,
+/// Backward tape walk, and optimizer Step all run on the calling thread — but
+/// the tensor kernels inside the loss closure and the backward functions use
+/// the shared ThreadPool::Global() (sized by GNN4TDL_THREADS). Because every
+/// parallel kernel is deterministic for a fixed thread count (see
+/// common/parallel.h), two Fit runs with the same seed and the same thread
+/// count produce bit-identical loss curves and parameters.
 class Trainer {
  public:
   Trainer(std::vector<Tensor> params, const TrainOptions& options);

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
+#include "gnn/gcn.h"
 #include "gradcheck_util.h"
 #include "graph/graph.h"
 #include "nn/ops.h"
@@ -50,6 +52,46 @@ TEST(TrainerTest, GradClipKeepsUpdatesBounded) {
   // Without clipping the Adam update is bounded anyway, but the gradient
   // seen by the optimizer must have norm <= 1; Adam step is then <= lr.
   EXPECT_GT(x.value()(0, 0), 1e6 - 2.0);
+}
+
+TEST(TrainerTest, FixedSeedAndThreadCountGiveBitIdenticalRuns) {
+  // The determinism contract of common/parallel.h, end to end: a GCN
+  // training run whose forward and backward pass through every parallel
+  // kernel family (matmul, SpMM, SpMM-transpose, tree-reduced CE loss) must
+  // produce bit-identical losses when repeated with the same seed and the
+  // same fixed thread count.
+  ThreadPool::Global().SetNumThreads(4);
+  auto run = [] {
+    Rng rng(123);
+    const size_t n = 60;
+    Matrix x = Matrix::Randn(n, 8, rng);
+    std::vector<Edge> edges;
+    for (size_t i = 0; i < n; ++i) {
+      edges.push_back({i, (i + 1) % n, 1.0});
+      edges.push_back({i, (i + 7) % n, 1.0});
+    }
+    Graph g = Graph::FromEdges(n, edges);
+    SparseMatrix adj = g.GcnNormalized();
+    GcnLayer l1(8, 16, rng);
+    GcnLayer l2(16, 3, rng);
+    Tensor x_t = Tensor::Constant(x);
+    std::vector<int> labels(n);
+    for (size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(i % 3);
+    std::vector<Tensor> params = l1.Parameters();
+    for (const Tensor& p : l2.Parameters()) params.push_back(p);
+    Trainer trainer(params, {.max_epochs = 12,
+                             .learning_rate = 0.05,
+                             .patience = 0});
+    TrainResult result = trainer.Fit([&] {
+      Tensor logits = l2.Forward(ops::Relu(l1.Forward(x_t, adj)), adj);
+      return ops::SoftmaxCrossEntropy(logits, labels);
+    });
+    return result.final_train_loss;
+  };
+  double first = run();
+  double second = run();
+  EXPECT_EQ(first, second);
+  ThreadPool::Global().SetNumThreads(ThreadCountFromEnv());
 }
 
 TEST(AuxTaskTest, ReconstructionLossDecreasesUnderTraining) {

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Umbrella correctness gate: lint -> asan -> tsan.
+# Umbrella correctness gate: lint -> asan -> tsan -> threads.
 #
-#   stage 1  lint  build gnn4tdl_lint (default preset) and scan the tree
-#   stage 2  asan  full test suite under Address+UB sanitizers
-#   stage 3  tsan  full test suite under ThreadSanitizer
+#   stage 1  lint     build gnn4tdl_lint (default preset) and scan the tree
+#   stage 2  asan     full test suite under Address+UB sanitizers
+#   stage 3  tsan     full test suite under ThreadSanitizer
+#   stage 4  threads  tsan suite again at GNN4TDL_THREADS=4, so the parallel
+#                     kernel pool actually multithreads under the race
+#                     detector (stage 3 inherits the environment, which on a
+#                     hermetic runner often means a serial pool)
 #
 # Every stage runs even if an earlier one fails; the summary at the end
 # lists per-stage PASS/FAIL and the script exits non-zero if any failed.
@@ -46,13 +50,20 @@ tsan_stage() {
     ctest --preset tsan -j "$(nproc)" "$@"
 }
 
+threads_stage() {
+  cmake --preset tsan &&
+    cmake --build --preset tsan -j "$(nproc)" &&
+    GNN4TDL_THREADS=4 ctest --preset tsan -j "$(nproc)" "$@"
+}
+
 run_stage lint lint_stage
 run_stage asan asan_stage "$@"
 run_stage tsan tsan_stage "$@"
+run_stage threads threads_stage "$@"
 
 echo
 echo "==== check.sh summary ===="
-for stage in lint asan tsan; do
-  printf '  %-5s %s\n' "$stage" "${results[$stage]}"
+for stage in lint asan tsan threads; do
+  printf '  %-7s %s\n' "$stage" "${results[$stage]}"
 done
 exit "$overall"

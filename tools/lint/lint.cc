@@ -15,6 +15,10 @@
 //                             (src/tensor/); everything else uses containers
 //                             and smart pointers. `= delete` declarations are
 //                             not flagged.
+//   raw-thread                std::thread in src/ outside common/parallel.*
+//                             and serve/ — kernel code must go through the
+//                             shared ThreadPool (common/parallel.h) so thread
+//                             counts, determinism, and nesting rules hold.
 //   missing-pragma-once       .h file without a #pragma once line.
 //   using-namespace-in-header using-directives in headers leak into every
 //                             includer.
@@ -219,6 +223,8 @@ void LintFile(const std::string& rel_path, const std::string& raw,
                          rel_path.compare(rel_path.size() - 2, 2, ".h") == 0;
   const bool in_src = StartsWith(rel_path, "src/");
   const bool in_tensor_impl = StartsWith(rel_path, "src/tensor/");
+  const bool thread_allowed = StartsWith(rel_path, "src/common/parallel.") ||
+                              StartsWith(rel_path, "src/serve/");
 
   if (is_header) {
     bool has_pragma = false;
@@ -264,6 +270,16 @@ void LintFile(const std::string& rel_path, const std::string& raw,
                         t.text + "() bypasses common/rng.h (seeded, "
                         "reproducible) randomness"});
       }
+    }
+
+    if (in_src && !thread_allowed && t.text == "thread" && prev(1) &&
+        prev(1)->text == "::" && prev(2) && prev(2)->text == "std" &&
+        !(next(1) && next(1)->text == "::")) {
+      // std::thread::hardware_concurrency() etc. (std::thread:: followed by
+      // another ::) is a capability query, not thread construction.
+      out->push_back({rel_path, t.line, "raw-thread",
+                      "raw std::thread outside common/parallel and serve/; "
+                      "use the shared ThreadPool (common/parallel.h)"});
     }
 
     if (in_src && t.text == "cout" && prev(1) && prev(1)->text == "::" &&

@@ -16,4 +16,8 @@ void Caller(Helper* helper) {
 
   int* buffer = new int[8];  // raw-new-delete
   delete[] buffer;           // raw-new-delete
+
+  std::thread worker([] {});  // raw-thread: bypasses the shared ThreadPool
+  worker.join();
+  (void)std::thread::hardware_concurrency();  // query — must NOT be flagged
 }
