@@ -179,6 +179,8 @@ void WriteParallelJson(const std::vector<KernelSweep>& sweeps) {
     return;
   }
   bench::WriteJsonHeader(out, "parallel");
+  // Exact per-call FLOP/byte totals, one counted call per kernel shape.
+  bench::WriteKernelCountersJson(out);
   out << "  \"kernels\": [\n";
   for (size_t i = 0; i < sweeps.size(); ++i) {
     out << "    {\"name\": \"" << sweeps[i].name << "\", \"points\": [\n";
@@ -245,6 +247,16 @@ void RunParallelSweep() {
     return SegmentSoftmax(logits, seg, n);
   }));
   ThreadPool::Global().SetNumThreads(ThreadCountFromEnv());
+
+  // One extra counted call per kernel, after the timed sweep, so the JSON
+  // reports exact per-call FLOP/byte totals without perturbing the timings.
+  obs::KernelCounters::Reset();
+  obs::KernelCounters::Enable();
+  (void)a.Matmul(b);
+  (void)adj.Multiply(h);
+  (void)adj.TransposeMultiply(h);
+  (void)SegmentSoftmax(logits, seg, n);
+  obs::KernelCounters::Disable();
 
   bench::TablePrinter table({"kernel", "threads", "wall(ms)", "cpu(ms)",
                              "speedup", "max dev vs 1t"},

@@ -162,6 +162,9 @@ void WriteJson(const std::vector<ServingResult>& results, size_t train_rows,
     return;
   }
   bench::WriteJsonHeader(out, "serving");
+  // Exact per-kernel FLOP/byte totals for everything the bench executed
+  // (training + freezing + serving), from the obs kernel counters.
+  bench::WriteKernelCountersJson(out);
   out << "  \"train_rows\": " << train_rows << ",\n";
   out << "  \"serve_rows\": " << serve_rows << ",\n";
   out << "  \"models\": [\n";
@@ -187,6 +190,11 @@ int RunAll() {
                 "Micro-batching amortizes per-request subgraph extraction; "
                 "k-hop attachment keeps single-row latency receptive-field "
                 "bounded.");
+  // Count kernel work (not trace it — counters add one mutex op per kernel
+  // call, spans would add clock reads) so the JSON can report exact
+  // per-kernel FLOP/byte totals.
+  obs::KernelCounters::Reset();
+  obs::KernelCounters::Enable();
 
   TabularDataset train = MakeClusters({.num_rows = 400,
                                        .num_classes = 3,

@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/kernel_hooks.h"
+
 namespace gnn4tdl::bench {
 
 /// Stopwatch reporting wall-clock time alongside CPU time, so parallel
@@ -62,6 +64,23 @@ class Timer {
 inline void WriteJsonHeader(std::ostream& out, const std::string& bench_name) {
   out << "{\n  \"bench\": \"" << bench_name << "\",\n"
       << "  \"num_cores\": " << std::thread::hardware_concurrency() << ",\n";
+}
+
+/// Writes the current obs::KernelCounters snapshot as a `"kernel_counters"`
+/// JSON field (per-kernel calls and exact FLOP/byte totals), for bench binaries
+/// that ran with counters enabled. Emits a trailing comma, so call it
+/// between header fields.
+inline void WriteKernelCountersJson(std::ostream& out) {
+  out << "  \"kernel_counters\": {";
+  bool first = true;
+  for (const auto& [name, stats] : obs::KernelCounters::Snapshot()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    \"" << name << "\": {\"calls\": " << stats.calls
+        << ", \"flops\": " << stats.flops << ", \"bytes\": " << stats.bytes
+        << "}";
+  }
+  out << "\n  },\n";
 }
 
 /// Fixed-width text table writer.

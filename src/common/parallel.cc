@@ -130,6 +130,10 @@ void ThreadPool::FinishChunk() {
 void ThreadPool::RunChunk(size_t chunk, const std::function<void(size_t)>& fn) {
   try {
     ParallelRegionScope scope;
+    // Parent spans opened inside the chunk under the submitter's span.
+    // job_trace_parent_ is written under mu_ before dispatch and read here
+    // after NextChunk's mu_ acquisition, so the read is ordered.
+    obs::TraceAmbientParent trace_parent(job_trace_parent_);
     fn(chunk);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -184,6 +188,7 @@ void ThreadPool::Run(size_t num_chunks,
     job_next_chunk_ = 0;
     job_pending_chunks_ = num_chunks;
     job_error_ = nullptr;
+    job_trace_parent_ = obs::TraceSpan::ActiveId();
     ++job_generation_;
   }
   work_cv_.notify_all();

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace gnn4tdl {
 
 /// Half-open index range [begin, end) handed to a ParallelFor body or a
@@ -95,6 +97,10 @@ class ThreadPool {
   size_t job_next_chunk_ = 0;
   size_t job_pending_chunks_ = 0;
   std::exception_ptr job_error_;
+  // Trace span open on the submitting thread when the job started; worker
+  // lanes parent their spans under it so the span tree crosses the pool.
+  // Written under mu_ before dispatch, stable for the job's duration.
+  uint64_t job_trace_parent_ = 0;
 };
 
 /// Deterministic partition of [begin, end) into at most `max_chunks` chunks

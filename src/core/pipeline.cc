@@ -1,7 +1,5 @@
 #include "core/pipeline.h"
 
-#include <chrono>
-
 #include "models/bipartite_imputer.h"
 #include "models/feature_graph.h"
 #include "models/gbdt.h"
@@ -10,6 +8,8 @@
 #include "models/knn_baseline.h"
 #include "models/mlp.h"
 #include "models/tabgnn.h"
+#include "obs/clock.h"
+#include "obs/trace.h"
 
 namespace gnn4tdl {
 
@@ -201,21 +201,35 @@ StatusOr<std::unique_ptr<TabularModel>> BuildModel(
 StatusOr<PipelineResult> RunPipeline(const PipelineConfig& config,
                                      const TabularDataset& data,
                                      const Split& split) {
-  StatusOr<std::unique_ptr<TabularModel>> model = BuildModel(config);
+  obs::TraceSpan pipeline_span("pipeline/run");
+  const obs::Clock* clock = obs::Tracer::Global().clock();
+
+  StatusOr<std::unique_ptr<TabularModel>> model = [&] {
+    obs::TraceSpan span("pipeline/build_model");
+    return BuildModel(config);
+  }();
   if (!model.ok()) return model.status();
 
-  auto start = std::chrono::steady_clock::now();
-  GNN4TDL_RETURN_IF_ERROR((*model)->Fit(data, split));
-  auto end = std::chrono::steady_clock::now();
+  int64_t fit_start_ns = clock->NowNanos();
+  {
+    obs::TraceSpan span("pipeline/fit");
+    GNN4TDL_RETURN_IF_ERROR((*model)->Fit(data, split));
+  }
+  int64_t fit_end_ns = clock->NowNanos();
 
-  StatusOr<Matrix> predictions = (*model)->Predict(data);
+  StatusOr<Matrix> predictions = [&] {
+    obs::TraceSpan span("pipeline/predict");
+    return (*model)->Predict(data);
+  }();
   if (!predictions.ok()) return predictions.status();
 
   PipelineResult result;
   result.model_name = (*model)->Name();
-  result.eval = EvaluatePredictions(*predictions, data, split.test);
-  result.fit_seconds =
-      std::chrono::duration<double>(end - start).count();
+  {
+    obs::TraceSpan span("pipeline/evaluate");
+    result.eval = EvaluatePredictions(*predictions, data, split.test);
+  }
+  result.fit_seconds = static_cast<double>(fit_end_ns - fit_start_ns) / 1e9;
 
   if (auto* gnn = dynamic_cast<InstanceGraphGnn*>(model->get())) {
     result.graph_edges = gnn->graph().num_edges();
@@ -223,6 +237,7 @@ StatusOr<PipelineResult> RunPipeline(const PipelineConfig& config,
       result.edge_homophily = gnn->graph().EdgeHomophily(data.class_labels());
     }
   }
+  result.model = std::shared_ptr<TabularModel>(std::move(*model));
   return result;
 }
 

@@ -61,6 +61,9 @@ struct PipelineResult {
   /// Instance-graph statistics where applicable (0 otherwise).
   size_t graph_edges = 0;
   double edge_homophily = 0.0;
+  /// The fitted model, shared so callers can freeze or serve it without
+  /// retraining. Null only when the run failed before fitting.
+  std::shared_ptr<TabularModel> model;
 };
 
 /// Builds the model, fits it on (data, split), evaluates on split.test.

@@ -34,6 +34,27 @@ GatLayer::EdgeIndex GatLayer::BuildEdgeIndex(const Graph& g) {
       idx.dst.push_back(v);
     }
   }
+
+  // Counting-sort the edges into CSR rows keyed by destination, stable in
+  // edge order, recording each edge's value slot. Stability keeps the
+  // per-destination summation order of WeightedSpMM identical to a scatter
+  // over the edge list, so the refactor is bit-exact.
+  const size_t n = idx.num_nodes;
+  const size_t num_edges = idx.src.size();
+  std::vector<size_t> row_ptr(n + 1, 0);
+  for (size_t e = 0; e < num_edges; ++e) ++row_ptr[idx.dst[e] + 1];
+  for (size_t v = 0; v < n; ++v) row_ptr[v + 1] += row_ptr[v];
+  std::vector<size_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  std::vector<size_t> col_idx(num_edges);
+  idx.slot.resize(num_edges);
+  for (size_t e = 0; e < num_edges; ++e) {
+    const size_t p = cursor[idx.dst[e]]++;
+    col_idx[p] = idx.src[e];
+    idx.slot[e] = p;
+  }
+  idx.pattern = SparseMatrix::FromCsr(n, n, std::move(row_ptr),
+                                      std::move(col_idx),
+                                      std::vector<double>(num_edges, 0.0));
   return idx;
 }
 
@@ -48,8 +69,8 @@ Tensor GatLayer::Forward(const Tensor& h, const EdgeIndex& edges) const {
         ops::Add(ops::GatherRows(s_src, edges.src),
                  ops::GatherRows(s_dst, edges.dst)));
     Tensor alpha = ops::EdgeSoftmax(logits, edges.dst, edges.num_nodes);
-    Tensor msg = ops::MulColBroadcast(ops::GatherRows(hw, edges.src), alpha);
-    Tensor agg = ops::ScatterAddRows(msg, edges.dst, edges.num_nodes);
+    Tensor agg = ops::WeightedSpMM(alpha, hw, edges.pattern, edges.slot,
+                                   edges.src, edges.dst);
     out = head == 0 ? agg : ops::ConcatCols(out, agg);
   }
   return out;

@@ -5,6 +5,7 @@
 
 #include "graph/graph.h"
 #include "nn/module.h"
+#include "tensor/sparse.h"
 
 namespace gnn4tdl {
 
@@ -24,11 +25,18 @@ class GatLayer : public Module {
   GatLayer(size_t in_dim, size_t out_dim, size_t num_heads, Rng& rng);
 
   /// Precomputes the edge arrays (with self-loops) for `g`; call once per
-  /// graph, then Forward() any number of times.
+  /// graph, then Forward() any number of times. Alongside the flat edge
+  /// arrays it carries the fixed CSR sparsity (row = dst, col = src, stored
+  /// in edge order within each row) and the edge -> CSR-slot map, so each
+  /// Forward() only stamps attention weights into the pattern and runs the
+  /// SpMM kernel — no per-call graph assembly, and the per-destination
+  /// accumulation order matches the edge order exactly.
   struct EdgeIndex {
     std::vector<size_t> src;
     std::vector<size_t> dst;
     size_t num_nodes = 0;
+    SparseMatrix pattern;      // values are placeholders, overwritten per call
+    std::vector<size_t> slot;  // slot[e] = index into pattern values for edge e
   };
   static EdgeIndex BuildEdgeIndex(const Graph& g);
 

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "obs/kernel_hooks.h"
 
 namespace gnn4tdl::ops {
 
@@ -338,6 +339,51 @@ Tensor SpMM(const SparseMatrix& sp, const Tensor& x) {
                         });
 }
 
+Tensor WeightedSpMM(const Tensor& weights, const Tensor& x,
+                    const SparseMatrix& pattern,
+                    const std::vector<size_t>& slot,
+                    const std::vector<size_t>& src,
+                    const std::vector<size_t>& dst) {
+  TapeOpScope op_scope("WeightedSpMM");
+  const size_t num_edges = slot.size();
+  GNN4TDL_CHECK_EQ(weights.rows(), num_edges);
+  GNN4TDL_CHECK_EQ(weights.cols(), 1u);
+  GNN4TDL_CHECK_EQ(pattern.nnz(), num_edges);
+  GNN4TDL_CHECK_EQ(src.size(), num_edges);
+  GNN4TDL_CHECK_EQ(dst.size(), num_edges);
+  GNN4TDL_CHECK_EQ(x.rows(), pattern.cols());
+
+  // Stamp the current edge weights into the fixed sparsity pattern; the copy
+  // is then owned by the tape closure (the backward pass needs A^T).
+  SparseMatrix a = pattern;
+  std::vector<double>& values = a.mutable_values();
+  const Matrix& w = weights.value();
+  for (size_t e = 0; e < num_edges; ++e) values[slot[e]] = w.row_data(e)[0];
+
+  std::vector<size_t> src_copy = src;
+  std::vector<size_t> dst_copy = dst;
+  return Tensor::FromOp(
+      a.Multiply(x.value()), {weights, x},
+      [a, weights, x, src_copy, dst_copy](const Matrix& g) {
+        if (x.requires_grad()) x.AccumulateGrad(a.TransposeMultiply(g));
+        if (!weights.requires_grad()) return;
+        const Matrix& xv = x.value();
+        const size_t cols = xv.cols();
+        Matrix gw(src_copy.size(), 1);
+        // Edges are independent: disjoint writes, deterministic chunking.
+        ParallelFor(0, src_copy.size(), 256, [&](size_t begin, size_t end) {
+          for (size_t e = begin; e < end; ++e) {
+            const double* gr = g.row_data(dst_copy[e]);
+            const double* xr = xv.row_data(src_copy[e]);
+            double dot = 0.0;
+            for (size_t c = 0; c < cols; ++c) dot += gr[c] * xr[c];
+            gw.row_data(e)[0] = dot;
+          }
+        });
+        weights.AccumulateGrad(gw);
+      });
+}
+
 Tensor GatherRows(const Tensor& x, const std::vector<size_t>& idx) {
   TapeOpScope op_scope("GatherRows");
   Matrix out(idx.size(), x.cols());
@@ -388,7 +434,11 @@ Tensor EdgeSoftmax(const Tensor& logits, const std::vector<size_t>& dst,
   TapeOpScope op_scope("EdgeSoftmax");
   // Forward and backward both delegate to the parallel segment-softmax
   // kernels in tensor/sparse.h, so the autograd path scales exactly like the
-  // inference path.
+  // inference path. The op-level scope wraps the kernel-level
+  // "segment_softmax" span so traces show the attention op as its parent.
+  obs::KernelScope kernel("edge_softmax",
+                          5.0 * static_cast<double>(dst.size()),
+                          8.0 * (3.0 * dst.size() + 2.0 * num_groups));
   Matrix out = SegmentSoftmax(logits.value(), dst, num_groups);
   std::vector<size_t> dst_copy = dst;
   Matrix softmax = out;

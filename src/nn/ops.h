@@ -93,6 +93,19 @@ Tensor ScatterAddRows(const Tensor& x, const std::vector<size_t>& idx,
 Tensor EdgeSoftmax(const Tensor& logits, const std::vector<size_t>& dst,
                    size_t num_groups);
 
+/// out = A(w) * X where A is the fixed sparsity `pattern` (row = dst, col =
+/// src) with stored value at `slot[e]` taken from weights[e] — edge-weighted
+/// aggregation out[d, :] = sum_{e : dst[e]==d} w[e] * X[src[e], :] routed
+/// through the SpMM kernel, so it runs on the shared pool and avoids the
+/// E x d message materialization of the gather/scale/scatter formulation.
+/// `weights` is E x 1; gradients flow to both weights (per-edge dot
+/// g[dst[e]] · X[src[e]]) and X (A^T * g).
+Tensor WeightedSpMM(const Tensor& weights, const Tensor& x,
+                    const SparseMatrix& pattern,
+                    const std::vector<size_t>& slot,
+                    const std::vector<size_t>& src,
+                    const std::vector<size_t>& dst);
+
 /// Rows rescaled to unit L2 norm (rows with norm <= eps pass through scaled
 /// by 1/eps).
 Tensor RowL2Normalize(const Tensor& a, double eps = 1e-12);

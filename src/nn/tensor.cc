@@ -119,6 +119,24 @@ void Tensor::ZeroGrad() const {
   impl_->grad = Matrix();
 }
 
+size_t Tensor::TapeSize() const {
+  if (!defined()) return 0;
+  // Unlike Backward(), count every reachable node (not just requires_grad
+  // ones): the tape holds all of them alive, and memory is what this number
+  // is observing.
+  std::unordered_set<const Impl*> seen;
+  std::vector<const Impl*> stack = {impl_.get()};
+  while (!stack.empty()) {
+    const Impl* node = stack.back();
+    stack.pop_back();
+    if (!seen.insert(node).second) continue;
+    for (const Tensor& p : node->parents) {
+      if (p.defined()) stack.push_back(p.impl_.get());
+    }
+  }
+  return seen.size();
+}
+
 void Tensor::Backward() const {
   GNN4TDL_CHECK(defined());
   GNN4TDL_CHECK_MSG(rows() == 1 && cols() == 1,

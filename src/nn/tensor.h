@@ -74,6 +74,12 @@ class Tensor {
   /// Stable identity for use as a map key.
   const void* id() const { return impl_.get(); }
 
+  /// Number of distinct tape nodes reachable from this one through parent
+  /// edges, including this node — the size of the graph Backward() would
+  /// walk. O(nodes) each call; intended for per-epoch observability, not
+  /// inner loops.
+  size_t TapeSize() const;
+
  private:
   friend class TapeVerifier;
 

@@ -1,0 +1,31 @@
+#include "obs/clock.h"
+
+#include <ctime>
+
+namespace gnn4tdl::obs {
+
+namespace {
+
+int64_t NowNanosFor(clockid_t id) {
+  timespec ts{};
+  clock_gettime(id, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 +
+         static_cast<int64_t>(ts.tv_nsec);
+}
+
+class SystemClock final : public Clock {
+ public:
+  int64_t NowNanos() const override { return NowNanosFor(CLOCK_MONOTONIC); }
+  int64_t ThreadCpuNanos() const override {
+    return NowNanosFor(CLOCK_THREAD_CPUTIME_ID);
+  }
+};
+
+}  // namespace
+
+const Clock* RealClock() {
+  static const SystemClock clock;
+  return &clock;
+}
+
+}  // namespace gnn4tdl::obs

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace gnn4tdl::obs {
+
+/// Time source for every observability measurement (spans, serving
+/// latencies, pipeline stage timings). All timing-dependent code takes a
+/// `const Clock*` so tests can substitute a FakeClock and assert exact
+/// durations instead of sleeping. Production code uses RealClock().
+///
+/// Two time bases:
+///  - NowNanos(): monotonic wall clock (CLOCK_MONOTONIC). Never goes
+///    backwards; the zero point is arbitrary, only differences are
+///    meaningful.
+///  - ThreadCpuNanos(): CPU time consumed by the *calling thread*
+///    (CLOCK_THREAD_CPUTIME_ID). A span whose wall time far exceeds its
+///    thread-CPU time was blocked or waiting, not computing.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t NowNanos() const = 0;
+  virtual int64_t ThreadCpuNanos() const = 0;
+};
+
+/// Process-wide monotonic clock. Always non-null; never deleted.
+const Clock* RealClock();
+
+/// Manually-advanced clock for deterministic tests. Thread-safe: Advance and
+/// reads may race (atomic), so a serving-engine test can tick time while the
+/// batching worker stamps latencies. ThreadCpuNanos follows NowNanos — fake
+/// time has no notion of a blocked thread.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(int64_t start_ns = 0) : now_ns_(start_ns) {}
+
+  int64_t NowNanos() const override {
+    return now_ns_.load(std::memory_order_relaxed);
+  }
+  int64_t ThreadCpuNanos() const override { return NowNanos(); }
+
+  void AdvanceNanos(int64_t delta_ns) {
+    now_ns_.fetch_add(delta_ns, std::memory_order_relaxed);
+  }
+  void AdvanceMillis(double ms) {
+    AdvanceNanos(static_cast<int64_t>(ms * 1e6));
+  }
+
+ private:
+  std::atomic<int64_t> now_ns_;
+};
+
+}  // namespace gnn4tdl::obs

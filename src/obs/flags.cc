@@ -1,0 +1,24 @@
+#include "obs/flags.h"
+
+#include <atomic>
+
+namespace gnn4tdl::obs {
+
+namespace {
+std::atomic<uint32_t> g_obs_flags{0};
+}  // namespace
+
+uint32_t ObsFlags() { return g_obs_flags.load(std::memory_order_relaxed); }
+
+namespace internal {
+void SetObsFlag(ObsFlag flag, bool on) {
+  if (on) {
+    g_obs_flags.fetch_or(flag, std::memory_order_relaxed);
+  } else {
+    g_obs_flags.fetch_and(~static_cast<uint32_t>(flag),
+                          std::memory_order_relaxed);
+  }
+}
+}  // namespace internal
+
+}  // namespace gnn4tdl::obs

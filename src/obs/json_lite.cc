@@ -1,0 +1,241 @@
+#include "obs/json_lite.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+namespace gnn4tdl::obs {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* err)
+      : text_(text), err_(err) {}
+
+  bool Parse(JsonValue* out) {
+    SkipSpace();
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing characters after value");
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (err_ != nullptr) {
+      std::ostringstream os;
+      os << message << " at offset " << pos_;
+      *err_ = os.str();
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word, JsonValue::Kind kind, bool bool_value) {
+    size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return Fail("bad literal");
+    pos_ += len;
+    value_->kind = kind;
+    value_->bool_value = bool_value;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (depth_ > 200) return Fail("nesting too deep");
+    value_ = out;
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string_value);
+      case 't':
+        return Literal("true", JsonValue::Kind::kBool, true);
+      case 'f':
+        return Literal("false", JsonValue::Kind::kBool, false);
+      case 'n':
+        return Literal("null", JsonValue::Kind::kNull, false);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case '/': out->push_back('/'); break;
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case 'u':
+            // Pass \uXXXX through verbatim — validation only needs names.
+            out->push_back('?');
+            pos_ += 4;
+            if (pos_ > text_.size()) return Fail("truncated \\u escape");
+            break;
+          default:
+            return Fail("bad escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    double value = std::strtod(start, &end);
+    if (end == start) return Fail("expected value");
+    pos_ += static_cast<size_t>(end - start);
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = value;
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    ++depth_;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      out->array.emplace_back();
+      if (!ParseValue(&out->array.back())) return false;
+      SkipSpace();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      char c = text_[pos_++];
+      if (c == ']') break;
+      if (c != ',') return Fail("expected ',' or ']'");
+      SkipSpace();
+    }
+    --depth_;
+    return true;
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    ++depth_;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_++] != ':') {
+        return Fail("expected ':'");
+      }
+      SkipSpace();
+      out->object.emplace_back(std::move(key), JsonValue{});
+      if (!ParseValue(&out->object.back().second)) return false;
+      SkipSpace();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      char c = text_[pos_++];
+      if (c == '}') break;
+      if (c != ',') return Fail("expected ',' or '}'");
+    }
+    --depth_;
+    return true;
+  }
+
+  const std::string& text_;
+  std::string* err_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  JsonValue* value_ = nullptr;
+};
+
+}  // namespace
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* err) {
+  Parser parser(text, err);
+  return parser.Parse(out);
+}
+
+bool ValidateChromeTrace(const std::string& text,
+                         const std::vector<std::string>& required_names,
+                         std::string* err) {
+  JsonValue root;
+  if (!ParseJson(text, &root, err)) return false;
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    if (err != nullptr) *err = "missing traceEvents array";
+    return false;
+  }
+  std::set<std::string> seen;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* name = event.Find("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString) {
+      if (err != nullptr) *err = "event without string name";
+      return false;
+    }
+    const JsonValue* ts = event.Find("ts");
+    const JsonValue* dur = event.Find("dur");
+    if (ts == nullptr || ts->kind != JsonValue::Kind::kNumber || ts->number < 0) {
+      if (err != nullptr) *err = "event '" + name->string_value + "' has bad ts";
+      return false;
+    }
+    if (dur == nullptr || dur->kind != JsonValue::Kind::kNumber ||
+        dur->number < 0) {
+      if (err != nullptr) {
+        *err = "event '" + name->string_value + "' has negative or missing dur";
+      }
+      return false;
+    }
+    seen.insert(name->string_value);
+  }
+  for (const std::string& required : required_names) {
+    if (seen.count(required) == 0) {
+      if (err != nullptr) *err = "required span missing: " + required;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gnn4tdl::obs

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gnn4tdl::obs {
+
+/// Minimal recursive-descent JSON value, just enough to validate the trace
+/// and metrics artifacts the obs layer itself produces (and for tests /
+/// gnn4tdl_trace_check to introspect them). Not a general-purpose parser:
+/// no \u escapes beyond pass-through, numbers parsed via strtod.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member with the given key, or nullptr. Objects only.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses `text`; returns false and sets `err` on malformed input (trailing
+/// garbage after the top-level value is an error).
+bool ParseJson(const std::string& text, JsonValue* out, std::string* err);
+
+/// Structural checks on a Chrome Trace Event JSON document: parses, requires
+/// a `traceEvents` array whose events have string names and non-negative
+/// `ts`/`dur`, and requires every name in `required_names` to appear in at
+/// least one event. Returns false with a diagnostic in `err`.
+bool ValidateChromeTrace(const std::string& text,
+                         const std::vector<std::string>& required_names,
+                         std::string* err);
+
+}  // namespace gnn4tdl::obs

@@ -1,0 +1,51 @@
+#include "obs/kernel_hooks.h"
+
+#include <mutex>
+
+namespace gnn4tdl::obs {
+
+namespace {
+
+// A plain mutex-guarded map is enough here: kernels run for tens of
+// microseconds at minimum, so one uncontended lock per kernel call is noise.
+// The sharded designs live in metrics.cc where per-element rates matter.
+struct CounterStore {
+  std::mutex mu;
+  std::map<std::string, KernelStats> stats;
+};
+
+CounterStore& Store() {
+  static CounterStore store;
+  return store;
+}
+
+}  // namespace
+
+void KernelCounters::Enable() { internal::SetObsFlag(kObsKernelCounters, true); }
+
+void KernelCounters::Disable() {
+  internal::SetObsFlag(kObsKernelCounters, false);
+}
+
+void KernelCounters::Reset() {
+  CounterStore& store = Store();
+  std::lock_guard<std::mutex> lock(store.mu);
+  store.stats.clear();
+}
+
+std::map<std::string, KernelStats> KernelCounters::Snapshot() {
+  CounterStore& store = Store();
+  std::lock_guard<std::mutex> lock(store.mu);
+  return store.stats;
+}
+
+void KernelCounters::Accumulate(const char* name, double flops, double bytes) {
+  CounterStore& store = Store();
+  std::lock_guard<std::mutex> lock(store.mu);
+  KernelStats& entry = store.stats[name];
+  entry.calls++;
+  entry.flops += flops;
+  entry.bytes += bytes;
+}
+
+}  // namespace gnn4tdl::obs

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "obs/flags.h"
+#include "obs/trace.h"
+
+namespace gnn4tdl::obs {
+
+/// Aggregate work totals per kernel name, accumulated by KernelScope when
+/// kObsKernelCounters is on. Benchmarks enable this to report exact FLOP and
+/// byte counts per kernel without tracing overhead.
+struct KernelStats {
+  uint64_t calls = 0;
+  double flops = 0.0;
+  double bytes = 0.0;
+};
+
+class KernelCounters {
+ public:
+  static void Enable();
+  static void Disable();
+  static bool Enabled() { return (ObsFlags() & kObsKernelCounters) != 0; }
+  static void Reset();
+  /// Name -> totals since the last Reset.
+  static std::map<std::string, KernelStats> Snapshot();
+
+ private:
+  friend class KernelScope;
+  static void Accumulate(const char* name, double flops, double bytes);
+};
+
+/// One hook point inside a compute kernel (matmul, SpMM, segment softmax).
+/// Cost when everything is off: one relaxed atomic load. When tracing is on
+/// it opens a TraceSpan annotated with the kernel's FLOP/byte estimate; when
+/// kernel counters are on it accumulates into KernelCounters.
+///
+/// Mirrors the TapeOpScope idiom in nn/ops.cc: construct at the top of the
+/// kernel, let scope exit close it.
+class KernelScope {
+ public:
+  KernelScope(const char* name, double flops, double bytes) {
+    uint32_t flags = ObsFlags();
+    if (flags == 0) return;
+    if ((flags & kObsKernelCounters) != 0) {
+      KernelCounters::Accumulate(name, flops, bytes);
+    }
+    if ((flags & kObsTracing) != 0) {
+      span_.emplace(name);
+      span_->AddFlops(flops);
+      span_->AddBytes(bytes);
+    }
+  }
+
+  KernelScope(const KernelScope&) = delete;
+  KernelScope& operator=(const KernelScope&) = delete;
+
+ private:
+  std::optional<TraceSpan> span_;
+};
+
+}  // namespace gnn4tdl::obs

@@ -1,0 +1,288 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace gnn4tdl::obs {
+
+namespace {
+
+// Threads pick shards round-robin at first touch; a thread keeps its shard
+// for its lifetime so repeated Add/Record calls stay on one cache line.
+size_t ThisThreadShard(size_t num_shards) {
+  static std::atomic<size_t> next{0};
+  thread_local size_t assigned =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return assigned % num_shards;
+}
+
+}  // namespace
+
+void Counter::Add(double delta) {
+  Shard& shard = shards_[ThisThreadShard(kShards)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.value += delta;
+}
+
+double Counter::Value() const {
+  double total = 0.0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.value;
+  }
+  return total;
+}
+
+void Gauge::Set(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  value_ = value;
+}
+
+double Gauge::Value() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return value_;
+}
+
+Histogram::Histogram(HistogramOptions options)
+    : options_(options),
+      inv_log_growth_(1.0 / std::log(options.growth)),
+      shards_(kShards) {
+  for (Shard& shard : shards_) {
+    shard.counts.assign(options_.num_buckets + 2, 0);
+  }
+}
+
+size_t Histogram::BucketIndex(double value) const {
+  if (!(value >= options_.min_value)) return 0;  // under (also NaN, negatives)
+  double log_index = std::log(value / options_.min_value) * inv_log_growth_;
+  size_t index = 1 + static_cast<size_t>(log_index);
+  if (index > options_.num_buckets) index = options_.num_buckets + 1;  // over
+  return index;
+}
+
+double Histogram::BucketUpperBound(size_t index) const {
+  // index is the slot in counts: 0 = under, 1..n = log buckets, n+1 = over.
+  if (index == 0) return options_.min_value;
+  if (index > options_.num_buckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return options_.min_value *
+         std::pow(options_.growth, static_cast<double>(index));
+}
+
+void Histogram::Record(double value) {
+  Shard& shard = shards_[ThisThreadShard(kShards)];
+  size_t index = BucketIndex(value);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.counts[index]++;
+  shard.sum += value;
+  if (shard.count == 0 || value < shard.min) shard.min = value;
+  if (shard.count == 0 || value > shard.max) shard.max = value;
+  shard.count++;
+}
+
+std::vector<uint64_t> Histogram::MergedCounts(uint64_t* count, double* sum,
+                                              double* min, double* max) const {
+  std::vector<uint64_t> merged(options_.num_buckets + 2, 0);
+  *count = 0;
+  *sum = 0.0;
+  *min = std::numeric_limits<double>::infinity();
+  *max = -std::numeric_limits<double>::infinity();
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t i = 0; i < merged.size(); ++i) merged[i] += shard.counts[i];
+    *sum += shard.sum;
+    if (shard.count > 0) {
+      *min = std::min(*min, shard.min);
+      *max = std::max(*max, shard.max);
+    }
+    *count += shard.count;
+  }
+  return merged;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t count;
+  double sum, min, max;
+  MergedCounts(&count, &sum, &min, &max);
+  return count;
+}
+
+double Histogram::Sum() const {
+  uint64_t count;
+  double sum, min, max;
+  MergedCounts(&count, &sum, &min, &max);
+  return sum;
+}
+
+double Histogram::Min() const {
+  uint64_t count;
+  double sum, min, max;
+  MergedCounts(&count, &sum, &min, &max);
+  return min;
+}
+
+double Histogram::Max() const {
+  uint64_t count;
+  double sum, min, max;
+  MergedCounts(&count, &sum, &min, &max);
+  return max;
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t count;
+  double sum, min, max;
+  std::vector<uint64_t> merged = MergedCounts(&count, &sum, &min, &max);
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based; smallest bucket whose cumulative
+  // count reaches it.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  size_t bucket = merged.size() - 1;
+  for (size_t i = 0; i < merged.size(); ++i) {
+    cumulative += merged[i];
+    if (cumulative >= rank) {
+      bucket = i;
+      break;
+    }
+  }
+  double estimate;
+  if (bucket == 0) {
+    estimate = min;  // underflow bucket: min is the only trustworthy value
+  } else if (bucket > options_.num_buckets) {
+    estimate = max;  // overflow bucket
+  } else {
+    // Geometric midpoint of [lower, upper): lower * sqrt(growth). Relative
+    // error to any sample in the bucket is at most sqrt(growth) - 1.
+    double lower = options_.min_value *
+                   std::pow(options_.growth, static_cast<double>(bucket - 1));
+    estimate = lower * std::sqrt(options_.growth);
+  }
+  return std::clamp(estimate, min, max);
+}
+
+std::vector<std::pair<double, uint64_t>> Histogram::CumulativeBuckets() const {
+  uint64_t count;
+  double sum, min, max;
+  std::vector<uint64_t> merged = MergedCounts(&count, &sum, &min, &max);
+  std::vector<std::pair<double, uint64_t>> out;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < merged.size(); ++i) {
+    cumulative += merged[i];
+    if (merged[i] > 0 && i <= options_.num_buckets) {
+      out.emplace_back(BucketUpperBound(i), cumulative);
+    }
+  }
+  out.emplace_back(std::numeric_limits<double>::infinity(), count);
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const HistogramOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(options);
+  return *slot;
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; dots and dashes become
+// underscores. Everything is prefixed gnn4tdl_ to namespace the exposition.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "gnn4tdl_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string FmtDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void MetricsRegistry::WritePrometheus(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    std::string pname = PrometheusName(name);
+    out << "# TYPE " << pname << " counter\n";
+    out << pname << " " << FmtDouble(counter->Value()) << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::string pname = PrometheusName(name);
+    out << "# TYPE " << pname << " gauge\n";
+    out << pname << " " << FmtDouble(gauge->Value()) << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    std::string pname = PrometheusName(name);
+    out << "# TYPE " << pname << " histogram\n";
+    for (const auto& [bound, cumulative] : hist->CumulativeBuckets()) {
+      out << pname << "_bucket{le=\"" << FmtDouble(bound) << "\"} "
+          << cumulative << "\n";
+    }
+    out << pname << "_sum " << FmtDouble(hist->Sum()) << "\n";
+    out << pname << "_count " << hist->Count() << "\n";
+  }
+}
+
+void MetricsRegistry::WriteJsonl(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    out << "{\"metric\":\"" << name << "\",\"type\":\"counter\",\"value\":"
+        << FmtDouble(counter->Value()) << "}\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << "{\"metric\":\"" << name << "\",\"type\":\"gauge\",\"value\":"
+        << FmtDouble(gauge->Value()) << "}\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out << "{\"metric\":\"" << name << "\",\"type\":\"histogram\",\"count\":"
+        << hist->Count() << ",\"sum\":" << FmtDouble(hist->Sum());
+    if (hist->Count() > 0) {
+      out << ",\"min\":" << FmtDouble(hist->Min())
+          << ",\"max\":" << FmtDouble(hist->Max())
+          << ",\"p50\":" << FmtDouble(hist->Quantile(0.5))
+          << ",\"p95\":" << FmtDouble(hist->Quantile(0.95))
+          << ",\"p99\":" << FmtDouble(hist->Quantile(0.99));
+    }
+    out << "}\n";
+  }
+}
+
+void EnableMetrics() { internal::SetObsFlag(kObsMetrics, true); }
+void DisableMetrics() { internal::SetObsFlag(kObsMetrics, false); }
+
+}  // namespace gnn4tdl::obs

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/flags.h"
+
+namespace gnn4tdl::obs {
+
+/// One finished span as recorded into a thread buffer. Times are absolute
+/// clock nanos; WriteChromeTrace rebases them against the trace start.
+struct SpanRecord {
+  std::string name;
+  uint64_t id = 0;
+  uint64_t parent = 0;  // 0 = root
+  uint64_t tid = 0;     // stable small integer per recording thread
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;
+  int64_t cpu_ns = 0;  // thread-CPU time inside the span
+  double flops = 0.0;
+  double bytes = 0.0;
+  double items = 0.0;
+};
+
+class TraceSpan;
+
+/// Process-wide span collector. Spans are recorded into per-thread buffers
+/// (one mutex acquisition per finished span, never contended in steady
+/// state); Collect() merges them. Buffers are held as shared_ptr so they
+/// survive the death of pool threads between Start and Collect.
+///
+/// Lifecycle: Start() clears previous spans and begins recording; Stop()
+/// ends it; Collect()/WriteChromeTrace() read the result. When tracing is
+/// off (the default), a TraceSpan construction costs one relaxed atomic
+/// load and nothing is recorded.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void Start();
+  void Stop();
+  bool enabled() const { return (ObsFlags() & kObsTracing) != 0; }
+
+  /// Substitute a FakeClock for deterministic tests; null restores the real
+  /// clock. Must not be called while spans are being recorded.
+  void set_clock(const Clock* clock);
+  const Clock* clock() const;
+
+  /// All spans recorded since Start(), sorted by start time.
+  std::vector<SpanRecord> Collect() const;
+
+  /// Chrome Trace Event JSON ("ph":"X" complete events, microsecond
+  /// timestamps relative to trace start) — loadable in chrome://tracing and
+  /// Perfetto. Span annotations (flops, bytes, items, thread CPU ms, span
+  /// ids) land in each event's "args".
+  void WriteChromeTrace(std::ostream& out) const;
+
+  int64_t trace_start_ns() const { return trace_start_ns_; }
+
+ private:
+  friend class TraceSpan;
+  friend class TraceAmbientParent;
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<SpanRecord> spans;
+    uint64_t tid = 0;
+  };
+  struct ThreadState {
+    std::shared_ptr<ThreadBuffer> buffer;
+    std::vector<uint64_t> stack;   // open span ids on this thread
+    uint64_t ambient_parent = 0;   // inherited from the pool job submitter
+  };
+
+  Tracer() = default;
+  static ThreadState& State();
+  ThreadBuffer& BufferForThisThread();
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  uint64_t next_tid_ = 0;
+  int64_t trace_start_ns_ = 0;
+};
+
+/// RAII scoped span. Opening one while tracing is enabled records a node in
+/// the span tree: the parent is the innermost open span on this thread, or
+/// the ambient parent installed by the thread pool (the span that was open
+/// on the submitting thread), or root. Annotate work with AddFlops/AddBytes/
+/// AddItems; totals are attached to the span on destruction.
+///
+/// When tracing is disabled the constructor is a single relaxed atomic load.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void AddFlops(double flops) { flops_ += flops; }
+  void AddBytes(double bytes) { bytes_ += bytes; }
+  void AddItems(double items) { items_ += items; }
+
+  /// Id of the innermost open span on the calling thread (0 if none, or if
+  /// tracing is off). The thread pool captures this at job submission to
+  /// parent worker-side spans under the caller's span.
+  static uint64_t ActiveId();
+
+ private:
+  bool active_ = false;
+  const char* name_ = nullptr;
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
+  int64_t start_ns_ = 0;
+  int64_t start_cpu_ns_ = 0;
+  double flops_ = 0.0;
+  double bytes_ = 0.0;
+  double items_ = 0.0;
+};
+
+/// RAII ambient-parent installer used by the thread pool: while alive, spans
+/// opened on this thread with an empty span stack parent under `parent_id`
+/// instead of root. Restores the previous ambient parent on destruction.
+class TraceAmbientParent {
+ public:
+  explicit TraceAmbientParent(uint64_t parent_id);
+  ~TraceAmbientParent();
+  TraceAmbientParent(const TraceAmbientParent&) = delete;
+  TraceAmbientParent& operator=(const TraceAmbientParent&) = delete;
+
+ private:
+  uint64_t previous_ = 0;
+};
+
+}  // namespace gnn4tdl::obs

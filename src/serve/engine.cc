@@ -1,24 +1,27 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "common/parallel.h"
+#include "obs/trace.h"
 
 namespace gnn4tdl {
 
 namespace {
 
-double Percentile(std::vector<double> sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  double pos = q * static_cast<double>(sorted.size() - 1);
-  size_t lo = static_cast<size_t>(pos);
-  size_t hi = std::min(lo + 1, sorted.size() - 1);
-  double frac = pos - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+// Batch sizes are small integers; start the buckets at 1 so each size up to
+// ~16 lands near its own bucket. The mean reported in ServeStats is computed
+// exactly from counters, not from this histogram.
+obs::HistogramOptions BatchRowsHistogramOptions() {
+  obs::HistogramOptions opts;
+  opts.min_value = 1.0;
+  opts.num_buckets = 64;
+  return opts;
 }
 
 }  // namespace
@@ -34,7 +37,10 @@ std::string ServeStats::ToString() const {
 }
 
 ServingEngine::ServingEngine(const FrozenModel* model, ServingOptions options)
-    : model_(model), options_(options) {
+    : model_(model),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock : obs::RealClock()),
+      batch_rows_hist_(BatchRowsHistogramOptions()) {
   GNN4TDL_CHECK(model_ != nullptr);
   if (options_.max_batch == 0) options_.max_batch = 1;
   if (options_.deadline_ms < 0.0) options_.deadline_ms = 0.0;
@@ -60,10 +66,11 @@ std::future<std::vector<double>> ServingEngine::Submit(
     std::vector<double> features) {
   Request req;
   req.features = std::move(features);
-  req.enqueued = std::chrono::steady_clock::now();
+  req.enqueued_ns = clock_->NowNanos();
   std::future<std::vector<double>> future = req.promise.get_future();
 
   std::string reject;
+  size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
@@ -79,16 +86,27 @@ std::future<std::vector<double>> ServingEngine::Submit(
     } else {
       if (!any_request_) {
         any_request_ = true;
-        first_submit_ = req.enqueued;
+        first_submit_ns_ = req.enqueued_ns;
       }
       queue_.push_back(std::move(req));
       max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+      depth = queue_.size();
     }
   }
   if (!reject.empty()) {
+    if (obs::MetricsEnabled()) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("serve.rejected_total")
+          .Increment();
+    }
     req.promise.set_exception(
         std::make_exception_ptr(std::runtime_error(reject)));
   } else {
+    if (obs::MetricsEnabled()) {
+      obs::MetricsRegistry::Global()
+          .GetGauge("serve.queue_depth")
+          .Set(static_cast<double>(depth));
+    }
     cv_.notify_one();
   }
   return future;
@@ -103,14 +121,18 @@ void ServingEngine::WorkerLoop() {
       if (queue_.empty()) break;  // stopping_ and fully drained
 
       // Hold the batch open until it fills or the oldest request's deadline
-      // passes; stop requests close it immediately.
-      auto deadline =
-          queue_.front().enqueued +
-          std::chrono::microseconds(
-              static_cast<long long>(options_.deadline_ms * 1000.0));
-      cv_.wait_until(lock, deadline, [this] {
-        return stopping_ || queue_.size() >= options_.max_batch;
-      });
+      // passes; stop requests close it immediately. The remaining wait is
+      // recomputed from the injected clock each iteration (rather than
+      // passing an absolute time_point to wait_until) so the deadline logic
+      // follows a FakeClock in tests.
+      const int64_t deadline_ns =
+          queue_.front().enqueued_ns +
+          static_cast<int64_t>(options_.deadline_ms * 1e6);
+      while (!stopping_ && queue_.size() < options_.max_batch) {
+        const int64_t remaining_ns = deadline_ns - clock_->NowNanos();
+        if (remaining_ns <= 0) break;
+        cv_.wait_for(lock, std::chrono::nanoseconds(remaining_ns));
+      }
 
       size_t take = std::min(queue_.size(), options_.max_batch);
       batch.reserve(take);
@@ -120,13 +142,17 @@ void ServingEngine::WorkerLoop() {
       }
     }
 
-    Matrix x(batch.size(), model_->feature_dim());
-    for (size_t i = 0; i < batch.size(); ++i) {
-      std::copy(batch[i].features.begin(), batch[i].features.end(),
-                x.row_data(i));
-    }
-    StatusOr<Matrix> logits = model_->ScoreFeatures(x);
-    auto done = std::chrono::steady_clock::now();
+    StatusOr<Matrix> logits = [&] {
+      obs::TraceSpan span("serve/batch");
+      span.AddItems(static_cast<double>(batch.size()));
+      Matrix x(batch.size(), model_->feature_dim());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        std::copy(batch[i].features.begin(), batch[i].features.end(),
+                  x.row_data(i));
+      }
+      return model_->ScoreFeatures(x);
+    }();
+    const int64_t done_ns = clock_->NowNanos();
 
     for (size_t i = 0; i < batch.size(); ++i) {
       if (!logits.ok()) {
@@ -139,16 +165,29 @@ void ServingEngine::WorkerLoop() {
       }
     }
 
+    const bool metrics = obs::MetricsEnabled();
+    batch_rows_hist_.Record(static_cast<double>(batch.size()));
+    if (metrics) {
+      obs::MetricsRegistry::Global()
+          .GetHistogram("serve.batch_rows", BatchRowsHistogramOptions())
+          .Record(static_cast<double>(batch.size()));
+    }
+    for (const Request& req : batch) {
+      const double ms =
+          static_cast<double>(done_ns - req.enqueued_ns) / 1e6;
+      latency_ms_hist_.Record(ms);
+      if (metrics) {
+        auto& registry = obs::MetricsRegistry::Global();
+        registry.GetHistogram("serve.latency_ms").Record(ms);
+        registry.GetCounter("serve.requests_total").Increment();
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      batch_rows_.push_back(batch.size());
-      for (const Request& req : batch) {
-        double ms = std::chrono::duration<double, std::milli>(
-                        done - req.enqueued)
-                        .count();
-        latencies_ms_.push_back(ms);
-      }
-      last_complete_ = done;
+      ++batches_;
+      total_batch_rows_ += batch.size();
+      requests_done_ += batch.size();
+      last_complete_ns_ = done_ns;
     }
   }
 }
@@ -156,26 +195,21 @@ void ServingEngine::WorkerLoop() {
 ServeStats ServingEngine::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServeStats stats;
-  stats.requests = latencies_ms_.size();
-  stats.batches = batch_rows_.size();
+  stats.requests = requests_done_;
+  stats.batches = batches_;
   stats.rejected = rejected_;
   stats.max_queue_depth = max_queue_depth_;
-  if (!batch_rows_.empty()) {
-    size_t total = 0;
-    for (size_t b : batch_rows_) total += b;
+  if (batches_ > 0) {
     stats.mean_batch_rows =
-        static_cast<double>(total) / static_cast<double>(batch_rows_.size());
+        static_cast<double>(total_batch_rows_) / static_cast<double>(batches_);
   }
-  if (!latencies_ms_.empty()) {
-    std::vector<double> sorted = latencies_ms_;
-    std::sort(sorted.begin(), sorted.end());
-    stats.p50_ms = Percentile(sorted, 0.50);
-    stats.p95_ms = Percentile(sorted, 0.95);
-    stats.p99_ms = Percentile(sorted, 0.99);
-    stats.max_ms = sorted.back();
-    double span_s = std::chrono::duration<double>(last_complete_ -
-                                                  first_submit_)
-                        .count();
+  if (requests_done_ > 0) {
+    stats.p50_ms = latency_ms_hist_.Quantile(0.50);
+    stats.p95_ms = latency_ms_hist_.Quantile(0.95);
+    stats.p99_ms = latency_ms_hist_.Quantile(0.99);
+    stats.max_ms = latency_ms_hist_.Max();
+    double span_s =
+        static_cast<double>(last_complete_ns_ - first_submit_ns_) / 1e9;
     stats.throughput_rps =
         span_s > 0.0 ? static_cast<double>(stats.requests) / span_s : 0.0;
   }

@@ -1,8 +1,8 @@
 #pragma once
 
-#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "serve/frozen_model.h"
 
 namespace gnn4tdl {
@@ -23,11 +25,22 @@ struct ServingOptions {
   /// Submissions beyond this many queued rows fail fast instead of growing
   /// the queue without bound.
   size_t queue_capacity = 4096;
+  /// Time source for latency stamping and deadline waits; null means
+  /// obs::RealClock(). Tests inject an obs::FakeClock for deterministic
+  /// latency assertions.
+  const obs::Clock* clock = nullptr;
 };
 
 /// Aggregate serving counters. Latencies are end-to-end per request
-/// (submission to completed scoring), percentiles computed over all finished
-/// requests.
+/// (submission to completed scoring).
+///
+/// Precision contract: the engine keeps latency and batch-size distributions
+/// in fixed-size log-bucket histograms (obs::Histogram), not per-request
+/// history, so memory stays O(1) for any number of requests. The p50/p95/p99
+/// fields are therefore histogram estimates with bounded relative error —
+/// at the default bucket growth of 2^(1/8), within ~4.4% of an exact sorted
+/// percentile. `max_ms`, `requests`, `batches`, `mean_batch_rows`, and
+/// `throughput_rps` are exact.
 struct ServeStats {
   size_t requests = 0;
   size_t batches = 0;
@@ -63,6 +76,12 @@ struct ServeStats {
 /// spin-up. The worker thread is the only caller of the tensor kernels here,
 /// so batches never contend with each other for the pool, and scoring results
 /// are deterministic for a fixed thread count (see common/parallel.h).
+///
+/// Observability: every batch forward runs under a "serve/batch" trace span
+/// (items = rows in the batch) when tracing is on, and when
+/// obs::MetricsEnabled() the engine mirrors its accounting into
+/// MetricsRegistry::Global() as serve.requests_total, serve.rejected_total,
+/// serve.queue_depth, serve.latency_ms, and serve.batch_rows.
 class ServingEngine {
  public:
   explicit ServingEngine(const FrozenModel* model, ServingOptions options = {});
@@ -86,27 +105,33 @@ class ServingEngine {
   struct Request {
     std::vector<double> features;
     std::promise<std::vector<double>> promise;
-    std::chrono::steady_clock::time_point enqueued;
+    int64_t enqueued_ns = 0;
   };
 
   void WorkerLoop();
 
   const FrozenModel* model_;
   ServingOptions options_;
+  const obs::Clock* clock_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Request> queue_;
   bool stopping_ = false;
 
-  // Counters (guarded by mu_).
-  std::vector<double> latencies_ms_;
-  std::vector<size_t> batch_rows_;
+  // Accounting (guarded by mu_ except the histograms, which shard
+  // internally). Bounded: distributions live in fixed-size histograms, never
+  // per-request vectors.
+  obs::Histogram latency_ms_hist_;
+  obs::Histogram batch_rows_hist_;
+  size_t requests_done_ = 0;
+  size_t batches_ = 0;
+  size_t total_batch_rows_ = 0;
   size_t rejected_ = 0;
   size_t max_queue_depth_ = 0;
   bool any_request_ = false;
-  std::chrono::steady_clock::time_point first_submit_;
-  std::chrono::steady_clock::time_point last_complete_;
+  int64_t first_submit_ns_ = 0;
+  int64_t last_complete_ns_ = 0;
 
   std::thread worker_;
 };

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/parallel.h"
+#include "obs/kernel_hooks.h"
 
 namespace gnn4tdl {
 
@@ -176,6 +177,9 @@ Matrix Matrix::Matmul(const Matrix& other) const {
   Matrix out(rows_, other.cols_);
   const size_t k_dim = cols_;
   const size_t n = other.cols_;
+  obs::KernelScope kernel(
+      "matmul", 2.0 * static_cast<double>(rows_) * k_dim * n,
+      8.0 * (static_cast<double>(rows_) * k_dim + k_dim * n + rows_ * n));
   // Parallel over blocks of output rows: each row's accumulation runs in the
   // same i-k-j order as the serial kernel (streams through `other` row-major,
   // friendly to cache), so results are bit-exact for every thread count.
@@ -198,6 +202,9 @@ Matrix Matrix::TransposeMatmul(const Matrix& other) const {
   GNN4TDL_CHECK_EQ(rows_, other.rows_);
   Matrix out(cols_, other.cols_);
   const size_t n = other.cols_;
+  obs::KernelScope kernel(
+      "matmul_tn", 2.0 * static_cast<double>(rows_) * cols_ * n,
+      8.0 * (static_cast<double>(rows_) * cols_ + rows_ * n + cols_ * n));
   // Parallel over blocks of *output* rows (i indexes this->cols_): every
   // thread scans all input rows r but only touches its own output block, and
   // each out(i, j) accumulates in the same r-ascending order as the serial
@@ -220,6 +227,10 @@ Matrix Matrix::TransposeMatmul(const Matrix& other) const {
 Matrix Matrix::MatmulTranspose(const Matrix& other) const {
   GNN4TDL_CHECK_EQ(cols_, other.cols_);
   Matrix out(rows_, other.rows_);
+  obs::KernelScope kernel(
+      "matmul_nt", 2.0 * static_cast<double>(rows_) * cols_ * other.rows_,
+      8.0 * (static_cast<double>(rows_) * cols_ + other.rows_ * cols_ +
+             static_cast<double>(rows_) * other.rows_));
   ParallelFor(0, rows_, RowGrain(other.rows_ * cols_),
               [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/parallel.h"
+#include "obs/kernel_hooks.h"
 
 namespace gnn4tdl {
 
@@ -78,6 +79,10 @@ Matrix SparseMatrix::Multiply(const Matrix& dense) const {
   GNN4TDL_CHECK_EQ(cols_, dense.rows());
   Matrix out(rows_, dense.cols());
   const size_t n = dense.cols();
+  obs::KernelScope kernel(
+      "spmm", 2.0 * static_cast<double>(nnz()) * n,
+      8.0 * (static_cast<double>(nnz()) * (n + 2) +
+             static_cast<double>(rows_) * n));
   // CSR rows are independent: parallel over output-row blocks, each row
   // accumulating in serial k-order — bit-exact for every thread count.
   ParallelFor(0, rows_, SpmmRowGrain(nnz(), rows_, n),
@@ -97,6 +102,10 @@ Matrix SparseMatrix::Multiply(const Matrix& dense) const {
 Matrix SparseMatrix::TransposeMultiply(const Matrix& dense) const {
   GNN4TDL_CHECK_EQ(rows_, dense.rows());
   const size_t n = dense.cols();
+  obs::KernelScope kernel(
+      "spmm_t", 2.0 * static_cast<double>(nnz()) * n,
+      8.0 * (static_cast<double>(nnz()) * (n + 2) +
+             static_cast<double>(cols_) * n));
   // The transpose product scatters into out.row(col_idx), so input rows
   // cannot be split across threads without racing. Instead each chunk of
   // input rows accumulates into its own zeroed partial output, and the
@@ -201,6 +210,9 @@ Matrix SegmentSoftmax(const Matrix& logits, const std::vector<size_t>& seg,
   GNN4TDL_CHECK_EQ(logits.cols(), 1u);
   GNN4TDL_CHECK_EQ(logits.rows(), seg.size());
   const size_t e_count = seg.size();
+  // ~5 flops per edge across the max/exp/sum/normalize phases.
+  obs::KernelScope kernel("segment_softmax", 5.0 * static_cast<double>(e_count),
+                          8.0 * (3.0 * e_count + 2.0 * num_groups));
   for (size_t e = 0; e < e_count; ++e) GNN4TDL_CHECK_LT(seg[e], num_groups);
 
   // Phase 1: per-group max (order-insensitive fold).
@@ -238,6 +250,9 @@ Matrix SegmentSoftmaxBackward(const Matrix& softmax, const Matrix& grad,
   GNN4TDL_CHECK_EQ(softmax.rows(), seg.size());
   GNN4TDL_CHECK_EQ(grad.rows(), seg.size());
   const size_t e_count = seg.size();
+  obs::KernelScope kernel("segment_softmax_bwd",
+                          5.0 * static_cast<double>(e_count),
+                          8.0 * (4.0 * e_count + num_groups));
 
   std::vector<double> group_dot = SegmentAccumulate(
       e_count, num_groups, 0.0,

@@ -7,8 +7,35 @@
 
 #include "common/check.h"
 #include "nn/tape_verifier.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gnn4tdl {
+
+namespace {
+
+// Epoch-level emission into the global registry, gated on MetricsEnabled()
+// so a training run pays only one atomic load per epoch when metrics are
+// off. Norm computations happen only inside the gate.
+void EmitEpochMetrics(const std::vector<Tensor>& params, const Tensor& loss) {
+  auto& registry = obs::MetricsRegistry::Global();
+  double grad_sq = 0.0;
+  double param_sq = 0.0;
+  for (const Tensor& p : params) {
+    const Matrix& v = p.value();
+    for (size_t i = 0; i < v.size(); ++i) param_sq += v.data()[i] * v.data()[i];
+    const Matrix& g = p.grad();
+    for (size_t i = 0; i < g.size(); ++i) grad_sq += g.data()[i] * g.data()[i];
+  }
+  registry.GetGauge("train.loss").Set(loss.value()(0, 0));
+  registry.GetGauge("train.grad_norm").Set(std::sqrt(grad_sq));
+  registry.GetGauge("train.param_norm").Set(std::sqrt(param_sq));
+  registry.GetGauge("train.tape_nodes")
+      .Set(static_cast<double>(loss.TapeSize()));
+  registry.GetCounter("train.epochs_total").Increment();
+}
+
+}  // namespace
 
 double ScheduledLearningRate(LrSchedule schedule, double base_lr, int epoch,
                              int max_epochs) {
@@ -63,6 +90,7 @@ TrainResult Trainer::Fit(const std::function<Tensor()>& loss_fn,
   int epochs_since_best = 0;
 
   for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    obs::TraceSpan epoch_span("train/epoch");
     if (options_.lr_schedule != LrSchedule::kConstant) {
       optimizer_.set_learning_rate(ScheduledLearningRate(
           options_.lr_schedule, options_.learning_rate, epoch,
@@ -89,6 +117,7 @@ TrainResult Trainer::Fit(const std::function<Tensor()>& loss_fn,
     }
     loss.Backward();
     if (options_.grad_clip > 0.0) optimizer_.ClipGradNorm(options_.grad_clip);
+    if (obs::MetricsEnabled()) EmitEpochMetrics(params_, loss);
     optimizer_.Step();
     ++result.epochs_run;
 

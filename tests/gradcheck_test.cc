@@ -272,6 +272,33 @@ TEST(GradCheck, MlpEndToEnd) {
   });
 }
 
+TEST(GradCheck, WeightedSpMM) {
+  // Same edge-weighted aggregation as the GAT layer: a fixed CSR pattern
+  // (row = dst, col = src) whose values come from a differentiable E x 1
+  // weight tensor. Gradients must flow to both the weights and the features.
+  Rng rng(31);
+  Tensor w = RandLeaf(5, 1, rng);
+  Tensor x = RandLeaf(4, 3, rng);
+  std::vector<size_t> src = {0, 1, 2, 3, 1};
+  std::vector<size_t> dst = {1, 0, 1, 2, 2};
+  const size_t n = 4, num_edges = src.size();
+  std::vector<size_t> row_ptr(n + 1, 0);
+  for (size_t e = 0; e < num_edges; ++e) ++row_ptr[dst[e] + 1];
+  for (size_t v = 0; v < n; ++v) row_ptr[v + 1] += row_ptr[v];
+  std::vector<size_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  std::vector<size_t> col_idx(num_edges), slot(num_edges);
+  for (size_t e = 0; e < num_edges; ++e) {
+    slot[e] = cursor[dst[e]]++;
+    col_idx[slot[e]] = src[e];
+  }
+  SparseMatrix pattern = SparseMatrix::FromCsr(
+      n, n, row_ptr, col_idx, std::vector<double>(num_edges, 0.0));
+  ExpectGradientsMatch({w, x}, [&] {
+    return ops::SumSquares(
+        ops::WeightedSpMM(w, x, pattern, slot, src, dst));
+  });
+}
+
 TEST(GradCheck, CompositeGnnLikeComputation) {
   // A GAT-flavored composite: gather endpoints, edge logits, edge softmax,
   // weighted scatter — exercises interactions between the edge ops.

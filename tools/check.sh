@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Umbrella correctness gate: lint -> asan -> tsan -> threads.
+# Umbrella correctness gate: lint -> asan -> tsan -> threads -> trace.
 #
 #   stage 1  lint     build gnn4tdl_lint (default preset) and scan the tree
 #   stage 2  asan     full test suite under Address+UB sanitizers
@@ -8,6 +8,12 @@
 #                     kernel pool actually multithreads under the race
 #                     detector (stage 3 inherits the environment, which on a
 #                     hermetic runner often means a serial pool)
+#   stage 5  trace    end-to-end observability smoke: one gnn4tdl_cli serve
+#                     run (train + freeze + serve) with --trace-out and
+#                     --metrics-out, then gnn4tdl_trace_check validates the
+#                     artifacts (well-formed trace JSON, required span names
+#                     present, no negative durations, required metrics in the
+#                     Prometheus dump)
 #
 # Every stage runs even if an earlier one fails; the summary at the end
 # lists per-stage PASS/FAIL and the script exits non-zero if any failed.
@@ -56,14 +62,26 @@ threads_stage() {
     GNN4TDL_THREADS=4 ctest --preset tsan -j "$(nproc)" "$@"
 }
 
+trace_stage() {
+  cmake --preset default &&
+    cmake --build --preset default -j "$(nproc)" \
+      --target gnn4tdl_cli --target gnn4tdl_trace_check &&
+    ./build/tools/gnn4tdl_cli serve --backbone gat --epochs 8 \
+      --trace-out build/trace.json --metrics-out build/metrics.txt &&
+    ./build/tools/gnn4tdl_trace_check build/trace.json build/metrics.txt \
+      --require-span "pipeline/fit,train/epoch,serve/batch,matmul,spmm,edge_softmax" \
+      --require-metric "gnn4tdl_serve_latency_ms,gnn4tdl_serve_batch_rows,gnn4tdl_train_loss,gnn4tdl_serve_requests_total"
+}
+
 run_stage lint lint_stage
 run_stage asan asan_stage "$@"
 run_stage tsan tsan_stage "$@"
 run_stage threads threads_stage "$@"
+run_stage trace trace_stage
 
 echo
 echo "==== check.sh summary ===="
-for stage in lint asan tsan threads; do
+for stage in lint asan tsan threads trace; do
   printf '  %-7s %s\n' "$stage" "${results[$stage]}"
 done
 exit "$overall"

@@ -23,8 +23,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,8 @@
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "models/knn_gnn.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/engine.h"
 #include "serve/frozen_model.h"
 
@@ -61,6 +65,8 @@ struct CliArgs {
   double val_frac = 0.2;
   size_t folds = 0;
   uint64_t seed = 42;
+  std::string trace_out;    // chrome://tracing span tree
+  std::string metrics_out;  // Prometheus text dump
 };
 
 void PrintUsage() {
@@ -85,6 +91,8 @@ void PrintUsage() {
       "  --val-frac F          validation fraction (default 0.2)\n"
       "  --folds N             N-fold cross-validation instead of one split\n"
       "  --seed N              rng seed (default 42)\n"
+      "  --trace-out PATH      write a chrome://tracing span tree of the run\n"
+      "  --metrics-out PATH    write a Prometheus-style metrics dump\n"
       "\n"
       "subcommands:\n"
       "  freeze                train an instance-graph GNN and write a frozen\n"
@@ -197,6 +205,14 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (!v) return false;
       args->deadline_ms = std::atof(v);
+    } else if (flag == "--trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      args->trace_out = v;
+    } else if (flag == "--metrics-out") {
+      const char* v = next();
+      if (!v) return false;
+      args->metrics_out = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       PrintUsage();
@@ -328,21 +344,60 @@ int RunScore(const CliArgs& args) {
   return 0;
 }
 
+// Without --model, `serve` trains an instance-graph GNN through the full
+// pipeline, freezes it in memory, and serves it — one invocation exercising
+// pipeline stages, trainer epochs, kernels, and serving batches, which is
+// what the `--trace-out` smoke in tools/check.sh relies on.
+StatusOr<FrozenModel> TrainAndFreezeForServe(const CliArgs& args,
+                                             const TabularDataset& data) {
+  PipelineConfig config;
+  config.formulation = GraphFormulation::kInstanceGraph;
+  config.construction = ConstructionMethod::kKnn;
+  {
+    auto b = GnnBackboneFromName(args.backbone);
+    if (!b.ok()) return b.status();
+    config.backbone = *b;
+  }
+  config.knn_k = args.knn_k;
+  config.hidden_dim = args.hidden;
+  config.num_layers = args.layers;
+  config.train.max_epochs = args.epochs;
+  config.train.learning_rate = args.lr;
+  config.seed = args.seed;
+
+  const bool classification = data.task() != TaskType::kRegression;
+  Rng rng(args.seed);
+  Split split = classification
+                    ? StratifiedSplit(data.class_labels(), args.train_frac,
+                                      args.val_frac, rng)
+                    : RandomSplit(data.NumRows(), args.train_frac,
+                                  args.val_frac, rng);
+  std::printf("no --model given: training %s for serving...\n",
+              args.backbone.c_str());
+  StatusOr<PipelineResult> result = RunPipeline(config, data, split);
+  if (!result.ok()) return result.status();
+  auto* gnn = dynamic_cast<InstanceGraphGnn*>(result->model.get());
+  if (gnn == nullptr) {
+    return Status::Internal("pipeline did not produce a freezable model");
+  }
+  std::stringstream artifact;
+  GNN4TDL_RETURN_IF_ERROR(FrozenModel::Save(*gnn, artifact));
+  return FrozenModel::Load(artifact);
+}
+
 int RunServe(const CliArgs& args) {
-  if (args.model.empty()) {
-    std::fprintf(stderr, "serve requires --model PATH\n");
-    return 1;
-  }
-  StatusOr<FrozenModel> frozen = FrozenModel::Load(args.model);
-  if (!frozen.ok()) {
-    std::fprintf(stderr, "failed to load %s: %s\n", args.model.c_str(),
-                 frozen.status().ToString().c_str());
-    return 1;
-  }
   StatusOr<TabularDataset> data = LoadData(args);
   if (!data.ok()) {
     std::fprintf(stderr, "failed to load data: %s\n",
                  data.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<FrozenModel> frozen = args.model.empty()
+                                     ? TrainAndFreezeForServe(args, *data)
+                                     : FrozenModel::Load(args.model);
+  if (!frozen.ok()) {
+    std::fprintf(stderr, "failed to prepare a frozen model: %s\n",
+                 frozen.status().ToString().c_str());
     return 1;
   }
   StatusOr<Matrix> x = frozen->Featurize(*data);
@@ -493,14 +548,50 @@ int Run(const CliArgs& args) {
   return 0;
 }
 
+// Writes the trace/metrics artifacts requested on the command line after the
+// subcommand ran. Failures are reported but do not change the exit code —
+// observability output must never mask the run's own result.
+void WriteObsArtifacts(const CliArgs& args) {
+  if (!args.trace_out.empty()) {
+    obs::Tracer::Global().Stop();
+    std::ofstream out(args.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write trace to %s\n",
+                   args.trace_out.c_str());
+    } else {
+      obs::Tracer::Global().WriteChromeTrace(out);
+      std::printf("trace written to %s (open in chrome://tracing)\n",
+                  args.trace_out.c_str());
+    }
+  }
+  if (!args.metrics_out.empty()) {
+    std::ofstream out(args.metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   args.metrics_out.c_str());
+    } else {
+      obs::MetricsRegistry::Global().WritePrometheus(out);
+      std::printf("metrics written to %s\n", args.metrics_out.c_str());
+    }
+  }
+}
+
+int Dispatch(const CliArgs& args) {
+  if (args.command == "freeze") return RunFreeze(args);
+  if (args.command == "score") return RunScore(args);
+  if (args.command == "serve") return RunServe(args);
+  return Run(args);
+}
+
 }  // namespace
 }  // namespace gnn4tdl
 
 int main(int argc, char** argv) {
   gnn4tdl::CliArgs args;
   if (!gnn4tdl::ParseArgs(argc, argv, &args)) return 2;
-  if (args.command == "freeze") return gnn4tdl::RunFreeze(args);
-  if (args.command == "score") return gnn4tdl::RunScore(args);
-  if (args.command == "serve") return gnn4tdl::RunServe(args);
-  return gnn4tdl::Run(args);
+  if (!args.trace_out.empty()) gnn4tdl::obs::Tracer::Global().Start();
+  if (!args.metrics_out.empty()) gnn4tdl::obs::EnableMetrics();
+  int code = gnn4tdl::Dispatch(args);
+  gnn4tdl::WriteObsArtifacts(args);
+  return code;
 }

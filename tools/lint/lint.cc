@@ -19,6 +19,11 @@
 //                             and serve/ — kernel code must go through the
 //                             shared ThreadPool (common/parallel.h) so thread
 //                             counts, determinism, and nesting rules hold.
+//   raw-clock                 std::chrono::steady_clock/system_clock in src/
+//                             outside obs/ and common/parallel.* — all timing
+//                             flows through obs::Clock (src/obs/clock.h) so
+//                             tests can inject a FakeClock and the tracer
+//                             owns the time base.
 //   missing-pragma-once       .h file without a #pragma once line.
 //   using-namespace-in-header using-directives in headers leak into every
 //                             includer.
@@ -225,6 +230,8 @@ void LintFile(const std::string& rel_path, const std::string& raw,
   const bool in_tensor_impl = StartsWith(rel_path, "src/tensor/");
   const bool thread_allowed = StartsWith(rel_path, "src/common/parallel.") ||
                               StartsWith(rel_path, "src/serve/");
+  const bool clock_allowed = StartsWith(rel_path, "src/obs/") ||
+                             StartsWith(rel_path, "src/common/parallel.");
 
   if (is_header) {
     bool has_pragma = false;
@@ -280,6 +287,15 @@ void LintFile(const std::string& rel_path, const std::string& raw,
       out->push_back({rel_path, t.line, "raw-thread",
                       "raw std::thread outside common/parallel and serve/; "
                       "use the shared ThreadPool (common/parallel.h)"});
+    }
+
+    if (in_src && !clock_allowed &&
+        (t.text == "steady_clock" || t.text == "system_clock") && prev(1) &&
+        prev(1)->text == "::" && prev(2) && prev(2)->text == "chrono") {
+      out->push_back({rel_path, t.line, "raw-clock",
+                      "raw std::chrono clock in library code; route timing "
+                      "through obs::Clock (src/obs/clock.h) so tests can "
+                      "inject a FakeClock"});
     }
 
     if (in_src && t.text == "cout" && prev(1) && prev(1)->text == "::" &&

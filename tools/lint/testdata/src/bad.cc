@@ -20,4 +20,7 @@ void Caller(Helper* helper) {
   std::thread worker([] {});  // raw-thread: bypasses the shared ThreadPool
   worker.join();
   (void)std::thread::hardware_concurrency();  // query — must NOT be flagged
+
+  auto t0 = std::chrono::steady_clock::now();  // raw-clock: use obs::Clock
+  (void)t0;
 }

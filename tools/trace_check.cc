@@ -1,0 +1,102 @@
+// Validates the observability artifacts a gnn4tdl_cli run produces, for the
+// `trace` stage of tools/check.sh:
+//
+//   gnn4tdl_trace_check trace.json [metrics.txt]
+//       --require-span a,b,c --require-metric x,y
+//
+// Checks that trace.json is well-formed Chrome Trace Event JSON (parses, has
+// a traceEvents array, every event has a name and non-negative ts/dur) and
+// contains every span named in --require-span; and that metrics.txt contains
+// every metric named in --require-metric. Exits nonzero with a diagnostic on
+// the first failure.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_lite.h"
+
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& list) {
+  std::vector<std::string> out;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  std::vector<std::string> require_spans;
+  std::vector<std::string> require_metrics;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--require-span" && i + 1 < argc) {
+      require_spans = SplitCommas(argv[++i]);
+    } else if (arg == "--require-metric" && i + 1 < argc) {
+      require_metrics = SplitCommas(argv[++i]);
+    } else if (arg[0] != '-' && trace_path.empty()) {
+      trace_path = arg;
+    } else if (arg[0] != '-' && metrics_path.empty()) {
+      metrics_path = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: gnn4tdl_trace_check trace.json [metrics.txt] "
+                   "[--require-span a,b] [--require-metric x,y]\n");
+      return 2;
+    }
+  }
+  if (trace_path.empty()) {
+    std::fprintf(stderr, "gnn4tdl_trace_check: no trace file given\n");
+    return 2;
+  }
+
+  std::string trace_text;
+  if (!ReadFile(trace_path, &trace_text)) {
+    std::fprintf(stderr, "cannot read %s\n", trace_path.c_str());
+    return 1;
+  }
+  std::string err;
+  if (!gnn4tdl::obs::ValidateChromeTrace(trace_text, require_spans, &err)) {
+    std::fprintf(stderr, "%s: %s\n", trace_path.c_str(), err.c_str());
+    return 1;
+  }
+  std::printf("%s: valid chrome trace, %zu required spans present\n",
+              trace_path.c_str(), require_spans.size());
+
+  if (!metrics_path.empty()) {
+    std::string metrics_text;
+    if (!ReadFile(metrics_path, &metrics_text)) {
+      std::fprintf(stderr, "cannot read %s\n", metrics_path.c_str());
+      return 1;
+    }
+    for (const std::string& metric : require_metrics) {
+      if (metrics_text.find(metric) == std::string::npos) {
+        std::fprintf(stderr, "%s: required metric missing: %s\n",
+                     metrics_path.c_str(), metric.c_str());
+        return 1;
+      }
+    }
+    std::printf("%s: %zu required metrics present\n", metrics_path.c_str(),
+                require_metrics.size());
+  }
+  return 0;
+}
