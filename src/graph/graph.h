@@ -70,4 +70,16 @@ class Graph {
   SparseMatrix adj_;
 };
 
+/// Graph::GcnNormalized with the normalization degrees supplied externally:
+/// `deg_no_self[v]` is the weighted degree of v *excluding* the self-loop
+/// added here (replicating Graph::GcnNormalized arithmetic exactly). Used to
+/// normalize a k-hop subgraph with the degrees of the graph it was cut from,
+/// so an attached serving batch sees the same operator values as training.
+SparseMatrix GcnNormalizedWithDegrees(const Graph& g,
+                                      const std::vector<double>& deg_no_self);
+
+/// Graph::RowNormalized with externally supplied weighted degrees.
+SparseMatrix RowNormalizedWithDegrees(const Graph& g,
+                                      const std::vector<double>& deg);
+
 }  // namespace gnn4tdl

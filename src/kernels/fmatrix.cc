@@ -1,0 +1,55 @@
+#include "kernels/fmatrix.h"
+
+#include <limits>
+
+namespace gnn4tdl::kernels {
+
+FMatrix FMatrix::FromDouble(const Matrix& m) {
+  FMatrix out(m.rows(), m.cols());
+  const double* src = m.data();
+  float* dst = out.data();
+  for (size_t i = 0; i < out.size(); ++i) dst[i] = static_cast<float>(src[i]);
+  return out;
+}
+
+Matrix FMatrix::ToDouble() const {
+  Matrix out(rows_, cols_);
+  double* dst = out.data();
+  for (size_t i = 0; i < data_.size(); ++i)
+    dst[i] = static_cast<double>(data_[i]);
+  return out;
+}
+
+void FMatrix::SetRowFromDouble(size_t r_dst, const double* src) {
+  GNN4TDL_CHECK_LT(r_dst, rows_);
+  float* dst = row_data(r_dst);
+  for (size_t j = 0; j < cols_; ++j) dst[j] = static_cast<float>(src[j]);
+}
+
+void FMatrix::SetRow(size_t r_dst, const FMatrix& other, size_t r_src) {
+  GNN4TDL_CHECK_LT(r_dst, rows_);
+  GNN4TDL_CHECK_LT(r_src, other.rows());
+  GNN4TDL_CHECK_EQ(cols_, other.cols());
+  const float* src = other.row_data(r_src);
+  float* dst = row_data(r_dst);
+  for (size_t j = 0; j < cols_; ++j) dst[j] = src[j];
+}
+
+FCsr FCsr::FromDouble(const SparseMatrix& m) {
+  constexpr size_t kMax = std::numeric_limits<uint32_t>::max();
+  GNN4TDL_CHECK_LE(m.rows(), kMax);
+  GNN4TDL_CHECK_LE(m.cols(), kMax);
+  GNN4TDL_CHECK_LE(m.nnz(), kMax);
+  FCsr out;
+  out.rows = m.rows();
+  out.cols = m.cols();
+  out.row_ptr.reserve(m.row_ptr().size());
+  for (size_t p : m.row_ptr()) out.row_ptr.push_back(static_cast<uint32_t>(p));
+  out.col_idx.reserve(m.nnz());
+  for (size_t c : m.col_idx()) out.col_idx.push_back(static_cast<uint32_t>(c));
+  out.values.reserve(m.nnz());
+  for (double v : m.values()) out.values.push_back(static_cast<float>(v));
+  return out;
+}
+
+}  // namespace gnn4tdl::kernels

@@ -1,0 +1,176 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kernels/fmatrix.h"
+
+namespace gnn4tdl::kernels {
+
+// ---------------------------------------------------------------------------
+// Precision tiers
+// ---------------------------------------------------------------------------
+
+/// Numeric tier a frozen artifact is served with. Training is always kF64
+/// (double, deterministic, autograd-taped); kF32 is the opt-in inference tier
+/// implemented by this subsystem. See docs/KERNELS.md "f32 inference tier".
+enum class Precision { kF64, kF32 };
+
+const char* PrecisionName(Precision p);
+
+/// Parses "f32" / "f64". Unknown names are InvalidArgument.
+StatusOr<Precision> PrecisionFromName(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Activations (shared table with nn/module.h — see ToKernelActivation there)
+// ---------------------------------------------------------------------------
+
+/// Activation applied by the fused bias+activation kernel. Mirrors
+/// nn::Activation one-to-one so the serving tier and the training modules
+/// share a single activation vocabulary.
+enum class FAct { kNone, kRelu, kLeakyRelu, kSigmoid, kTanh };
+
+// ---------------------------------------------------------------------------
+// Runtime SIMD dispatch
+// ---------------------------------------------------------------------------
+
+/// Instruction-set tier of an f32 kernel implementation. kScalar is always
+/// available and is the bit-exact reference for every vectorized tier: the
+/// two paths use single-rounding fused multiply-adds (std::fmaf vs
+/// _mm256_fmadd_ps) in the identical summation order, so for the same inputs
+/// they produce the same bits — CI runs the tolerance suite under both and a
+/// dedicated test memcmp-compares them (tools/check.sh stage `simd`).
+enum class SimdLevel { kScalar, kAvx2 };
+
+const char* SimdLevelName(SimdLevel level);
+
+/// The f32 kernel function table one SIMD tier implements. All kernels are
+/// thread-safe (pure, write-disjoint ParallelFor partitions) and run on the
+/// shared ThreadPool where row counts justify it, with the same
+/// bit-exact-at-every-thread-count contract as the double kernels.
+struct KernelTable {
+  SimdLevel level = SimdLevel::kScalar;
+
+  /// out = a * b, a is (m x k), b is (k x n). out must be pre-shaped and is
+  /// overwritten.
+  void (*matmul)(const FMatrix& a, const FMatrix& b, FMatrix* out) = nullptr;
+
+  /// out = a * b^T, a is (m x k), b is (n x k) -> out (m x n).
+  void (*matmul_nt)(const FMatrix& a, const FMatrix& b, FMatrix* out) = nullptr;
+
+  /// out = s * x, s is (r x c) CSR, x is (c x n) -> out (r x n).
+  void (*spmm)(const FCsr& s, const FMatrix& x, FMatrix* out) = nullptr;
+
+  /// In place x(r, j) = act(x(r, j) + bias[j]); bias may be null (activation
+  /// only). `alpha` is the LeakyRelu negative slope.
+  void (*bias_act)(FMatrix* x, const float* bias, FAct act,
+                   float alpha) = nullptr;
+
+  /// out = sa * a + sb * b elementwise (same shape); the fused axpby used for
+  /// SAGE self+neighbor sums, GIN (1+eps) scaling, and APPNP teleport mixing.
+  void (*scale_add)(const FMatrix& a, float sa, const FMatrix& b, float sb,
+                    FMatrix* out) = nullptr;
+};
+
+/// The table for an explicit tier. kScalar always works; kAvx2 returns null
+/// when the binary was built without the AVX2 translation unit or the CPU
+/// lacks AVX2+FMA. Tests use this to compare tiers inside one process.
+const KernelTable* GetKernelTable(SimdLevel level);
+
+/// The active dispatch table: probed once (first call) from CPUID —
+/// AVX2+FMA when available, scalar otherwise. The env var GNN4TDL_SIMD
+/// ("scalar" | "avx2") overrides the probe; requesting an unavailable tier
+/// falls back to scalar. The choice is process-wide and sticky.
+const KernelTable& Dispatch();
+
+// ---------------------------------------------------------------------------
+// Public f32 kernels (dispatch + obs accounting)
+// ---------------------------------------------------------------------------
+// Each wrapper opens an obs::KernelScope with exact FLOP/byte counts
+// (4-byte elements and indices — the traffic halving the tier exists for is
+// visible in traces and bench kernel_counters) and calls through Dispatch().
+
+/// out = a * b. Shapes checked; out is resized.
+void Matmul(const FMatrix& a, const FMatrix& b, FMatrix* out);
+
+/// out = a * b^T.
+void MatmulNt(const FMatrix& a, const FMatrix& b, FMatrix* out);
+
+/// out = s * x.
+void Spmm(const FCsr& s, const FMatrix& x, FMatrix* out);
+
+/// Edge-weighted aggregation out[d, :] = sum_{e : dst[e]==d} w[e] * x[src[e]]
+/// routed through the SpMM kernel: `pattern` is the fixed CSR sparsity (row =
+/// dst, col = src) whose value slots are overwritten with weights[e] at
+/// pattern.values[slot[e]] — the f32 mirror of ops::WeightedSpMM (GAT
+/// attention aggregation). `pattern` is caller-owned scratch.
+void WeightedSpmm(const std::vector<float>& weights,
+                  const std::vector<size_t>& slot, FCsr* pattern,
+                  const FMatrix& x, FMatrix* out);
+
+/// Max-shifted per-group softmax over edge logits: groups are seg values in
+/// [0, num_groups). The f32 mirror of SegmentSoftmax (GAT attention
+/// normalization). Scalar on every tier (expf dominates; E x 1 data is never
+/// bandwidth-bound), so dispatch paths are trivially bit-identical.
+void SegmentSoftmax(const std::vector<float>& logits,
+                    const std::vector<size_t>& seg, size_t num_groups,
+                    std::vector<float>* out);
+
+/// In place fused bias + activation.
+void BiasAct(FMatrix* x, const float* bias, FAct act, float alpha = 0.2f);
+
+/// out = sa * a + sb * b.
+void ScaleAdd(const FMatrix& a, float sa, const FMatrix& b, float sb,
+              FMatrix* out);
+
+// ---------------------------------------------------------------------------
+// Shared accumulation-order helpers (internal; in the header so the scalar
+// and AVX2 translation units compile the *same* combine code)
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Canonical horizontal reduction of 8 striped accumulators (lane l holds the
+/// partial sum of elements with k % 8 == l). Fixed pairwise tree — both
+/// dispatch tiers reduce in exactly this order, which is what makes the
+/// vectorized dot products bit-identical to the scalar ones.
+inline float Combine8(const float acc[8]) {
+  const float s01 = acc[0] + acc[1];
+  const float s23 = acc[2] + acc[3];
+  const float s45 = acc[4] + acc[5];
+  const float s67 = acc[6] + acc[7];
+  return (s01 + s23) + (s45 + s67);
+}
+
+/// Scalar fused bias+activation for one value; the reference semantics both
+/// tiers implement (AVX2 vectorizes kNone/kRelu/kLeakyRelu with max/blend,
+/// which round identically; kSigmoid/kTanh always take this scalar path so
+/// libm calls stay identical across tiers).
+inline float ApplyBiasAct(float v, float bias, FAct act, float alpha) {
+  const float x = v + bias;
+  switch (act) {
+    case FAct::kNone:
+      return x;
+    case FAct::kRelu:
+      return x > 0.0f ? x : 0.0f;
+    case FAct::kLeakyRelu:
+      return x > 0.0f ? x : alpha * x;
+    case FAct::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-x));
+    case FAct::kTanh:
+      return std::tanh(x);
+  }
+  return x;
+}
+
+/// Defined by the AVX2 translation unit: the AVX2 table when that unit was
+/// compiled with vector support, null otherwise (non-x86 builds).
+const KernelTable* Avx2TableOrNull();
+
+}  // namespace detail
+
+}  // namespace gnn4tdl::kernels

@@ -73,49 +73,6 @@ const char* TrainStrategyName(TrainStrategy s) {
   return "unknown";
 }
 
-namespace {
-
-/// Graph::GcnNormalized with the normalization degrees supplied externally:
-/// `deg_no_self[v]` is the weighted degree of v *excluding* the self-loop
-/// added here (replicating Graph::GcnNormalized arithmetic exactly). Used to
-/// normalize a k-hop subgraph with the degrees of the graph it was cut from.
-SparseMatrix GcnNormalizedWithDegrees(const Graph& g,
-                                      const std::vector<double>& deg_no_self) {
-  const SparseMatrix& adj = g.adjacency();
-  const size_t n = g.num_nodes();
-  std::vector<Triplet> triplets;
-  triplets.reserve(adj.nnz() + n);
-  for (size_t v = 0; v < n; ++v)
-    for (size_t k = adj.row_ptr()[v]; k < adj.row_ptr()[v + 1]; ++k)
-      triplets.push_back({v, adj.col_idx()[k], adj.values()[k]});
-  for (size_t v = 0; v < n; ++v) triplets.push_back({v, v, 1.0});
-  for (Triplet& t : triplets) {
-    double du = deg_no_self[t.row] + 1.0;
-    double dv = deg_no_self[t.col] + 1.0;
-    double ds = du > 0 ? std::sqrt(du) : 1.0;
-    double dd = dv > 0 ? std::sqrt(dv) : 1.0;
-    t.value /= ds * dd;
-  }
-  return SparseMatrix::FromTriplets(n, n, std::move(triplets));
-}
-
-/// Graph::RowNormalized with externally supplied weighted degrees.
-SparseMatrix RowNormalizedWithDegrees(const Graph& g,
-                                      const std::vector<double>& deg) {
-  const SparseMatrix& adj = g.adjacency();
-  const size_t n = g.num_nodes();
-  std::vector<Triplet> triplets;
-  triplets.reserve(adj.nnz());
-  for (size_t v = 0; v < n; ++v) {
-    if (deg[v] == 0.0) continue;
-    for (size_t k = adj.row_ptr()[v]; k < adj.row_ptr()[v + 1]; ++k)
-      triplets.push_back({v, adj.col_idx()[k], adj.values()[k] / deg[v]});
-  }
-  return SparseMatrix::FromTriplets(n, n, std::move(triplets));
-}
-
-}  // namespace
-
 /// The message-passing operators a backbone consumes, derived from a graph.
 /// Kept separate from the Encoder's parameters so the same trained weights
 /// can run on a different graph — the mechanism behind inductive prediction
@@ -635,6 +592,18 @@ Status InstanceGraphGnn::LoadTrainedParameters(std::istream& in) {
   }
   TrainedBundle bundle(encoder_.get(), head_.get());
   return LoadParameters(bundle, in);
+}
+
+StatusOr<std::vector<Matrix>> InstanceGraphGnn::TrainedParameterMatrices()
+    const {
+  if (encoder_ == nullptr || head_ == nullptr) {
+    return Status::FailedPrecondition(
+        "TrainedParameterMatrices before Fit or RestoreForInference");
+  }
+  TrainedBundle bundle(encoder_.get(), head_.get());
+  std::vector<Matrix> out;
+  for (const Tensor& t : bundle.Parameters()) out.push_back(t.value());
+  return out;
 }
 
 Status InstanceGraphGnn::RestoreForInference(TaskType task, size_t num_outputs,

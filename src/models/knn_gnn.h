@@ -164,6 +164,13 @@ class InstanceGraphGnn : public TabularModel {
   /// encoder+head (call after Fit or RestoreForInference).
   Status LoadTrainedParameters(std::istream& in);
 
+  /// The trained parameter values, flattened in registration order: encoder
+  /// parameters first (per-layer order documented in docs/KERNELS.md), then
+  /// the head's weight and bias. This is the extraction boundary the f32
+  /// serving tier casts down from (serve/f32_scorer.h); training state stays
+  /// untouched.
+  StatusOr<std::vector<Matrix>> TrainedParameterMatrices() const;
+
   /// Rebuilds the inference state from frozen-artifact pieces without
   /// training: assembles encoder/head for `num_outputs` outputs, installs the
   /// fitted featurizer, training graph, and featurized training matrix, and

@@ -76,6 +76,23 @@ Activation ActivationFromName(const std::string& name) {
   return Activation::kNone;
 }
 
+kernels::FAct ToKernelActivation(Activation act) {
+  switch (act) {
+    case Activation::kRelu:
+      return kernels::FAct::kRelu;
+    case Activation::kLeakyRelu:
+      return kernels::FAct::kLeakyRelu;
+    case Activation::kSigmoid:
+      return kernels::FAct::kSigmoid;
+    case Activation::kTanh:
+      return kernels::FAct::kTanh;
+    case Activation::kNone:
+      return kernels::FAct::kNone;
+  }
+  GNN4TDL_CHECK_MSG(false, "unknown activation");
+  return kernels::FAct::kNone;
+}
+
 Mlp::Mlp(const std::vector<size_t>& dims, Rng& rng, Activation act,
          double dropout)
     : act_(act), dropout_(dropout) {

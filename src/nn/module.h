@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "kernels/kernels.h"
 #include "nn/ops.h"
 #include "nn/tensor.h"
 
@@ -71,6 +72,12 @@ Tensor Activate(const Tensor& x, Activation act);
 
 /// Parses "relu" / "leaky_relu" / "sigmoid" / "tanh" / "none".
 Activation ActivationFromName(const std::string& name);
+
+/// Maps a training-tier activation to the f32 kernel tier's activation table
+/// (kernels::BiasAct) — the single shared vocabulary both tiers select from,
+/// so a frozen model's activation config means the same function in f64 and
+/// f32 serving.
+kernels::FAct ToKernelActivation(Activation act);
 
 /// Multilayer perceptron: Linear -> act -> [dropout] -> ... -> Linear.
 /// `dims` = {in, hidden..., out}; the final layer has no activation.

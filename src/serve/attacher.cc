@@ -22,7 +22,8 @@ InductiveAttacher::InductiveAttacher(const Graph* train_graph,
   full_degree_ = train_graph_->Degrees(/*weighted=*/true);
 }
 
-StatusOr<AttachedBatch> InductiveAttacher::Attach(const Matrix& x_new) const {
+StatusOr<AttachedBatch> InductiveAttacher::Attach(const Matrix& x_new,
+                                                  bool with_features) const {
   const size_t n_train = x_train_->rows();
   const size_t n_new = x_new.rows();
   if (n_new == 0) {
@@ -123,7 +124,9 @@ StatusOr<AttachedBatch> InductiveAttacher::Attach(const Matrix& x_new) const {
   }
 
   batch.graph = Graph::FromEdges(n_sub + n_new, edges, /*symmetrize=*/false);
-  batch.features = x_train_->GatherRows(batch.train_nodes).ConcatRows(x_new);
+  if (with_features) {
+    batch.features = x_train_->GatherRows(batch.train_nodes).ConcatRows(x_new);
+  }
   return batch;
 }
 

@@ -62,7 +62,11 @@ class InductiveAttacher {
   /// Builds the attached subgraph for a batch of featurized new rows
   /// (n_new x dim). New rows attach to training rows only, never to each
   /// other, matching InstanceGraphGnn::PredictInductive semantics.
-  [[nodiscard]] StatusOr<AttachedBatch> Attach(const Matrix& x_new) const;
+  /// With `with_features` false the double feature matrix is left empty —
+  /// the f32 serving tier assembles its own single-precision copy from a
+  /// pre-cast training cache instead of gathering doubles it would discard.
+  [[nodiscard]] StatusOr<AttachedBatch> Attach(const Matrix& x_new,
+                                               bool with_features = true) const;
 
   const InductiveAttacherOptions& options() const { return options_; }
 

@@ -82,6 +82,12 @@ struct ServeStats {
 /// obs::MetricsEnabled() the engine mirrors its accounting into
 /// MetricsRegistry::Global() as serve.requests_total, serve.rejected_total,
 /// serve.queue_depth, serve.latency_ms, and serve.batch_rows.
+///
+/// Precision: the engine scores through FrozenModel::ScoreFeatures, so it
+/// inherits the model's serving tier — double, or the f32 SIMD kernel tier
+/// when the artifact (or FrozenModelOptions::precision) selects it. The
+/// engine itself is precision-agnostic; requests and responses stay double
+/// at the API boundary either way.
 class ServingEngine {
  public:
   explicit ServingEngine(const FrozenModel* model, ServingOptions options = {});

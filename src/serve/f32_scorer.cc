@@ -1,0 +1,341 @@
+#include "serve/f32_scorer.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "gnn/gat.h"
+
+namespace gnn4tdl {
+
+namespace {
+
+using kernels::FAct;
+using kernels::FCsr;
+using kernels::FMatrix;
+
+/// Cursor over the flat trained-parameter list, checking each matrix's shape
+/// against what the documented registration order says comes next.
+class ParamReader {
+ public:
+  explicit ParamReader(const std::vector<Matrix>& params) : params_(params) {}
+
+  Status Matrix2d(size_t rows, size_t cols, const char* what, FMatrix* out) {
+    GNN4TDL_RETURN_IF_ERROR(Check(rows, cols, what));
+    *out = FMatrix::FromDouble(params_[next_++]);
+    return Status::OK();
+  }
+
+  Status RowVector(size_t cols, const char* what, std::vector<float>* out) {
+    GNN4TDL_RETURN_IF_ERROR(Check(1, cols, what));
+    const Matrix& m = params_[next_++];
+    out->resize(cols);
+    for (size_t j = 0; j < cols; ++j) (*out)[j] = static_cast<float>(m(0, j));
+    return Status::OK();
+  }
+
+  Status Scalar(const char* what, float* out) {
+    GNN4TDL_RETURN_IF_ERROR(Check(1, 1, what));
+    *out = static_cast<float>(params_[next_++](0, 0));
+    return Status::OK();
+  }
+
+  Status Done() const {
+    if (next_ != params_.size()) {
+      return Status::Internal(
+          "f32 scorer: " + std::to_string(params_.size() - next_) +
+          " unconsumed trained parameters (registration order mismatch)");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Check(size_t rows, size_t cols, const char* what) const {
+    if (next_ >= params_.size()) {
+      return Status::Internal(std::string("f32 scorer: parameter list ended "
+                                          "before ") +
+                              what);
+    }
+    const Matrix& m = params_[next_];
+    if (m.rows() != rows || m.cols() != cols) {
+      return Status::Internal(
+          std::string("f32 scorer: ") + what + " expected " +
+          std::to_string(rows) + "x" + std::to_string(cols) + ", got " +
+          std::to_string(m.rows()) + "x" + std::to_string(m.cols()));
+    }
+    return Status::OK();
+  }
+
+  const std::vector<Matrix>& params_;
+  size_t next_ = 0;
+};
+
+/// x <- x concatenated column-wise with y (same row count).
+FMatrix ConcatCols(const FMatrix& a, const FMatrix& b) {
+  GNN4TDL_CHECK_EQ(a.rows(), b.rows());
+  FMatrix out(a.rows(), a.cols() + b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    float* dst = out.row_data(r);
+    const float* pa = a.row_data(r);
+    const float* pb = b.row_data(r);
+    for (size_t j = 0; j < a.cols(); ++j) dst[j] = pa[j];
+    for (size_t j = 0; j < b.cols(); ++j) dst[a.cols() + j] = pb[j];
+  }
+  return out;
+}
+
+}  // namespace
+
+bool F32Scorer::Supports(const InstanceGraphGnnOptions& o) {
+  if (o.use_pair_norm) return false;  // couples all rows through batch stats
+  switch (o.backbone) {
+    case GnnBackbone::kGcn:
+    case GnnBackbone::kSage:
+    case GnnBackbone::kGin:
+    case GnnBackbone::kGat:
+    case GnnBackbone::kAppnp:
+      return true;
+    case GnnBackbone::kGgnn:
+    case GnnBackbone::kTransformer:
+      return false;
+  }
+  return false;
+}
+
+StatusOr<F32Scorer> F32Scorer::Build(const InstanceGraphGnn& model) {
+  const InstanceGraphGnnOptions& o = model.options();
+  if (!Supports(o)) {
+    return Status::InvalidArgument(
+        std::string("f32 serving does not support backbone ") +
+        GnnBackboneName(o.backbone) +
+        (o.use_pair_norm ? " with pair norm" : ""));
+  }
+  StatusOr<std::vector<Matrix>> params = model.TrainedParameterMatrices();
+  if (!params.ok()) return params.status();
+
+  F32Scorer scorer;
+  scorer.options_ = o;
+  ParamReader reader(*params);
+  const size_t h = o.hidden_dim;
+  const size_t in_dim = model.feature_cache().cols();
+  size_t dim = in_dim;
+
+  switch (o.backbone) {
+    case GnnBackbone::kGcn:
+      for (size_t l = 0; l < o.num_layers; ++l) {
+        Layer layer;
+        GNN4TDL_RETURN_IF_ERROR(reader.Matrix2d(dim, h, "gcn W", &layer.w));
+        GNN4TDL_RETURN_IF_ERROR(reader.RowVector(h, "gcn b", &layer.b));
+        scorer.layers_.push_back(std::move(layer));
+        dim = h;
+      }
+      break;
+    case GnnBackbone::kSage:
+      for (size_t l = 0; l < o.num_layers; ++l) {
+        Layer layer;
+        GNN4TDL_RETURN_IF_ERROR(
+            reader.Matrix2d(dim, h, "sage self W", &layer.w));
+        GNN4TDL_RETURN_IF_ERROR(reader.RowVector(h, "sage self b", &layer.b));
+        GNN4TDL_RETURN_IF_ERROR(
+            reader.Matrix2d(dim, h, "sage neighbor W", &layer.w2));
+        scorer.layers_.push_back(std::move(layer));
+        dim = h;
+      }
+      break;
+    case GnnBackbone::kGin:
+      for (size_t l = 0; l < o.num_layers; ++l) {
+        Layer layer;
+        GNN4TDL_RETURN_IF_ERROR(reader.Scalar("gin eps", &layer.eps));
+        GNN4TDL_RETURN_IF_ERROR(reader.Matrix2d(dim, h, "gin W1", &layer.w));
+        GNN4TDL_RETURN_IF_ERROR(reader.RowVector(h, "gin b1", &layer.b));
+        GNN4TDL_RETURN_IF_ERROR(reader.Matrix2d(h, h, "gin W2", &layer.w2));
+        GNN4TDL_RETURN_IF_ERROR(reader.RowVector(h, "gin b2", &layer.b2));
+        scorer.layers_.push_back(std::move(layer));
+        dim = h;
+      }
+      break;
+    case GnnBackbone::kGat: {
+      const size_t heads = std::max<size_t>(o.gat_heads, 1);
+      if (h % heads != 0) {
+        return Status::InvalidArgument(
+            "f32 scorer: GAT hidden_dim not divisible by gat_heads");
+      }
+      const size_t head_dim = h / heads;
+      for (size_t l = 0; l < o.num_layers; ++l) {
+        Layer layer;
+        for (size_t head = 0; head < heads; ++head) {
+          FMatrix a_src, a_dst;
+          GNN4TDL_RETURN_IF_ERROR(
+              reader.Matrix2d(head_dim, 1, "gat attn_src", &a_src));
+          GNN4TDL_RETURN_IF_ERROR(
+              reader.Matrix2d(head_dim, 1, "gat attn_dst", &a_dst));
+          layer.attn_src.push_back(std::move(a_src));
+          layer.attn_dst.push_back(std::move(a_dst));
+        }
+        for (size_t head = 0; head < heads; ++head) {
+          FMatrix proj;
+          GNN4TDL_RETURN_IF_ERROR(
+              reader.Matrix2d(dim, head_dim, "gat proj W", &proj));
+          layer.head_proj.push_back(std::move(proj));
+        }
+        scorer.layers_.push_back(std::move(layer));
+        dim = h;
+      }
+      break;
+    }
+    case GnnBackbone::kAppnp: {
+      Layer layer;
+      GNN4TDL_RETURN_IF_ERROR(reader.Matrix2d(dim, h, "appnp W1", &layer.w));
+      GNN4TDL_RETURN_IF_ERROR(reader.RowVector(h, "appnp b1", &layer.b));
+      GNN4TDL_RETURN_IF_ERROR(reader.Matrix2d(h, h, "appnp W2", &layer.w2));
+      GNN4TDL_RETURN_IF_ERROR(reader.RowVector(h, "appnp b2", &layer.b2));
+      scorer.layers_.push_back(std::move(layer));
+      dim = h;
+      break;
+    }
+    default:
+      return Status::Internal("f32 scorer: unreachable backbone");
+  }
+
+  const size_t emb_dim =
+      (o.use_jumping_knowledge && o.backbone == GnnBackbone::kGcn)
+          ? h * o.num_layers
+          : h;
+  const size_t out_dim = model.output_dim();
+  GNN4TDL_RETURN_IF_ERROR(
+      reader.Matrix2d(emb_dim, out_dim, "head W", &scorer.head_w_));
+  GNN4TDL_RETURN_IF_ERROR(reader.RowVector(out_dim, "head b", &scorer.head_b_));
+  GNN4TDL_RETURN_IF_ERROR(reader.Done());
+  return scorer;
+}
+
+StatusOr<FMatrix> F32Scorer::Score(const FMatrix& x, const Graph& graph,
+                                   const std::vector<double>& degrees) const {
+  const InstanceGraphGnnOptions& o = options_;
+  const size_t num_layers = layers_.size();
+
+  // Per-batch operator, normalized in double with the extended-graph degrees
+  // (same arithmetic as the f64 path) and cast down once.
+  FCsr adj;
+  GatLayer::EdgeIndex edge_index;
+  FCsr gat_pattern;
+  switch (o.backbone) {
+    case GnnBackbone::kGcn:
+    case GnnBackbone::kAppnp:
+      adj = FCsr::FromDouble(GcnNormalizedWithDegrees(graph, degrees));
+      break;
+    case GnnBackbone::kSage:
+      adj = FCsr::FromDouble(RowNormalizedWithDegrees(graph, degrees));
+      break;
+    case GnnBackbone::kGin:
+      adj = FCsr::FromDouble(graph.adjacency());
+      break;
+    case GnnBackbone::kGat:
+      edge_index = GatLayer::BuildEdgeIndex(graph);
+      gat_pattern = FCsr::FromDouble(edge_index.pattern);
+      break;
+    default:
+      return Status::Internal("f32 scorer: unreachable backbone");
+  }
+
+  FMatrix h = x;
+  FMatrix scratch, scratch2, scratch3;
+  std::vector<FMatrix> jk_outputs;
+
+  switch (o.backbone) {
+    case GnnBackbone::kGcn:
+      for (size_t l = 0; l < num_layers; ++l) {
+        const Layer& layer = layers_[l];
+        kernels::Matmul(h, layer.w, &scratch);
+        kernels::BiasAct(&scratch, layer.b.data(), FAct::kNone);
+        kernels::Spmm(adj, scratch, &h);
+        if (l + 1 < num_layers) kernels::BiasAct(&h, nullptr, FAct::kRelu);
+        if (o.use_jumping_knowledge) jk_outputs.push_back(h);
+      }
+      if (o.use_jumping_knowledge) {
+        h = jk_outputs[0];
+        for (size_t l = 1; l < jk_outputs.size(); ++l)
+          h = ConcatCols(h, jk_outputs[l]);
+      }
+      kernels::BiasAct(&h, nullptr, FAct::kRelu);
+      break;
+    case GnnBackbone::kSage:
+      for (const Layer& layer : layers_) {
+        kernels::Spmm(adj, h, &scratch);           // mean-aggregated neighbors
+        kernels::Matmul(h, layer.w, &scratch2);    // self projection
+        kernels::Matmul(scratch, layer.w2, &scratch3);  // neighbor projection
+        kernels::ScaleAdd(scratch2, 1.0f, scratch3, 1.0f, &h);
+        kernels::BiasAct(&h, layer.b.data(), FAct::kRelu);
+      }
+      break;
+    case GnnBackbone::kGin:
+      for (const Layer& layer : layers_) {
+        kernels::Spmm(adj, h, &scratch);  // sum-aggregated neighbors
+        kernels::ScaleAdd(h, 1.0f + layer.eps, scratch, 1.0f, &scratch2);
+        kernels::Matmul(scratch2, layer.w, &scratch);
+        kernels::BiasAct(&scratch, layer.b.data(), FAct::kRelu);
+        kernels::Matmul(scratch, layer.w2, &h);
+        kernels::BiasAct(&h, layer.b2.data(), FAct::kNone);
+        // f64 Encoder applies only dropout between GIN layers (inference
+        // no-op); the single relu comes after the stack.
+      }
+      kernels::BiasAct(&h, nullptr, FAct::kRelu);
+      break;
+    case GnnBackbone::kGat: {
+      const size_t n = graph.num_nodes();
+      const size_t num_edges = edge_index.src.size();
+      std::vector<float> logits(num_edges);
+      std::vector<float> alpha;
+      for (size_t l = 0; l < num_layers; ++l) {
+        const Layer& layer = layers_[l];
+        FMatrix out;
+        for (size_t head = 0; head < layer.head_proj.size(); ++head) {
+          kernels::Matmul(h, layer.head_proj[head], &scratch);  // n x head_dim
+          kernels::Matmul(scratch, layer.attn_src[head], &scratch2);  // n x 1
+          kernels::Matmul(scratch, layer.attn_dst[head], &scratch3);  // n x 1
+          for (size_t e = 0; e < num_edges; ++e) {
+            const float s = scratch2(edge_index.src[e], 0) +
+                            scratch3(edge_index.dst[e], 0);
+            logits[e] =
+                kernels::detail::ApplyBiasAct(s, 0.0f, FAct::kLeakyRelu, 0.2f);
+          }
+          kernels::SegmentSoftmax(logits, edge_index.dst, n, &alpha);
+          FMatrix agg;
+          kernels::WeightedSpmm(alpha, edge_index.slot, &gat_pattern, scratch,
+                                &agg);
+          out = head == 0 ? std::move(agg) : ConcatCols(out, agg);
+        }
+        h = std::move(out);
+        if (l + 1 < num_layers) kernels::BiasAct(&h, nullptr, FAct::kRelu);
+      }
+      kernels::BiasAct(&h, nullptr, FAct::kRelu);
+      break;
+    }
+    case GnnBackbone::kAppnp: {
+      const Layer& layer = layers_[0];
+      kernels::Matmul(h, layer.w, &scratch);
+      kernels::BiasAct(&scratch, layer.b.data(), FAct::kRelu);
+      FMatrix h0;
+      kernels::Matmul(scratch, layer.w2, &h0);
+      kernels::BiasAct(&h0, layer.b2.data(), FAct::kRelu);
+      const float alpha = static_cast<float>(o.appnp_alpha);
+      h = h0;
+      for (size_t step = 0; step < o.appnp_steps; ++step) {
+        kernels::Spmm(adj, h, &scratch);
+        kernels::ScaleAdd(scratch, 1.0f - alpha, h0, alpha, &h);
+      }
+      // No final relu: AppnpPropagate output feeds the head directly.
+      break;
+    }
+    default:
+      return Status::Internal("f32 scorer: unreachable backbone");
+  }
+
+  FMatrix logits;
+  kernels::Matmul(h, head_w_, &logits);
+  kernels::BiasAct(&logits, head_b_.data(), FAct::kNone);
+  return logits;
+}
+
+}  // namespace gnn4tdl

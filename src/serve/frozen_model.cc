@@ -12,7 +12,10 @@ namespace gnn4tdl {
 
 namespace {
 
-constexpr char kFrozenMagic[] = "gnn4tdl-frozen-model-v1";
+// v2 added the `precision` field (serving tier). v1 artifacts are still
+// accepted and serve as double.
+constexpr char kFrozenMagicV1[] = "gnn4tdl-frozen-model-v1";
+constexpr char kFrozenMagic[] = "gnn4tdl-frozen-model-v2";
 
 /// Number of message-passing steps the backbone runs — the receptive-field
 /// radius the attacher must cover.
@@ -55,7 +58,8 @@ Status ReadField(std::istream& in, const std::string& name, T& out) {
 
 }  // namespace
 
-Status FrozenModel::Save(const InstanceGraphGnn& model, std::ostream& out) {
+Status FrozenModel::Save(const InstanceGraphGnn& model, std::ostream& out,
+                         kernels::Precision precision) {
   if (!model.fitted()) {
     return Status::FailedPrecondition("FrozenModel::Save before Fit");
   }
@@ -71,6 +75,7 @@ Status FrozenModel::Save(const InstanceGraphGnn& model, std::ostream& out) {
   out << kFrozenMagic << '\n';
   out << "task " << static_cast<int>(model.task()) << '\n';
   out << "num_outputs " << model.output_dim() << '\n';
+  out << "precision " << kernels::PrecisionName(precision) << '\n';
   out << "backbone " << GnnBackboneName(o.backbone) << '\n';
   out << "hidden_dim " << o.hidden_dim << '\n';
   out << "num_layers " << o.num_layers << '\n';
@@ -105,11 +110,11 @@ Status FrozenModel::Save(const InstanceGraphGnn& model, std::ostream& out) {
   return Status::OK();
 }
 
-Status FrozenModel::Save(const InstanceGraphGnn& model,
-                         const std::string& path) {
+Status FrozenModel::Save(const InstanceGraphGnn& model, const std::string& path,
+                         kernels::Precision precision) {
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open '" + path + "' for writing");
-  GNN4TDL_RETURN_IF_ERROR(Save(model, out));
+  GNN4TDL_RETURN_IF_ERROR(Save(model, out, precision));
   if (!out) return Status::IoError("write failure on '" + path + "'");
   return Status::OK();
 }
@@ -117,15 +122,31 @@ Status FrozenModel::Save(const InstanceGraphGnn& model,
 StatusOr<FrozenModel> FrozenModel::Load(std::istream& in,
                                         FrozenModelOptions options) {
   std::string magic;
-  if (!(in >> magic) || magic != kFrozenMagic) {
+  if (!(in >> magic) || (magic != kFrozenMagic && magic != kFrozenMagicV1)) {
     return Status::InvalidArgument(
         "stream is not a gnn4tdl frozen model (bad magic)");
   }
+  const bool v1 = magic == kFrozenMagicV1;
 
   int task_int = 0;
   size_t num_outputs = 0;
   GNN4TDL_RETURN_IF_ERROR(ReadField(in, "task", task_int));
   GNN4TDL_RETURN_IF_ERROR(ReadField(in, "num_outputs", num_outputs));
+
+  kernels::Precision artifact_precision = kernels::Precision::kF64;
+  if (!v1) {
+    std::string precision_name;
+    GNN4TDL_RETURN_IF_ERROR(ReadField(in, "precision", precision_name));
+    StatusOr<kernels::Precision> parsed =
+        kernels::PrecisionFromName(precision_name);
+    // IoError, not the parser's InvalidArgument: a bad precision value is a
+    // corrupt artifact, not a "this isn't a frozen model at all" condition
+    // (the path-based Load overload folds InvalidArgument into the latter).
+    if (!parsed.ok()) {
+      return Status::IoError("frozen model: " + parsed.status().message());
+    }
+    artifact_precision = *parsed;
+  }
 
   InstanceGraphGnnOptions o;
   std::string backbone_name, metric_name;
@@ -207,6 +228,22 @@ StatusOr<FrozenModel> FrozenModel::Load(std::istream& in,
   frozen.attacher_ = std::make_unique<InductiveAttacher>(
       &frozen.model_->graph(), &frozen.model_->feature_cache(),
       frozen.index_.get(), attach);
+
+  // Precision selection: load-time override beats the artifact's record; f32
+  // silently degrades to f64 for backbones the f32 tier does not mirror.
+  frozen.artifact_precision_ = artifact_precision;
+  const kernels::Precision want =
+      options.precision.value_or(artifact_precision);
+  if (want == kernels::Precision::kF32 && F32Scorer::Supports(o)) {
+    StatusOr<F32Scorer> scorer = F32Scorer::Build(*frozen.model_);
+    if (!scorer.ok()) return scorer.status();
+    frozen.f32_scorer_ = std::make_unique<F32Scorer>(std::move(*scorer));
+    frozen.x_train_f32_ =
+        kernels::FMatrix::FromDouble(frozen.model_->feature_cache());
+    frozen.precision_ = kernels::Precision::kF32;
+  } else {
+    frozen.precision_ = kernels::Precision::kF64;
+  }
   return frozen;
 }
 
@@ -228,6 +265,33 @@ StatusOr<Matrix> FrozenModel::Featurize(const TabularDataset& rows) const {
 }
 
 StatusOr<Matrix> FrozenModel::ScoreFeatures(const Matrix& x_new) const {
+  if (precision_ == kernels::Precision::kF32) {
+    // f32 path: the attacher skips the double feature gather; the batch
+    // feature matrix is assembled directly in single precision from the
+    // pre-cast training cache plus the cast-down new rows.
+    StatusOr<AttachedBatch> batch =
+        attacher_->Attach(x_new, /*with_features=*/false);
+    if (!batch.ok()) return batch.status();
+    const size_t n_sub = batch->train_nodes.size();
+    kernels::FMatrix features(n_sub + batch->num_new, x_train_f32_.cols());
+    for (size_t i = 0; i < n_sub; ++i) {
+      features.SetRow(i, x_train_f32_, batch->train_nodes[i]);
+    }
+    for (size_t i = 0; i < batch->num_new; ++i) {
+      features.SetRowFromDouble(n_sub + i, x_new.row_data(i));
+    }
+    StatusOr<kernels::FMatrix> logits =
+        f32_scorer_->Score(features, batch->graph, batch->degrees);
+    if (!logits.ok()) return logits.status();
+    Matrix out(batch->num_new, logits->cols());
+    for (size_t i = 0; i < batch->num_new; ++i) {
+      for (size_t j = 0; j < logits->cols(); ++j) {
+        out(i, j) = static_cast<double>((*logits)(n_sub + i, j));
+      }
+    }
+    return out;
+  }
+
   StatusOr<AttachedBatch> batch = attacher_->Attach(x_new);
   if (!batch.ok()) return batch.status();
   StatusOr<Matrix> logits =

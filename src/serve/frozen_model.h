@@ -2,12 +2,16 @@
 
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/status.h"
 #include "data/tabular.h"
+#include "kernels/fmatrix.h"
+#include "kernels/kernels.h"
 #include "models/knn_gnn.h"
 #include "serve/attacher.h"
+#include "serve/f32_scorer.h"
 #include "serve/knn_index.h"
 #include "tensor/matrix.h"
 
@@ -19,6 +23,9 @@ struct FrozenModelOptions {
   /// the exact brute-force index, which reproduces the training-side neighbor
   /// search bit for bit.
   KnnIndexOptions index;
+  /// Overrides the artifact's recorded serving precision (lets one artifact
+  /// be loaded both ways, e.g. for benchmarking). Unset = honor the artifact.
+  std::optional<kernels::Precision> precision;
 };
 
 /// A trained InstanceGraphGnn packaged for online inductive inference: one
@@ -41,10 +48,14 @@ class FrozenModel {
 
   /// Writes a fitted model as a frozen artifact. Identity node-init models
   /// are rejected (they are transductive-only, mirroring PredictInductive).
-  [[nodiscard]] static Status Save(const InstanceGraphGnn& model,
-                                   std::ostream& out);
-  [[nodiscard]] static Status Save(const InstanceGraphGnn& model,
-                                   const std::string& path);
+  /// `precision` records how the artifact should be served (parameters are
+  /// always stored in full precision; kF32 means "cast down at load").
+  [[nodiscard]] static Status Save(
+      const InstanceGraphGnn& model, std::ostream& out,
+      kernels::Precision precision = kernels::Precision::kF64);
+  [[nodiscard]] static Status Save(
+      const InstanceGraphGnn& model, const std::string& path,
+      kernels::Precision precision = kernels::Precision::kF64);
 
   /// Reconstructs a frozen artifact written by Save().
   [[nodiscard]] static StatusOr<FrozenModel> Load(std::istream& in,
@@ -73,12 +84,26 @@ class FrozenModel {
   const KnnIndex& index() const { return *index_; }
   const InductiveAttacher& attacher() const { return *attacher_; }
 
+  /// The precision ScoreFeatures actually runs at. May be kF64 even when the
+  /// artifact (or the load-time override) asked for kF32: backbones the f32
+  /// tier does not mirror (GGNN, transformer, PairNorm configs) fall back to
+  /// the double path.
+  kernels::Precision precision() const { return precision_; }
+  /// The precision recorded in the artifact (v1 artifacts: kF64).
+  kernels::Precision artifact_precision() const { return artifact_precision_; }
+
  private:
   FrozenModel() = default;
 
   std::unique_ptr<InstanceGraphGnn> model_;
   std::unique_ptr<KnnIndex> index_;
   std::unique_ptr<InductiveAttacher> attacher_;
+  kernels::Precision artifact_precision_ = kernels::Precision::kF64;
+  kernels::Precision precision_ = kernels::Precision::kF64;
+  /// f32 serving state, populated only when precision_ == kF32: the casted
+  /// scorer and the pre-cast featurized training matrix batches gather from.
+  std::unique_ptr<F32Scorer> f32_scorer_;
+  kernels::FMatrix x_train_f32_;
 };
 
 }  // namespace gnn4tdl

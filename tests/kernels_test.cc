@@ -1,0 +1,317 @@
+// f32 kernel tier: storage round-trips, f32-vs-double tolerance, and
+// bit-exactness between the scalar and AVX2 dispatch tables.
+//
+// Tolerance contract (documented in docs/KERNELS.md): for the reduction
+// depths serving uses (k <= a few hundred), every f32 kernel matches the
+// double reference within 1e-5 relative of the result magnitude (scaled by
+// the reduction length). The scalar and AVX2 tables are *bit-identical* on
+// identical inputs — that is an equality check, not a tolerance.
+
+#include "kernels/kernels.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "kernels/fmatrix.h"
+#include "tensor/matrix.h"
+#include "tensor/sparse.h"
+
+namespace gnn4tdl {
+namespace {
+
+using kernels::FAct;
+using kernels::FCsr;
+using kernels::FMatrix;
+using kernels::KernelTable;
+using kernels::SimdLevel;
+
+Matrix RandomMatrix(size_t rows, size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r)
+    for (size_t c = 0; c < cols; ++c) m(r, c) = rng.Uniform(-1.0, 1.0);
+  return m;
+}
+
+SparseMatrix RandomSparse(size_t rows, size_t cols, double density, Rng& rng) {
+  std::vector<Triplet> triplets;
+  for (size_t r = 0; r < rows; ++r)
+    for (size_t c = 0; c < cols; ++c)
+      if (rng.Uniform(0.0, 1.0) < density)
+        triplets.push_back({r, c, rng.Uniform(-1.0, 1.0)});
+  return SparseMatrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+/// |a - b| <= tol * max(1, |b|), elementwise.
+void ExpectClose(const FMatrix& got, const Matrix& want, double tol) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (size_t r = 0; r < got.rows(); ++r) {
+    for (size_t c = 0; c < got.cols(); ++c) {
+      const double g = static_cast<double>(got(r, c));
+      const double w = want(r, c);
+      EXPECT_NEAR(g, w, tol * std::max(1.0, std::abs(w)))
+          << "at (" << r << ", " << c << ")";
+    }
+  }
+}
+
+void ExpectBitIdentical(const FMatrix& a, const FMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)));
+}
+
+// f32 accumulating k products: error ~ k * eps_f32; 1e-5 relative covers the
+// k <= 128 shapes exercised here with a healthy margin.
+constexpr double kF32Tol = 1e-5;
+
+TEST(FMatrixTest, DoubleRoundTrip) {
+  Rng rng(7);
+  Matrix m = RandomMatrix(5, 9, rng);
+  FMatrix f = FMatrix::FromDouble(m);
+  Matrix back = f.ToDouble();
+  for (size_t r = 0; r < m.rows(); ++r)
+    for (size_t c = 0; c < m.cols(); ++c)
+      EXPECT_DOUBLE_EQ(back(r, c), static_cast<double>(static_cast<float>(m(r, c))));
+}
+
+TEST(FMatrixTest, SetRowVariants) {
+  Rng rng(8);
+  Matrix m = RandomMatrix(3, 4, rng);
+  FMatrix src = FMatrix::FromDouble(m);
+  FMatrix dst(2, 4);
+  dst.SetRow(0, src, 2);
+  dst.SetRowFromDouble(1, m.row_data(1));
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(dst(0, c), src(2, c));
+    EXPECT_EQ(dst(1, c), static_cast<float>(m(1, c)));
+  }
+}
+
+TEST(FCsrTest, FromDoublePreservesStructure) {
+  Rng rng(9);
+  SparseMatrix s = RandomSparse(6, 5, 0.4, rng);
+  FCsr f = FCsr::FromDouble(s);
+  EXPECT_EQ(f.rows, s.rows());
+  EXPECT_EQ(f.cols, s.cols());
+  ASSERT_EQ(f.nnz(), s.nnz());
+  for (size_t i = 0; i < s.nnz(); ++i) {
+    EXPECT_EQ(f.col_idx[i], static_cast<uint32_t>(s.col_idx()[i]));
+    EXPECT_EQ(f.values[i], static_cast<float>(s.values()[i]));
+  }
+}
+
+TEST(PrecisionTest, NamesRoundTrip) {
+  EXPECT_STREQ("f32", kernels::PrecisionName(kernels::Precision::kF32));
+  EXPECT_STREQ("f64", kernels::PrecisionName(kernels::Precision::kF64));
+  StatusOr<kernels::Precision> p = kernels::PrecisionFromName("f32");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, kernels::Precision::kF32);
+  EXPECT_FALSE(kernels::PrecisionFromName("f16").ok());
+}
+
+TEST(DispatchTest, ScalarTableAlwaysAvailable) {
+  const KernelTable* scalar = kernels::GetKernelTable(SimdLevel::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  EXPECT_EQ(scalar->level, SimdLevel::kScalar);
+  EXPECT_NE(scalar->matmul, nullptr);
+  EXPECT_NE(scalar->matmul_nt, nullptr);
+  EXPECT_NE(scalar->spmm, nullptr);
+  EXPECT_NE(scalar->bias_act, nullptr);
+  EXPECT_NE(scalar->scale_add, nullptr);
+  // Dispatch() always resolves to *some* complete table.
+  EXPECT_NE(kernels::Dispatch().matmul, nullptr);
+}
+
+// --- f32 vs double reference ------------------------------------------------
+
+TEST(KernelToleranceTest, MatmulMatchesDouble) {
+  Rng rng(11);
+  for (size_t n : {1u, 7u, 8u, 17u, 32u}) {
+    Matrix a = RandomMatrix(9, 13, rng);
+    Matrix b = RandomMatrix(13, n, rng);
+    FMatrix fa = FMatrix::FromDouble(a), fb = FMatrix::FromDouble(b);
+    FMatrix out;
+    kernels::Matmul(fa, fb, &out);
+    ExpectClose(out, a.Matmul(b), kF32Tol);
+  }
+}
+
+TEST(KernelToleranceTest, MatmulNtMatchesDouble) {
+  Rng rng(12);
+  for (size_t k : {1u, 5u, 8u, 9u, 24u, 67u}) {
+    Matrix a = RandomMatrix(6, k, rng);
+    Matrix b = RandomMatrix(4, k, rng);
+    FMatrix fa = FMatrix::FromDouble(a), fb = FMatrix::FromDouble(b);
+    FMatrix out;
+    kernels::MatmulNt(fa, fb, &out);
+    // Reference: a * b^T in double.
+    Matrix want(a.rows(), b.rows());
+    for (size_t i = 0; i < a.rows(); ++i)
+      for (size_t j = 0; j < b.rows(); ++j) {
+        double acc = 0.0;
+        for (size_t kk = 0; kk < k; ++kk) acc += a(i, kk) * b(j, kk);
+        want(i, j) = acc;
+      }
+    ExpectClose(out, want, kF32Tol);
+  }
+}
+
+TEST(KernelToleranceTest, SpmmMatchesDouble) {
+  Rng rng(13);
+  for (size_t n : {1u, 8u, 11u}) {
+    SparseMatrix s = RandomSparse(12, 10, 0.3, rng);
+    Matrix x = RandomMatrix(10, n, rng);
+    FCsr fs = FCsr::FromDouble(s);
+    FMatrix fx = FMatrix::FromDouble(x);
+    FMatrix out;
+    kernels::Spmm(fs, fx, &out);
+    ExpectClose(out, s.Multiply(x), kF32Tol);
+  }
+}
+
+TEST(KernelToleranceTest, SegmentSoftmaxMatchesDouble) {
+  Rng rng(14);
+  const size_t e_count = 40, groups = 7;
+  std::vector<float> logits(e_count);
+  std::vector<size_t> seg(e_count);
+  Matrix dlogits(e_count, 1);
+  for (size_t e = 0; e < e_count; ++e) {
+    dlogits(e, 0) = rng.Uniform(-3.0, 3.0);
+    logits[e] = static_cast<float>(dlogits(e, 0));
+    seg[e] = e % groups;
+  }
+  std::vector<float> out;
+  kernels::SegmentSoftmax(logits, seg, groups, &out);
+  Matrix want = SegmentSoftmax(dlogits, seg, groups);
+  for (size_t e = 0; e < e_count; ++e) {
+    EXPECT_NEAR(static_cast<double>(out[e]), want(e, 0), kF32Tol);
+  }
+  // Per-group sums are 1.
+  std::vector<double> sums(groups, 0.0);
+  for (size_t e = 0; e < e_count; ++e) sums[seg[e]] += out[e];
+  for (double s : sums) EXPECT_NEAR(s, 1.0, 1e-5);
+}
+
+TEST(KernelToleranceTest, BiasActMatchesReference) {
+  Rng rng(15);
+  Matrix m = RandomMatrix(5, 11, rng);
+  std::vector<float> bias(11);
+  for (size_t j = 0; j < 11; ++j) bias[j] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (FAct act : {FAct::kNone, FAct::kRelu, FAct::kLeakyRelu, FAct::kSigmoid,
+                   FAct::kTanh}) {
+    FMatrix x = FMatrix::FromDouble(m);
+    kernels::BiasAct(&x, bias.data(), act);
+    for (size_t r = 0; r < x.rows(); ++r)
+      for (size_t c = 0; c < x.cols(); ++c) {
+        const float want = kernels::detail::ApplyBiasAct(
+            static_cast<float>(m(r, c)), bias[c], act, 0.2f);
+        EXPECT_EQ(x(r, c), want);
+      }
+  }
+}
+
+TEST(KernelToleranceTest, ScaleAddMatchesDouble) {
+  Rng rng(16);
+  Matrix a = RandomMatrix(4, 9, rng), b = RandomMatrix(4, 9, rng);
+  FMatrix fa = FMatrix::FromDouble(a), fb = FMatrix::FromDouble(b);
+  FMatrix out;
+  kernels::ScaleAdd(fa, 0.7f, fb, -1.3f, &out);
+  for (size_t r = 0; r < 4; ++r)
+    for (size_t c = 0; c < 9; ++c)
+      EXPECT_NEAR(static_cast<double>(out(r, c)),
+                  0.7 * a(r, c) - 1.3 * b(r, c), kF32Tol);
+}
+
+// --- scalar vs AVX2 bit-exactness -------------------------------------------
+
+class SimdParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scalar_ = kernels::GetKernelTable(SimdLevel::kScalar);
+    avx2_ = kernels::GetKernelTable(SimdLevel::kAvx2);
+    ASSERT_NE(scalar_, nullptr);
+    if (avx2_ == nullptr) {
+      GTEST_SKIP() << "AVX2 table not available on this build/CPU";
+    }
+  }
+
+  const KernelTable* scalar_ = nullptr;
+  const KernelTable* avx2_ = nullptr;
+};
+
+TEST_F(SimdParityTest, MatmulBitIdentical) {
+  Rng rng(21);
+  // Column counts straddling the 8-lane width, including ragged tails.
+  for (size_t n : {1u, 2u, 7u, 8u, 9u, 16u, 17u, 33u}) {
+    Matrix a = RandomMatrix(5, 13, rng);
+    Matrix b = RandomMatrix(13, n, rng);
+    FMatrix fa = FMatrix::FromDouble(a), fb = FMatrix::FromDouble(b);
+    FMatrix out_s(5, n), out_v(5, n);
+    scalar_->matmul(fa, fb, &out_s);
+    avx2_->matmul(fa, fb, &out_v);
+    ExpectBitIdentical(out_s, out_v);
+  }
+}
+
+TEST_F(SimdParityTest, MatmulNtBitIdentical) {
+  Rng rng(22);
+  for (size_t k : {1u, 3u, 8u, 9u, 15u, 16u, 17u, 64u, 67u}) {
+    Matrix a = RandomMatrix(6, k, rng);
+    Matrix b = RandomMatrix(5, k, rng);
+    FMatrix fa = FMatrix::FromDouble(a), fb = FMatrix::FromDouble(b);
+    FMatrix out_s(6, 5), out_v(6, 5);
+    scalar_->matmul_nt(fa, fb, &out_s);
+    avx2_->matmul_nt(fa, fb, &out_v);
+    ExpectBitIdentical(out_s, out_v);
+  }
+}
+
+TEST_F(SimdParityTest, SpmmBitIdentical) {
+  Rng rng(23);
+  for (size_t n : {1u, 7u, 8u, 9u, 17u}) {
+    SparseMatrix s = RandomSparse(14, 12, 0.35, rng);
+    Matrix x = RandomMatrix(12, n, rng);
+    FCsr fs = FCsr::FromDouble(s);
+    FMatrix fx = FMatrix::FromDouble(x);
+    FMatrix out_s(14, n), out_v(14, n);
+    scalar_->spmm(fs, fx, &out_s);
+    avx2_->spmm(fs, fx, &out_v);
+    ExpectBitIdentical(out_s, out_v);
+  }
+}
+
+TEST_F(SimdParityTest, BiasActBitIdentical) {
+  Rng rng(24);
+  for (size_t n : {1u, 8u, 9u, 19u}) {
+    Matrix m = RandomMatrix(4, n, rng);
+    std::vector<float> bias(n);
+    for (size_t j = 0; j < n; ++j)
+      bias[j] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    for (FAct act : {FAct::kNone, FAct::kRelu, FAct::kLeakyRelu,
+                     FAct::kSigmoid, FAct::kTanh}) {
+      FMatrix x_s = FMatrix::FromDouble(m), x_v = FMatrix::FromDouble(m);
+      scalar_->bias_act(&x_s, bias.data(), act, 0.2f);
+      avx2_->bias_act(&x_v, bias.data(), act, 0.2f);
+      ExpectBitIdentical(x_s, x_v);
+    }
+  }
+}
+
+TEST_F(SimdParityTest, ScaleAddBitIdentical) {
+  Rng rng(25);
+  for (size_t n : {1u, 8u, 9u, 31u}) {
+    Matrix a = RandomMatrix(3, n, rng), b = RandomMatrix(3, n, rng);
+    FMatrix fa = FMatrix::FromDouble(a), fb = FMatrix::FromDouble(b);
+    FMatrix out_s(3, n), out_v(3, n);
+    scalar_->scale_add(fa, 0.85f, fb, 0.15f, &out_s);
+    avx2_->scale_add(fa, 0.85f, fb, 0.15f, &out_v);
+    ExpectBitIdentical(out_s, out_v);
+  }
+}
+
+}  // namespace
+}  // namespace gnn4tdl

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Umbrella correctness gate: lint -> asan -> tsan -> threads -> trace.
+# Umbrella correctness gate: lint -> asan -> tsan -> threads -> trace -> simd.
 #
 #   stage 1  lint     build gnn4tdl_lint (default preset) and scan the tree
 #   stage 2  asan     full test suite under Address+UB sanitizers
@@ -14,6 +14,12 @@
 #                     artifacts (well-formed trace JSON, required span names
 #                     present, no negative durations, required metrics in the
 #                     Prometheus dump)
+#   stage 6  simd     f32 kernel-tier contract: the kernel tolerance/parity
+#                     suite plus the f32 serving suite, run once with
+#                     GNN4TDL_SIMD=scalar and once with GNN4TDL_SIMD=avx2.
+#                     The parity tests assert scalar and AVX2 tiers are
+#                     bit-identical, so a pass here means the dispatch choice
+#                     can never change served logits
 #
 # Every stage runs even if an earlier one fails; the summary at the end
 # lists per-stage PASS/FAIL and the script exits non-zero if any failed.
@@ -73,15 +79,26 @@ trace_stage() {
       --require-metric "gnn4tdl_serve_latency_ms,gnn4tdl_serve_batch_rows,gnn4tdl_train_loss,gnn4tdl_serve_requests_total"
 }
 
+simd_stage() {
+  cmake --preset default &&
+    cmake --build --preset default -j "$(nproc)" \
+      --target gnn4tdl_kernels_test --target gnn4tdl_serve_precision_test &&
+    GNN4TDL_SIMD=scalar ./build/tests/gnn4tdl_kernels_test &&
+    GNN4TDL_SIMD=avx2 ./build/tests/gnn4tdl_kernels_test &&
+    GNN4TDL_SIMD=scalar ./build/tests/gnn4tdl_serve_precision_test &&
+    GNN4TDL_SIMD=avx2 ./build/tests/gnn4tdl_serve_precision_test
+}
+
 run_stage lint lint_stage
 run_stage asan asan_stage "$@"
 run_stage tsan tsan_stage "$@"
 run_stage threads threads_stage "$@"
 run_stage trace trace_stage
+run_stage simd simd_stage
 
 echo
 echo "==== check.sh summary ===="
-for stage in lint asan tsan threads trace; do
+for stage in lint asan tsan threads trace simd; do
   printf '  %-7s %s\n' "$stage" "${results[$stage]}"
 done
 exit "$overall"

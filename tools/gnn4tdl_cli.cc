@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "kernels/kernels.h"
 #include "data/cross_validation.h"
 #include "data/csv.h"
 #include "data/split.h"
@@ -67,7 +68,17 @@ struct CliArgs {
   uint64_t seed = 42;
   std::string trace_out;    // chrome://tracing span tree
   std::string metrics_out;  // Prometheus text dump
+  // Serving tier: "f32" | "f64". freeze: recorded in the artifact (empty =
+  // f64). score/serve: overrides the artifact's record (empty = honor it).
+  std::string precision;
 };
+
+/// Parses --precision, empty meaning "no explicit choice".
+StatusOr<kernels::Precision> ParsePrecisionFlag(const std::string& flag,
+                                                kernels::Precision fallback) {
+  if (flag.empty()) return fallback;
+  return kernels::PrecisionFromName(flag);
+}
 
 void PrintUsage() {
   std::printf(
@@ -104,7 +115,10 @@ void PrintUsage() {
       "  --out PATH            freeze: artifact output path\n"
       "  --model PATH          score/serve: artifact to load\n"
       "  --batch N             serve: max rows per micro-batch (default 16)\n"
-      "  --deadline-ms F       serve: batch deadline in ms (default 2)\n");
+      "  --deadline-ms F       serve: batch deadline in ms (default 2)\n"
+      "  --precision NAME      f32 | f64. freeze: serving tier recorded in\n"
+      "                        the artifact (default f64). score/serve:\n"
+      "                        override the artifact's recorded tier\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -153,6 +167,10 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (!v) return false;
       args->backbone = v;
+    } else if (flag == "--precision") {
+      const char* v = next();
+      if (!v) return false;
+      args->precision = v;
     } else if (flag == "--knn-k") {
       const char* v = next();
       if (!v) return false;
@@ -277,16 +295,37 @@ int RunFreeze(const CliArgs& args) {
     std::fprintf(stderr, "fit failed: %s\n", fit.ToString().c_str());
     return 1;
   }
-  Status save = FrozenModel::Save(model, args.out);
+  StatusOr<kernels::Precision> precision =
+      ParsePrecisionFlag(args.precision, kernels::Precision::kF64);
+  if (!precision.ok()) {
+    std::fprintf(stderr, "bad --precision: %s\n",
+                 precision.status().ToString().c_str());
+    return 1;
+  }
+  Status save = FrozenModel::Save(model, args.out, *precision);
   if (!save.ok()) {
     std::fprintf(stderr, "freeze failed: %s\n", save.ToString().c_str());
     return 1;
   }
   std::printf("frozen artifact written to %s (%zu train rows, graph %zu edges, "
-              "%zu outputs)\n",
+              "%zu outputs, serve precision %s)\n",
               args.out.c_str(), model.feature_cache().rows(),
-              model.graph().num_edges(), model.output_dim());
+              model.graph().num_edges(), model.output_dim(),
+              kernels::PrecisionName(*precision));
   return 0;
+}
+
+/// Load options for score/serve: --precision, when given, overrides the
+/// artifact's recorded serving tier.
+StatusOr<FrozenModelOptions> LoadOptionsFromArgs(const CliArgs& args) {
+  FrozenModelOptions options;
+  if (!args.precision.empty()) {
+    StatusOr<kernels::Precision> precision =
+        kernels::PrecisionFromName(args.precision);
+    if (!precision.ok()) return precision.status();
+    options.precision = *precision;
+  }
+  return options;
 }
 
 int RunScore(const CliArgs& args) {
@@ -294,16 +333,24 @@ int RunScore(const CliArgs& args) {
     std::fprintf(stderr, "score requires --model PATH\n");
     return 1;
   }
-  StatusOr<FrozenModel> frozen = FrozenModel::Load(args.model);
+  StatusOr<FrozenModelOptions> load_options = LoadOptionsFromArgs(args);
+  if (!load_options.ok()) {
+    std::fprintf(stderr, "bad --precision: %s\n",
+                 load_options.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<FrozenModel> frozen = FrozenModel::Load(args.model, *load_options);
   if (!frozen.ok()) {
     std::fprintf(stderr, "failed to load %s: %s\n", args.model.c_str(),
                  frozen.status().ToString().c_str());
     return 1;
   }
-  std::printf("loaded %s: task=%s, %zu train rows, %zu features, %zu outputs\n",
+  std::printf("loaded %s: task=%s, %zu train rows, %zu features, %zu outputs, "
+              "precision %s\n",
               args.model.c_str(), TaskTypeName(frozen->task()),
               frozen->num_train_rows(), frozen->feature_dim(),
-              frozen->num_outputs());
+              frozen->num_outputs(),
+              kernels::PrecisionName(frozen->precision()));
 
   StatusOr<TabularDataset> data = LoadData(args);
   if (!data.ok()) {
@@ -380,8 +427,11 @@ StatusOr<FrozenModel> TrainAndFreezeForServe(const CliArgs& args,
   if (gnn == nullptr) {
     return Status::Internal("pipeline did not produce a freezable model");
   }
+  StatusOr<kernels::Precision> precision =
+      ParsePrecisionFlag(args.precision, kernels::Precision::kF64);
+  if (!precision.ok()) return precision.status();
   std::stringstream artifact;
-  GNN4TDL_RETURN_IF_ERROR(FrozenModel::Save(*gnn, artifact));
+  GNN4TDL_RETURN_IF_ERROR(FrozenModel::Save(*gnn, artifact, *precision));
   return FrozenModel::Load(artifact);
 }
 
@@ -392,9 +442,15 @@ int RunServe(const CliArgs& args) {
                  data.status().ToString().c_str());
     return 1;
   }
-  StatusOr<FrozenModel> frozen = args.model.empty()
-                                     ? TrainAndFreezeForServe(args, *data)
-                                     : FrozenModel::Load(args.model);
+  StatusOr<FrozenModelOptions> load_options = LoadOptionsFromArgs(args);
+  if (!load_options.ok()) {
+    std::fprintf(stderr, "bad --precision: %s\n",
+                 load_options.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<FrozenModel> frozen =
+      args.model.empty() ? TrainAndFreezeForServe(args, *data)
+                         : FrozenModel::Load(args.model, *load_options);
   if (!frozen.ok()) {
     std::fprintf(stderr, "failed to prepare a frozen model: %s\n",
                  frozen.status().ToString().c_str());

@@ -24,6 +24,11 @@
 //                             flows through obs::Clock (src/obs/clock.h) so
 //                             tests can inject a FakeClock and the tracer
 //                             owns the time base.
+//   raw-simd                  immintrin.h includes or raw _mm*/__m* vector
+//                             intrinsics outside src/kernels/ — SIMD stays
+//                             behind the runtime-dispatched kernel tier
+//                             (src/kernels/kernels.h) so every vector path
+//                             has a bit-identical scalar fallback.
 //   missing-pragma-once       .h file without a #pragma once line.
 //   using-namespace-in-header using-directives in headers leak into every
 //                             includer.
@@ -232,6 +237,7 @@ void LintFile(const std::string& rel_path, const std::string& raw,
                               StartsWith(rel_path, "src/serve/");
   const bool clock_allowed = StartsWith(rel_path, "src/obs/") ||
                              StartsWith(rel_path, "src/common/parallel.");
+  const bool simd_allowed = StartsWith(rel_path, "src/kernels/");
 
   if (is_header) {
     bool has_pragma = false;
@@ -296,6 +302,18 @@ void LintFile(const std::string& rel_path, const std::string& raw,
                       "raw std::chrono clock in library code; route timing "
                       "through obs::Clock (src/obs/clock.h) so tests can "
                       "inject a FakeClock"});
+    }
+
+    if (!simd_allowed && t.is_ident &&
+        (t.text == "immintrin" || StartsWith(t.text, "_mm_") ||
+         StartsWith(t.text, "_mm256_") || StartsWith(t.text, "_mm512_") ||
+         StartsWith(t.text, "__m128") || StartsWith(t.text, "__m256") ||
+         StartsWith(t.text, "__m512"))) {
+      out->push_back({rel_path, t.line, "raw-simd",
+                      "raw SIMD intrinsic '" + t.text +
+                          "' outside src/kernels/; use the dispatched kernel "
+                          "tier (src/kernels/kernels.h) so a bit-identical "
+                          "scalar fallback exists"});
     }
 
     if (in_src && t.text == "cout" && prev(1) && prev(1)->text == "::" &&

@@ -23,4 +23,8 @@ void Caller(Helper* helper) {
 
   auto t0 = std::chrono::steady_clock::now();  // raw-clock: use obs::Clock
   (void)t0;
+
+  __m256 acc = _mm256_setzero_ps();  // raw-simd: intrinsics outside kernels/
+  acc = _mm256_add_ps(acc, acc);     // raw-simd
+  (void)acc;
 }
