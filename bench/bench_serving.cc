@@ -8,8 +8,10 @@
 // real throughput win, visible in the per-model kernel byte counters as
 // halved dense/sparse traffic.
 //
-// Writes BENCH_serving.json (schema v2: per-model kernel_counters + AUROC +
-// f64-vs-f32 comparison block) next to the working directory so perf
+// Writes BENCH_serving.json (schema v3: v2's per-model kernel_counters +
+// AUROC + f64-vs-f32 comparison block, plus a `tenancy` field recording that
+// these numbers are single-tenant — the multi-tenant saturation story lives
+// in bench_load / BENCH_load.json) next to the working directory so perf
 // regressions across PRs are diffable.
 
 #include <algorithm>
@@ -140,8 +142,9 @@ VariantResult BenchVariant(const FrozenModel& frozen, const std::string& name,
     std::vector<std::future<std::vector<double>>> futures;
     futures.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      futures.push_back(engine.Submit(
-          std::vector<double>(x.row_data(i), x.row_data(i) + x.cols())));
+      StatusOr<std::future<std::vector<double>>> f = engine.Submit(
+          std::vector<double>(x.row_data(i), x.row_data(i) + x.cols()));
+      if (f.ok()) futures.push_back(std::move(*f));
     }
     for (auto& f : futures) f.get();
     engine.Stop();
@@ -246,7 +249,10 @@ void WriteJson(const std::vector<VariantResult>& results, size_t train_rows,
     return;
   }
   bench::WriteJsonHeader(out, "serving");
-  out << "  \"schema_version\": 2,\n";
+  out << "  \"schema_version\": 3,\n";
+  // All engine numbers here come from a single "default" tenant; cross-tenant
+  // behavior (WRR isolation, admission control) is bench_load's domain.
+  out << "  \"tenancy\": \"single\",\n";
   out << "  \"simd_level\": \""
       << kernels::SimdLevelName(kernels::Dispatch().level) << "\",\n";
   out << "  \"train_rows\": " << train_rows << ",\n";

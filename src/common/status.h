@@ -18,6 +18,9 @@ enum class StatusCode {
   kInternal = 5,
   kUnimplemented = 6,
   kIoError = 7,
+  /// A bounded resource (serving queue, admission budget) is full. Callers
+  /// treat this as backpressure — retry later or shed load — never as a bug.
+  kResourceExhausted = 8,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -63,6 +66,9 @@ class [[nodiscard]] Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -47,7 +47,8 @@ struct AttachedBatch {
 
 /// Connects incoming rows to the frozen training graph for inductive
 /// inference: each new row gets `k` attach edges to its nearest training
-/// rows (via the prebuilt KnnIndex), and only the training nodes inside the
+/// rows (via the prebuilt NeighborSource — the exact KnnIndex, or a
+/// sharded/cache-fronted view of it), and only the training nodes inside the
 /// new rows' `hops`-hop receptive field are materialized — the irregular
 /// neighborhood gather is bounded per request instead of touching the whole
 /// training set.
@@ -57,7 +58,8 @@ struct AttachedBatch {
 class InductiveAttacher {
  public:
   InductiveAttacher(const Graph* train_graph, const Matrix* x_train,
-                    const KnnIndex* index, InductiveAttacherOptions options);
+                    const NeighborSource* index,
+                    InductiveAttacherOptions options);
 
   /// Builds the attached subgraph for a batch of featurized new rows
   /// (n_new x dim). New rows attach to training rows only, never to each
@@ -73,7 +75,7 @@ class InductiveAttacher {
  private:
   const Graph* train_graph_;
   const Matrix* x_train_;
-  const KnnIndex* index_;
+  const NeighborSource* index_;
   InductiveAttacherOptions options_;
   /// Weighted degrees of the training graph, precomputed at build time.
   std::vector<double> full_degree_;

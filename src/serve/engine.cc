@@ -1,219 +1,31 @@
 #include "serve/engine.h"
 
-#include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <sstream>
-#include <stdexcept>
 #include <utility>
 
-#include "common/parallel.h"
-#include "obs/trace.h"
+#include "common/check.h"
 
 namespace gnn4tdl {
 
-namespace {
-
-// Batch sizes are small integers; start the buckets at 1 so each size up to
-// ~16 lands near its own bucket. The mean reported in ServeStats is computed
-// exactly from counters, not from this histogram.
-obs::HistogramOptions BatchRowsHistogramOptions() {
-  obs::HistogramOptions opts;
-  opts.min_value = 1.0;
-  opts.num_buckets = 64;
-  return opts;
+ServingEngine::ServingEngine(const FrozenModel* model, ServingOptions options) {
+  GNN4TDL_CHECK(model != nullptr);
+  TenantOptions tenant;
+  tenant.max_batch = options.max_batch;
+  tenant.deadline_ms = options.deadline_ms;
+  tenant.queue_capacity = options.queue_capacity;
+  Status added = registry_.AddTenant(kDefaultTenant, model, tenant);
+  GNN4TDL_CHECK(added.ok());
+  MultiTenantEngineOptions engine_options;
+  engine_options.clock = options.clock;
+  engine_ = std::make_unique<MultiTenantEngine>(&registry_, engine_options);
 }
 
-}  // namespace
-
-std::string ServeStats::ToString() const {
-  std::ostringstream out;
-  out << "requests=" << requests << " batches=" << batches
-      << " rejected=" << rejected << " mean_batch=" << mean_batch_rows
-      << " p50_ms=" << p50_ms << " p95_ms=" << p95_ms << " p99_ms=" << p99_ms
-      << " max_ms=" << max_ms << " throughput_rps=" << throughput_rps
-      << " max_queue_depth=" << max_queue_depth;
-  return out.str();
-}
-
-ServingEngine::ServingEngine(const FrozenModel* model, ServingOptions options)
-    : model_(model),
-      options_(options),
-      clock_(options.clock != nullptr ? options.clock : obs::RealClock()),
-      batch_rows_hist_(BatchRowsHistogramOptions()) {
-  GNN4TDL_CHECK(model_ != nullptr);
-  if (options_.max_batch == 0) options_.max_batch = 1;
-  if (options_.deadline_ms < 0.0) options_.deadline_ms = 0.0;
-  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
-  // Pre-warm the shared kernel pool (sized by GNN4TDL_THREADS) so the first
-  // batch forward does not pay worker spin-up inside its latency budget.
-  ThreadPool::Global();
-  worker_ = std::thread([this] { WorkerLoop(); });
-}
-
-ServingEngine::~ServingEngine() { Stop(); }
-
-void ServingEngine::Stop() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
-  }
-  cv_.notify_all();
-  if (worker_.joinable()) worker_.join();
-}
-
-std::future<std::vector<double>> ServingEngine::Submit(
+StatusOr<std::future<std::vector<double>>> ServingEngine::Submit(
     std::vector<double> features) {
-  Request req;
-  req.features = std::move(features);
-  req.enqueued_ns = clock_->NowNanos();
-  std::future<std::vector<double>> future = req.promise.get_future();
-
-  std::string reject;
-  size_t depth = 0;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      reject = "serving engine is stopped";
-    } else if (req.features.size() != model_->feature_dim()) {
-      reject = "feature vector has " + std::to_string(req.features.size()) +
-               " entries, the frozen model expects " +
-               std::to_string(model_->feature_dim());
-    } else if (queue_.size() >= options_.queue_capacity) {
-      reject = "serving queue is full (" +
-               std::to_string(options_.queue_capacity) + " rows)";
-      ++rejected_;
-    } else {
-      if (!any_request_) {
-        any_request_ = true;
-        first_submit_ns_ = req.enqueued_ns;
-      }
-      queue_.push_back(std::move(req));
-      max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
-      depth = queue_.size();
-    }
-  }
-  if (!reject.empty()) {
-    if (obs::MetricsEnabled()) {
-      obs::MetricsRegistry::Global()
-          .GetCounter("serve.rejected_total")
-          .Increment();
-    }
-    req.promise.set_exception(
-        std::make_exception_ptr(std::runtime_error(reject)));
-  } else {
-    if (obs::MetricsEnabled()) {
-      obs::MetricsRegistry::Global()
-          .GetGauge("serve.queue_depth")
-          .Set(static_cast<double>(depth));
-    }
-    cv_.notify_one();
-  }
-  return future;
+  return engine_->Submit(kDefaultTenant, std::move(features));
 }
 
-void ServingEngine::WorkerLoop() {
-  for (;;) {
-    std::vector<Request> batch;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) break;  // stopping_ and fully drained
+void ServingEngine::Stop() { engine_->Stop(); }
 
-      // Hold the batch open until it fills or the oldest request's deadline
-      // passes; stop requests close it immediately. The remaining wait is
-      // recomputed from the injected clock each iteration (rather than
-      // passing an absolute time_point to wait_until) so the deadline logic
-      // follows a FakeClock in tests.
-      const int64_t deadline_ns =
-          queue_.front().enqueued_ns +
-          static_cast<int64_t>(options_.deadline_ms * 1e6);
-      while (!stopping_ && queue_.size() < options_.max_batch) {
-        const int64_t remaining_ns = deadline_ns - clock_->NowNanos();
-        if (remaining_ns <= 0) break;
-        cv_.wait_for(lock, std::chrono::nanoseconds(remaining_ns));
-      }
-
-      size_t take = std::min(queue_.size(), options_.max_batch);
-      batch.reserve(take);
-      for (size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
-    }
-
-    StatusOr<Matrix> logits = [&] {
-      obs::TraceSpan span("serve/batch");
-      span.AddItems(static_cast<double>(batch.size()));
-      Matrix x(batch.size(), model_->feature_dim());
-      for (size_t i = 0; i < batch.size(); ++i) {
-        std::copy(batch[i].features.begin(), batch[i].features.end(),
-                  x.row_data(i));
-      }
-      return model_->ScoreFeatures(x);
-    }();
-    const int64_t done_ns = clock_->NowNanos();
-
-    for (size_t i = 0; i < batch.size(); ++i) {
-      if (!logits.ok()) {
-        batch[i].promise.set_exception(std::make_exception_ptr(
-            std::runtime_error(logits.status().ToString())));
-      } else {
-        std::vector<double> row(logits->row_data(i),
-                                logits->row_data(i) + logits->cols());
-        batch[i].promise.set_value(std::move(row));
-      }
-    }
-
-    const bool metrics = obs::MetricsEnabled();
-    batch_rows_hist_.Record(static_cast<double>(batch.size()));
-    if (metrics) {
-      obs::MetricsRegistry::Global()
-          .GetHistogram("serve.batch_rows", BatchRowsHistogramOptions())
-          .Record(static_cast<double>(batch.size()));
-    }
-    for (const Request& req : batch) {
-      const double ms =
-          static_cast<double>(done_ns - req.enqueued_ns) / 1e6;
-      latency_ms_hist_.Record(ms);
-      if (metrics) {
-        auto& registry = obs::MetricsRegistry::Global();
-        registry.GetHistogram("serve.latency_ms").Record(ms);
-        registry.GetCounter("serve.requests_total").Increment();
-      }
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++batches_;
-      total_batch_rows_ += batch.size();
-      requests_done_ += batch.size();
-      last_complete_ns_ = done_ns;
-    }
-  }
-}
-
-ServeStats ServingEngine::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  ServeStats stats;
-  stats.requests = requests_done_;
-  stats.batches = batches_;
-  stats.rejected = rejected_;
-  stats.max_queue_depth = max_queue_depth_;
-  if (batches_ > 0) {
-    stats.mean_batch_rows =
-        static_cast<double>(total_batch_rows_) / static_cast<double>(batches_);
-  }
-  if (requests_done_ > 0) {
-    stats.p50_ms = latency_ms_hist_.Quantile(0.50);
-    stats.p95_ms = latency_ms_hist_.Quantile(0.95);
-    stats.p99_ms = latency_ms_hist_.Quantile(0.99);
-    stats.max_ms = latency_ms_hist_.Max();
-    double span_s =
-        static_cast<double>(last_complete_ns_ - first_submit_ns_) / 1e9;
-    stats.throughput_rps =
-        span_s > 0.0 ? static_cast<double>(stats.requests) / span_s : 0.0;
-  }
-  return stats;
-}
+ServeStats ServingEngine::Stats() const { return engine_->Stats(); }
 
 }  // namespace gnn4tdl

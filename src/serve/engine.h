@@ -1,18 +1,14 @@
 #pragma once
 
-#include <condition_variable>
-#include <cstddef>
-#include <cstdint>
-#include <deque>
 #include <future>
-#include <mutex>
-#include <string>
-#include <thread>
+#include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "obs/clock.h"
-#include "obs/metrics.h"
 #include "serve/frozen_model.h"
+#include "serve/registry.h"
+#include "serve/tenant_engine.h"
 
 namespace gnn4tdl {
 
@@ -22,8 +18,8 @@ struct ServingOptions {
   size_t max_batch = 16;
   /// ...or when the oldest queued row has waited this long.
   double deadline_ms = 2.0;
-  /// Submissions beyond this many queued rows fail fast instead of growing
-  /// the queue without bound.
+  /// Submissions beyond this many queued rows are rejected with
+  /// kResourceExhausted instead of growing the queue without bound.
   size_t queue_capacity = 4096;
   /// Time source for latency stamping and deadline waits; null means
   /// obs::RealClock(). Tests inject an obs::FakeClock for deterministic
@@ -31,75 +27,30 @@ struct ServingOptions {
   const obs::Clock* clock = nullptr;
 };
 
-/// Aggregate serving counters. Latencies are end-to-end per request
-/// (submission to completed scoring).
-///
-/// Precision contract: the engine keeps latency and batch-size distributions
-/// in fixed-size log-bucket histograms (obs::Histogram), not per-request
-/// history, so memory stays O(1) for any number of requests. The p50/p95/p99
-/// fields are therefore histogram estimates with bounded relative error —
-/// at the default bucket growth of 2^(1/8), within ~4.4% of an exact sorted
-/// percentile. `max_ms`, `requests`, `batches`, `mean_batch_rows`, and
-/// `throughput_rps` are exact.
-struct ServeStats {
-  size_t requests = 0;
-  size_t batches = 0;
-  size_t rejected = 0;
-  double mean_batch_rows = 0.0;
-  double p50_ms = 0.0;
-  double p95_ms = 0.0;
-  double p99_ms = 0.0;
-  double max_ms = 0.0;
-  /// Completed requests divided by the span between the first submission and
-  /// the last completion.
-  double throughput_rps = 0.0;
-  size_t max_queue_depth = 0;
-
-  std::string ToString() const;
-};
-
-/// Micro-batching scoring front-end over a FrozenModel: requests queue up,
-/// a worker thread drains them in batches of up to `max_batch` rows (or
-/// whatever arrived within `deadline_ms` of the oldest request), and each
-/// batch is attached and scored in one subgraph forward pass — amortizing
-/// the per-request graph extraction that dominates single-row latency.
-///
-/// Rows in one batch share the extended graph (PredictInductive semantics):
-/// a training node anchoring several queued rows aggregates all of them.
-/// With max_batch = 1 the engine scores exactly like
-/// FrozenModel::ScoreFeatures on each row.
-///
-/// Threading: the engine owns exactly one batching worker; intra-op
-/// parallelism inside each batch forward (SpMM, matmul, edge softmax) comes
-/// from the shared ThreadPool::Global(), sized by GNN4TDL_THREADS. The
-/// constructor pre-warms that pool so the first batch does not pay thread
-/// spin-up. The worker thread is the only caller of the tensor kernels here,
-/// so batches never contend with each other for the pool, and scoring results
-/// are deterministic for a fixed thread count (see common/parallel.h).
-///
-/// Observability: every batch forward runs under a "serve/batch" trace span
-/// (items = rows in the batch) when tracing is on, and when
-/// obs::MetricsEnabled() the engine mirrors its accounting into
-/// MetricsRegistry::Global() as serve.requests_total, serve.rejected_total,
-/// serve.queue_depth, serve.latency_ms, and serve.batch_rows.
-///
-/// Precision: the engine scores through FrozenModel::ScoreFeatures, so it
-/// inherits the model's serving tier — double, or the f32 SIMD kernel tier
-/// when the artifact (or FrozenModelOptions::precision) selects it. The
-/// engine itself is precision-agnostic; requests and responses stay double
-/// at the API boundary either way.
+/// Micro-batching scoring front-end over one FrozenModel — the single-tenant
+/// convenience wrapper around MultiTenantEngine: the model is registered as
+/// the sole tenant ("default") and every Submit lands on its queue, so this
+/// class exercises exactly the same batching worker, admission control, and
+/// accounting as a multi-tenant deployment. See tenant_engine.h for the
+/// batching/threading/observability contract, and ModelRegistry +
+/// MultiTenantEngine for hosting several models per process.
 class ServingEngine {
  public:
+  /// The tenant name the wrapped model is registered under.
+  static constexpr const char* kDefaultTenant = "default";
+
   explicit ServingEngine(const FrozenModel* model, ServingOptions options = {});
-  ~ServingEngine();
 
   ServingEngine(const ServingEngine&) = delete;
   ServingEngine& operator=(const ServingEngine&) = delete;
 
   /// Enqueues one featurized row (length feature_dim()). The future resolves
-  /// to the row's logits (length num_outputs()); scoring errors and
-  /// queue-capacity rejections surface as std::runtime_error.
-  std::future<std::vector<double>> Submit(std::vector<double> features);
+  /// to the row's logits (length num_outputs()); scoring errors surface
+  /// through the future. Queue-capacity rejections return typed
+  /// kResourceExhausted backpressure (see MultiTenantEngine::Submit for the
+  /// full code contract) instead of poisoning the future.
+  [[nodiscard]] StatusOr<std::future<std::vector<double>>> Submit(
+      std::vector<double> features);
 
   /// Drains the queue and joins the worker. Idempotent; the destructor calls
   /// it.
@@ -108,38 +59,10 @@ class ServingEngine {
   ServeStats Stats() const;
 
  private:
-  struct Request {
-    std::vector<double> features;
-    std::promise<std::vector<double>> promise;
-    int64_t enqueued_ns = 0;
-  };
-
-  void WorkerLoop();
-
-  const FrozenModel* model_;
-  ServingOptions options_;
-  const obs::Clock* clock_;
-
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Request> queue_;
-  bool stopping_ = false;
-
-  // Accounting (guarded by mu_ except the histograms, which shard
-  // internally). Bounded: distributions live in fixed-size histograms, never
-  // per-request vectors.
-  obs::Histogram latency_ms_hist_;
-  obs::Histogram batch_rows_hist_;
-  size_t requests_done_ = 0;
-  size_t batches_ = 0;
-  size_t total_batch_rows_ = 0;
-  size_t rejected_ = 0;
-  size_t max_queue_depth_ = 0;
-  bool any_request_ = false;
-  int64_t first_submit_ns_ = 0;
-  int64_t last_complete_ns_ = 0;
-
-  std::thread worker_;
+  ModelRegistry registry_;
+  /// unique_ptr: the engine snapshots the registry at construction, so the
+  /// registry member must be fully populated first.
+  std::unique_ptr<MultiTenantEngine> engine_;
 };
 
 }  // namespace gnn4tdl

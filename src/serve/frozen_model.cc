@@ -1,12 +1,15 @@
 #include "serve/frozen_model.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <istream>
+#include <mutex>
 #include <ostream>
 #include <string>
 
 #include "graph/graph_io.h"
+#include "obs/metrics.h"
 
 namespace gnn4tdl {
 
@@ -221,19 +224,35 @@ StatusOr<FrozenModel> FrozenModel::Load(std::istream& in,
   if (!index.ok()) return index.status();
   frozen.index_ = std::make_unique<KnnIndex>(std::move(*index));
 
+  // Optional serving-side views over the exact index: row-range sharding
+  // and/or a read-through neighbor cache. Both are bit-exact vs the plain
+  // index, so they can be toggled per deployment without revalidation.
+  const NeighborSource* attach_source = frozen.index_.get();
+  if (options.index_shards > 1 || options.neighbor_cache_capacity > 0) {
+    ShardedKnnIndexOptions shard_opts;
+    shard_opts.num_shards = std::max<size_t>(options.index_shards, 1);
+    shard_opts.cache_capacity = options.neighbor_cache_capacity;
+    frozen.sharded_ =
+        std::make_unique<ShardedKnnIndex>(frozen.index_.get(), shard_opts);
+    attach_source = frozen.sharded_.get();
+  }
+
   InductiveAttacherOptions attach;
   attach.k = std::max<size_t>(o.knn.k, 1);
   attach.hops = EffectiveHops(o);
   attach.full_neighborhood = NeedsFullNeighborhood(o);
   frozen.attacher_ = std::make_unique<InductiveAttacher>(
-      &frozen.model_->graph(), &frozen.model_->feature_cache(),
-      frozen.index_.get(), attach);
+      &frozen.model_->graph(), &frozen.model_->feature_cache(), attach_source,
+      attach);
 
   // Precision selection: load-time override beats the artifact's record; f32
-  // silently degrades to f64 for backbones the f32 tier does not mirror.
+  // degrades to f64 for backbones the f32 tier does not mirror — loudly:
+  // logged once per process and exported as serve.effective_precision so a
+  // fleet silently serving slower/wider than requested is visible.
   frozen.artifact_precision_ = artifact_precision;
   const kernels::Precision want =
       options.precision.value_or(artifact_precision);
+  frozen.requested_precision_ = want;
   if (want == kernels::Precision::kF32 && F32Scorer::Supports(o)) {
     StatusOr<F32Scorer> scorer = F32Scorer::Build(*frozen.model_);
     if (!scorer.ok()) return scorer.status();
@@ -243,6 +262,21 @@ StatusOr<FrozenModel> FrozenModel::Load(std::istream& in,
     frozen.precision_ = kernels::Precision::kF32;
   } else {
     frozen.precision_ = kernels::Precision::kF64;
+    if (want == kernels::Precision::kF32) {
+      static std::once_flag logged;
+      std::call_once(logged, [&o] {
+        std::fprintf(stderr,
+                     "gnn4tdl: f32 serving requested but backbone %s%s has no "
+                     "f32 tier; serving f64 (logged once per process)\n",
+                     GnnBackboneName(o.backbone),
+                     o.use_pair_norm ? "+pairnorm" : "");
+      });
+    }
+  }
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global()
+        .GetGauge("serve.effective_precision")
+        .Set(frozen.precision_ == kernels::Precision::kF32 ? 32.0 : 64.0);
   }
   return frozen;
 }

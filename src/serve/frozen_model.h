@@ -13,6 +13,7 @@
 #include "serve/attacher.h"
 #include "serve/f32_scorer.h"
 #include "serve/knn_index.h"
+#include "serve/sharded_index.h"
 #include "tensor/matrix.h"
 
 namespace gnn4tdl {
@@ -26,6 +27,13 @@ struct FrozenModelOptions {
   /// Overrides the artifact's recorded serving precision (lets one artifact
   /// be loaded both ways, e.g. for benchmarking). Unset = honor the artifact.
   std::optional<kernels::Precision> precision;
+  /// > 1 splits the exact attachment scan into this many row-range shards
+  /// (ShardedKnnIndex) — results stay bit-exact for any shard count.
+  size_t index_shards = 0;
+  /// > 0 fronts the attachment index with a read-through NeighborCache of
+  /// this many entries; repeat rows skip the index scan entirely. The cached
+  /// path is bit-exact vs the uncached one.
+  size_t neighbor_cache_capacity = 0;
 };
 
 /// A trained InstanceGraphGnn packaged for online inductive inference: one
@@ -84,21 +92,33 @@ class FrozenModel {
   const KnnIndex& index() const { return *index_; }
   const InductiveAttacher& attacher() const { return *attacher_; }
 
+  /// The sharded/cached view the attacher queries, or null when Load ran
+  /// with neither index_shards nor neighbor_cache_capacity set.
+  const ShardedKnnIndex* sharded_index() const { return sharded_.get(); }
+
   /// The precision ScoreFeatures actually runs at. May be kF64 even when the
   /// artifact (or the load-time override) asked for kF32: backbones the f32
   /// tier does not mirror (GGNN, transformer, PairNorm configs) fall back to
-  /// the double path.
+  /// the double path. The downgrade is never silent — Load logs it (once per
+  /// process) and, when metrics are on, exports serve.effective_precision.
   kernels::Precision precision() const { return precision_; }
   /// The precision recorded in the artifact (v1 artifacts: kF64).
   kernels::Precision artifact_precision() const { return artifact_precision_; }
+  /// The precision Load was asked for: the override if given, else the
+  /// artifact's record. Compare with precision() to detect a fallback.
+  kernels::Precision requested_precision() const {
+    return requested_precision_;
+  }
 
  private:
   FrozenModel() = default;
 
   std::unique_ptr<InstanceGraphGnn> model_;
   std::unique_ptr<KnnIndex> index_;
+  std::unique_ptr<ShardedKnnIndex> sharded_;
   std::unique_ptr<InductiveAttacher> attacher_;
   kernels::Precision artifact_precision_ = kernels::Precision::kF64;
+  kernels::Precision requested_precision_ = kernels::Precision::kF64;
   kernels::Precision precision_ = kernels::Precision::kF64;
   /// f32 serving state, populated only when precision_ == kF32: the casted
   /// scorer and the pre-cast featurized training matrix batches gather from.

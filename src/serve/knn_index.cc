@@ -195,9 +195,7 @@ std::vector<KnnHit> KnnIndex::Query(const double* query, size_t k) const {
 
   size_t take = std::min(k, hits.size());
   std::partial_sort(hits.begin(), hits.begin() + static_cast<ptrdiff_t>(take),
-                    hits.end(), [](const KnnHit& a, const KnnHit& b) {
-                      return a.similarity > b.similarity;
-                    });
+                    hits.end(), BetterHit);
   hits.resize(take);
   return hits;
 }

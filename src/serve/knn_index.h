@@ -30,14 +30,36 @@ struct KnnHit {
   double similarity;
 };
 
+/// Ordering shared by every attachment-index implementation: similarity
+/// descending, reference index ascending on exact ties. The tie-break makes
+/// top-k selection deterministic and shard-count-invariant (merging
+/// per-shard top-k lists under this comparator yields exactly the global
+/// top-k).
+inline bool BetterHit(const KnnHit& a, const KnnHit& b) {
+  if (a.similarity != b.similarity) return a.similarity > b.similarity;
+  return a.index < b.index;
+}
+
+/// Anything the serving attacher can pull neighbor hits from: the exact
+/// KnnIndex, a ShardedKnnIndex, or a cache-fronted composite. Implementations
+/// must be safe for concurrent const queries.
+class NeighborSource {
+ public:
+  virtual ~NeighborSource() = default;
+  /// Queries every row of `x` (n x dim); out[i] = best-first hits for row i.
+  virtual std::vector<std::vector<KnnHit>> QueryBatch(const Matrix& x,
+                                                      size_t k) const = 0;
+};
+
 /// Read-only k-nearest-neighbor index over the rows of a frozen reference
 /// matrix (the featurized training table of a FrozenModel). Built once at
 /// load time, queried per request by serve/InductiveAttacher.
 ///
 /// The exact mode computes similarities with the same arithmetic as
 /// RowSimilarity, so the selected neighbor *set* matches what
-/// InstanceGraphGnn::PredictInductive finds (ties aside).
-class KnnIndex {
+/// InstanceGraphGnn::PredictInductive finds (ties broken deterministically by
+/// BetterHit: lower reference index wins).
+class KnnIndex : public NeighborSource {
  public:
   [[nodiscard]] static StatusOr<KnnIndex> Build(Matrix reference,
                                                 SimilarityMetric metric,
@@ -49,7 +71,15 @@ class KnnIndex {
   std::vector<KnnHit> Query(const double* query, size_t k) const;
 
   /// Queries every row of `x` (n x dim()); out[i] = hits for row i.
-  std::vector<std::vector<KnnHit>> QueryBatch(const Matrix& x, size_t k) const;
+  std::vector<std::vector<KnnHit>> QueryBatch(const Matrix& x,
+                                              size_t k) const override;
+
+  /// Similarity of `query` (length dim()) to reference row `row` — the exact
+  /// arithmetic Query ranks by, exposed so a sharded scan over row ranges
+  /// produces bit-identical scores.
+  double SimilarityTo(const double* query, size_t row) const {
+    return Similarity(query, row);
+  }
 
   size_t num_rows() const { return reference_.rows(); }
   size_t dim() const { return reference_.cols(); }

@@ -1,0 +1,96 @@
+#include "serve/neighbor_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace gnn4tdl {
+
+NeighborCache::NeighborCache(NeighborCacheOptions options) : options_(options) {
+  if (options_.stripes == 0) options_.stripes = 1;
+  if (options_.capacity < options_.stripes) options_.capacity = options_.stripes;
+  per_stripe_capacity_ = options_.capacity / options_.stripes;
+  stripes_ = std::vector<Stripe>(options_.stripes);
+}
+
+uint64_t NeighborCache::Key(const double* query, size_t dim, size_t k) {
+  // FNV-1a over the raw query bytes, then the requested k. Collisions are
+  // verified against the stored query before a hit is returned.
+  uint64_t h = 1469598103934665603ull;
+  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(query);
+  for (size_t i = 0; i < dim * sizeof(double); ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  h ^= static_cast<uint64_t>(k);
+  h *= 1099511628211ull;
+  return h;
+}
+
+NeighborCache::Stripe& NeighborCache::StripeFor(uint64_t key) const {
+  return stripes_[key % stripes_.size()];
+}
+
+bool NeighborCache::Lookup(const double* query, size_t dim, size_t k,
+                           std::vector<KnnHit>* hits) const {
+  GNN4TDL_CHECK(hits != nullptr);
+  const uint64_t key = Key(query, dim, k);
+  Stripe& stripe = StripeFor(key);
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.map.find(key);
+    if (it != stripe.map.end() && it->second.k == k &&
+        it->second.query.size() == dim &&
+        std::memcmp(it->second.query.data(), query, dim * sizeof(double)) ==
+            0) {
+      *hits = it->second.hits;
+      hit = true;
+      ++stripe.hits;
+    } else {
+      ++stripe.misses;
+    }
+  }
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter(hit ? "serve.cache.hits_total" : "serve.cache.misses_total")
+        .Increment();
+  }
+  return hit;
+}
+
+void NeighborCache::Insert(const double* query, size_t dim, size_t k,
+                           const std::vector<KnnHit>& hits) {
+  const uint64_t key = Key(query, dim, k);
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.map.find(key);
+  if (it == stripe.map.end()) {
+    while (stripe.map.size() >= per_stripe_capacity_ && !stripe.fifo.empty()) {
+      stripe.map.erase(stripe.fifo.front());
+      stripe.fifo.pop_front();
+      ++stripe.evictions;
+    }
+    stripe.fifo.push_back(key);
+  }
+  Entry& entry = stripe.map[key];
+  entry.query.assign(query, query + dim);
+  entry.k = k;
+  entry.hits = hits;
+}
+
+NeighborCache::CacheStats NeighborCache::Stats() const {
+  CacheStats stats;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stats.hits += stripe.hits;
+    stats.misses += stripe.misses;
+    stats.evictions += stripe.evictions;
+    stats.entries += stripe.map.size();
+  }
+  return stats;
+}
+
+}  // namespace gnn4tdl

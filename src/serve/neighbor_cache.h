@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/knn_index.h"
+
+namespace gnn4tdl {
+
+/// Options for NeighborCache.
+struct NeighborCacheOptions {
+  /// Total cached queries across all stripes. 0 disables caching entirely.
+  size_t capacity = 4096;
+  /// Independent mutex-guarded stripes; concurrent lookups for different
+  /// queries contend only within a stripe.
+  size_t stripes = 8;
+};
+
+/// Read-through cache for kNN attachment queries: maps an exact featurized
+/// row (plus the requested k) to the neighbor hits the index returned for it.
+///
+/// Exactness contract: a hit returns the *stored* hit vector byte for byte —
+/// the cached path can never change which neighbors a row attaches to or
+/// their similarity values, so cached and uncached attachment are bit-exact
+/// (tests/serve_tenant_test.cc asserts this end to end through a frozen
+/// model). Keys hash the raw double bytes of the query; a hash collision is
+/// detected by comparing the stored query and treated as a miss, never as a
+/// wrong answer.
+///
+/// Bounded: each stripe evicts its oldest entry (FIFO) once the per-stripe
+/// share of `capacity` is exceeded. Thread-safe; when obs metrics are on,
+/// lookups mirror into serve.cache.hits_total / serve.cache.misses_total.
+class NeighborCache {
+ public:
+  explicit NeighborCache(NeighborCacheOptions options = {});
+  NeighborCache(const NeighborCache&) = delete;
+  NeighborCache& operator=(const NeighborCache&) = delete;
+
+  /// True (and fills *hits) when `query` (length dim) with this k is cached.
+  bool Lookup(const double* query, size_t dim, size_t k,
+              std::vector<KnnHit>* hits) const;
+
+  /// Stores the index's answer for `query`. Overwrites a colliding key.
+  void Insert(const double* query, size_t dim, size_t k,
+              const std::vector<KnnHit>& hits);
+
+  struct CacheStats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t evictions = 0;
+    size_t entries = 0;
+  };
+  CacheStats Stats() const;
+
+ private:
+  struct Entry {
+    std::vector<double> query;
+    size_t k = 0;
+    std::vector<KnnHit> hits;
+  };
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Entry> map;
+    std::deque<uint64_t> fifo;  // insertion order for eviction
+    mutable size_t hits = 0;
+    mutable size_t misses = 0;
+    size_t evictions = 0;
+  };
+
+  static uint64_t Key(const double* query, size_t dim, size_t k);
+  Stripe& StripeFor(uint64_t key) const;
+
+  NeighborCacheOptions options_;
+  size_t per_stripe_capacity_ = 0;
+  mutable std::vector<Stripe> stripes_;
+};
+
+}  // namespace gnn4tdl

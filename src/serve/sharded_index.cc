@@ -1,0 +1,85 @@
+#include "serve/sharded_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gnn4tdl {
+
+ShardedKnnIndex::ShardedKnnIndex(const KnnIndex* base,
+                                 ShardedKnnIndexOptions options)
+    : base_(base) {
+  GNN4TDL_CHECK(base_ != nullptr);
+  const size_t n = base_->num_rows();
+  size_t shards = std::max<size_t>(options.num_shards, 1);
+  shards = std::min(shards, n);
+  // Contiguous row blocks, sizes differing by at most one row.
+  const size_t chunk = n / shards;
+  const size_t extra = n % shards;
+  size_t lo = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    size_t hi = lo + chunk + (s < extra ? 1 : 0);
+    ranges_.emplace_back(lo, hi);
+    lo = hi;
+  }
+  if (options.cache_capacity > 0) {
+    NeighborCacheOptions cache_opts;
+    cache_opts.capacity = options.cache_capacity;
+    cache_opts.stripes = options.cache_stripes;
+    cache_ = std::make_unique<NeighborCache>(cache_opts);
+  }
+}
+
+std::vector<KnnHit> ShardedKnnIndex::ScanShards(const double* query,
+                                                size_t k) const {
+  // Per-shard top-k under BetterHit, then a merge under the same comparator:
+  // any row in the global top-k is in its own shard's top-k, so the merged
+  // candidate set always contains the exact answer.
+  std::vector<KnnHit> candidates;
+  candidates.reserve(ranges_.size() * k);
+  std::vector<KnnHit> shard_hits;
+  for (const auto& [lo, hi] : ranges_) {
+    shard_hits.clear();
+    shard_hits.reserve(hi - lo);
+    for (size_t row = lo; row < hi; ++row) {
+      shard_hits.push_back({row, base_->SimilarityTo(query, row)});
+    }
+    const size_t take = std::min(k, shard_hits.size());
+    std::partial_sort(shard_hits.begin(),
+                      shard_hits.begin() + static_cast<ptrdiff_t>(take),
+                      shard_hits.end(), BetterHit);
+    candidates.insert(candidates.end(), shard_hits.begin(),
+                      shard_hits.begin() + static_cast<ptrdiff_t>(take));
+  }
+  const size_t take = std::min(k, candidates.size());
+  std::partial_sort(candidates.begin(),
+                    candidates.begin() + static_cast<ptrdiff_t>(take),
+                    candidates.end(), BetterHit);
+  candidates.resize(take);
+  return candidates;
+}
+
+std::vector<KnnHit> ShardedKnnIndex::Query(const double* query,
+                                           size_t k) const {
+  const size_t n = base_->num_rows();
+  k = std::min(std::max<size_t>(k, 1), n);
+  const size_t dim = base_->dim();
+
+  std::vector<KnnHit> hits;
+  if (cache_ != nullptr && cache_->Lookup(query, dim, k, &hits)) return hits;
+
+  hits = base_->exact() ? ScanShards(query, k) : base_->Query(query, k);
+  if (cache_ != nullptr) cache_->Insert(query, dim, k, hits);
+  return hits;
+}
+
+std::vector<std::vector<KnnHit>> ShardedKnnIndex::QueryBatch(const Matrix& x,
+                                                             size_t k) const {
+  GNN4TDL_CHECK_EQ(x.cols(), base_->dim());
+  std::vector<std::vector<KnnHit>> out;
+  out.reserve(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) out.push_back(Query(x.row_data(i), k));
+  return out;
+}
+
+}  // namespace gnn4tdl

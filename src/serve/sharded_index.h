@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "serve/knn_index.h"
+#include "serve/neighbor_cache.h"
+
+namespace gnn4tdl {
+
+/// Options for ShardedKnnIndex.
+struct ShardedKnnIndexOptions {
+  /// Row-range shards the exact scan is split into. <= 1 behaves like the
+  /// base index (still with the deterministic merge path).
+  size_t num_shards = 4;
+  /// Entries in the read-through neighbor cache. 0 = no cache.
+  size_t cache_capacity = 0;
+  size_t cache_stripes = 8;
+};
+
+/// Sharded view over an exact KnnIndex plus an optional read-through
+/// NeighborCache — the serving-side answer to the one-big-index-scan
+/// bottleneck: the reference rows are partitioned into contiguous row-range
+/// shards, each query scans the shards independently (per-shard top-k kept
+/// under the shared BetterHit ordering) and merges the per-shard winners, and
+/// repeated queries short-circuit through the cache without touching any
+/// shard.
+///
+/// Exactness contract: per-row similarities come from
+/// KnnIndex::SimilarityTo — the same arithmetic, on the same rows, in the
+/// same per-row operation order as the base index — and BetterHit is a strict
+/// weak order with a deterministic tie-break, so for any shard count the
+/// merged top-k equals the base index's exact Query bit for bit, and the
+/// cached path (which replays a stored answer) is bit-exact against the
+/// uncached one. Asserted by tests/serve_tenant_test.cc.
+///
+/// Cluster-pruned base indices are not sharded (their probe sets are not
+/// row-range decomposable); queries delegate to the base, with the cache
+/// still in front.
+///
+/// The base index must outlive this view (FrozenModel owns both).
+class ShardedKnnIndex : public NeighborSource {
+ public:
+  ShardedKnnIndex(const KnnIndex* base, ShardedKnnIndexOptions options = {});
+
+  std::vector<KnnHit> Query(const double* query, size_t k) const;
+  std::vector<std::vector<KnnHit>> QueryBatch(const Matrix& x,
+                                              size_t k) const override;
+
+  size_t num_shards() const { return ranges_.size(); }
+  /// Null when the cache is disabled.
+  const NeighborCache* cache() const { return cache_.get(); }
+
+ private:
+  std::vector<KnnHit> ScanShards(const double* query, size_t k) const;
+
+  const KnnIndex* base_;
+  std::vector<std::pair<size_t, size_t>> ranges_;  // [lo, hi) row ranges
+  std::unique_ptr<NeighborCache> cache_;
+};
+
+}  // namespace gnn4tdl

@@ -1,0 +1,368 @@
+#include "serve/tenant_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "obs/trace.h"
+
+namespace gnn4tdl {
+
+namespace {
+
+// Batch sizes are small integers; start the buckets at 1 so each size up to
+// ~16 lands near its own bucket. The mean reported in ServeStats is computed
+// exactly from counters, not from this histogram.
+obs::HistogramOptions BatchRowsHistogramOptions() {
+  obs::HistogramOptions opts;
+  opts.min_value = 1.0;
+  opts.num_buckets = 64;
+  return opts;
+}
+
+}  // namespace
+
+std::string ServeStats::ToString() const {
+  std::ostringstream out;
+  out << "requests=" << requests << " batches=" << batches
+      << " rejected=" << rejected << " mean_batch=" << mean_batch_rows
+      << " p50_ms=" << p50_ms << " p95_ms=" << p95_ms << " p99_ms=" << p99_ms
+      << " max_ms=" << max_ms << " throughput_rps=" << throughput_rps
+      << " max_queue_depth=" << max_queue_depth;
+  return out.str();
+}
+
+MultiTenantEngine::TenantState::TenantState(const Tenant* t)
+    : tenant(t), batch_rows_hist(BatchRowsHistogramOptions()) {
+  // Resolve the per-tenant metric handles once; registry entries are stable
+  // for the process lifetime, so these never dangle. They are only written
+  // when obs::MetricsEnabled().
+  auto& registry = obs::MetricsRegistry::Global();
+  const std::string prefix = "serve.tenant." + t->name + ".";
+  m_requests = &registry.GetCounter(prefix + "requests_total");
+  m_rejected = &registry.GetCounter(prefix + "rejected_total");
+  m_queue_depth = &registry.GetGauge(prefix + "queue_depth");
+  m_latency = &registry.GetHistogram(prefix + "latency_ms");
+}
+
+MultiTenantEngine::MultiTenantEngine(const ModelRegistry* registry,
+                                     MultiTenantEngineOptions options)
+    : registry_(registry),
+      clock_(options.clock != nullptr ? options.clock : obs::RealClock()),
+      batch_rows_hist_(BatchRowsHistogramOptions()) {
+  GNN4TDL_CHECK(registry_ != nullptr);
+  for (const Tenant* t : registry_->Tenants()) {
+    auto state = std::make_unique<TenantState>(t);
+    state->credits = t->options.weight;
+    tenants_.push_back(std::move(state));
+  }
+  // Pre-warm the shared kernel pool (sized by GNN4TDL_THREADS) so the first
+  // batch forward does not pay worker spin-up inside its latency budget.
+  ThreadPool::Global();
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+MultiTenantEngine::~MultiTenantEngine() { Stop(); }
+
+void MultiTenantEngine::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+StatusOr<std::future<std::vector<double>>> MultiTenantEngine::Submit(
+    const std::string& tenant, std::vector<double> features) {
+  Request req;
+  req.features = std::move(features);
+  req.enqueued_ns = clock_->NowNanos();
+  std::future<std::vector<double>> future = req.promise.get_future();
+
+  TenantState* t = nullptr;
+  size_t tenant_depth = 0;
+  size_t total_depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Status::FailedPrecondition("serving engine is stopped");
+    }
+    t = FindTenantLocked(tenant);
+    if (t == nullptr) {
+      return Status::NotFound("unknown tenant '" + tenant + "'");
+    }
+    const FrozenModel* model = t->tenant->model;
+    if (req.features.size() != model->feature_dim()) {
+      return Status::InvalidArgument(
+          "feature vector has " + std::to_string(req.features.size()) +
+          " entries, tenant '" + tenant + "' expects " +
+          std::to_string(model->feature_dim()));
+    }
+    if (t->queue.size() >= t->tenant->options.queue_capacity) {
+      ++t->rejected;
+      ++rejected_;
+      if (obs::MetricsEnabled()) {
+        obs::MetricsRegistry::Global()
+            .GetCounter("serve.rejected_total")
+            .Increment();
+        t->m_rejected->Increment();
+      }
+      return Status::ResourceExhausted(
+          "tenant '" + tenant + "' queue is full (" +
+          std::to_string(t->tenant->options.queue_capacity) + " rows)");
+    }
+    if (!t->any_request) {
+      t->any_request = true;
+      t->first_submit_ns = req.enqueued_ns;
+    }
+    if (!any_request_) {
+      any_request_ = true;
+      first_submit_ns_ = req.enqueued_ns;
+    }
+    t->queue.push_back(std::move(req));
+    ++total_queued_;
+    t->max_queue_depth = std::max(t->max_queue_depth, t->queue.size());
+    max_queue_depth_ = std::max(max_queue_depth_, total_queued_);
+    tenant_depth = t->queue.size();
+    total_depth = total_queued_;
+  }
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global()
+        .GetGauge("serve.queue_depth")
+        .Set(static_cast<double>(total_depth));
+    t->m_queue_depth->Set(static_cast<double>(tenant_depth));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+bool MultiTenantEngine::TenantReadyLocked(const TenantState& t) const {
+  if (t.queue.empty()) return false;
+  if (stopping_) return true;
+  if (t.queue.size() >= t.tenant->options.max_batch) return true;
+  const int64_t deadline_ns =
+      t.queue.front().enqueued_ns +
+      static_cast<int64_t>(t.tenant->options.deadline_ms * 1e6);
+  return clock_->NowNanos() >= deadline_ns;
+}
+
+bool MultiTenantEngine::AnyReadyLocked() const {
+  for (const auto& t : tenants_) {
+    if (TenantReadyLocked(*t)) return true;
+  }
+  return false;
+}
+
+int64_t MultiTenantEngine::EarliestDeadlineRemainingNsLocked() const {
+  const int64_t now_ns = clock_->NowNanos();
+  int64_t best = -1;
+  for (const auto& t : tenants_) {
+    if (t->queue.empty()) continue;
+    const int64_t deadline_ns =
+        t->queue.front().enqueued_ns +
+        static_cast<int64_t>(t->tenant->options.deadline_ms * 1e6);
+    const int64_t remaining = deadline_ns - now_ns;
+    if (best < 0 || remaining < best) best = remaining;
+  }
+  return best < 0 ? 0 : best;
+}
+
+MultiTenantEngine::TenantState* MultiTenantEngine::PickTenantLocked() {
+  const size_t n = tenants_.size();
+  if (n == 0) return nullptr;
+  // Two passes: one over the current round's credits, and — if every ready
+  // tenant has already spent its share — one after refilling, which starts
+  // the next round. The scan begins just past the previously picked tenant,
+  // so equal-weight tenants interleave instead of the lowest index winning
+  // every tie.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    for (size_t i = 0; i < n; ++i) {
+      TenantState& t = *tenants_[(rr_cursor_ + i) % n];
+      if (t.credits > 0 && TenantReadyLocked(t)) {
+        --t.credits;
+        rr_cursor_ = (rr_cursor_ + i + 1) % n;
+        return &t;
+      }
+    }
+    for (auto& t : tenants_) t->credits = t->tenant->options.weight;
+  }
+  return nullptr;
+}
+
+const MultiTenantEngine::TenantState* MultiTenantEngine::FindTenantLocked(
+    const std::string& name) const {
+  for (const auto& t : tenants_) {
+    if (t->tenant->name == name) return t.get();
+  }
+  return nullptr;
+}
+
+void MultiTenantEngine::WorkerLoop() {
+  for (;;) {
+    std::vector<Request> batch;
+    TenantState* ts = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || total_queued_ > 0; });
+      if (total_queued_ == 0) break;  // stopping_ and fully drained
+
+      // Hold the earliest-deadline batch open until some tenant fills its
+      // max_batch or times out; stop requests close batches immediately. The
+      // remaining wait is recomputed from the injected clock each iteration
+      // (rather than passing an absolute time_point to wait_until) so the
+      // deadline logic follows a FakeClock in tests.
+      while (!stopping_ && !AnyReadyLocked()) {
+        const int64_t remaining_ns = EarliestDeadlineRemainingNsLocked();
+        if (remaining_ns <= 0) break;
+        cv_.wait_for(lock, std::chrono::nanoseconds(remaining_ns));
+      }
+
+      ts = PickTenantLocked();
+      if (ts == nullptr) continue;  // spurious wake: nothing ready yet
+      const size_t take =
+          std::min(ts->queue.size(), ts->tenant->options.max_batch);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(ts->queue.front()));
+        ts->queue.pop_front();
+      }
+      total_queued_ -= take;
+    }
+
+    const FrozenModel* model = ts->tenant->model;
+    StatusOr<Matrix> logits = [&] {
+      obs::TraceSpan span("serve/batch");
+      span.AddItems(static_cast<double>(batch.size()));
+      Matrix x(batch.size(), model->feature_dim());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        std::copy(batch[i].features.begin(), batch[i].features.end(),
+                  x.row_data(i));
+      }
+      return model->ScoreFeatures(x);
+    }();
+    const int64_t done_ns = clock_->NowNanos();
+
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!logits.ok()) {
+        batch[i].promise.set_exception(std::make_exception_ptr(
+            std::runtime_error(logits.status().ToString())));
+      } else {
+        std::vector<double> row(logits->row_data(i),
+                                logits->row_data(i) + logits->cols());
+        batch[i].promise.set_value(std::move(row));
+      }
+    }
+
+    const bool metrics = obs::MetricsEnabled();
+    batch_rows_hist_.Record(static_cast<double>(batch.size()));
+    ts->batch_rows_hist.Record(static_cast<double>(batch.size()));
+    if (metrics) {
+      obs::MetricsRegistry::Global()
+          .GetHistogram("serve.batch_rows", BatchRowsHistogramOptions())
+          .Record(static_cast<double>(batch.size()));
+    }
+    for (const Request& req : batch) {
+      const double ms = static_cast<double>(done_ns - req.enqueued_ns) / 1e6;
+      latency_ms_hist_.Record(ms);
+      ts->latency_ms_hist.Record(ms);
+      if (metrics) {
+        auto& registry = obs::MetricsRegistry::Global();
+        registry.GetHistogram("serve.latency_ms").Record(ms);
+        registry.GetCounter("serve.requests_total").Increment();
+        ts->m_latency->Record(ms);
+        ts->m_requests->Increment();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++batches_;
+      total_batch_rows_ += batch.size();
+      requests_done_ += batch.size();
+      last_complete_ns_ = done_ns;
+      ++ts->batches;
+      ts->total_batch_rows += batch.size();
+      ts->requests_done += batch.size();
+      ts->last_complete_ns = done_ns;
+    }
+  }
+}
+
+ServeStats MultiTenantEngine::StatsFor(const TenantState& t) const {
+  ServeStats stats;
+  stats.requests = t.requests_done;
+  stats.batches = t.batches;
+  stats.rejected = t.rejected;
+  stats.max_queue_depth = t.max_queue_depth;
+  if (t.batches > 0) {
+    stats.mean_batch_rows = static_cast<double>(t.total_batch_rows) /
+                            static_cast<double>(t.batches);
+  }
+  if (t.requests_done > 0) {
+    stats.p50_ms = t.latency_ms_hist.Quantile(0.50);
+    stats.p95_ms = t.latency_ms_hist.Quantile(0.95);
+    stats.p99_ms = t.latency_ms_hist.Quantile(0.99);
+    stats.max_ms = t.latency_ms_hist.Max();
+    const double span_s =
+        static_cast<double>(t.last_complete_ns - t.first_submit_ns) / 1e9;
+    stats.throughput_rps =
+        span_s > 0.0 ? static_cast<double>(stats.requests) / span_s : 0.0;
+  }
+  return stats;
+}
+
+ServeStats MultiTenantEngine::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServeStats stats;
+  stats.requests = requests_done_;
+  stats.batches = batches_;
+  stats.rejected = rejected_;
+  stats.max_queue_depth = max_queue_depth_;
+  if (batches_ > 0) {
+    stats.mean_batch_rows =
+        static_cast<double>(total_batch_rows_) / static_cast<double>(batches_);
+  }
+  if (requests_done_ > 0) {
+    stats.p50_ms = latency_ms_hist_.Quantile(0.50);
+    stats.p95_ms = latency_ms_hist_.Quantile(0.95);
+    stats.p99_ms = latency_ms_hist_.Quantile(0.99);
+    stats.max_ms = latency_ms_hist_.Max();
+    const double span_s =
+        static_cast<double>(last_complete_ns_ - first_submit_ns_) / 1e9;
+    stats.throughput_rps =
+        span_s > 0.0 ? static_cast<double>(stats.requests) / span_s : 0.0;
+  }
+  return stats;
+}
+
+StatusOr<ServeStats> MultiTenantEngine::TenantStats(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TenantState* t = FindTenantLocked(tenant);
+  if (t == nullptr) return Status::NotFound("unknown tenant '" + tenant + "'");
+  return StatsFor(*t);
+}
+
+StatusOr<double> MultiTenantEngine::TenantLatencyFractionBelow(
+    const std::string& tenant, double threshold_ms) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TenantState* t = FindTenantLocked(tenant);
+  if (t == nullptr) return Status::NotFound("unknown tenant '" + tenant + "'");
+  const uint64_t total = t->latency_ms_hist.Count();
+  if (total == 0) return 1.0;
+  uint64_t below = 0;
+  for (const auto& [upper, cumulative] : t->latency_ms_hist.CumulativeBuckets()) {
+    if (upper <= threshold_ms) {
+      below = cumulative;
+    } else {
+      break;
+    }
+  }
+  return static_cast<double>(below) / static_cast<double>(total);
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,201 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "serve/registry.h"
+
+namespace gnn4tdl {
+
+/// Aggregate serving counters. Latencies are end-to-end per request
+/// (submission to completed scoring).
+///
+/// Precision contract: the engine keeps latency and batch-size distributions
+/// in fixed-size log-bucket histograms (obs::Histogram), not per-request
+/// history, so memory stays O(1) for any number of requests. The p50/p95/p99
+/// fields are therefore histogram estimates with bounded relative error —
+/// at the default bucket growth of 2^(1/8), within ~4.4% of an exact sorted
+/// percentile. `max_ms`, `requests`, `batches`, `mean_batch_rows`, and
+/// `throughput_rps` are exact. `rejected` counts admission-control
+/// (queue-full) rejections only; stopped-engine, unknown-tenant, and
+/// bad-dimension submissions are caller errors, not load shedding.
+struct ServeStats {
+  size_t requests = 0;
+  size_t batches = 0;
+  size_t rejected = 0;
+  double mean_batch_rows = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  /// Completed requests divided by the span between the first submission and
+  /// the last completion.
+  double throughput_rps = 0.0;
+  size_t max_queue_depth = 0;
+
+  std::string ToString() const;
+};
+
+/// Engine-level options; per-tenant policy lives in TenantOptions.
+struct MultiTenantEngineOptions {
+  /// Time source for latency stamping and deadline waits; null means
+  /// obs::RealClock(). Tests inject an obs::FakeClock for deterministic
+  /// latency assertions.
+  const obs::Clock* clock = nullptr;
+};
+
+/// Micro-batching scorer over every tenant in a ModelRegistry: each tenant
+/// gets its own bounded request queue and batching policy, and one worker
+/// thread drains the queues in weighted round-robin order — each scheduling
+/// round gives a tenant up to `weight` batch closures before the scan moves
+/// on, so a saturated tenant cannot starve an idle one (its backlog only
+/// consumes its own share of batch slots, and the idle tenant's first request
+/// is picked up within one batch of becoming ready).
+///
+/// Admission control: a Submit beyond the tenant's queue_capacity returns
+/// kResourceExhausted — typed backpressure the caller can retry or shed, never
+/// an exception — and is counted in both engine stats and the serve.rejected
+/// metrics. A batch closes when it reaches the tenant's max_batch or when the
+/// tenant's oldest request has waited deadline_ms (same policy as the
+/// original single-tenant engine, now per tenant).
+///
+/// Threading: one batching worker for the whole process, so batch forwards
+/// never contend with each other for the shared kernel ThreadPool and scoring
+/// stays deterministic for a fixed thread count (see common/parallel.h). The
+/// registry must outlive the engine and must not gain tenants after the
+/// engine is constructed (the tenant list is snapshotted here).
+///
+/// Observability: aggregate accounting mirrors the original engine
+/// (serve.requests_total, serve.rejected_total, serve.queue_depth,
+/// serve.latency_ms, serve.batch_rows); per-tenant accounting lands under
+/// serve.tenant.<name>.* when obs::MetricsEnabled(). Every batch forward runs
+/// under a "serve/batch" trace span.
+class MultiTenantEngine {
+ public:
+  explicit MultiTenantEngine(const ModelRegistry* registry,
+                             MultiTenantEngineOptions options = {});
+  ~MultiTenantEngine();
+
+  MultiTenantEngine(const MultiTenantEngine&) = delete;
+  MultiTenantEngine& operator=(const MultiTenantEngine&) = delete;
+
+  /// Enqueues one featurized row for `tenant`. The future resolves to the
+  /// row's logits; scoring errors surface through the future. Typed
+  /// submission failures:
+  ///   kResourceExhausted — tenant queue full (admission control; counted as
+  ///                        rejected),
+  ///   kNotFound          — unknown tenant,
+  ///   kInvalidArgument   — wrong feature dimension,
+  ///   kFailedPrecondition — engine stopped.
+  [[nodiscard]] StatusOr<std::future<std::vector<double>>> Submit(
+      const std::string& tenant, std::vector<double> features);
+
+  /// Drains every queue and joins the worker. Idempotent; the destructor
+  /// calls it.
+  void Stop();
+
+  /// Accounting summed over all tenants.
+  ServeStats Stats() const;
+  /// One tenant's accounting (kNotFound for unknown names). max_queue_depth
+  /// is the tenant's own queue; the aggregate Stats() tracks total depth.
+  [[nodiscard]] StatusOr<ServeStats> TenantStats(
+      const std::string& tenant) const;
+  /// Fraction of the tenant's completed requests whose end-to-end latency
+  /// was <= threshold_ms (SLO attainment, from the latency histogram's
+  /// cumulative buckets — resolution is one bucket, ~9% in value). 1.0 when
+  /// the tenant has completed nothing. kNotFound for unknown names.
+  [[nodiscard]] StatusOr<double> TenantLatencyFractionBelow(
+      const std::string& tenant, double threshold_ms) const;
+
+  size_t num_tenants() const { return tenants_.size(); }
+  const ModelRegistry* registry() const { return registry_; }
+
+ private:
+  struct Request {
+    std::vector<double> features;
+    std::promise<std::vector<double>> promise;
+    int64_t enqueued_ns = 0;
+  };
+
+  /// Per-tenant queue + accounting. Histograms shard internally; everything
+  /// else is guarded by the engine-wide mu_.
+  struct TenantState {
+    const Tenant* tenant = nullptr;
+    std::deque<Request> queue;
+    /// WRR credits remaining this round.
+    size_t credits = 0;
+
+    obs::Histogram latency_ms_hist;
+    obs::Histogram batch_rows_hist;
+    size_t requests_done = 0;
+    size_t batches = 0;
+    size_t total_batch_rows = 0;
+    size_t rejected = 0;
+    size_t max_queue_depth = 0;
+    bool any_request = false;
+    int64_t first_submit_ns = 0;
+    int64_t last_complete_ns = 0;
+
+    /// Global-registry handles, resolved once (names are
+    /// serve.tenant.<name>.*). Written only when obs::MetricsEnabled().
+    obs::Counter* m_requests = nullptr;
+    obs::Counter* m_rejected = nullptr;
+    obs::Gauge* m_queue_depth = nullptr;
+    obs::Histogram* m_latency = nullptr;
+
+    explicit TenantState(const Tenant* t);
+  };
+
+  void WorkerLoop();
+  /// True when some tenant has a closable batch: full to max_batch, past its
+  /// oldest request's deadline, or anything queued while stopping.
+  bool AnyReadyLocked() const;
+  bool TenantReadyLocked(const TenantState& t) const;
+  /// Nanoseconds until the earliest pending deadline (0 when one passed).
+  int64_t EarliestDeadlineRemainingNsLocked() const;
+  /// WRR pick: next ready tenant with credits, refilling a spent round.
+  TenantState* PickTenantLocked();
+  const TenantState* FindTenantLocked(const std::string& name) const;
+  TenantState* FindTenantLocked(const std::string& name) {
+    return const_cast<TenantState*>(
+        static_cast<const MultiTenantEngine*>(this)->FindTenantLocked(name));
+  }
+  ServeStats StatsFor(const TenantState& t) const;
+
+  const ModelRegistry* registry_;
+  const obs::Clock* clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  size_t total_queued_ = 0;
+  size_t rr_cursor_ = 0;
+  std::vector<std::unique_ptr<TenantState>> tenants_;
+
+  // Aggregate accounting, mirroring the single-tenant engine's fields.
+  obs::Histogram latency_ms_hist_;
+  obs::Histogram batch_rows_hist_;
+  size_t requests_done_ = 0;
+  size_t batches_ = 0;
+  size_t total_batch_rows_ = 0;
+  size_t rejected_ = 0;
+  size_t max_queue_depth_ = 0;
+  bool any_request_ = false;
+  int64_t first_submit_ns_ = 0;
+  int64_t last_complete_ns_ = 0;
+
+  std::thread worker_;
+};
+
+}  // namespace gnn4tdl

@@ -313,12 +313,14 @@ TEST(ServingEngineObsTest, FakeClockMakesLatencyDeterministic) {
   auto row = [&](size_t i) {
     return std::vector<double>(x.row_data(i), x.row_data(i) + x.cols());
   };
-  std::future<std::vector<double>> f0 = engine.Submit(row(0));
-  std::future<std::vector<double>> f1 = engine.Submit(row(1));
+  StatusOr<std::future<std::vector<double>>> f0 = engine.Submit(row(0));
+  StatusOr<std::future<std::vector<double>>> f1 = engine.Submit(row(1));
+  ASSERT_TRUE(f0.ok());
+  ASSERT_TRUE(f1.ok());
   // Fake time is frozen, so the 2 ms deadline cannot expire until we say so.
   clock.AdvanceMillis(7.0);
-  f0.get();
-  f1.get();
+  f0->get();
+  f1->get();
   engine.Stop();
 
   ServeStats stats = engine.Stats();

@@ -77,7 +77,21 @@ class ServeStressTest : public ::testing::Test {
                                features_->row_data(r) + features_->cols());
   }
 
-  // Resolves every future, validating each success, and tallies outcomes.
+  // Submits one row; accepted futures are collected, typed submission
+  // failures (queue full, engine stopped) land in the rejected tally.
+  static void SubmitRow(ServingEngine& engine, size_t i,
+                        std::vector<std::future<std::vector<double>>>* futures,
+                        std::atomic<size_t>& rejected) {
+    StatusOr<std::future<std::vector<double>>> f = engine.Submit(Row(i));
+    if (f.ok()) {
+      futures->push_back(std::move(*f));
+    } else {
+      ++rejected;
+    }
+  }
+
+  // Resolves every accepted future, validating each success. Scoring errors
+  // would surface here as runtime_error; these tests expect none.
   static void Resolve(std::vector<std::future<std::vector<double>>>& futures,
                       std::atomic<size_t>& ok, std::atomic<size_t>& rejected) {
     for (auto& f : futures) {
@@ -128,7 +142,7 @@ TEST_F(ServeStressTest, ManyProducersEveryRequestResolvesExactlyOnce) {
       std::vector<std::future<std::vector<double>>> futures;
       futures.reserve(kPerProducer);
       for (size_t m = 0; m < kPerProducer; ++m)
-        futures.push_back(engine.Submit(Row(p * kPerProducer + m)));
+        SubmitRow(engine, p * kPerProducer + m, &futures, rejected);
       Resolve(futures, ok, rejected);
     });
   }
@@ -165,7 +179,7 @@ TEST_F(ServeStressTest, ShutdownUnderLoadLosesNoAcceptedRequest) {
       std::vector<std::future<std::vector<double>>> futures;
       futures.reserve(kPerProducer);
       for (size_t m = 0; m < kPerProducer; ++m)
-        futures.push_back(engine.Submit(Row(p * kPerProducer + m)));
+        SubmitRow(engine, p * kPerProducer + m, &futures, rejected);
       Resolve(futures, ok, rejected);
     });
   }
@@ -204,7 +218,7 @@ TEST_F(ServeStressTest, QueueFullRejectionsAreCountedConsistently) {
       std::vector<std::future<std::vector<double>>> futures;
       futures.reserve(kPerProducer);
       for (size_t m = 0; m < kPerProducer; ++m)
-        futures.push_back(engine.Submit(Row(p * kPerProducer + m)));
+        SubmitRow(engine, p * kPerProducer + m, &futures, rejected);
       Resolve(futures, ok, rejected);
     });
   }

@@ -1,0 +1,338 @@
+// Multi-tenant serving tests: registry validation, typed Submit failures,
+// weighted round-robin isolation (a backlogged tenant cannot starve a
+// late-arriving one), and the exactness contract of the sharded attachment
+// index + read-through neighbor cache (bit-identical to the plain index for
+// any shard count, at the Query level and end to end through a frozen model).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "models/knn_gnn.h"
+#include "serve/frozen_model.h"
+#include "serve/knn_index.h"
+#include "serve/registry.h"
+#include "serve/sharded_index.h"
+#include "serve/tenant_engine.h"
+
+namespace gnn4tdl {
+namespace {
+
+// Trains and freezes one small GCN once; tests reload the artifact bytes with
+// per-test FrozenModelOptions (precision, shards, cache).
+class ServeTenantTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    InstanceGraphGnnOptions options;
+    options.backbone = GnnBackbone::kGcn;
+    options.hidden_dim = 16;
+    options.num_layers = 2;
+    options.knn.k = 8;
+    options.train.max_epochs = 10;
+    options.train.verbose = false;
+    options.seed = 3;
+
+    TabularDataset data = MakeClusters({.num_rows = 160,
+                                        .num_classes = 3,
+                                        .dim_informative = 6,
+                                        .dim_noise = 2,
+                                        .seed = 7});
+    Rng rng(17);
+    Split split = StratifiedSplit(data.class_labels(), 0.7, 0.15, rng);
+    InstanceGraphGnn model(options);
+    ASSERT_TRUE(model.Fit(data, split).ok());
+
+    std::stringstream artifact;
+    ASSERT_TRUE(FrozenModel::Save(model, artifact).ok());
+    artifact_ = artifact.str();
+
+    TabularDataset fresh = MakeClusters({.num_rows = 24,
+                                         .num_classes = 3,
+                                         .dim_informative = 6,
+                                         .dim_noise = 2,
+                                         .seed = 91});
+    StatusOr<FrozenModel> frozen = Load();
+    ASSERT_TRUE(frozen.ok()) << frozen.status().ToString();
+    StatusOr<Matrix> x = frozen->Featurize(fresh);
+    ASSERT_TRUE(x.ok()) << x.status().ToString();
+    features_.emplace(std::move(*x));
+  }
+
+  static void TearDownTestSuite() { features_.reset(); }
+
+  static StatusOr<FrozenModel> Load(FrozenModelOptions options = {}) {
+    std::istringstream in(artifact_);
+    return FrozenModel::Load(in, options);
+  }
+
+  static std::vector<double> Row(size_t i) {
+    size_t r = i % features_->rows();
+    return std::vector<double>(features_->row_data(r),
+                               features_->row_data(r) + features_->cols());
+  }
+
+  inline static std::string artifact_;
+  inline static std::optional<Matrix> features_;
+};
+
+TEST_F(ServeTenantTest, RegistryValidatesNames) {
+  StatusOr<FrozenModel> a = Load();
+  StatusOr<FrozenModel> b = Load();
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  ModelRegistry registry;
+  Status empty = registry.AddTenant("", std::move(*a));
+  EXPECT_EQ(empty.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.size(), 0u);
+
+  StatusOr<FrozenModel> again = Load();
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(registry.AddTenant("alpha", std::move(*again)).ok());
+  Status duplicate = registry.AddTenant("alpha", std::move(*b));
+  EXPECT_EQ(duplicate.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.size(), 1u);
+
+  EXPECT_NE(registry.Find("alpha"), nullptr);
+  EXPECT_EQ(registry.Find("beta"), nullptr);
+
+  Status null_model = registry.AddTenant("beta", nullptr);
+  EXPECT_EQ(null_model.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeTenantTest, RegistryClampsDegenerateOptions) {
+  StatusOr<FrozenModel> model = Load();
+  ASSERT_TRUE(model.ok());
+  ModelRegistry registry;
+  TenantOptions options;
+  options.max_batch = 0;
+  options.queue_capacity = 0;
+  options.weight = 0;
+  options.deadline_ms = -1.0;
+  ASSERT_TRUE(registry.AddTenant("t", std::move(*model), options).ok());
+  const Tenant* t = registry.Find("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->options.max_batch, 1u);
+  EXPECT_EQ(t->options.queue_capacity, 1u);
+  EXPECT_EQ(t->options.weight, 1u);
+  EXPECT_EQ(t->options.deadline_ms, 0.0);
+}
+
+TEST_F(ServeTenantTest, SubmitFailuresAreTyped) {
+  StatusOr<FrozenModel> model = Load();
+  ASSERT_TRUE(model.ok());
+  ModelRegistry registry;
+  TenantOptions options;
+  options.max_batch = 8;
+  options.deadline_ms = 1000.0;  // park submissions in the queue
+  options.queue_capacity = 2;
+  ASSERT_TRUE(registry.AddTenant("t", std::move(*model), options).ok());
+  MultiTenantEngine engine(&registry);
+
+  auto unknown = engine.Submit("nope", Row(0));
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+
+  auto bad_dim = engine.Submit("t", std::vector<double>(3, 0.0));
+  EXPECT_EQ(bad_dim.status().code(), StatusCode::kInvalidArgument);
+
+  // Two fit under queue_capacity; the far deadline keeps the worker from
+  // draining them before the third arrives and overflows admission.
+  auto first = engine.Submit("t", Row(0));
+  auto second = engine.Submit("t", Row(1));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  auto overflow = engine.Submit("t", Row(2));
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+
+  engine.Stop();  // drains the two accepted requests
+  EXPECT_EQ(first->get().size(), second->get().size());
+
+  auto stopped = engine.Submit("t", Row(3));
+  EXPECT_EQ(stopped.status().code(), StatusCode::kFailedPrecondition);
+
+  ServeStats stats = engine.Stats();
+  EXPECT_EQ(stats.requests, 2u);
+  // Admission control only: unknown-tenant/bad-dimension/stopped submissions
+  // are caller errors, not shed load.
+  EXPECT_EQ(stats.rejected, 1u);
+  StatusOr<ServeStats> tenant_stats = engine.TenantStats("t");
+  ASSERT_TRUE(tenant_stats.ok());
+  EXPECT_EQ(tenant_stats->requests, 2u);
+  EXPECT_EQ(tenant_stats->rejected, 1u);
+  EXPECT_EQ(engine.TenantStats("nope").status().code(), StatusCode::kNotFound);
+}
+
+// A tenant with a deep backlog must not starve a late-arriving tenant: WRR
+// gives the late tenant a batch slot within one round, so its handful of
+// requests finishes while the backlogged tenant is still draining.
+TEST_F(ServeTenantTest, BackloggedTenantDoesNotStarveLateTenant) {
+  StatusOr<FrozenModel> a = Load();
+  StatusOr<FrozenModel> b = Load();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ModelRegistry registry;
+  TenantOptions options;
+  options.max_batch = 8;
+  options.deadline_ms = 0.5;
+  options.queue_capacity = 1024;
+  ASSERT_TRUE(registry.AddTenant("hog", std::move(*a), options).ok());
+  ASSERT_TRUE(registry.AddTenant("late", std::move(*b), options).ok());
+  MultiTenantEngine engine(&registry);
+
+  constexpr size_t kBacklog = 256;
+  constexpr size_t kLate = 8;
+  std::vector<std::future<std::vector<double>>> hog_futures;
+  hog_futures.reserve(kBacklog);
+  for (size_t i = 0; i < kBacklog; ++i) {
+    auto f = engine.Submit("hog", Row(i));
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    hog_futures.push_back(std::move(*f));
+  }
+  std::vector<std::future<std::vector<double>>> late_futures;
+  late_futures.reserve(kLate);
+  for (size_t i = 0; i < kLate; ++i) {
+    auto f = engine.Submit("late", Row(i));
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    late_futures.push_back(std::move(*f));
+  }
+
+  using Clock = std::chrono::steady_clock;
+  auto start = Clock::now();
+  for (auto& f : late_futures) f.get();
+  auto late_done = Clock::now();
+  for (auto& f : hog_futures) f.get();
+  auto hog_done = Clock::now();
+  engine.Stop();
+
+  // FIFO across tenants would finish `late` last (behind 256 queued rows);
+  // WRR must finish its single batch well before the backlog drains.
+  EXPECT_LT((late_done - start).count(), (hog_done - start).count());
+
+  StatusOr<ServeStats> late_stats = engine.TenantStats("late");
+  ASSERT_TRUE(late_stats.ok());
+  EXPECT_EQ(late_stats->requests, kLate);
+  EXPECT_EQ(late_stats->rejected, 0u);
+  StatusOr<ServeStats> hog_stats = engine.TenantStats("hog");
+  ASSERT_TRUE(hog_stats.ok());
+  EXPECT_EQ(hog_stats->requests, kBacklog);
+  ServeStats total = engine.Stats();
+  EXPECT_EQ(total.requests, kBacklog + kLate);
+}
+
+TEST_F(ServeTenantTest, LatencyFractionBelowIsMonotoneAndBounded) {
+  StatusOr<FrozenModel> model = Load();
+  ASSERT_TRUE(model.ok());
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.AddTenant("t", std::move(*model)).ok());
+  MultiTenantEngine engine(&registry);
+
+  StatusOr<double> empty = engine.TenantLatencyFractionBelow("t", 1.0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(*empty, 1.0);  // nothing completed yet
+
+  std::vector<std::future<std::vector<double>>> futures;
+  for (size_t i = 0; i < 16; ++i) {
+    auto f = engine.Submit("t", Row(i));
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+  for (auto& f : futures) f.get();
+  engine.Stop();
+
+  StatusOr<double> tight = engine.TenantLatencyFractionBelow("t", 1e-6);
+  StatusOr<double> loose = engine.TenantLatencyFractionBelow("t", 60000.0);
+  ASSERT_TRUE(tight.ok() && loose.ok());
+  EXPECT_GE(*tight, 0.0);
+  EXPECT_LE(*tight, *loose);
+  EXPECT_EQ(*loose, 1.0);
+  EXPECT_EQ(engine.TenantLatencyFractionBelow("nope", 1.0).status().code(),
+            StatusCode::kNotFound);
+}
+
+// Query-level exactness: for any shard count, with and without the cache,
+// the sharded view returns the plain index's hits bit for bit (indices and
+// similarity doubles), including on the cache-hit replay.
+TEST_F(ServeTenantTest, ShardedIndexMatchesBaseBitForBit) {
+  Rng rng(5);
+  Matrix reference(64, 6);
+  for (size_t r = 0; r < reference.rows(); ++r)
+    for (size_t c = 0; c < reference.cols(); ++c)
+      reference(r, c) = rng.Normal();
+  StatusOr<KnnIndex> base =
+      KnnIndex::Build(reference, SimilarityMetric::kCosine);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+  Matrix queries(16, 6);
+  for (size_t r = 0; r < queries.rows(); ++r)
+    for (size_t c = 0; c < queries.cols(); ++c) queries(r, c) = rng.Normal();
+
+  constexpr size_t kK = 7;
+  std::vector<std::vector<KnnHit>> want = base->QueryBatch(queries, kK);
+  for (size_t shards : {1u, 2u, 3u, 8u, 64u, 200u}) {
+    for (size_t cache : {0u, 128u}) {
+      ShardedKnnIndexOptions options;
+      options.num_shards = shards;
+      options.cache_capacity = cache;
+      ShardedKnnIndex sharded(&*base, options);
+      for (int pass = 0; pass < 2; ++pass) {  // pass 2 replays cache hits
+        std::vector<std::vector<KnnHit>> got = sharded.QueryBatch(queries, kK);
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t q = 0; q < want.size(); ++q) {
+          ASSERT_EQ(got[q].size(), want[q].size())
+              << "shards=" << shards << " cache=" << cache << " query=" << q;
+          for (size_t h = 0; h < want[q].size(); ++h) {
+            EXPECT_EQ(got[q][h].index, want[q][h].index);
+            EXPECT_EQ(got[q][h].similarity, want[q][h].similarity);
+          }
+        }
+      }
+      if (cache > 0) {
+        ASSERT_NE(sharded.cache(), nullptr);
+        NeighborCache::CacheStats stats = sharded.cache()->Stats();
+        EXPECT_GT(stats.hits, 0u);  // second pass must be cache hits
+      } else {
+        EXPECT_EQ(sharded.cache(), nullptr);
+      }
+    }
+  }
+}
+
+// End-to-end exactness: a frozen model loaded with shards + cache scores
+// identically (EXPECT_EQ on every logit) to the plain load, and the cache
+// actually absorbs the repeat pass.
+TEST_F(ServeTenantTest, CachedShardedModelScoresBitExact) {
+  StatusOr<FrozenModel> plain = Load();
+  ASSERT_TRUE(plain.ok());
+  FrozenModelOptions options;
+  options.index_shards = 3;
+  options.neighbor_cache_capacity = 256;
+  StatusOr<FrozenModel> cached = Load(options);
+  ASSERT_TRUE(cached.ok());
+  ASSERT_NE(cached->sharded_index(), nullptr);
+  EXPECT_EQ(cached->sharded_index()->num_shards(), 3u);
+
+  StatusOr<Matrix> want = plain->ScoreFeatures(*features_);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  for (int pass = 0; pass < 2; ++pass) {
+    StatusOr<Matrix> got = cached->ScoreFeatures(*features_);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->rows(), want->rows());
+    ASSERT_EQ(got->cols(), want->cols());
+    for (size_t r = 0; r < want->rows(); ++r)
+      for (size_t c = 0; c < want->cols(); ++c)
+        EXPECT_EQ((*got)(r, c), (*want)(r, c)) << "row " << r << " col " << c;
+  }
+  ASSERT_NE(cached->sharded_index()->cache(), nullptr);
+  NeighborCache::CacheStats stats = cached->sharded_index()->cache()->Stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace gnn4tdl

@@ -406,9 +406,10 @@ TEST_F(ServeModelTest, EngineSingleRequestBatchesAreBitDeterministic) {
   opts.deadline_ms = 0.0;
   ServingEngine engine(&*frozen, opts);
   for (size_t i = 0; i < x->rows(); ++i) {
-    std::future<std::vector<double>> f = engine.Submit(
+    StatusOr<std::future<std::vector<double>>> f = engine.Submit(
         std::vector<double>(x->row_data(i), x->row_data(i) + x->cols()));
-    std::vector<double> served = f.get();
+    ASSERT_TRUE(f.ok());
+    std::vector<double> served = f->get();
 
     Matrix row(1, x->cols());
     std::copy(x->row_data(i), x->row_data(i) + x->cols(), row.row_data(0));
@@ -446,8 +447,10 @@ TEST_F(ServeModelTest, EngineMicroBatchingAgreesWithDirectScoring) {
   ServingEngine engine(&*frozen, opts);
   std::vector<std::future<std::vector<double>>> futures;
   for (size_t i = 0; i < x->rows(); ++i) {
-    futures.push_back(engine.Submit(
-        std::vector<double>(x->row_data(i), x->row_data(i) + x->cols())));
+    StatusOr<std::future<std::vector<double>>> f = engine.Submit(
+        std::vector<double>(x->row_data(i), x->row_data(i) + x->cols()));
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
   }
   size_t agree = 0;
   for (size_t i = 0; i < futures.size(); ++i) {
@@ -477,11 +480,15 @@ TEST_F(ServeModelTest, EngineRejectsWrongDimension) {
   ASSERT_TRUE(frozen.ok());
 
   ServingEngine engine(&*frozen, {});
-  std::future<std::vector<double>> f =
+  StatusOr<std::future<std::vector<double>>> f =
       engine.Submit(std::vector<double>(frozen->feature_dim() + 1, 0.0));
-  EXPECT_THROW(f.get(), std::runtime_error);
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kInvalidArgument);
   engine.Stop();
-  EXPECT_EQ(engine.Stats().requests, 0u);
+  ServeStats stats = engine.Stats();
+  EXPECT_EQ(stats.requests, 0u);
+  // Dimension mismatches are caller bugs, not admission-control shedding.
+  EXPECT_EQ(stats.rejected, 0u);
 }
 
 TEST_F(ServeModelTest, AttacherFullNeighborhoodKeepsEveryTrainingNode) {

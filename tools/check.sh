@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Umbrella correctness gate: lint -> asan -> tsan -> threads -> trace -> simd.
+# Umbrella correctness gate:
+#   lint -> asan -> tsan -> threads -> trace -> simd -> load.
 #
 #   stage 1  lint     build gnn4tdl_lint (default preset) and scan the tree
 #   stage 2  asan     full test suite under Address+UB sanitizers
@@ -20,6 +21,12 @@
 #                     The parity tests assert scalar and AVX2 tiers are
 #                     bit-identical, so a pass here means the dispatch choice
 #                     can never change served logits
+#   stage 7  load     multi-tenant serving smoke: a short seeded gnn4tdl_cli
+#                     loadgen run (two tenants, open loop). The CLI itself
+#                     exits non-zero on any request error or when the
+#                     generator's offered/completed/rejected tallies disagree
+#                     with the engine's counters, so this stage gates on
+#                     rejection-accounting consistency, not just liveness
 #
 # Every stage runs even if an earlier one fails; the summary at the end
 # lists per-stage PASS/FAIL and the script exits non-zero if any failed.
@@ -89,16 +96,24 @@ simd_stage() {
     GNN4TDL_SIMD=avx2 ./build/tests/gnn4tdl_serve_precision_test
 }
 
+load_stage() {
+  cmake --preset default &&
+    cmake --build --preset default -j "$(nproc)" --target gnn4tdl_cli &&
+    ./build/tools/gnn4tdl_cli loadgen --epochs 8 --rps 200 --duration-s 0.5 \
+      --seed 42 --shards 4 --cache 256
+}
+
 run_stage lint lint_stage
 run_stage asan asan_stage "$@"
 run_stage tsan tsan_stage "$@"
 run_stage threads threads_stage "$@"
 run_stage trace trace_stage
 run_stage simd simd_stage
+run_stage load load_stage
 
 echo
 echo "==== check.sh summary ===="
-for stage in lint asan tsan threads trace simd; do
+for stage in lint asan tsan threads trace simd load; do
   printf '  %-7s %s\n' "$stage" "${results[$stage]}"
 done
 exit "$overall"

@@ -12,12 +12,16 @@
 //   gnn4tdl_cli freeze --out model.gnn4tdl [--csv data.csv ...]
 //   gnn4tdl_cli score --model model.gnn4tdl [--csv new_rows.csv]
 //   gnn4tdl_cli serve --model model.gnn4tdl [--batch 16 --deadline-ms 2]
+//   gnn4tdl_cli loadgen [--rps 200 --duration-s 1 --mode open]
 //
 // `freeze` trains an instance-graph GNN and writes a frozen artifact;
 // `score` reloads it in a fresh process and scores rows inductively;
 // `serve` pushes rows through the micro-batching engine and reports
-// latency/throughput stats. Without --csv all three use the same synthetic
-// demo table (regenerated deterministically from --seed).
+// latency/throughput stats; `loadgen` stands up a two-tenant registry
+// (interactive + batch policies over the same artifact) and drives it with
+// the seeded load harness, failing the process on any error or on a
+// rejection-accounting mismatch. Without --csv all four use the same
+// synthetic demo table (regenerated deterministically from --seed).
 
 #include <algorithm>
 #include <cstdio>
@@ -26,12 +30,15 @@
 #include <fstream>
 #include <future>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/pipeline.h"
 #include "kernels/kernels.h"
+#include "load/loadgen.h"
 #include "data/cross_validation.h"
 #include "data/csv.h"
 #include "data/split.h"
@@ -46,11 +53,22 @@ namespace gnn4tdl {
 namespace {
 
 struct CliArgs {
-  std::string command;  // "", "freeze", "score", or "serve"
+  std::string command;  // "", "freeze", "score", "serve", or "loadgen"
   std::string out = "model.gnn4tdl";
   std::string model;
   size_t batch = 16;
   double deadline_ms = 2.0;
+  size_t queue_capacity = 4096;
+  // loadgen traffic shape.
+  std::string mode = "open";  // open | closed
+  double rps = 200.0;
+  double duration_s = 1.0;
+  size_t workers = 4;
+  double think_ms = 0.0;
+  // Serving-side index options: shards over the attachment scan and a
+  // read-through neighbor cache (both bit-exact vs the plain index).
+  size_t shards = 0;
+  size_t cache = 0;
   std::string csv;
   std::string label = "label";
   bool regression = false;
@@ -112,10 +130,25 @@ void PrintUsage() {
       "                        inductively\n"
       "  serve                 load a frozen artifact (--model) and run the\n"
       "                        micro-batching engine over the input rows\n"
+      "  loadgen               serve one artifact under two tenants\n"
+      "                        (interactive + batch policies) and drive them\n"
+      "                        with the seeded load harness; exits nonzero on\n"
+      "                        errors or a rejection-accounting mismatch\n"
       "  --out PATH            freeze: artifact output path\n"
-      "  --model PATH          score/serve: artifact to load\n"
+      "  --model PATH          score/serve/loadgen: artifact to load\n"
       "  --batch N             serve: max rows per micro-batch (default 16)\n"
       "  --deadline-ms F       serve: batch deadline in ms (default 2)\n"
+      "  --queue-capacity N    serve/loadgen: per-tenant queue bound\n"
+      "                        (default 4096); overflow rejects admission\n"
+      "  --shards N            serve/loadgen: shard the kNN attachment index\n"
+      "                        N ways (default off; any N is bit-exact)\n"
+      "  --cache N             serve/loadgen: read-through neighbor cache\n"
+      "                        capacity in entries (default off)\n"
+      "  --mode NAME           loadgen: open | closed arrival loop\n"
+      "  --rps F               loadgen: offered requests/s (default 200)\n"
+      "  --duration-s F        loadgen: open-loop duration (default 1)\n"
+      "  --workers N           loadgen: closed-loop clients (default 4)\n"
+      "  --think-ms F          loadgen: closed-loop think time (default 0)\n"
       "  --precision NAME      f32 | f64. freeze: serving tier recorded in\n"
       "                        the artifact (default f64). score/serve:\n"
       "                        override the artifact's recorded tier\n");
@@ -126,7 +159,7 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
   if (argc > 1 && argv[1][0] != '-') {
     args->command = argv[1];
     if (args->command != "freeze" && args->command != "score" &&
-        args->command != "serve") {
+        args->command != "serve" && args->command != "loadgen") {
       std::fprintf(stderr, "unknown subcommand: %s\n", args->command.c_str());
       PrintUsage();
       return false;
@@ -223,6 +256,42 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (!v) return false;
       args->deadline_ms = std::atof(v);
+    } else if (flag == "--queue-capacity") {
+      const char* v = next();
+      if (!v) return false;
+      args->queue_capacity = static_cast<size_t>(std::atoi(v));
+    } else if (flag == "--shards") {
+      const char* v = next();
+      if (!v) return false;
+      args->shards = static_cast<size_t>(std::atoi(v));
+    } else if (flag == "--cache") {
+      const char* v = next();
+      if (!v) return false;
+      args->cache = static_cast<size_t>(std::atoi(v));
+    } else if (flag == "--mode") {
+      const char* v = next();
+      if (!v) return false;
+      args->mode = v;
+      if (args->mode != "open" && args->mode != "closed") {
+        std::fprintf(stderr, "--mode must be open or closed, got %s\n", v);
+        return false;
+      }
+    } else if (flag == "--rps") {
+      const char* v = next();
+      if (!v) return false;
+      args->rps = std::atof(v);
+    } else if (flag == "--duration-s") {
+      const char* v = next();
+      if (!v) return false;
+      args->duration_s = std::atof(v);
+    } else if (flag == "--workers") {
+      const char* v = next();
+      if (!v) return false;
+      args->workers = static_cast<size_t>(std::atoi(v));
+    } else if (flag == "--think-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args->think_ms = std::atof(v);
     } else if (flag == "--trace-out") {
       const char* v = next();
       if (!v) return false;
@@ -315,8 +384,9 @@ int RunFreeze(const CliArgs& args) {
   return 0;
 }
 
-/// Load options for score/serve: --precision, when given, overrides the
-/// artifact's recorded serving tier.
+/// Load options for score/serve/loadgen: --precision, when given, overrides
+/// the artifact's recorded serving tier; --shards/--cache configure the
+/// sharded attachment index and its read-through neighbor cache.
 StatusOr<FrozenModelOptions> LoadOptionsFromArgs(const CliArgs& args) {
   FrozenModelOptions options;
   if (!args.precision.empty()) {
@@ -325,7 +395,24 @@ StatusOr<FrozenModelOptions> LoadOptionsFromArgs(const CliArgs& args) {
     if (!precision.ok()) return precision.status();
     options.precision = *precision;
   }
+  options.index_shards = args.shards;
+  options.neighbor_cache_capacity = args.cache;
   return options;
+}
+
+/// "f64" when served as requested, "f64 (requested f32: no f32 tier for
+/// this backbone)" when the load fell back — the user-facing face of the
+/// serve.effective_precision gauge.
+std::string EffectivePrecisionLabel(const FrozenModel& frozen) {
+  std::string label = kernels::PrecisionName(frozen.precision());
+  if (frozen.precision() != frozen.requested_precision()) {
+    label += " (requested ";
+    label += kernels::PrecisionName(frozen.requested_precision());
+    label += ": no ";
+    label += kernels::PrecisionName(frozen.requested_precision());
+    label += " tier for this backbone)";
+  }
+  return label;
 }
 
 int RunScore(const CliArgs& args) {
@@ -349,8 +436,7 @@ int RunScore(const CliArgs& args) {
               "precision %s\n",
               args.model.c_str(), TaskTypeName(frozen->task()),
               frozen->num_train_rows(), frozen->feature_dim(),
-              frozen->num_outputs(),
-              kernels::PrecisionName(frozen->precision()));
+              frozen->num_outputs(), EffectivePrecisionLabel(*frozen).c_str());
 
   StatusOr<TabularDataset> data = LoadData(args);
   if (!data.ok()) {
@@ -391,12 +477,13 @@ int RunScore(const CliArgs& args) {
   return 0;
 }
 
-// Without --model, `serve` trains an instance-graph GNN through the full
-// pipeline, freezes it in memory, and serves it — one invocation exercising
-// pipeline stages, trainer epochs, kernels, and serving batches, which is
-// what the `--trace-out` smoke in tools/check.sh relies on.
-StatusOr<FrozenModel> TrainAndFreezeForServe(const CliArgs& args,
-                                             const TabularDataset& data) {
+// Without --model, `serve`/`loadgen` train an instance-graph GNN through the
+// full pipeline and freeze it to in-memory artifact bytes — one invocation
+// exercising pipeline stages, trainer epochs, kernels, and serving batches,
+// which is what the `--trace-out` smoke in tools/check.sh relies on. Bytes
+// (not a loaded model) so loadgen can load the same artifact once per tenant.
+StatusOr<std::string> TrainArtifactForServe(const CliArgs& args,
+                                            const TabularDataset& data) {
   PipelineConfig config;
   config.formulation = GraphFormulation::kInstanceGraph;
   config.construction = ConstructionMethod::kKnn;
@@ -432,7 +519,16 @@ StatusOr<FrozenModel> TrainAndFreezeForServe(const CliArgs& args,
   if (!precision.ok()) return precision.status();
   std::stringstream artifact;
   GNN4TDL_RETURN_IF_ERROR(FrozenModel::Save(*gnn, artifact, *precision));
-  return FrozenModel::Load(artifact);
+  return artifact.str();
+}
+
+StatusOr<FrozenModel> TrainAndFreezeForServe(const CliArgs& args,
+                                             const TabularDataset& data,
+                                             const FrozenModelOptions& options) {
+  StatusOr<std::string> bytes = TrainArtifactForServe(args, data);
+  if (!bytes.ok()) return bytes.status();
+  std::stringstream artifact(*bytes);
+  return FrozenModel::Load(artifact, options);
 }
 
 int RunServe(const CliArgs& args) {
@@ -449,7 +545,7 @@ int RunServe(const CliArgs& args) {
     return 1;
   }
   StatusOr<FrozenModel> frozen =
-      args.model.empty() ? TrainAndFreezeForServe(args, *data)
+      args.model.empty() ? TrainAndFreezeForServe(args, *data, *load_options)
                          : FrozenModel::Load(args.model, *load_options);
   if (!frozen.ok()) {
     std::fprintf(stderr, "failed to prepare a frozen model: %s\n",
@@ -466,15 +562,26 @@ int RunServe(const CliArgs& args) {
   ServingOptions serve_opts;
   serve_opts.max_batch = args.batch;
   serve_opts.deadline_ms = args.deadline_ms;
+  serve_opts.queue_capacity = args.queue_capacity;
   ServingEngine engine(&*frozen, serve_opts);
-  std::printf("serving %zu rows (max_batch=%zu, deadline=%.1fms)...\n",
-              x->rows(), serve_opts.max_batch, serve_opts.deadline_ms);
+  std::printf("serving %zu rows (max_batch=%zu, deadline=%.1fms, "
+              "precision %s)...\n",
+              x->rows(), serve_opts.max_batch, serve_opts.deadline_ms,
+              EffectivePrecisionLabel(*frozen).c_str());
 
   std::vector<std::future<std::vector<double>>> futures;
   futures.reserve(x->rows());
+  size_t rejected = 0;
   for (size_t i = 0; i < x->rows(); ++i) {
-    futures.push_back(engine.Submit(
-        std::vector<double>(x->row_data(i), x->row_data(i) + x->cols())));
+    StatusOr<std::future<std::vector<double>>> f = engine.Submit(
+        std::vector<double>(x->row_data(i), x->row_data(i) + x->cols()));
+    if (f.ok()) {
+      futures.push_back(std::move(*f));
+    } else {
+      if (++rejected == 1)
+        std::fprintf(stderr, "submission rejected: %s\n",
+                     f.status().ToString().c_str());
+    }
   }
   size_t failed = 0;
   for (auto& f : futures) {
@@ -488,8 +595,144 @@ int RunServe(const CliArgs& args) {
   engine.Stop();
   ServeStats stats = engine.Stats();
   std::printf("%s\n", stats.ToString().c_str());
+  if (rejected > 0)
+    std::fprintf(stderr, "%zu submissions rejected\n", rejected);
   if (failed > 0) {
     std::fprintf(stderr, "%zu requests failed\n", failed);
+    return 1;
+  }
+  return 0;
+}
+
+// Serves one artifact under two tenants — "interactive" (tight deadline,
+// 3x scheduling weight, 50ms SLO) and "batch" (4x batch size and deadline,
+// 250ms SLO) — and drives both with the seeded load harness. The process
+// fails on any request error or when the generator's tallies disagree with
+// the engine's counters, so tools/check.sh can gate its `load` stage on the
+// exit code alone.
+int RunLoadgen(const CliArgs& args) {
+  StatusOr<TabularDataset> data = LoadData(args);
+  if (!data.ok()) {
+    std::fprintf(stderr, "failed to load data: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+
+  std::string artifact;
+  if (args.model.empty()) {
+    StatusOr<std::string> trained = TrainArtifactForServe(args, *data);
+    if (!trained.ok()) {
+      std::fprintf(stderr, "failed to prepare a frozen model: %s\n",
+                   trained.status().ToString().c_str());
+      return 1;
+    }
+    artifact = std::move(*trained);
+  } else {
+    std::ifstream in(args.model, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", args.model.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    artifact = buffer.str();
+  }
+
+  StatusOr<FrozenModelOptions> load_options = LoadOptionsFromArgs(args);
+  if (!load_options.ok()) {
+    std::fprintf(stderr, "bad --precision: %s\n",
+                 load_options.status().ToString().c_str());
+    return 1;
+  }
+
+  TenantOptions interactive;
+  interactive.max_batch = args.batch;
+  interactive.deadline_ms = args.deadline_ms;
+  interactive.queue_capacity = args.queue_capacity;
+  interactive.weight = 3;
+  interactive.slo_ms = 50.0;
+  TenantOptions batch;
+  batch.max_batch = args.batch * 4;
+  batch.deadline_ms = args.deadline_ms * 4;
+  batch.queue_capacity = args.queue_capacity;
+  batch.weight = 1;
+  batch.slo_ms = 250.0;
+
+  ModelRegistry registry;
+  std::optional<Matrix> features;
+  const std::pair<const char*, const TenantOptions*> tenants[] = {
+      {"interactive", &interactive}, {"batch", &batch}};
+  for (const auto& [name, options] : tenants) {
+    std::stringstream in(artifact);
+    StatusOr<FrozenModel> model = FrozenModel::Load(in, *load_options);
+    if (!model.ok()) {
+      std::fprintf(stderr, "failed to load tenant %s: %s\n", name,
+                   model.status().ToString().c_str());
+      return 1;
+    }
+    if (!features) {
+      StatusOr<Matrix> x = model->Featurize(*data);
+      if (!x.ok()) {
+        std::fprintf(stderr, "featurize failed: %s\n",
+                     x.status().ToString().c_str());
+        return 1;
+      }
+      features.emplace(std::move(*x));
+      std::printf("loadgen precision %s\n",
+                  EffectivePrecisionLabel(*model).c_str());
+    }
+    Status added = registry.AddTenant(name, std::move(*model), *options);
+    if (!added.ok()) {
+      std::fprintf(stderr, "failed to register tenant %s: %s\n", name,
+                   added.ToString().c_str());
+      return 1;
+    }
+  }
+
+  MultiTenantEngine engine(&registry);
+  std::vector<TenantTraffic> traffic = {{"interactive", 2.0, &*features},
+                                        {"batch", 1.0, &*features}};
+  LoadOptions load;
+  load.mode = args.mode == "closed" ? LoadOptions::Mode::kClosedLoop
+                                    : LoadOptions::Mode::kOpenLoop;
+  load.offered_rps = args.rps;
+  load.duration_s = args.duration_s;
+  load.closed_workers = args.workers;
+  load.think_time_ms = args.think_ms;
+  // Let --rps/--duration-s size the closed-loop run too, so both modes scale
+  // with the same flags.
+  load.requests_per_worker = std::max<size_t>(
+      1, static_cast<size_t>(args.rps * args.duration_s /
+                             static_cast<double>(std::max<size_t>(
+                                 1, args.workers))));
+  load.seed = args.seed;
+  std::printf("loadgen: %s loop, %.0f rps offered for %.1fs across "
+              "2 tenants (seed %llu)\n",
+              args.mode.c_str(), args.rps, args.duration_s,
+              static_cast<unsigned long long>(args.seed));
+
+  LoadGenerator generator(&engine, std::move(traffic), load);
+  StatusOr<LoadReport> report = generator.Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "loadgen failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  engine.Stop();  // flush accounting before reconciling against it
+  std::printf("%s\n", report->ToString().c_str());
+
+  Status accounting = CheckAccounting(engine, *report);
+  if (!accounting.ok()) {
+    std::fprintf(stderr, "accounting mismatch: %s\n",
+                 accounting.ToString().c_str());
+    return 1;
+  }
+  std::printf("accounting: generator and engine agree "
+              "(%zu offered = %zu completed + %zu rejected + %zu errors)\n",
+              report->offered, report->completed, report->rejected,
+              report->errors);
+  if (report->errors > 0) {
+    std::fprintf(stderr, "%zu requests errored\n", report->errors);
     return 1;
   }
   return 0;
@@ -636,6 +879,7 @@ int Dispatch(const CliArgs& args) {
   if (args.command == "freeze") return RunFreeze(args);
   if (args.command == "score") return RunScore(args);
   if (args.command == "serve") return RunServe(args);
+  if (args.command == "loadgen") return RunLoadgen(args);
   return Run(args);
 }
 

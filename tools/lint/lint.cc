@@ -15,10 +15,16 @@
 //                             (src/tensor/); everything else uses containers
 //                             and smart pointers. `= delete` declarations are
 //                             not flagged.
-//   raw-thread                std::thread in src/ outside common/parallel.*
-//                             and serve/ — kernel code must go through the
-//                             shared ThreadPool (common/parallel.h) so thread
-//                             counts, determinism, and nesting rules hold.
+//   raw-thread                std::thread in src/ outside common/parallel.*,
+//                             serve/, and load/ — kernel code must go through
+//                             the shared ThreadPool (common/parallel.h) so
+//                             thread counts, determinism, and nesting rules
+//                             hold.
+//   raw-deque                 std::deque in src/ outside src/serve/ — request
+//                             queues belong to the serving subsystem, where
+//                             admission control (bounded capacity + typed
+//                             kResourceExhausted rejection) is enforced;
+//                             ad-hoc unbounded queues elsewhere bypass it.
 //   raw-clock                 std::chrono::steady_clock/system_clock in src/
 //                             outside obs/ and common/parallel.* — all timing
 //                             flows through obs::Clock (src/obs/clock.h) so
@@ -234,7 +240,9 @@ void LintFile(const std::string& rel_path, const std::string& raw,
   const bool in_src = StartsWith(rel_path, "src/");
   const bool in_tensor_impl = StartsWith(rel_path, "src/tensor/");
   const bool thread_allowed = StartsWith(rel_path, "src/common/parallel.") ||
-                              StartsWith(rel_path, "src/serve/");
+                              StartsWith(rel_path, "src/serve/") ||
+                              StartsWith(rel_path, "src/load/");
+  const bool deque_allowed = StartsWith(rel_path, "src/serve/");
   const bool clock_allowed = StartsWith(rel_path, "src/obs/") ||
                              StartsWith(rel_path, "src/common/parallel.");
   const bool simd_allowed = StartsWith(rel_path, "src/kernels/");
@@ -293,6 +301,14 @@ void LintFile(const std::string& rel_path, const std::string& raw,
       out->push_back({rel_path, t.line, "raw-thread",
                       "raw std::thread outside common/parallel and serve/; "
                       "use the shared ThreadPool (common/parallel.h)"});
+    }
+
+    if (in_src && !deque_allowed && t.text == "deque" && prev(1) &&
+        prev(1)->text == "::" && prev(2) && prev(2)->text == "std") {
+      out->push_back({rel_path, t.line, "raw-deque",
+                      "raw std::deque request queue outside src/serve/; "
+                      "queues belong behind the serving subsystem's admission "
+                      "control (serve/tenant_engine.h)"});
     }
 
     if (in_src && !clock_allowed &&

@@ -21,6 +21,9 @@ void Caller(Helper* helper) {
   worker.join();
   (void)std::thread::hardware_concurrency();  // query — must NOT be flagged
 
+  std::deque<int> queue;  // raw-deque: request queues live in src/serve/
+  queue.push_back(r);
+
   auto t0 = std::chrono::steady_clock::now();  // raw-clock: use obs::Clock
   (void)t0;
 
