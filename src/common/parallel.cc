@@ -73,20 +73,24 @@ ThreadPool& ThreadPool::Global() {
 }
 
 ThreadPool::ThreadPool(size_t num_threads) {
+  MutexLock run_lock(&run_mu_);
   StartWorkers(std::max<size_t>(num_threads, 1) - 1);
 }
 
-ThreadPool::~ThreadPool() { StopWorkers(); }
+ThreadPool::~ThreadPool() {
+  MutexLock run_lock(&run_mu_);
+  StopWorkers();
+}
 
 void ThreadPool::SetNumThreads(size_t n) {
-  std::lock_guard<std::mutex> run_lock(run_mu_);
+  MutexLock run_lock(&run_mu_);
   StopWorkers();
   StartWorkers(std::max<size_t>(n, 1) - 1);
 }
 
 void ThreadPool::StartWorkers(size_t num_workers) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = false;
   }
   for (size_t i = 0; i < num_workers; ++i) {
@@ -97,10 +101,10 @@ void ThreadPool::StartWorkers(size_t num_workers) {
 
 void ThreadPool::StopWorkers() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
@@ -110,7 +114,7 @@ void ThreadPool::StopWorkers() {
 
 bool ThreadPool::NextChunk(size_t* chunk,
                            const std::function<void(size_t)>** fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (job_fn_ == nullptr || job_next_chunk_ >= job_num_chunks_) return false;
   *chunk = job_next_chunk_++;
   *fn = job_fn_;
@@ -120,11 +124,11 @@ bool ThreadPool::NextChunk(size_t* chunk,
 void ThreadPool::FinishChunk() {
   bool last = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     GNN4TDL_CHECK_GT(job_pending_chunks_, 0u);
     last = --job_pending_chunks_ == 0;
   }
-  if (last) done_cv_.notify_all();
+  if (last) done_cv_.NotifyAll();
 }
 
 void ThreadPool::RunChunk(size_t chunk, const std::function<void(size_t)>& fn) {
@@ -136,7 +140,7 @@ void ThreadPool::RunChunk(size_t chunk, const std::function<void(size_t)>& fn) {
     obs::TraceAmbientParent trace_parent(job_trace_parent_);
     fn(chunk);
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!job_error_) job_error_ = std::current_exception();
     // Cancel the chunks nobody has started yet; pending_chunks_ was already
     // debited for them, so the caller's wait still terminates.
@@ -150,12 +154,14 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen_generation = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return shutdown_ ||
+      MutexLock lock(&mu_);
+      // Explicit wait loop (not a predicate lambda) so the guarded reads sit
+      // in this function, where the thread-safety analysis can see the lock.
+      while (!(shutdown_ ||
                (job_fn_ != nullptr && job_generation_ != seen_generation &&
-                job_next_chunk_ < job_num_chunks_);
-      });
+                job_next_chunk_ < job_num_chunks_))) {
+        work_cv_.Wait(lock);
+      }
       if (shutdown_) return;
       seen_generation = job_generation_;
     }
@@ -172,7 +178,7 @@ void ThreadPool::Run(size_t num_chunks,
   // chunk body that re-entered Run would deadlock on run_mu_, which its own
   // caller holds for the duration of the outer job.
   RejectNested("ThreadPool::Run");
-  std::lock_guard<std::mutex> run_lock(run_mu_);
+  MutexLock run_lock(&run_mu_);
   if (workers_.empty() || num_chunks == 1) {
     // Serial fallback: run inline with the guard active; exceptions
     // propagate directly.
@@ -182,7 +188,7 @@ void ThreadPool::Run(size_t num_chunks,
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     job_fn_ = &chunk_fn;
     job_num_chunks_ = num_chunks;
     job_next_chunk_ = 0;
@@ -191,7 +197,7 @@ void ThreadPool::Run(size_t num_chunks,
     job_trace_parent_ = obs::TraceSpan::ActiveId();
     ++job_generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   // The caller is a full lane: it pulls chunks like any worker.
   size_t chunk = 0;
@@ -200,8 +206,8 @@ void ThreadPool::Run(size_t num_chunks,
 
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return job_pending_chunks_ == 0; });
+    MutexLock lock(&mu_);
+    while (job_pending_chunks_ != 0) done_cv_.Wait(lock);
     job_fn_ = nullptr;
     error = job_error_;
     job_error_ = nullptr;

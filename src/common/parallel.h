@@ -1,15 +1,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/trace.h"
 
 namespace gnn4tdl {
@@ -71,36 +71,40 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
-  void StartWorkers(size_t num_workers);
-  void StopWorkers();
+  void StartWorkers(size_t num_workers) GNN4TDL_REQUIRES(run_mu_);
+  void StopWorkers() GNN4TDL_REQUIRES(run_mu_);
   // Grabs the next chunk index of the active job; false when drained.
-  bool NextChunk(size_t* chunk, const std::function<void(size_t)>** fn);
-  void FinishChunk();
+  bool NextChunk(size_t* chunk, const std::function<void(size_t)>** fn)
+      GNN4TDL_EXCLUDES(mu_);
+  void FinishChunk() GNN4TDL_EXCLUDES(mu_);
   void RunChunk(size_t chunk, const std::function<void(size_t)>& fn);
 
   // Serializes Run() callers (and SetNumThreads) so at most one job is
   // in flight; the pool is shared but not reentrant.
-  std::mutex run_mu_;
+  Mutex run_mu_;
 
-  // Guards everything below.
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: new job or shutdown
-  std::condition_variable done_cv_;  // caller: all chunks finished
-  std::vector<std::thread> workers_;
+  // Guards the job state below.
+  mutable Mutex mu_;
+  CondVar work_cv_;  // workers: new job or shutdown
+  CondVar done_cv_;  // caller: all chunks finished
+  // Workers are started/joined only by the ctor/dtor and SetNumThreads, all
+  // of which hold run_mu_ for the whole start/stop sequence.
+  std::vector<std::thread> workers_ GNN4TDL_GUARDED_BY(run_mu_);
   std::atomic<size_t> num_threads_{1};
-  bool shutdown_ = false;
+  bool shutdown_ GNN4TDL_GUARDED_BY(mu_) = false;
 
   // Active job state. job_fn_ is non-null only while a job is in flight.
-  uint64_t job_generation_ = 0;
-  const std::function<void(size_t)>* job_fn_ = nullptr;
-  size_t job_num_chunks_ = 0;
-  size_t job_next_chunk_ = 0;
-  size_t job_pending_chunks_ = 0;
-  std::exception_ptr job_error_;
+  uint64_t job_generation_ GNN4TDL_GUARDED_BY(mu_) = 0;
+  const std::function<void(size_t)>* job_fn_ GNN4TDL_GUARDED_BY(mu_) = nullptr;
+  size_t job_num_chunks_ GNN4TDL_GUARDED_BY(mu_) = 0;
+  size_t job_next_chunk_ GNN4TDL_GUARDED_BY(mu_) = 0;
+  size_t job_pending_chunks_ GNN4TDL_GUARDED_BY(mu_) = 0;
+  std::exception_ptr job_error_ GNN4TDL_GUARDED_BY(mu_);
   // Trace span open on the submitting thread when the job started; worker
   // lanes parent their spans under it so the span tree crosses the pool.
-  // Written under mu_ before dispatch, stable for the job's duration.
-  uint64_t job_trace_parent_ = 0;
+  // Written under mu_ before dispatch, stable for the job's duration;
+  // RunChunk reads it after NextChunk's mu_ acquisition ordered the write.
+  uint64_t job_trace_parent_ = 0;  // lint:unguarded(stable for the job's duration; ordered by NextChunk's mu_ acquisition)
 };
 
 /// Deterministic partition of [begin, end) into at most `max_chunks` chunks

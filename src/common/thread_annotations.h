@@ -1,0 +1,57 @@
+#pragma once
+
+// Compile-time lock-discipline vocabulary. Every macro maps to a Clang
+// thread-safety attribute when the compiler supports them and expands to
+// nothing otherwise, so annotated code builds identically under gcc while a
+// clang `-Wthread-safety` pass (tools/check.sh `analyze` stage) can prove
+// lock invariants statically. The same annotations are parsed textually by
+// the gnn4tdl_lint lock-discipline pass, which enforces a subset of the
+// discipline on *any* compiler — see docs/STATIC_ANALYSIS.md.
+//
+// Vocabulary (mirrors the Clang/abseil convention):
+//   GNN4TDL_CAPABILITY(name)    class is a lockable capability (our Mutex)
+//   GNN4TDL_SCOPED_CAPABILITY   RAII class that acquires on construction and
+//                               releases on destruction (our MutexLock)
+//   GNN4TDL_GUARDED_BY(mu)      field may only be touched while mu is held
+//   GNN4TDL_PT_GUARDED_BY(mu)   pointee may only be touched while mu is held
+//   GNN4TDL_REQUIRES(mu...)     caller must already hold mu (the *Locked
+//                               method convention; never on public methods)
+//   GNN4TDL_EXCLUDES(mu...)     caller must NOT hold mu (the method acquires
+//                               it itself; documents deadlock hazards)
+//   GNN4TDL_ACQUIRE(mu...)      function acquires mu and does not release it
+//   GNN4TDL_RELEASE(mu...)      function releases mu
+//   GNN4TDL_TRY_ACQUIRE(b, mu...) try-lock: acquires iff it returns `b`
+//   GNN4TDL_ASSERT_CAPABILITY(mu) runtime assertion that mu is held
+//   GNN4TDL_RETURN_CAPABILITY(mu) function returns a reference to mu
+//   GNN4TDL_NO_THREAD_SAFETY_ANALYSIS  opt a function out (last resort;
+//                               pair with a comment explaining why)
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define GNN4TDL_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef GNN4TDL_THREAD_ANNOTATION
+#define GNN4TDL_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define GNN4TDL_CAPABILITY(x) GNN4TDL_THREAD_ANNOTATION(capability(x))
+#define GNN4TDL_SCOPED_CAPABILITY GNN4TDL_THREAD_ANNOTATION(scoped_lockable)
+#define GNN4TDL_GUARDED_BY(x) GNN4TDL_THREAD_ANNOTATION(guarded_by(x))
+#define GNN4TDL_PT_GUARDED_BY(x) GNN4TDL_THREAD_ANNOTATION(pt_guarded_by(x))
+#define GNN4TDL_REQUIRES(...) \
+  GNN4TDL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define GNN4TDL_EXCLUDES(...) \
+  GNN4TDL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define GNN4TDL_ACQUIRE(...) \
+  GNN4TDL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define GNN4TDL_RELEASE(...) \
+  GNN4TDL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define GNN4TDL_TRY_ACQUIRE(...) \
+  GNN4TDL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define GNN4TDL_ASSERT_CAPABILITY(x) \
+  GNN4TDL_THREAD_ANNOTATION(assert_capability(x))
+#define GNN4TDL_RETURN_CAPABILITY(x) \
+  GNN4TDL_THREAD_ANNOTATION(lock_returned(x))
+#define GNN4TDL_NO_THREAD_SAFETY_ANALYSIS \
+  GNN4TDL_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,6 +1,7 @@
 #include "obs/kernel_hooks.h"
 
-#include <mutex>
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace gnn4tdl::obs {
 
@@ -10,8 +11,8 @@ namespace {
 // microseconds at minimum, so one uncontended lock per kernel call is noise.
 // The sharded designs live in metrics.cc where per-element rates matter.
 struct CounterStore {
-  std::mutex mu;
-  std::map<std::string, KernelStats> stats;
+  Mutex mu;
+  std::map<std::string, KernelStats> stats GNN4TDL_GUARDED_BY(mu);
 };
 
 CounterStore& Store() {
@@ -29,19 +30,19 @@ void KernelCounters::Disable() {
 
 void KernelCounters::Reset() {
   CounterStore& store = Store();
-  std::lock_guard<std::mutex> lock(store.mu);
+  MutexLock lock(&store.mu);
   store.stats.clear();
 }
 
 std::map<std::string, KernelStats> KernelCounters::Snapshot() {
   CounterStore& store = Store();
-  std::lock_guard<std::mutex> lock(store.mu);
+  MutexLock lock(&store.mu);
   return store.stats;
 }
 
 void KernelCounters::Accumulate(const char* name, double flops, double bytes) {
   CounterStore& store = Store();
-  std::lock_guard<std::mutex> lock(store.mu);
+  MutexLock lock(&store.mu);
   KernelStats& entry = store.stats[name];
   entry.calls++;
   entry.flops += flops;

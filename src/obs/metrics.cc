@@ -24,26 +24,26 @@ size_t ThisThreadShard(size_t num_shards) {
 
 void Counter::Add(double delta) {
   Shard& shard = shards_[ThisThreadShard(kShards)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   shard.value += delta;
 }
 
 double Counter::Value() const {
   double total = 0.0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     total += shard.value;
   }
   return total;
 }
 
 void Gauge::Set(double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   value_ = value;
 }
 
 double Gauge::Value() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return value_;
 }
 
@@ -77,7 +77,7 @@ double Histogram::BucketUpperBound(size_t index) const {
 void Histogram::Record(double value) {
   Shard& shard = shards_[ThisThreadShard(kShards)];
   size_t index = BucketIndex(value);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   shard.counts[index]++;
   shard.sum += value;
   if (shard.count == 0 || value < shard.min) shard.min = value;
@@ -93,7 +93,7 @@ std::vector<uint64_t> Histogram::MergedCounts(uint64_t* count, double* sum,
   *min = std::numeric_limits<double>::infinity();
   *max = -std::numeric_limits<double>::infinity();
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (size_t i = 0; i < merged.size(); ++i) merged[i] += shard.counts[i];
     *sum += shard.sum;
     if (shard.count > 0) {
@@ -189,14 +189,14 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -204,7 +204,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          const HistogramOptions& options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(options);
   return *slot;
@@ -235,7 +235,7 @@ std::string FmtDouble(double v) {
 }  // namespace
 
 void MetricsRegistry::WritePrometheus(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [name, counter] : counters_) {
     std::string pname = PrometheusName(name);
     out << "# TYPE " << pname << " counter\n";
@@ -259,7 +259,7 @@ void MetricsRegistry::WritePrometheus(std::ostream& out) const {
 }
 
 void MetricsRegistry::WriteJsonl(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [name, counter] : counters_) {
     out << "{\"metric\":\"" << name << "\",\"type\":\"counter\",\"value\":"
         << FmtDouble(counter->Value()) << "}\n";

@@ -5,11 +5,12 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/flags.h"
 
 namespace gnn4tdl::obs {
@@ -32,10 +33,10 @@ class Counter {
  private:
   static constexpr size_t kShards = 16;
   struct alignas(64) Shard {
-    mutable std::mutex mu;
-    double value = 0.0;
+    mutable Mutex mu;
+    double value GNN4TDL_GUARDED_BY(mu) = 0.0;
   };
-  Shard shards_[kShards];
+  Shard shards_[kShards];  // lint:unguarded(fixed array; elements self-guard)
 };
 
 /// Last-write-wins instantaneous value (queue depth, current loss).
@@ -49,8 +50,8 @@ class Gauge {
   double Value() const;
 
  private:
-  mutable std::mutex mu_;
-  double value_ = 0.0;
+  mutable Mutex mu_;
+  double value_ GNN4TDL_GUARDED_BY(mu_) = 0.0;
 };
 
 /// Fixed-bucket log-scale histogram configuration. Bucket i (1-based) covers
@@ -103,12 +104,14 @@ class Histogram {
  private:
   static constexpr size_t kShards = 8;
   struct alignas(64) Shard {
-    mutable std::mutex mu;
-    std::vector<uint64_t> counts;  // [under, b0..b(n-1), over]
-    uint64_t count = 0;
-    double sum = 0.0;
-    double min = 0.0;  // valid only when count > 0
-    double max = 0.0;
+    mutable Mutex mu;
+    // [under, b0..b(n-1), over]
+    std::vector<uint64_t> counts GNN4TDL_GUARDED_BY(mu);
+    uint64_t count GNN4TDL_GUARDED_BY(mu) = 0;
+    double sum GNN4TDL_GUARDED_BY(mu) = 0.0;
+    // min/max valid only when count > 0.
+    double min GNN4TDL_GUARDED_BY(mu) = 0.0;
+    double max GNN4TDL_GUARDED_BY(mu) = 0.0;
   };
 
   size_t BucketIndex(double value) const;
@@ -116,9 +119,11 @@ class Histogram {
   std::vector<uint64_t> MergedCounts(uint64_t* count, double* sum, double* min,
                                      double* max) const;
 
-  HistogramOptions options_;
-  double inv_log_growth_ = 0.0;
-  std::vector<Shard> shards_;
+  const HistogramOptions options_;
+  const double inv_log_growth_;
+  // Sized once in the constructor, never resized; per-shard state is guarded
+  // by each shard's own mu.
+  std::vector<Shard> shards_;  // lint:unguarded(fixed size after construction; elements self-guard)
 };
 
 /// Named metrics, created on first use and stable for the registry's
@@ -144,10 +149,13 @@ class MetricsRegistry {
   void WriteJsonl(std::ostream& out) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      GNN4TDL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      GNN4TDL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GNN4TDL_GUARDED_BY(mu_);
 };
 
 /// Gate for the library's metric emission hooks (trainer epochs, serving

@@ -37,7 +37,7 @@ Tracer::ThreadBuffer& Tracer::BufferForThisThread() {
   if (!state.buffer) {
     auto buffer = std::make_shared<ThreadBuffer>();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       buffer->tid = next_tid_++;
       buffers_.push_back(buffer);
     }
@@ -48,9 +48,9 @@ Tracer::ThreadBuffer& Tracer::BufferForThisThread() {
 
 void Tracer::Start() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      MutexLock buffer_lock(&buffer->mu);
       buffer->spans.clear();
     }
     trace_start_ns_ = ActiveClock()->NowNanos();
@@ -68,9 +68,9 @@ const Clock* Tracer::clock() const { return ActiveClock(); }
 
 std::vector<SpanRecord> Tracer::Collect() const {
   std::vector<SpanRecord> all;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(&buffer->mu);
     all.insert(all.end(), buffer->spans.begin(), buffer->spans.end());
   }
   std::stable_sort(all.begin(), all.end(),
@@ -158,7 +158,7 @@ TraceSpan::~TraceSpan() {
 
   Tracer::ThreadBuffer& buffer = Tracer::Global().BufferForThisThread();
   record.tid = buffer.tid;
-  std::lock_guard<std::mutex> lock(buffer.mu);
+  MutexLock lock(&buffer.mu);
   buffer.spans.push_back(std::move(record));
 }
 

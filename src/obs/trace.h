@@ -3,10 +3,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/clock.h"
 #include "obs/flags.h"
 
@@ -69,9 +70,9 @@ class Tracer {
   friend class TraceSpan;
   friend class TraceAmbientParent;
   struct ThreadBuffer {
-    std::mutex mu;
-    std::vector<SpanRecord> spans;
-    uint64_t tid = 0;
+    Mutex mu;
+    std::vector<SpanRecord> spans GNN4TDL_GUARDED_BY(mu);
+    uint64_t tid = 0;  // lint:unguarded(written once under the Tracer's mu_ before the buffer is shared)
   };
   struct ThreadState {
     std::shared_ptr<ThreadBuffer> buffer;
@@ -83,10 +84,10 @@ class Tracer {
   static ThreadState& State();
   ThreadBuffer& BufferForThisThread();
 
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
-  uint64_t next_tid_ = 0;
-  int64_t trace_start_ns_ = 0;
+  mutable Mutex mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ GNN4TDL_GUARDED_BY(mu_);
+  uint64_t next_tid_ GNN4TDL_GUARDED_BY(mu_) = 0;
+  int64_t trace_start_ns_ = 0;  // lint:unguarded(written by Start() before recording begins; read-only afterwards)
 };
 
 /// RAII scoped span. Opening one while tracing is enabled records a node in

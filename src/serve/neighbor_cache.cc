@@ -8,12 +8,16 @@
 
 namespace gnn4tdl {
 
-NeighborCache::NeighborCache(NeighborCacheOptions options) : options_(options) {
-  if (options_.stripes == 0) options_.stripes = 1;
-  if (options_.capacity < options_.stripes) options_.capacity = options_.stripes;
-  per_stripe_capacity_ = options_.capacity / options_.stripes;
-  stripes_ = std::vector<Stripe>(options_.stripes);
+NeighborCacheOptions NeighborCache::Normalize(NeighborCacheOptions options) {
+  if (options.stripes == 0) options.stripes = 1;
+  if (options.capacity < options.stripes) options.capacity = options.stripes;
+  return options;
 }
+
+NeighborCache::NeighborCache(NeighborCacheOptions options)
+    : options_(Normalize(options)),
+      per_stripe_capacity_(options_.capacity / options_.stripes),
+      stripes_(options_.stripes) {}
 
 uint64_t NeighborCache::Key(const double* query, size_t dim, size_t k) {
   // FNV-1a over the raw query bytes, then the requested k. Collisions are
@@ -40,7 +44,7 @@ bool NeighborCache::Lookup(const double* query, size_t dim, size_t k,
   Stripe& stripe = StripeFor(key);
   bool hit = false;
   {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(&stripe.mu);
     auto it = stripe.map.find(key);
     if (it != stripe.map.end() && it->second.k == k &&
         it->second.query.size() == dim &&
@@ -65,7 +69,7 @@ void NeighborCache::Insert(const double* query, size_t dim, size_t k,
                            const std::vector<KnnHit>& hits) {
   const uint64_t key = Key(query, dim, k);
   Stripe& stripe = StripeFor(key);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(&stripe.mu);
   auto it = stripe.map.find(key);
   if (it == stripe.map.end()) {
     while (stripe.map.size() >= per_stripe_capacity_ && !stripe.fifo.empty()) {
@@ -84,7 +88,7 @@ void NeighborCache::Insert(const double* query, size_t dim, size_t k,
 NeighborCache::CacheStats NeighborCache::Stats() const {
   CacheStats stats;
   for (Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(&stripe.mu);
     stats.hits += stripe.hits;
     stats.misses += stripe.misses;
     stats.evictions += stripe.evictions;

@@ -3,10 +3,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "serve/knn_index.h"
 
 namespace gnn4tdl {
@@ -63,20 +64,27 @@ class NeighborCache {
     std::vector<KnnHit> hits;
   };
   struct alignas(64) Stripe {
-    mutable std::mutex mu;
-    std::unordered_map<uint64_t, Entry> map;
-    std::deque<uint64_t> fifo;  // insertion order for eviction
-    mutable size_t hits = 0;
-    mutable size_t misses = 0;
-    size_t evictions = 0;
+    mutable Mutex mu;
+    std::unordered_map<uint64_t, Entry> map GNN4TDL_GUARDED_BY(mu);
+    std::deque<uint64_t> fifo
+        GNN4TDL_GUARDED_BY(mu);  // insertion order for eviction
+    mutable size_t hits GNN4TDL_GUARDED_BY(mu) = 0;
+    mutable size_t misses GNN4TDL_GUARDED_BY(mu) = 0;
+    size_t evictions GNN4TDL_GUARDED_BY(mu) = 0;
   };
+
+  /// Clamps zero stripes to 1 and capacity to at least one entry per stripe,
+  /// so options_ can be const after construction.
+  static NeighborCacheOptions Normalize(NeighborCacheOptions options);
 
   static uint64_t Key(const double* query, size_t dim, size_t k);
   Stripe& StripeFor(uint64_t key) const;
 
-  NeighborCacheOptions options_;
-  size_t per_stripe_capacity_ = 0;
-  mutable std::vector<Stripe> stripes_;
+  const NeighborCacheOptions options_;
+  const size_t per_stripe_capacity_;
+  // Sized once in the constructor, never resized; per-stripe state is guarded
+  // by each stripe's own mu.
+  mutable std::vector<Stripe> stripes_;  // lint:unguarded(fixed size after construction; elements self-guard)
 };
 
 }  // namespace gnn4tdl

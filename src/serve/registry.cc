@@ -30,7 +30,7 @@ Status ModelRegistry::AddTenantLocked(const std::string& name,
 
 Status ModelRegistry::AddTenant(const std::string& name, FrozenModel model,
                                 TenantOptions options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto owned = std::make_unique<FrozenModel>(std::move(model));
   GNN4TDL_RETURN_IF_ERROR(AddTenantLocked(name, owned.get(), options));
   owned_models_.push_back(std::move(owned));
@@ -43,12 +43,12 @@ Status ModelRegistry::AddTenant(const std::string& name,
   if (model == nullptr) {
     return Status::InvalidArgument("tenant '" + name + "' has a null model");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return AddTenantLocked(name, model, options);
 }
 
 const Tenant* ModelRegistry::Find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& t : tenants_) {
     if (t->name == name) return t.get();
   }
@@ -56,7 +56,7 @@ const Tenant* ModelRegistry::Find(const std::string& name) const {
 }
 
 std::vector<const Tenant*> ModelRegistry::Tenants() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<const Tenant*> out;
   out.reserve(tenants_.size());
   for (const auto& t : tenants_) out.push_back(t.get());
@@ -64,7 +64,7 @@ std::vector<const Tenant*> ModelRegistry::Tenants() const {
 }
 
 size_t ModelRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tenants_.size();
 }
 

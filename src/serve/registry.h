@@ -1,11 +1,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "serve/frozen_model.h"
 
 namespace gnn4tdl {
@@ -74,12 +75,13 @@ class ModelRegistry {
 
  private:
   Status AddTenantLocked(const std::string& name, const FrozenModel* model,
-                         TenantOptions options);
+                         TenantOptions options) GNN4TDL_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// unique_ptr for pointer stability across vector growth.
-  std::vector<std::unique_ptr<Tenant>> tenants_;
-  std::vector<std::unique_ptr<FrozenModel>> owned_models_;
+  std::vector<std::unique_ptr<Tenant>> tenants_ GNN4TDL_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<FrozenModel>> owned_models_
+      GNN4TDL_GUARDED_BY(mu_);
 };
 
 }  // namespace gnn4tdl

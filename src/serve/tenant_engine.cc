@@ -69,12 +69,17 @@ MultiTenantEngine::MultiTenantEngine(const ModelRegistry* registry,
 MultiTenantEngine::~MultiTenantEngine() { Stop(); }
 
 void MultiTenantEngine::Stop() {
+  bool should_join = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
+    // Exactly one caller joins: concurrent Stop()/destructor races on
+    // std::thread::join are undefined behavior.
+    should_join = !worker_joined_ && worker_.joinable();
+    worker_joined_ = true;
   }
-  cv_.notify_all();
-  if (worker_.joinable()) worker_.join();
+  cv_.NotifyAll();
+  if (should_join) worker_.join();
 }
 
 StatusOr<std::future<std::vector<double>>> MultiTenantEngine::Submit(
@@ -88,7 +93,7 @@ StatusOr<std::future<std::vector<double>>> MultiTenantEngine::Submit(
   size_t tenant_depth = 0;
   size_t total_depth = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_) {
       return Status::FailedPrecondition("serving engine is stopped");
     }
@@ -137,7 +142,7 @@ StatusOr<std::future<std::vector<double>>> MultiTenantEngine::Submit(
         .Set(static_cast<double>(total_depth));
     t->m_queue_depth->Set(static_cast<double>(tenant_depth));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
@@ -207,8 +212,8 @@ void MultiTenantEngine::WorkerLoop() {
     std::vector<Request> batch;
     TenantState* ts = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || total_queued_ > 0; });
+      MutexLock lock(&mu_);
+      while (!stopping_ && total_queued_ == 0) cv_.Wait(lock);
       if (total_queued_ == 0) break;  // stopping_ and fully drained
 
       // Hold the earliest-deadline batch open until some tenant fills its
@@ -219,7 +224,7 @@ void MultiTenantEngine::WorkerLoop() {
       while (!stopping_ && !AnyReadyLocked()) {
         const int64_t remaining_ns = EarliestDeadlineRemainingNsLocked();
         if (remaining_ns <= 0) break;
-        cv_.wait_for(lock, std::chrono::nanoseconds(remaining_ns));
+        cv_.WaitForNanos(lock, remaining_ns);
       }
 
       ts = PickTenantLocked();
@@ -279,7 +284,7 @@ void MultiTenantEngine::WorkerLoop() {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++batches_;
       total_batch_rows_ += batch.size();
       requests_done_ += batch.size();
@@ -316,7 +321,7 @@ ServeStats MultiTenantEngine::StatsFor(const TenantState& t) const {
 }
 
 ServeStats MultiTenantEngine::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ServeStats stats;
   stats.requests = requests_done_;
   stats.batches = batches_;
@@ -341,7 +346,7 @@ ServeStats MultiTenantEngine::Stats() const {
 
 StatusOr<ServeStats> MultiTenantEngine::TenantStats(
     const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const TenantState* t = FindTenantLocked(tenant);
   if (t == nullptr) return Status::NotFound("unknown tenant '" + tenant + "'");
   return StatsFor(*t);
@@ -349,7 +354,7 @@ StatusOr<ServeStats> MultiTenantEngine::TenantStats(
 
 StatusOr<double> MultiTenantEngine::TenantLatencyFractionBelow(
     const std::string& tenant, double threshold_ms) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const TenantState* t = FindTenantLocked(tenant);
   if (t == nullptr) return Status::NotFound("unknown tenant '" + tenant + "'");
   const uint64_t total = t->latency_ms_hist.Count();

@@ -1,17 +1,17 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
 #include "serve/registry.h"
@@ -118,7 +118,10 @@ class MultiTenantEngine {
   [[nodiscard]] StatusOr<double> TenantLatencyFractionBelow(
       const std::string& tenant, double threshold_ms) const;
 
-  size_t num_tenants() const { return tenants_.size(); }
+  size_t num_tenants() const {
+    MutexLock lock(&mu_);
+    return tenants_.size();
+  }
   const ModelRegistry* registry() const { return registry_; }
 
  private:
@@ -160,42 +163,53 @@ class MultiTenantEngine {
   void WorkerLoop();
   /// True when some tenant has a closable batch: full to max_batch, past its
   /// oldest request's deadline, or anything queued while stopping.
-  bool AnyReadyLocked() const;
-  bool TenantReadyLocked(const TenantState& t) const;
+  bool AnyReadyLocked() const GNN4TDL_REQUIRES(mu_);
+  bool TenantReadyLocked(const TenantState& t) const GNN4TDL_REQUIRES(mu_);
   /// Nanoseconds until the earliest pending deadline (0 when one passed).
-  int64_t EarliestDeadlineRemainingNsLocked() const;
+  int64_t EarliestDeadlineRemainingNsLocked() const GNN4TDL_REQUIRES(mu_);
   /// WRR pick: next ready tenant with credits, refilling a spent round.
-  TenantState* PickTenantLocked();
-  const TenantState* FindTenantLocked(const std::string& name) const;
-  TenantState* FindTenantLocked(const std::string& name) {
+  TenantState* PickTenantLocked() GNN4TDL_REQUIRES(mu_);
+  const TenantState* FindTenantLocked(const std::string& name) const
+      GNN4TDL_REQUIRES(mu_);
+  TenantState* FindTenantLocked(const std::string& name)
+      GNN4TDL_REQUIRES(mu_) {
     return const_cast<TenantState*>(
         static_cast<const MultiTenantEngine*>(this)->FindTenantLocked(name));
   }
-  ServeStats StatsFor(const TenantState& t) const;
+  ServeStats StatsFor(const TenantState& t) const GNN4TDL_REQUIRES(mu_);
 
-  const ModelRegistry* registry_;
-  const obs::Clock* clock_;
+  const ModelRegistry* const registry_;
+  const obs::Clock* const clock_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
-  size_t total_queued_ = 0;
-  size_t rr_cursor_ = 0;
-  std::vector<std::unique_ptr<TenantState>> tenants_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool stopping_ GNN4TDL_GUARDED_BY(mu_) = false;
+  size_t total_queued_ GNN4TDL_GUARDED_BY(mu_) = 0;
+  size_t rr_cursor_ GNN4TDL_GUARDED_BY(mu_) = 0;
+  // The vector itself is filled in the constructor (before the worker
+  // starts) and never resized; the TenantState contents are mutated under
+  // mu_, except the internally-sharded histograms and the const-after-
+  // construction tenant/metric handles.
+  std::vector<std::unique_ptr<TenantState>> tenants_ GNN4TDL_GUARDED_BY(mu_);
 
   // Aggregate accounting, mirroring the single-tenant engine's fields.
-  obs::Histogram latency_ms_hist_;
-  obs::Histogram batch_rows_hist_;
-  size_t requests_done_ = 0;
-  size_t batches_ = 0;
-  size_t total_batch_rows_ = 0;
-  size_t rejected_ = 0;
-  size_t max_queue_depth_ = 0;
-  bool any_request_ = false;
-  int64_t first_submit_ns_ = 0;
-  int64_t last_complete_ns_ = 0;
+  obs::Histogram latency_ms_hist_;    // lint:unguarded(Histogram shards internally)
+  obs::Histogram batch_rows_hist_;    // lint:unguarded(Histogram shards internally)
+  size_t requests_done_ GNN4TDL_GUARDED_BY(mu_) = 0;
+  size_t batches_ GNN4TDL_GUARDED_BY(mu_) = 0;
+  size_t total_batch_rows_ GNN4TDL_GUARDED_BY(mu_) = 0;
+  size_t rejected_ GNN4TDL_GUARDED_BY(mu_) = 0;
+  size_t max_queue_depth_ GNN4TDL_GUARDED_BY(mu_) = 0;
+  bool any_request_ GNN4TDL_GUARDED_BY(mu_) = false;
+  int64_t first_submit_ns_ GNN4TDL_GUARDED_BY(mu_) = 0;
+  int64_t last_complete_ns_ GNN4TDL_GUARDED_BY(mu_) = 0;
 
-  std::thread worker_;
+  /// True once some Stop() call has claimed the join; makes concurrent
+  /// Stop()/destructor calls join the worker exactly once (std::thread::join
+  /// from two threads at once is undefined behavior — flushed out by the
+  /// lock-discipline triage, see docs/STATIC_ANALYSIS.md).
+  bool worker_joined_ GNN4TDL_GUARDED_BY(mu_) = false;
+  std::thread worker_;  // lint:unguarded(started in ctor; joined exactly once via worker_joined_)
 };
 
 }  // namespace gnn4tdl

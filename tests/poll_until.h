@@ -1,0 +1,33 @@
+// Test-only polling helper: the sanctioned replacement for fixed
+// std::this_thread::sleep_for waits (banned in tests/ by the raw-sleep lint
+// rule — a fixed sleep is either too short on a loaded machine, making the
+// test flaky, or much too long on a fast one).
+//
+// PollUntil re-checks a condition at a short interval and returns as soon as
+// it holds, so the common case costs one poll interval instead of a
+// worst-case sleep, and slow machines get the full timeout before the test
+// gives up.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+namespace gnn4tdl::testing {
+
+// Polls `condition` every `poll` until it returns true or `timeout` elapses.
+// Returns the condition's final value, so callers can ASSERT_TRUE on it.
+// The condition must be safe to call repeatedly from this thread.
+inline bool PollUntil(
+    const std::function<bool()>& condition,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(5000),
+    std::chrono::milliseconds poll = std::chrono::milliseconds(1)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!condition()) {
+    if (std::chrono::steady_clock::now() >= deadline) return condition();
+    std::this_thread::sleep_for(poll);
+  }
+  return true;
+}
+
+}  // namespace gnn4tdl::testing

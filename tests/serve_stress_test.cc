@@ -20,6 +20,7 @@
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "models/knn_gnn.h"
+#include "poll_until.h"
 #include "serve/engine.h"
 #include "serve/frozen_model.h"
 
@@ -132,7 +133,10 @@ TEST_F(ServeStressTest, ManyProducersEveryRequestResolvesExactlyOnce) {
       EXPECT_GE(stats.requests, last_requests);
       EXPECT_LE(stats.requests, kProducers * kPerProducer);
       last_requests = stats.requests;
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      // Re-poll every millisecond, bailing out promptly once the producers
+      // finish instead of overshooting by a fixed sleep.
+      testing::PollUntil([&] { return !producing.load(); },
+                         std::chrono::milliseconds(1));
     }
   });
 
@@ -186,7 +190,9 @@ TEST_F(ServeStressTest, ShutdownUnderLoadLosesNoAcceptedRequest) {
 
   // Stop mid-flight: the worker must drain what was accepted, and every
   // post-stop Submit must reject promptly instead of hanging its future.
-  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Waiting for the first completed request (rather than a fixed sleep)
+  // guarantees the stop really lands mid-stream on any machine speed.
+  EXPECT_TRUE(testing::PollUntil([&] { return engine.Stats().requests > 0; }));
   engine.Stop();
   for (auto& t : producers) t.join();
 

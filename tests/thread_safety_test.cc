@@ -1,0 +1,175 @@
+// Behavior tests for the annotated synchronization layer (common/mutex.h)
+// and the GNN4TDL_ annotation macros (common/thread_annotations.h).
+//
+// Two things are under test:
+//   1. On a compiler without clang's thread-safety attributes (gcc, which
+//      builds this tree), every GNN4TDL_ macro must expand to *nothing* —
+//      this file applies the full vocabulary to a real class and the fact
+//      that it compiles and behaves normally is the assertion. The clang
+//      side (attributes actually enforced) is covered by the negative-compile
+//      fixture in tools/analyze/testdata/, gated by tools/analyze/tsa.sh.
+//   2. Mutex / MutexLock / CondVar must behave like the std primitives they
+//      wrap: mutual exclusion, RAII release (including on exception),
+//      try_lock semantics, and wait/notify with both flavors of Wait.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "poll_until.h"
+
+namespace gnn4tdl {
+namespace {
+
+// Exercises every annotation macro on one class. Under gcc these all expand
+// empty; under clang -Wthread-safety they must describe a *consistent*
+// discipline, because the analyze stage compiles the whole tree with
+// -Werror=thread-safety.
+class AnnotatedCounter {
+ public:
+  void Increment() GNN4TDL_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    IncrementLocked();
+  }
+
+  int Get() const GNN4TDL_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return value_;
+  }
+
+  Mutex* mu() GNN4TDL_RETURN_CAPABILITY(mu_) { return &mu_; }
+
+ private:
+  void IncrementLocked() GNN4TDL_REQUIRES(mu_) { ++value_; }
+
+  mutable Mutex mu_;
+  int value_ GNN4TDL_GUARDED_BY(mu_) = 0;
+};
+
+TEST(ThreadAnnotationsTest, MacrosAreInertOnThisCompiler) {
+  // The real assertion is that AnnotatedCounter compiled at all with every
+  // macro applied; this just proves the annotated paths run.
+  AnnotatedCounter counter;
+  counter.Increment();
+  counter.Increment();
+  EXPECT_EQ(counter.Get(), 2);
+  EXPECT_NE(counter.mu(), nullptr);
+}
+
+TEST(MutexTest, ProvidesMutualExclusion) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 5000;
+  Mutex mu;
+  int counter = 0;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Lost updates here would mean MutexLock is not actually locking.
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(MutexTest, TryLockFailsWhileHeldAndSucceedsAfterRelease) {
+  Mutex mu;
+  {
+    MutexLock lock(&mu);
+    std::atomic<bool> try_result{true};
+    // try_lock from another thread: locking the same std::mutex twice from
+    // one thread is UB, so the probe must run elsewhere.
+    std::thread prober([&] { try_result.store(mu.try_lock()); });
+    prober.join();
+    EXPECT_FALSE(try_result.load());
+  }
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(MutexTest, MutexLockReleasesOnException) {
+  Mutex mu;
+  try {
+    MutexLock lock(&mu);
+    throw std::runtime_error("unwind through the critical section");
+  } catch (const std::runtime_error&) {
+  }
+  // If the guard leaked the lock, this try_lock would fail.
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(CondVarTest, WaitWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = -1;
+
+  std::thread waiter([&] {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(lock);
+    observed = 42;
+  });
+
+  {
+    MutexLock lock(&mu);
+    ready = true;
+  }
+  cv.NotifyAll();
+  waiter.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(CondVarTest, WaitForNanosTimesOutWithoutNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+
+  MutexLock lock(&mu);
+  // 1ms bounded wait with nobody notifying: must return (not hang) and the
+  // predicate must still be false. A hang here fails via test timeout.
+  cv.WaitForNanos(lock, 1'000'000);
+  EXPECT_FALSE(ready);
+}
+
+TEST(CondVarTest, WaitForNanosWakesEarlyOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::atomic<bool> done{false};
+
+  std::thread waiter([&] {
+    MutexLock lock(&mu);
+    // Generous deadline; the notify below should end the wait long before.
+    while (!ready) cv.WaitForNanos(lock, 5'000'000'000);
+    done.store(true);
+  });
+
+  {
+    MutexLock lock(&mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  EXPECT_TRUE(testing::PollUntil([&] { return done.load(); }));
+  waiter.join();
+}
+
+TEST(MutexLockTest, ExposesTheHeldMutexForCondVarUse) {
+  Mutex mu;
+  MutexLock lock(&mu);
+  EXPECT_EQ(lock.mutex(), &mu);
+}
+
+}  // namespace
+}  // namespace gnn4tdl

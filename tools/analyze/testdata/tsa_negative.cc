@@ -1,0 +1,33 @@
+// Negative fixture for the clang thread-safety gate (tools/analyze/tsa.sh):
+// this TU MUST produce thread-safety diagnostics under
+// `clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety`. The gate
+// asserts the compile fails AND the diagnostics mention thread-safety — a
+// clean compile here means the annotations silently stopped being enforced
+// (wrong compiler flags, macros expanding to nothing under clang, or a
+// capability annotation dropped from Mutex/MutexLock), which would turn the
+// whole-project gate into a no-op. Never compiled by the normal build.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace gnn4tdl {
+
+class Racy {
+ public:
+  // Diagnostic 1: reading a guarded field with no lock held.
+  int UnlockedRead() const { return count_; }
+
+  // Diagnostic 2: writing a guarded field with no lock held.
+  void UnlockedWrite(int v) { count_ = v; }
+
+  // Diagnostic 3: calling a REQUIRES method without holding the mutex.
+  void CallWithoutLock() { BumpLocked(); }
+
+ private:
+  void BumpLocked() GNN4TDL_REQUIRES(mu_) { ++count_; }
+
+  mutable Mutex mu_;
+  int count_ GNN4TDL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace gnn4tdl

@@ -1,0 +1,82 @@
+// Positive fixture for the clang thread-safety gate (tools/analyze/tsa.sh):
+// a correctly disciplined mutex-owning class. This TU must compile *clean*
+// under `clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety` — if it
+// warns, either the GNN4TDL_ macros stopped expanding to the clang attributes
+// or the Mutex/MutexLock capability annotations regressed. Never compiled by
+// the normal build (it lives under testdata/, which both CMake and the
+// linter's tree walk skip).
+
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace gnn4tdl {
+
+class BoundedTally {
+ public:
+  void Add(int v) GNN4TDL_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    total_ += v;
+    samples_.push_back(v);
+  }
+
+  int Total() const GNN4TDL_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return total_;
+  }
+
+  void Drain(std::vector<int>* out) GNN4TDL_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    DrainLocked(out);
+  }
+
+ private:
+  // The *Locked convention: private, caller already holds mu_. The analysis
+  // accepts the guarded accesses because of the REQUIRES annotation.
+  void DrainLocked(std::vector<int>* out) GNN4TDL_REQUIRES(mu_) {
+    out->swap(samples_);
+    total_ = 0;
+  }
+
+  mutable Mutex mu_;
+  int total_ GNN4TDL_GUARDED_BY(mu_) = 0;
+  std::vector<int> samples_ GNN4TDL_GUARDED_BY(mu_);
+};
+
+// Waiting must look lock-held across the Wait to the analysis: the explicit
+// while loop reads the guarded flag with the MutexLock alive.
+class Latch {
+ public:
+  void Signal() {
+    {
+      MutexLock lock(&mu_);
+      done_ = true;
+    }
+    cv_.NotifyAll();
+  }
+
+  void Await() {
+    MutexLock lock(&mu_);
+    while (!done_) cv_.Wait(lock);
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  bool done_ GNN4TDL_GUARDED_BY(mu_) = false;
+};
+
+// Anchor so -fsyntax-only sees the templates instantiated in context.
+inline int UseAll() {
+  BoundedTally tally;
+  tally.Add(3);
+  std::vector<int> drained;
+  tally.Drain(&drained);
+  Latch latch;
+  latch.Signal();
+  latch.Await();
+  return tally.Total();
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Clang thread-safety gate: proves the GNN4TDL_ annotations are both
+# *enforced* and *satisfied*.
+#
+#   1. Fixture self-test — tsa_positive.cc must compile clean and
+#      tsa_negative.cc must FAIL with thread-safety diagnostics under
+#      `-Wthread-safety -Werror=thread-safety`. The negative half is the
+#      important one: it proves the flags actually enforce the attributes,
+#      so a clean whole-project build below means something.
+#   2. Whole-project build under the `clang-tsa` CMake preset
+#      (clang++ with -Werror=thread-safety), so any guarded-field access
+#      outside its mutex anywhere in src/ or tests/ breaks the build.
+#
+# Requires clang++ on PATH; check.sh's `analyze` stage skips this script
+# (with a loud note) when only gcc is installed, because the container
+# toolchain is gcc-only — the gnn4tdl_lint lock pass still enforces the
+# annotation-coverage subset there.
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+
+if ! command -v clang++ >/dev/null 2>&1; then
+  echo "tsa.sh: clang++ not found on PATH" >&2
+  exit 1
+fi
+
+TSA_FLAGS=(-std=c++20 -fsyntax-only -Isrc -Wthread-safety -Werror=thread-safety)
+
+echo "-- tsa: positive fixture must compile clean"
+clang++ "${TSA_FLAGS[@]}" tools/analyze/testdata/tsa_positive.cc
+
+echo "-- tsa: negative fixture must fail with thread-safety diagnostics"
+neg_err="$(mktemp)"
+trap 'rm -f "${neg_err}"' EXIT
+if clang++ "${TSA_FLAGS[@]}" tools/analyze/testdata/tsa_negative.cc \
+    2>"${neg_err}"; then
+  echo "tsa.sh: tsa_negative.cc compiled clean — the gate is not enforcing" \
+       "thread-safety attributes" >&2
+  exit 1
+fi
+if ! grep -q "thread-safety" "${neg_err}"; then
+  echo "tsa.sh: tsa_negative.cc failed for a reason other than" \
+       "thread-safety:" >&2
+  cat "${neg_err}" >&2
+  exit 1
+fi
+
+echo "-- tsa: whole-project clang build with -Werror=thread-safety"
+cmake --preset clang-tsa
+cmake --build --preset clang-tsa -j "$(nproc)"
+
+echo "tsa.sh: all thread-safety checks passed"

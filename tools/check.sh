@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Umbrella correctness gate:
-#   lint -> asan -> tsan -> threads -> trace -> simd -> load.
+#   lint -> asan -> tsan -> threads -> trace -> simd -> load -> analyze.
 #
 #   stage 1  lint     build gnn4tdl_lint (default preset) and scan the tree
+#                     with every pass: the style pass (idiom rules) and the
+#                     lock-discipline pass (annotation coverage, guard
+#                     validity, double-acquire, REQUIRES visibility)
 #   stage 2  asan     full test suite under Address+UB sanitizers
 #   stage 3  tsan     full test suite under ThreadSanitizer
 #   stage 4  threads  tsan suite again at GNN4TDL_THREADS=4, so the parallel
@@ -27,15 +30,52 @@
 #                     generator's offered/completed/rejected tallies disagree
 #                     with the engine's counters, so this stage gates on
 #                     rejection-accounting consistency, not just liveness
+#   stage 8  analyze  static/undefined-behavior gate: the full test suite
+#                     under the `ubsan` preset (-fsanitize=undefined,
+#                     float-cast-overflow, non-recovering, halt_on_error=1),
+#                     then — when clang++ is installed — tools/analyze/tsa.sh:
+#                     the thread-safety fixture self-test plus a whole-project
+#                     clang build with -Werror=thread-safety. On a gcc-only
+#                     toolchain the clang half is skipped with a note; the
+#                     lint stage's lock pass still enforces the
+#                     annotation-coverage subset
 #
-# Every stage runs even if an earlier one fails; the summary at the end
-# lists per-stage PASS/FAIL and the script exits non-zero if any failed.
-# Usage: tools/check.sh [extra ctest args...]
+# Every selected stage runs even if an earlier one fails; the summary at the
+# end lists per-stage PASS/FAIL with wall-clock seconds and the script exits
+# non-zero if any failed.
+#
+# Usage: tools/check.sh [--stage name[,name...]] [extra ctest args...]
+#   --stage restricts the run to the named stages (comma-separated, any
+#   order; unknown names abort with the valid list). Everything else is
+#   forwarded to the ctest-based stages.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
+all_stages=(lint asan tsan threads trace simd load analyze)
+selected=("${all_stages[@]}")
+
+if [[ "${1:-}" == "--stage" ]]; then
+  if [[ -z "${2:-}" ]]; then
+    echo "check.sh: --stage requires an argument" >&2
+    exit 2
+  fi
+  IFS=',' read -r -a selected <<<"$2"
+  for stage in "${selected[@]}"; do
+    case " ${all_stages[*]} " in
+      *" ${stage} "*) ;;
+      *)
+        echo "check.sh: unknown stage '${stage}'" \
+             "(valid: ${all_stages[*]})" >&2
+        exit 2
+        ;;
+    esac
+  done
+  shift 2
+fi
+
 declare -A results
+declare -A seconds
 overall=0
 
 run_stage() {
@@ -43,12 +83,15 @@ run_stage() {
   shift
   echo
   echo "==== stage: ${name} ===="
+  local start
+  start=$(date +%s)
   if "$@"; then
     results[$name]=PASS
   else
     results[$name]=FAIL
     overall=1
   fi
+  seconds[$name]=$(($(date +%s) - start))
 }
 
 lint_stage() {
@@ -103,17 +146,39 @@ load_stage() {
       --seed 42 --shards 4 --cache 256
 }
 
-run_stage lint lint_stage
-run_stage asan asan_stage "$@"
-run_stage tsan tsan_stage "$@"
-run_stage threads threads_stage "$@"
-run_stage trace trace_stage
-run_stage simd simd_stage
-run_stage load load_stage
+analyze_stage() {
+  { cmake --preset ubsan &&
+      cmake --build --preset ubsan -j "$(nproc)" &&
+      ctest --preset ubsan -j "$(nproc)" "$@"; } || return 1
+  if command -v clang++ >/dev/null 2>&1; then
+    tools/analyze/tsa.sh
+  else
+    echo "analyze: clang++ not on PATH — skipping the -Wthread-safety gate" \
+         "(ubsan suite ran; the lint lock pass covers annotation coverage)"
+  fi
+}
+
+for stage in "${selected[@]}"; do
+  case "$stage" in
+    lint) run_stage lint lint_stage ;;
+    asan) run_stage asan asan_stage "$@" ;;
+    tsan) run_stage tsan tsan_stage "$@" ;;
+    threads) run_stage threads threads_stage "$@" ;;
+    trace) run_stage trace trace_stage ;;
+    simd) run_stage simd simd_stage ;;
+    load) run_stage load load_stage ;;
+    analyze) run_stage analyze analyze_stage "$@" ;;
+  esac
+done
 
 echo
 echo "==== check.sh summary ===="
-for stage in lint asan tsan threads trace simd load; do
-  printf '  %-7s %s\n' "$stage" "${results[$stage]}"
+for stage in "${all_stages[@]}"; do
+  if [[ -n "${results[$stage]:-}" ]]; then
+    printf '  %-8s %-4s %5ss\n' "$stage" "${results[$stage]}" \
+           "${seconds[$stage]}"
+  else
+    printf '  %-8s %s\n' "$stage" "SKIPPED (--stage filter)"
+  fi
 done
 exit "$overall"

@@ -1,0 +1,116 @@
+#include "common.h"
+
+namespace gnn4tdl_lint {
+
+std::string StripCode(const std::string& in) {
+  std::string out = in;
+  size_t i = 0;
+  const size_t n = in.size();
+  auto blank = [&](size_t pos) {
+    if (out[pos] != '\n') out[pos] = ' ';
+  };
+  while (i < n) {
+    char c = in[i];
+    if (c == '/' && i + 1 < n && in[i + 1] == '/') {
+      while (i < n && in[i] != '\n') blank(i++);
+    } else if (c == '/' && i + 1 < n && in[i + 1] == '*') {
+      blank(i++);
+      blank(i++);
+      while (i + 1 < n && !(in[i] == '*' && in[i + 1] == '/')) blank(i++);
+      if (i + 1 < n) {
+        blank(i++);
+        blank(i++);
+      }
+    } else if (c == 'R' && i + 1 < n && in[i + 1] == '"' &&
+               (i == 0 || (!std::isalnum(static_cast<unsigned char>(in[i - 1])) &&
+                           in[i - 1] != '_'))) {
+      size_t d_start = i + 2;
+      size_t paren = in.find('(', d_start);
+      if (paren == std::string::npos) {
+        ++i;
+        continue;
+      }
+      std::string delim = ")" + in.substr(d_start, paren - d_start) + "\"";
+      size_t close = in.find(delim, paren + 1);
+      size_t end = close == std::string::npos ? n : close + delim.size();
+      while (i < end && i < n) blank(i++);
+    } else if (c == '"') {
+      blank(i++);
+      while (i < n && in[i] != '"') {
+        if (in[i] == '\\' && i + 1 < n) blank(i++);
+        blank(i++);
+      }
+      if (i < n) blank(i++);
+    } else if (c == '\'' &&
+               (i == 0 || (!std::isalnum(static_cast<unsigned char>(in[i - 1])) &&
+                           in[i - 1] != '_'))) {
+      blank(i++);
+      while (i < n && in[i] != '\'') {
+        if (in[i] == '\\' && i + 1 < n) blank(i++);
+        blank(i++);
+      }
+      if (i < n) blank(i++);
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(const std::string& stripped) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = stripped.size();
+  while (i < n) {
+    char c = stripped[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (IsIdentChar(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(stripped[i])) ++i;
+      tokens.push_back({stripped.substr(start, i - start), line,
+                        !std::isdigit(static_cast<unsigned char>(c))});
+    } else {
+      // Multi-char operators the rules care about; everything else is 1 char.
+      if (i + 1 < n) {
+        char d = stripped[i + 1];
+        if ((c == ':' && d == ':') || (c == '-' && d == '>')) {
+          tokens.push_back({std::string() + c + d, line, false});
+          i += 2;
+          continue;
+        }
+      }
+      tokens.push_back({std::string(1, c), line, false});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+std::set<int> CollectUnguardedExemptLines(const std::string& raw) {
+  std::set<int> lines;
+  int line = 1;
+  size_t next_mark = raw.find("lint:unguarded(");
+  for (size_t i = 0; i < raw.size() && next_mark != std::string::npos; ++i) {
+    if (i == next_mark) {
+      lines.insert(line);
+      next_mark = raw.find("lint:unguarded(", i + 1);
+    }
+    if (raw[i] == '\n') ++line;
+  }
+  return lines;
+}
+
+}  // namespace gnn4tdl_lint

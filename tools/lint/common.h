@@ -1,0 +1,58 @@
+// Shared scaffolding for the gnn4tdl linter passes: a comment/string-aware
+// code stripper, a small tokenizer, and the file/violation types every pass
+// works with. Deliberately no project dependencies — the linter must build
+// even when the library itself is broken.
+#pragma once
+
+#include <cctype>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gnn4tdl_lint {
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool is_ident = false;
+};
+
+struct Violation {
+  std::string file;  // relative to root
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// One scanned source file, pre-stripped and pre-tokenized once so every pass
+// shares the work.
+struct SourceFile {
+  std::string path;  // relative to the scan root, '/' separators
+  std::string raw;
+  std::string stripped;
+  std::vector<Token> tokens;
+  // Lines (1-based) carrying a `lint:unguarded(reason)` exemption comment.
+  std::set<int> unguarded_exempt_lines;
+
+  bool is_header() const {
+    return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+  }
+};
+
+// Replaces comments, string literals, and char literals with spaces while
+// preserving newlines, so later passes never match inside them. Handles //,
+// /* */, "..." with escapes, '...' with escapes, and R"delim(...)delim".
+// A ' preceded by an alnum/_ is treated as a digit separator, not a char
+// literal.
+std::string StripCode(const std::string& in);
+
+std::vector<Token> Tokenize(const std::string& stripped);
+
+// Lines containing a `lint:unguarded(` marker in the raw (unstripped) text.
+std::set<int> CollectUnguardedExemptLines(const std::string& raw);
+
+inline bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace gnn4tdl_lint

@@ -1,400 +1,46 @@
-// gnn4tdl_lint: from-scratch project-invariant linter for the gnn4tdl tree.
-// No external dependencies — a comment/string-aware tokenizer plus a handful
-// of rules that encode invariants the compiler alone cannot enforce (or that
-// we want enforced even in configurations without -Werror):
+// gnn4tdl_lint: from-scratch multi-pass static analyzer for the gnn4tdl
+// tree. No external dependencies — a comment/string-aware tokenizer
+// (common.cc) feeds independent passes (pass.h):
 //
-//   status-discard            A Status/StatusOr-returning call used as a bare
-//                             expression statement. (The declared set is
-//                             harvested from src/ headers; `(void)Call()` is
-//                             the sanctioned discard idiom and is not flagged.)
-//   banned-call               rand()/srand(): all randomness must flow through
-//                             common/rng.h so runs are reproducible.
-//   cout-in-src               std::cout inside src/ — library code reports via
-//                             Status or writes to stderr, never stdout.
-//   raw-new-delete            new/delete outside the tensor implementation
-//                             (src/tensor/); everything else uses containers
-//                             and smart pointers. `= delete` declarations are
-//                             not flagged.
-//   raw-thread                std::thread in src/ outside common/parallel.*,
-//                             serve/, and load/ — kernel code must go through
-//                             the shared ThreadPool (common/parallel.h) so
-//                             thread counts, determinism, and nesting rules
-//                             hold.
-//   raw-deque                 std::deque in src/ outside src/serve/ — request
-//                             queues belong to the serving subsystem, where
-//                             admission control (bounded capacity + typed
-//                             kResourceExhausted rejection) is enforced;
-//                             ad-hoc unbounded queues elsewhere bypass it.
-//   raw-clock                 std::chrono::steady_clock/system_clock in src/
-//                             outside obs/ and common/parallel.* — all timing
-//                             flows through obs::Clock (src/obs/clock.h) so
-//                             tests can inject a FakeClock and the tracer
-//                             owns the time base.
-//   raw-simd                  immintrin.h includes or raw _mm*/__m* vector
-//                             intrinsics outside src/kernels/ — SIMD stays
-//                             behind the runtime-dispatched kernel tier
-//                             (src/kernels/kernels.h) so every vector path
-//                             has a bit-identical scalar fallback.
-//   missing-pragma-once       .h file without a #pragma once line.
-//   using-namespace-in-header using-directives in headers leak into every
-//                             includer.
+//   style   project idiom invariants (status-discard, banned-call,
+//           cout-in-src, raw-new-delete, raw-thread, raw-deque, raw-clock,
+//           raw-simd, raw-sleep, missing-pragma-once,
+//           using-namespace-in-header) — see style_pass.cc.
+//   lock    lock-discipline analysis over the annotated mutex layer
+//           (lock-raw-mutex, lock-unannotated-field, lock-unknown-mutex,
+//           lock-double-acquire, lock-requires-public) — see lock_pass.cc
+//           and docs/STATIC_ANALYSIS.md.
 //
 // Usage:
-//   gnn4tdl_lint [--root DIR] [--expect rule1,rule2,...] [-v]
+//   gnn4tdl_lint [--root DIR] [--pass p1,p2] [--expect rule1,rule2,...] [-v]
 //
 // Scans DIR/{src,tests,bench,tools,examples} (skipping any path containing
 // "testdata", plus build*/.git). Exit 0 = clean, 1 = violations, 2 = usage or
-// I/O error. With --expect, acts as a self-test: exit 0 iff the set of rules
-// that fired equals the given set (used by the ctest fixture case to prove
-// every rule actually detects its seeded violation).
+// I/O error. --pass restricts the run to the named passes. With --expect,
+// acts as a self-test: exit 0 iff the set of rules that fired equals the
+// given set (used by the ctest fixture cases to prove every rule actually
+// detects its seeded violation).
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "pass.h"
+
 namespace fs = std::filesystem;
 
 namespace {
 
-struct Token {
-  std::string text;
-  int line = 0;
-  bool is_ident = false;
-};
-
-struct Violation {
-  std::string file;  // relative to root
-  int line = 0;
-  std::string rule;
-  std::string message;
-};
-
-// Replaces comments, string literals, and char literals with spaces while
-// preserving newlines, so later passes never match inside them. Handles //,
-// /* */, "..." with escapes, '...' with escapes, and R"delim(...)delim".
-// A ' preceded by an alnum/_ is treated as a digit separator, not a char
-// literal.
-std::string StripCode(const std::string& in) {
-  std::string out = in;
-  size_t i = 0;
-  const size_t n = in.size();
-  auto blank = [&](size_t pos) {
-    if (out[pos] != '\n') out[pos] = ' ';
-  };
-  while (i < n) {
-    char c = in[i];
-    if (c == '/' && i + 1 < n && in[i + 1] == '/') {
-      while (i < n && in[i] != '\n') blank(i++);
-    } else if (c == '/' && i + 1 < n && in[i + 1] == '*') {
-      blank(i++);
-      blank(i++);
-      while (i + 1 < n && !(in[i] == '*' && in[i + 1] == '/')) blank(i++);
-      if (i + 1 < n) {
-        blank(i++);
-        blank(i++);
-      }
-    } else if (c == 'R' && i + 1 < n && in[i + 1] == '"' &&
-               (i == 0 || (!std::isalnum(static_cast<unsigned char>(in[i - 1])) &&
-                           in[i - 1] != '_'))) {
-      size_t d_start = i + 2;
-      size_t paren = in.find('(', d_start);
-      if (paren == std::string::npos) {
-        ++i;
-        continue;
-      }
-      std::string delim = ")" + in.substr(d_start, paren - d_start) + "\"";
-      size_t close = in.find(delim, paren + 1);
-      size_t end = close == std::string::npos ? n : close + delim.size();
-      while (i < end && i < n) blank(i++);
-    } else if (c == '"') {
-      blank(i++);
-      while (i < n && in[i] != '"') {
-        if (in[i] == '\\' && i + 1 < n) blank(i++);
-        blank(i++);
-      }
-      if (i < n) blank(i++);
-    } else if (c == '\'' &&
-               (i == 0 || (!std::isalnum(static_cast<unsigned char>(in[i - 1])) &&
-                           in[i - 1] != '_'))) {
-      blank(i++);
-      while (i < n && in[i] != '\'') {
-        if (in[i] == '\\' && i + 1 < n) blank(i++);
-        blank(i++);
-      }
-      if (i < n) blank(i++);
-    } else {
-      ++i;
-    }
-  }
-  return out;
-}
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-std::vector<Token> Tokenize(const std::string& stripped) {
-  std::vector<Token> tokens;
-  int line = 1;
-  size_t i = 0;
-  const size_t n = stripped.size();
-  while (i < n) {
-    char c = stripped[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-    } else if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-    } else if (IsIdentChar(c)) {
-      size_t start = i;
-      while (i < n && IsIdentChar(stripped[i])) ++i;
-      tokens.push_back({stripped.substr(start, i - start), line,
-                        !std::isdigit(static_cast<unsigned char>(c))});
-    } else {
-      // Multi-char operators the rules care about; everything else is 1 char.
-      if (i + 1 < n) {
-        char d = stripped[i + 1];
-        if ((c == ':' && d == ':') || (c == '-' && d == '>')) {
-          tokens.push_back({std::string() + c + d, line, false});
-          i += 2;
-          continue;
-        }
-      }
-      tokens.push_back({std::string(1, c), line, false});
-      ++i;
-    }
-  }
-  return tokens;
-}
-
-const std::set<std::string> kDeclKeywords = {
-    "return", "new",    "delete", "throw",  "co_return", "case",
-    "else",   "sizeof", "using",  "typedef", "goto"};
-
-// Harvests function names from a stripped header. A name declared to return
-// Status or StatusOr<...> goes into `status`; a name declared with any other
-// `Type name(` pattern goes into `non_status`. The caller subtracts the two:
-// a text linter cannot resolve overload sets, so a name that is Status-
-// returning in one class and not in another (e.g. TabularModel::Fit vs
-// Trainer::Fit) must not be flagged at call sites — the compiler's
-// -Werror=unused-result still catches those discards with full type info.
-void CollectFunctionNames(const std::vector<Token>& tokens,
-                          std::set<std::string>* status,
-                          std::set<std::string>* non_status) {
-  for (size_t i = 0; i < tokens.size(); ++i) {
-    if (!tokens[i].is_ident) continue;
-    const std::string& type_tok = tokens[i].text;
-    if (type_tok == "Status" || type_tok == "StatusOr") {
-      size_t j = i + 1;
-      if (type_tok == "StatusOr") {
-        if (j >= tokens.size() || tokens[j].text != "<") continue;
-        int depth = 0;
-        while (j < tokens.size()) {
-          if (tokens[j].text == "<") ++depth;
-          if (tokens[j].text == ">") {
-            --depth;
-            if (depth == 0) {
-              ++j;
-              break;
-            }
-          }
-          ++j;
-        }
-      }
-      if (j + 1 < tokens.size() && tokens[j].is_ident &&
-          tokens[j + 1].text == "(") {
-        status->insert(tokens[j].text);
-      }
-    } else if (i + 2 < tokens.size() && tokens[i + 1].is_ident &&
-               tokens[i + 2].text == "(" && !kDeclKeywords.count(type_tok) &&
-               !kDeclKeywords.count(tokens[i + 1].text)) {
-      non_status->insert(tokens[i + 1].text);
-    }
-  }
-}
-
-bool StartsWith(const std::string& s, const char* prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-const std::set<std::string> kStatementKeywords = {
-    "return",  "if",     "while",  "for",   "switch", "case",  "do",
-    "else",    "break",  "continue", "goto", "throw",  "using", "namespace",
-    "typedef", "static", "const",  "constexpr", "class", "struct", "enum",
-    "public",  "private", "protected", "template", "co_return", "co_await",
-    "new",     "delete", "sizeof", "default"};
-
-void LintFile(const std::string& rel_path, const std::string& raw,
-              const std::set<std::string>& status_fns,
-              std::vector<Violation>* out) {
-  const bool is_header = rel_path.size() > 2 &&
-                         rel_path.compare(rel_path.size() - 2, 2, ".h") == 0;
-  const bool in_src = StartsWith(rel_path, "src/");
-  const bool in_tensor_impl = StartsWith(rel_path, "src/tensor/");
-  const bool thread_allowed = StartsWith(rel_path, "src/common/parallel.") ||
-                              StartsWith(rel_path, "src/serve/") ||
-                              StartsWith(rel_path, "src/load/");
-  const bool deque_allowed = StartsWith(rel_path, "src/serve/");
-  const bool clock_allowed = StartsWith(rel_path, "src/obs/") ||
-                             StartsWith(rel_path, "src/common/parallel.");
-  const bool simd_allowed = StartsWith(rel_path, "src/kernels/");
-
-  if (is_header) {
-    bool has_pragma = false;
-    std::istringstream lines(raw);
-    std::string line;
-    while (std::getline(lines, line)) {
-      if (line.rfind("#pragma once", 0) == 0) {
-        has_pragma = true;
-        break;
-      }
-    }
-    if (!has_pragma) {
-      out->push_back({rel_path, 1, "missing-pragma-once",
-                      "header has no #pragma once"});
-    }
-  }
-
-  const std::string stripped = StripCode(raw);
-  const std::vector<Token> tokens = Tokenize(stripped);
-
-  for (size_t i = 0; i < tokens.size(); ++i) {
-    const Token& t = tokens[i];
-    auto prev = [&](size_t back) -> const Token* {
-      return i >= back ? &tokens[i - back] : nullptr;
-    };
-    auto next = [&](size_t fwd) -> const Token* {
-      return i + fwd < tokens.size() ? &tokens[i + fwd] : nullptr;
-    };
-
-    if (is_header && t.text == "using" && next(1) &&
-        next(1)->text == "namespace") {
-      out->push_back({rel_path, t.line, "using-namespace-in-header",
-                      "using-directive leaks into every includer"});
-    }
-
-    if ((t.text == "rand" || t.text == "srand") && next(1) &&
-        next(1)->text == "(") {
-      const Token* p = prev(1);
-      // Member calls like rng.rand() would be our own API; std::rand and
-      // bare rand are the libc RNG.
-      if (!p || (p->text != "." && p->text != "->")) {
-        out->push_back({rel_path, t.line, "banned-call",
-                        t.text + "() bypasses common/rng.h (seeded, "
-                        "reproducible) randomness"});
-      }
-    }
-
-    if (in_src && !thread_allowed && t.text == "thread" && prev(1) &&
-        prev(1)->text == "::" && prev(2) && prev(2)->text == "std" &&
-        !(next(1) && next(1)->text == "::")) {
-      // std::thread::hardware_concurrency() etc. (std::thread:: followed by
-      // another ::) is a capability query, not thread construction.
-      out->push_back({rel_path, t.line, "raw-thread",
-                      "raw std::thread outside common/parallel and serve/; "
-                      "use the shared ThreadPool (common/parallel.h)"});
-    }
-
-    if (in_src && !deque_allowed && t.text == "deque" && prev(1) &&
-        prev(1)->text == "::" && prev(2) && prev(2)->text == "std") {
-      out->push_back({rel_path, t.line, "raw-deque",
-                      "raw std::deque request queue outside src/serve/; "
-                      "queues belong behind the serving subsystem's admission "
-                      "control (serve/tenant_engine.h)"});
-    }
-
-    if (in_src && !clock_allowed &&
-        (t.text == "steady_clock" || t.text == "system_clock") && prev(1) &&
-        prev(1)->text == "::" && prev(2) && prev(2)->text == "chrono") {
-      out->push_back({rel_path, t.line, "raw-clock",
-                      "raw std::chrono clock in library code; route timing "
-                      "through obs::Clock (src/obs/clock.h) so tests can "
-                      "inject a FakeClock"});
-    }
-
-    if (!simd_allowed && t.is_ident &&
-        (t.text == "immintrin" || StartsWith(t.text, "_mm_") ||
-         StartsWith(t.text, "_mm256_") || StartsWith(t.text, "_mm512_") ||
-         StartsWith(t.text, "__m128") || StartsWith(t.text, "__m256") ||
-         StartsWith(t.text, "__m512"))) {
-      out->push_back({rel_path, t.line, "raw-simd",
-                      "raw SIMD intrinsic '" + t.text +
-                          "' outside src/kernels/; use the dispatched kernel "
-                          "tier (src/kernels/kernels.h) so a bit-identical "
-                          "scalar fallback exists"});
-    }
-
-    if (in_src && t.text == "cout" && prev(1) && prev(1)->text == "::" &&
-        prev(2) && prev(2)->text == "std") {
-      out->push_back({rel_path, t.line, "cout-in-src",
-                      "library code must not write to stdout; return Status "
-                      "or use stderr"});
-    }
-
-    if (!in_tensor_impl && t.is_ident &&
-        (t.text == "new" || t.text == "delete")) {
-      const Token* p = prev(1);
-      const bool deleted_fn = t.text == "delete" && p && p->text == "=";
-      if (!deleted_fn) {
-        out->push_back({rel_path, t.line, "raw-new-delete",
-                        "raw " + t.text +
-                            " outside the tensor impl; use containers or "
-                            "smart pointers"});
-      }
-    }
-  }
-
-  // status-discard: a statement whose entire expression is a call chain
-  // ending in a known Status/StatusOr-returning function. Anchored at
-  // statement starts (after ; { }), so declarations, assignments, returns,
-  // and `(void)` discards never match.
-  for (size_t i = 0; i < tokens.size(); ++i) {
-    const bool at_start =
-        i == 0 || tokens[i - 1].text == ";" || tokens[i - 1].text == "{" ||
-        tokens[i - 1].text == "}";
-    if (!at_start || !tokens[i].is_ident) continue;
-    if (kStatementKeywords.count(tokens[i].text)) continue;
-
-    // Walk the chain: ident ((:: | . | ->) ident)* '('
-    size_t j = i;
-    std::string last_ident = tokens[j].text;
-    while (j + 2 < tokens.size() &&
-           (tokens[j + 1].text == "::" || tokens[j + 1].text == "." ||
-            tokens[j + 1].text == "->") &&
-           tokens[j + 2].is_ident) {
-      j += 2;
-      last_ident = tokens[j].text;
-    }
-    if (j + 1 >= tokens.size() || tokens[j + 1].text != "(") continue;
-    if (!status_fns.count(last_ident)) continue;
-
-    // Find the matching ')' and require the statement to end right after.
-    size_t k = j + 1;
-    int depth = 0;
-    while (k < tokens.size()) {
-      if (tokens[k].text == "(") ++depth;
-      if (tokens[k].text == ")") {
-        --depth;
-        if (depth == 0) break;
-      }
-      ++k;
-    }
-    if (k + 1 < tokens.size() && tokens[k + 1].text == ";") {
-      out->push_back(
-          {rel_path, tokens[i].line, "status-discard",
-           "result of Status-returning '" + last_ident +
-               "' is discarded; check it, propagate it, or cast to (void)"});
-    }
-  }
-}
+using gnn4tdl_lint::Pass;
+using gnn4tdl_lint::SourceFile;
+using gnn4tdl_lint::StartsWith;
+using gnn4tdl_lint::Violation;
 
 bool SkipPath(const fs::path& p) {
   for (const fs::path& part : p) {
@@ -409,11 +55,22 @@ bool ScannableSource(const fs::path& p) {
   return ext == ".h" || ext == ".cc";
 }
 
+std::set<std::string> SplitCommaSet(const std::string& list) {
+  std::set<std::string> out;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.insert(item);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string expect;
+  std::string pass_filter;
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -421,12 +78,14 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--expect" && i + 1 < argc) {
       expect = argv[++i];
+    } else if (arg == "--pass" && i + 1 < argc) {
+      pass_filter = argv[++i];
     } else if (arg == "-v") {
       verbose = true;
     } else {
       std::fprintf(stderr,
-                   "usage: gnn4tdl_lint [--root DIR] [--expect r1,r2,...] "
-                   "[-v]\n");
+                   "usage: gnn4tdl_lint [--root DIR] [--pass p1,p2] "
+                   "[--expect r1,r2,...] [-v]\n");
       return 2;
     }
   }
@@ -438,8 +97,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Collect the files to scan, relative to root.
-  std::vector<std::string> files;
+  // Collect and pre-tokenize the files to scan, relative to root. Passes
+  // share the stripped/tokenized form.
+  std::vector<std::string> rel_paths;
   for (const char* dir : {"src", "tests", "bench", "tools", "examples"}) {
     const fs::path sub = root_path / dir;
     if (!fs::exists(sub)) continue;
@@ -447,67 +107,74 @@ int main(int argc, char** argv) {
       if (!entry.is_regular_file()) continue;
       const fs::path& p = entry.path();
       if (SkipPath(fs::relative(p, root_path)) || !ScannableSource(p)) continue;
-      files.push_back(fs::relative(p, root_path).generic_string());
+      rel_paths.push_back(fs::relative(p, root_path).generic_string());
     }
   }
-  std::sort(files.begin(), files.end());
+  std::sort(rel_paths.begin(), rel_paths.end());
 
-  auto read_file = [&](const std::string& rel, std::string* content) {
+  std::vector<SourceFile> files;
+  files.reserve(rel_paths.size());
+  for (const std::string& rel : rel_paths) {
     std::ifstream in(root_path / rel, std::ios::binary);
-    if (!in) return false;
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    *content = buf.str();
-    return true;
-  };
-
-  // Pass 1: harvest Status-returning function names from the tree's headers
-  // (fixtures declare their own), minus any name that is also declared with
-  // a different return type somewhere.
-  std::set<std::string> status_fns;
-  std::set<std::string> ambiguous;
-  for (const std::string& rel : files) {
-    if (rel.size() < 2 || rel.compare(rel.size() - 2, 2, ".h") != 0) continue;
-    std::string content;
-    if (!read_file(rel, &content)) continue;
-    CollectFunctionNames(Tokenize(StripCode(content)), &status_fns, &ambiguous);
-  }
-  for (const std::string& name : ambiguous) status_fns.erase(name);
-  if (verbose) {
-    std::fprintf(stderr, "gnn4tdl_lint: %zu Status-returning functions\n",
-                 status_fns.size());
-    for (const std::string& s : status_fns)
-      std::fprintf(stderr, "  %s\n", s.c_str());
-  }
-
-  // Pass 2: lint every file.
-  std::vector<Violation> violations;
-  size_t scanned = 0;
-  for (const std::string& rel : files) {
-    std::string content;
-    if (!read_file(rel, &content)) {
+    if (!in) {
       std::fprintf(stderr, "gnn4tdl_lint: cannot read %s\n", rel.c_str());
       return 2;
     }
-    ++scanned;
-    LintFile(rel, content, status_fns, &violations);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    SourceFile file;
+    file.path = rel;
+    file.raw = buf.str();
+    file.stripped = gnn4tdl_lint::StripCode(file.raw);
+    file.tokens = gnn4tdl_lint::Tokenize(file.stripped);
+    file.unguarded_exempt_lines =
+        gnn4tdl_lint::CollectUnguardedExemptLines(file.raw);
+    files.push_back(std::move(file));
   }
 
+  std::vector<std::unique_ptr<Pass>> passes;
+  passes.push_back(gnn4tdl_lint::MakeStylePass());
+  passes.push_back(gnn4tdl_lint::MakeLockPass());
+
+  const std::set<std::string> wanted = SplitCommaSet(pass_filter);
+  for (const std::string& name : wanted) {
+    const bool known =
+        std::any_of(passes.begin(), passes.end(),
+                    [&](const auto& p) { return name == p->name(); });
+    if (!known) {
+      std::fprintf(stderr, "gnn4tdl_lint: unknown pass '%s'\n", name.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<Violation> violations;
+  size_t passes_run = 0;
+  for (const auto& pass : passes) {
+    if (!wanted.empty() && !wanted.count(pass->name())) continue;
+    const size_t before = violations.size();
+    pass->Run(files, &violations);
+    ++passes_run;
+    if (verbose) {
+      std::fprintf(stderr, "gnn4tdl_lint: pass %-6s %zu violation(s)\n",
+                   pass->name(), violations.size() - before);
+    }
+  }
+
+  std::stable_sort(violations.begin(), violations.end(),
+                   [](const Violation& a, const Violation& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
   for (const Violation& v : violations) {
     std::printf("%s:%d: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
                 v.message.c_str());
   }
-  std::printf("gnn4tdl_lint: %zu violation(s) in %zu file(s) scanned\n",
-              violations.size(), scanned);
+  std::printf("gnn4tdl_lint: %zu violation(s) in %zu file(s), %zu pass(es)\n",
+              violations.size(), files.size(), passes_run);
 
   if (!expect.empty()) {
     // Self-test mode: the set of rules that fired must match exactly.
-    std::set<std::string> expected;
-    std::stringstream ss(expect);
-    std::string rule;
-    while (std::getline(ss, rule, ',')) {
-      if (!rule.empty()) expected.insert(rule);
-    }
+    const std::set<std::string> expected = SplitCommaSet(expect);
     std::set<std::string> fired;
     for (const Violation& v : violations) fired.insert(v.rule);
     if (fired == expected) {

@@ -1,0 +1,527 @@
+// Lock-discipline pass: a from-scratch static analysis of the project's
+// annotated mutex layer (src/common/mutex.h + src/common/thread_annotations.h)
+// that works under any compiler — the clang -Wthread-safety gate (see
+// tools/check.sh analyze stage) proves the annotations to clang when clang is
+// available; this pass enforces the *discipline around* the annotations
+// everywhere:
+//
+//   lock-raw-mutex          std::mutex / std::condition_variable /
+//                           std::lock_guard / std::unique_lock /
+//                           std::scoped_lock (and friends) in src/ outside
+//                           src/common/mutex.h. Raw std types carry no
+//                           capability annotations, so clang's analysis is
+//                           blind to them; all library locking goes through
+//                           gnn4tdl::Mutex / MutexLock / CondVar.
+//   lock-unannotated-field  A mutable field of a mutex-owning class (one
+//                           with a Mutex member) that is not GUARDED_BY /
+//                           PT_GUARDED_BY, not atomic, not const, and not
+//                           explicitly exempted with a trailing
+//                           `// lint:unguarded(reason)` comment. Forces every
+//                           field to state its synchronization story.
+//   lock-unknown-mutex      A GUARDED_BY argument naming no Mutex member of
+//                           that class, or a MutexLock/lock_guard acquisition
+//                           whose mutex expression ends in a name that is not
+//                           a declared Mutex anywhere in the tree (typo'd
+//                           annotations silently guard nothing).
+//   lock-double-acquire     The same mutex expression acquired again by a
+//                           scoped guard while an enclosing scope's guard on
+//                           it is still alive — immediate self-deadlock on a
+//                           non-recursive mutex.
+//   lock-requires-public    A method annotated GNN4TDL_REQUIRES(...) in a
+//                           public section. REQUIRES is an internal-caller
+//                           contract (the lock is already held); a public
+//                           REQUIRES method invites callers who do not hold
+//                           it. Expose an EXCLUDES wrapper instead.
+//
+// Parsing model: token-pattern analysis over stripped source (comments and
+// strings blanked), with brace/angle/paren depth tracking — deliberately not
+// a real C++ parser. Known blind spots (acceptable for this tree's idiom):
+// fields initialized with brace-init lists are classified as methods, and
+// cross-function lock flows are invisible (that is what the clang analysis
+// and the TSan stage are for).
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "pass.h"
+
+namespace gnn4tdl_lint {
+
+namespace {
+
+// std lock vocabulary that must not appear raw in src/.
+const std::set<std::string> kStdMutexTypes = {
+    "mutex",        "timed_mutex",           "recursive_mutex",
+    "shared_mutex", "recursive_timed_mutex", "shared_timed_mutex",
+    "condition_variable", "condition_variable_any"};
+const std::set<std::string> kStdGuardTypes = {"lock_guard", "unique_lock",
+                                              "scoped_lock", "shared_lock"};
+
+// Files that define the annotated layer itself; every rule skips them.
+bool IsFoundationFile(const std::string& path) {
+  return path == "src/common/mutex.h" ||
+         path == "src/common/thread_annotations.h";
+}
+
+bool IsGnnAnnotationMacro(const std::string& text) {
+  return StartsWith(text, "GNN4TDL_");
+}
+
+struct FieldCheck {
+  int line = 0;
+  std::string guard_arg;  // last ident inside GUARDED_BY(...), if annotated
+};
+
+struct ClassInfo {
+  std::string name;
+  std::string file;
+  std::set<std::string> mutex_members;
+  std::vector<FieldCheck> guarded_fields;  // for unknown-mutex resolution
+};
+
+// Last identifier at angle/paren depth 0 in [begin, end), stopping early at
+// '=', '[', or a GNN4TDL_* macro. This is the declared field name for the
+// member-declaration idiom used in this tree.
+std::string FieldName(const std::vector<Token>& chunk) {
+  std::string name;
+  int angle = 0, paren = 0;
+  for (const Token& t : chunk) {
+    if (t.text == "<") ++angle;
+    else if (t.text == ">") angle = angle > 0 ? angle - 1 : 0;
+    else if (t.text == "(") ++paren;
+    else if (t.text == ")") paren = paren > 0 ? paren - 1 : 0;
+    if (angle > 0 || paren > 0) continue;
+    if (t.text == "=" || t.text == "[") break;
+    if (t.is_ident) {
+      if (IsGnnAnnotationMacro(t.text)) break;
+      name = t.text;
+    }
+  }
+  return name;
+}
+
+// True when the chunk declares a method: some identifier (not an annotation
+// macro, alignas, or decltype) directly followed by '(' at depth 0, an
+// `operator` token, or a skipped `{...}` body (marker token "{}").
+bool LooksLikeMethod(const std::vector<Token>& chunk) {
+  int angle = 0, paren = 0;
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    const Token& t = chunk[i];
+    if (t.text == "{}") return true;
+    if (t.text == "operator") return true;
+    if (t.text == "<") ++angle;
+    else if (t.text == ">") angle = angle > 0 ? angle - 1 : 0;
+    else if (t.text == "(") ++paren;
+    else if (t.text == ")") paren = paren > 0 ? paren - 1 : 0;
+    if (angle > 0 || paren > 1) continue;
+    if (t.is_ident && paren == 0 && i + 1 < chunk.size() &&
+        chunk[i + 1].text == "(" && !IsGnnAnnotationMacro(t.text) &&
+        t.text != "alignas" && t.text != "decltype") {
+      return true;
+    }
+  }
+  return false;
+}
+
+// True when the declared entity itself is immutable: value type with a
+// `const` token, or pointer/reference whose binding is const (a `const`
+// after the last '*' / '&' at depth 0).
+bool IsConstMember(const std::vector<Token>& chunk) {
+  int angle = 0, paren = 0;
+  int last_star = -1;
+  int last_const = -1;
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    const Token& t = chunk[i];
+    if (t.text == "<") ++angle;
+    else if (t.text == ">") angle = angle > 0 ? angle - 1 : 0;
+    else if (t.text == "(") ++paren;
+    else if (t.text == ")") paren = paren > 0 ? paren - 1 : 0;
+    if (angle > 0 || paren > 0) continue;
+    if (t.is_ident && IsGnnAnnotationMacro(t.text)) break;
+    if (t.text == "*" || t.text == "&") last_star = static_cast<int>(i);
+    if (t.text == "const") last_const = static_cast<int>(i);
+  }
+  if (last_const < 0) return false;
+  return last_star < 0 || last_const > last_star;
+}
+
+bool ChunkHasIdent(const std::vector<Token>& chunk, const std::string& ident) {
+  for (const Token& t : chunk) {
+    if (t.is_ident && t.text == ident) return true;
+  }
+  return false;
+}
+
+// Chunk mentions a raw std mutex/condvar type (std :: <type>).
+bool DeclaresStdSyncPrimitive(const std::vector<Token>& chunk) {
+  for (size_t i = 2; i < chunk.size(); ++i) {
+    if (kStdMutexTypes.count(chunk[i].text) && chunk[i - 1].text == "::" &&
+        chunk[i - 2].text == "std") {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Last ident inside the parens of the first GUARDED_BY / PT_GUARDED_BY in
+// the chunk; empty when not annotated.
+std::string GuardedByArg(const std::vector<Token>& chunk, bool* annotated) {
+  *annotated = false;
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    if (chunk[i].text != "GNN4TDL_GUARDED_BY" &&
+        chunk[i].text != "GNN4TDL_PT_GUARDED_BY") {
+      continue;
+    }
+    *annotated = true;
+    std::string arg;
+    int depth = 0;
+    for (size_t j = i + 1; j < chunk.size(); ++j) {
+      if (chunk[j].text == "(") ++depth;
+      else if (chunk[j].text == ")") {
+        if (--depth == 0) break;
+      } else if (depth > 0 && chunk[j].is_ident) {
+        arg = chunk[j].text;
+      }
+    }
+    return arg;
+  }
+  return std::string();
+}
+
+class LockPass : public Pass {
+ public:
+  const char* name() const override { return "lock"; }
+
+  void Run(const std::vector<SourceFile>& files,
+           std::vector<Violation>* out) override {
+    // Phase 1: index every declared mutex name in the tree (class members
+    // and locals): any identifier directly following a `Mutex` token or a
+    // std mutex-family type. Used to validate acquisition sites.
+    std::set<std::string> known_mutex_names;
+    for (const SourceFile& f : files) {
+      const std::vector<Token>& toks = f.tokens;
+      for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        const bool gnn_mutex = toks[i].text == "Mutex";
+        const bool std_mutex =
+            kStdMutexTypes.count(toks[i].text) && i >= 2 &&
+            toks[i - 1].text == "::" && toks[i - 2].text == "std";
+        if ((gnn_mutex || std_mutex) && toks[i + 1].is_ident) {
+          known_mutex_names.insert(toks[i + 1].text);
+        }
+      }
+    }
+
+    for (const SourceFile& f : files) {
+      if (IsFoundationFile(f.path)) continue;
+      if (StartsWith(f.path, "src/")) {
+        CheckRawMutex(f, out);
+        CheckClasses(f, out);
+      }
+      CheckAcquisitions(f, known_mutex_names, out);
+    }
+  }
+
+ private:
+  // lock-raw-mutex: std sync primitives anywhere in src/ outside the
+  // foundation files.
+  void CheckRawMutex(const SourceFile& f, std::vector<Violation>* out) {
+    const std::vector<Token>& toks = f.tokens;
+    for (size_t i = 2; i < toks.size(); ++i) {
+      if ((kStdMutexTypes.count(toks[i].text) ||
+           kStdGuardTypes.count(toks[i].text)) &&
+          toks[i - 1].text == "::" && toks[i - 2].text == "std") {
+        out->push_back(
+            {f.path, toks[i].line, "lock-raw-mutex",
+             "raw std::" + toks[i].text +
+                 " in library code; use gnn4tdl::Mutex / MutexLock / CondVar "
+                 "(common/mutex.h) so the clang thread-safety analysis can "
+                 "see the capability"});
+      }
+    }
+  }
+
+  // Class-body rules: lock-unannotated-field, lock-unknown-mutex (annotation
+  // side), lock-requires-public.
+  void CheckClasses(const SourceFile& f, std::vector<Violation>* out) {
+    const std::vector<Token>& toks = f.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].text != "class" && toks[i].text != "struct") continue;
+      if (i > 0 && (toks[i - 1].text == "enum" || toks[i - 1].text == "<" ||
+                    toks[i - 1].text == ",")) {
+        continue;  // enum class / template parameter, not a class-head
+      }
+      // Find the body '{' (or ';' for a forward declaration) at paren
+      // depth 0, and the class name: the last identifier before the body or
+      // before a top-level base-clause ':'.
+      size_t open = 0;
+      std::string class_name;
+      bool saw_colon = false;
+      int paren = 0;
+      for (size_t j = i + 1; j < toks.size(); ++j) {
+        const std::string& s = toks[j].text;
+        if (s == "(") ++paren;
+        else if (s == ")") paren = paren > 0 ? paren - 1 : 0;
+        if (paren > 0) continue;
+        if (s == ";") break;  // forward declaration
+        if (s == "{") {
+          open = j;
+          break;
+        }
+        if (s == ":") saw_colon = true;
+        if (toks[j].is_ident && !saw_colon && s != "final") class_name = s;
+      }
+      if (open == 0 || class_name.empty()) continue;
+      ParseClassBody(f, class_name, toks[i].text == "struct", open, out);
+    }
+  }
+
+  void ParseClassBody(const SourceFile& f, const std::string& class_name,
+                      bool is_struct, size_t open, std::vector<Violation>* out) {
+    const std::vector<Token>& toks = f.tokens;
+    ClassInfo info;
+    info.name = class_name;
+    info.file = f.path;
+    std::string access = is_struct ? "public" : "private";
+    // Lines of public REQUIRES chunks, and (line, name) of candidate
+    // unannotated fields; both reported after the whole body is indexed.
+    std::vector<int> requires_public;
+    std::vector<std::pair<int, std::string>> unannotated;
+
+    std::vector<Token> chunk;
+    size_t k = open + 1;
+    int depth = 1;
+    auto process_chunk = [&]() {
+      if (chunk.empty()) return;
+      ProcessMemberChunk(f, chunk, access, &info, &requires_public,
+                         &unannotated);
+      chunk.clear();
+    };
+    while (k < toks.size() && depth > 0) {
+      const Token& t = toks[k];
+      if (t.text == "{") {
+        // Nested body (method, nested type, or brace-init): skip to the
+        // matching '}' and record a marker. A nested type's declarator can
+        // continue to a ';'; a method body ends the member.
+        int d = 1;
+        int open_line = t.line;
+        ++k;
+        while (k < toks.size() && d > 0) {
+          if (toks[k].text == "{") ++d;
+          else if (toks[k].text == "}") --d;
+          ++k;
+        }
+        chunk.push_back(Token{"{}", open_line, false});
+        const bool nested_type =
+            !chunk.empty() &&
+            (chunk[0].text == "class" || chunk[0].text == "struct" ||
+             chunk[0].text == "enum" || chunk[0].text == "union");
+        if (!nested_type) process_chunk();
+        continue;
+      }
+      if (t.text == "}") {
+        --depth;
+        ++k;
+        continue;
+      }
+      if (t.text == ";") {
+        process_chunk();
+        ++k;
+        continue;
+      }
+      if (chunk.empty() &&
+          (t.text == "public" || t.text == "private" ||
+           t.text == "protected") &&
+          k + 1 < toks.size() && toks[k + 1].text == ":") {
+        access = t.text;
+        k += 2;
+        continue;
+      }
+      chunk.push_back(t);
+      ++k;
+    }
+    process_chunk();
+
+    // Field rules only apply when the class actually owns a mutex; a public
+    // REQUIRES method is wrong regardless.
+    for (int line : requires_public) {
+      out->push_back(
+          {f.path, line, "lock-requires-public",
+           "public method of '" + class_name +
+               "' is annotated GNN4TDL_REQUIRES — callers cannot hold a "
+               "private mutex; expose an EXCLUDES wrapper and keep the "
+               "REQUIRES overload private"});
+    }
+    if (info.mutex_members.empty()) return;
+    for (const auto& [line, name] : unannotated) {
+      out->push_back(
+          {f.path, line, "lock-unannotated-field",
+           "field '" + name + "' of mutex-owning class '" + class_name +
+               "' has no synchronization story; annotate it "
+               "GNN4TDL_GUARDED_BY(mu), make it const/atomic, or exempt it "
+               "with `// lint:unguarded(reason)`"});
+    }
+    for (const FieldCheck& check : info.guarded_fields) {
+      if (!info.mutex_members.count(check.guard_arg)) {
+        out->push_back(
+            {f.path, check.line, "lock-unknown-mutex",
+             "GUARDED_BY(" + check.guard_arg + ") names no Mutex member of '" +
+                 class_name + "' — the annotation guards nothing"});
+      }
+    }
+  }
+
+  void ProcessMemberChunk(const SourceFile& f, const std::vector<Token>& chunk,
+                          const std::string& access, ClassInfo* info,
+                          std::vector<int>* requires_public,
+                          std::vector<std::pair<int, std::string>>* unannotated) {
+    const int first_line = chunk.front().line;
+    const int last_line = chunk.back().line;
+
+    if (ChunkHasIdent(chunk, "GNN4TDL_REQUIRES") && access == "public") {
+      requires_public->push_back(first_line);
+    }
+
+    // Nested types / aliases / friends / non-instance members: no field to
+    // check (nested classes are indexed by their own class-head scan).
+    const std::string& head = chunk.front().text;
+    if (head == "class" || head == "struct" || head == "enum" ||
+        head == "union" || head == "friend" || head == "using" ||
+        head == "typedef" || head == "template") {
+      return;
+    }
+    if (ChunkHasIdent(chunk, "static") || ChunkHasIdent(chunk, "constexpr")) {
+      return;
+    }
+
+    // Sync primitives declare the guard itself.
+    if (ChunkHasIdent(chunk, "Mutex") || DeclaresStdSyncPrimitive(chunk)) {
+      const std::string name = FieldName(chunk);
+      if (!name.empty() && name != "Mutex") info->mutex_members.insert(name);
+      return;
+    }
+    if (ChunkHasIdent(chunk, "CondVar") || ChunkHasIdent(chunk, "atomic")) {
+      return;
+    }
+
+    if (LooksLikeMethod(chunk)) return;
+
+    const std::string name = FieldName(chunk);
+    if (name.empty()) return;
+
+    bool annotated = false;
+    const std::string guard_arg = GuardedByArg(chunk, &annotated);
+    if (annotated) {
+      info->guarded_fields.push_back({first_line, guard_arg});
+      return;
+    }
+    if (IsConstMember(chunk)) return;
+
+    // Trailing `// lint:unguarded(reason)` on any line of the declaration
+    // (or the line directly above it) exempts the field.
+    for (int line = first_line - 1; line <= last_line; ++line) {
+      if (f.unguarded_exempt_lines.count(line)) return;
+    }
+    unannotated->push_back({first_line, name});
+  }
+
+  // Acquisition-site rules over every scanned file: lock-unknown-mutex for
+  // guards naming an undeclared mutex, and lock-double-acquire for a scope
+  // re-acquiring an expression an enclosing guard still holds.
+  void CheckAcquisitions(const SourceFile& f,
+                         const std::set<std::string>& known_mutex_names,
+                         std::vector<Violation>* out) {
+    const std::vector<Token>& toks = f.tokens;
+    int depth = 0;
+    struct Held {
+      int depth;
+      std::string expr;
+    };
+    std::vector<Held> held;
+
+    for (size_t i = 0; i < toks.size(); ++i) {
+      const std::string& s = toks[i].text;
+      if (s == "{") {
+        ++depth;
+        continue;
+      }
+      if (s == "}") {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+        continue;
+      }
+
+      // MutexLock <name>(<expr>);  or  std::lock_guard<...> <name>(<expr>);
+      size_t name_idx = 0;
+      if (s == "MutexLock" && i + 1 < toks.size() && toks[i + 1].is_ident &&
+          i + 2 < toks.size() && toks[i + 2].text == "(") {
+        name_idx = i + 1;
+      } else if (kStdGuardTypes.count(s) && i >= 2 &&
+                 toks[i - 1].text == "::" && toks[i - 2].text == "std") {
+        // Skip the template argument list, then expect `name (`.
+        size_t j = i + 1;
+        if (j < toks.size() && toks[j].text == "<") {
+          int angle = 0;
+          while (j < toks.size()) {
+            if (toks[j].text == "<") ++angle;
+            if (toks[j].text == ">" && --angle == 0) {
+              ++j;
+              break;
+            }
+            ++j;
+          }
+        }
+        if (j + 1 < toks.size() && toks[j].is_ident &&
+            toks[j + 1].text == "(") {
+          name_idx = j;
+        }
+      }
+      if (name_idx == 0) continue;
+
+      // Collect the constructor argument tokens up to the matching ')'.
+      size_t j = name_idx + 1;
+      int paren = 0;
+      std::string expr;
+      std::string last_ident;
+      while (j < toks.size()) {
+        if (toks[j].text == "(") {
+          ++paren;
+          if (paren == 1) {
+            ++j;
+            continue;
+          }
+        }
+        if (toks[j].text == ")" && --paren == 0) break;
+        expr += toks[j].text;
+        if (toks[j].is_ident) last_ident = toks[j].text;
+        ++j;
+      }
+      if (last_ident.empty()) continue;  // e.g. deferred-lock tag only
+
+      if (!known_mutex_names.count(last_ident)) {
+        out->push_back(
+            {f.path, toks[name_idx].line, "lock-unknown-mutex",
+             "guard '" + toks[name_idx].text + "' locks '" + last_ident +
+                 "', which is not a declared Mutex anywhere in the tree"});
+      }
+      for (const Held& h : held) {
+        if (h.expr == expr) {
+          out->push_back(
+              {f.path, toks[name_idx].line, "lock-double-acquire",
+               "mutex expression '" + expr +
+                   "' is already held by an enclosing guard in this scope "
+                   "chain — self-deadlock on a non-recursive mutex"});
+          break;
+        }
+      }
+      held.push_back({depth, expr});
+      i = j;
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeLockPass() { return std::make_unique<LockPass>(); }
+
+}  // namespace gnn4tdl_lint

@@ -1,0 +1,27 @@
+// Seeded acquisition-site violations for the lock pass self-test. Never
+// compiled.
+#include "bad_locks.h"
+
+namespace gnn4tdl {
+
+namespace {
+Mutex g_mu;
+int g_value GNN4TDL_GUARDED_BY(g_mu) = 0;
+}  // namespace
+
+void DoubleAcquire() {
+  MutexLock lock(&g_mu);
+  {
+    // lock-double-acquire: g_mu is still held by the enclosing guard.
+    MutexLock inner(&g_mu);
+    ++g_value;
+  }
+}
+
+void LockTypo() {
+  // lock-unknown-mutex: no Mutex named g_mu_typo is declared anywhere.
+  MutexLock lock(&g_mu_typo);
+  ++g_value;
+}
+
+}  // namespace gnn4tdl

@@ -1,0 +1,35 @@
+// Seeded lock-discipline violations for the linter self-test. This file is
+// never compiled — it only needs to look like the code each lock rule is
+// designed to catch.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace gnn4tdl {
+
+class BadLockClass {
+ public:
+  // lock-requires-public: a REQUIRES method in the public section.
+  void MutateLocked() GNN4TDL_REQUIRES(mu_);
+
+  void Mutate() GNN4TDL_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  // lock-raw-mutex: raw std::mutex in src/ outside common/mutex.h.
+  std::mutex raw_mu_;
+  // lock-unannotated-field: no annotation, not const/atomic, no exemption.
+  size_t unguarded_count_ = 0;
+  // lock-unknown-mutex: other_mu_ is not a Mutex member of this class.
+  std::vector<std::string> items_ GNN4TDL_GUARDED_BY(other_mu_);
+  // Correctly annotated and exempted fields must NOT fire.
+  bool done_ GNN4TDL_GUARDED_BY(mu_) = false;
+  double snapshot_ = 0.0;  // lint:unguarded(written before threads start)
+};
+
+}  // namespace gnn4tdl

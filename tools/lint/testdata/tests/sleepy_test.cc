@@ -1,0 +1,8 @@
+// Seeded raw-sleep violation for the linter self-test. Never compiled.
+#include <chrono>
+#include <thread>
+
+void FlakySync() {
+  // raw-sleep: fixed sleeps make tests flaky; poll with PollUntil instead.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
