@@ -1,0 +1,287 @@
+// Fused execution + arena memory planner benchmark (operational): trains the
+// same GCN instance-graph model twice in forked children — once on the fused
+// tape with the arena allocator and free-at-last-use Backward (the library
+// defaults), once with every optimization off (unfused ops, heap Matrix
+// storage, full tape retained) — and compares the children's peak RSS and
+// wall-clock. Forking isolates the measurement: each child's ru_maxrss covers
+// exactly one variant, with no contamination from the other's high-water mark
+// (a process's maxrss never goes down).
+//
+// The claims under test: (1) the fused+arena+release path peaks strictly
+// lower in resident memory; (2) wall-clock is no worse; (3) the final
+// training loss is BIT-IDENTICAL across variants — the whole stack is a pure
+// memory/scheduling optimization, never a numerics change (docs/MEMORY.md).
+//
+// Writes BENCH_fusion.json (per-variant maxrss/wall/loss, tape planner
+// naive-vs-planned peak bytes, arena + fusion counters, deltas) so the memory
+// story is diffable across PRs.
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "bench_util.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "models/knn_gnn.h"
+#include "nn/fused.h"
+#include "obs/metrics.h"
+
+namespace gnn4tdl {
+namespace {
+
+// Sized so tape intermediates dominate the footprint: ~1000 nodes x 128
+// hidden doubles makes each interior value ~1 MB, and 4 layers x ~40 epochs
+// of retained-vs-released tape is the difference under measurement.
+constexpr size_t kRows = 1000;
+constexpr size_t kHidden = 128;
+constexpr size_t kLayers = 4;
+constexpr int kEpochs = 40;
+
+struct VariantConfig {
+  const char* name;
+  bool fusion;
+  bool use_arena;
+  bool release_tape_values;
+};
+
+struct VariantResult {
+  long maxrss_kb = 0;       // child's ru_maxrss (KiB on Linux)
+  double wall_ms = 0.0;     // Fit() wall-clock inside the child
+  uint64_t loss_bits = 0;   // final train loss, exact bit pattern
+  double naive_peak = 0.0;  // tape.naive_peak_bytes gauge
+  double planned_peak = 0.0;
+  double arena_high_water = 0.0;
+  double arena_alloc_calls = 0.0;
+  double arena_pool_hits = 0.0;
+  double fusion_hits = 0.0;
+  double fusion_bails = 0.0;
+};
+
+/// Child body: builds the dataset, trains under the variant's configuration,
+/// and prints one result line to `fd`. Runs entirely post-fork so nothing is
+/// shared with the sibling variant.
+int RunChild(const VariantConfig& config, int fd) {
+  obs::EnableMetrics();  // trainer emits tape/arena gauges we report
+  fused::SetFusionEnabled(config.fusion);
+
+  TabularDataset data = MakeClusters({.num_rows = kRows,
+                                      .num_classes = 3,
+                                      .dim_informative = 8,
+                                      .dim_noise = 6,
+                                      .seed = 11});
+  Rng rng(23);
+  Split split = StratifiedSplit(data.class_labels(), 0.7, 0.15, rng);
+
+  InstanceGraphGnnOptions options;
+  options.backbone = GnnBackbone::kGcn;
+  options.hidden_dim = kHidden;
+  options.num_layers = kLayers;
+  options.knn.k = 10;
+  options.train.max_epochs = kEpochs;
+  options.train.patience = 0;  // fixed epoch count: identical work per variant
+  options.train.use_arena = config.use_arena;
+  options.train.release_tape_values = config.release_tape_values;
+  options.seed = 5;
+  InstanceGraphGnn model(options);
+
+  bench::Timer timer;
+  Status fit = model.Fit(data, split);
+  const double wall_ms = timer.WallMs();
+  if (!fit.ok()) {
+    std::fprintf(stderr, "[%s] fit failed: %s\n", config.name,
+                 fit.ToString().c_str());
+    return 1;
+  }
+
+  auto& registry = obs::MetricsRegistry::Global();
+  const double loss = registry.GetGauge("train.loss").Value();
+  uint64_t loss_bits = 0;
+  static_assert(sizeof(loss_bits) == sizeof(loss));
+  std::memcpy(&loss_bits, &loss, sizeof(loss));
+  double hits = 0.0;
+  double bails = 0.0;
+  for (const char* pattern :
+       {"linear_bias_act", "spmm_bias_act", "add_act", "gather_concat",
+        "normalize_aggregate"}) {
+    hits += registry.GetCounter(std::string("fusion.hits.") + pattern).Value();
+    bails +=
+        registry.GetCounter(std::string("fusion.bails.") + pattern).Value();
+  }
+  dprintf(fd,
+          "loss_bits=%llx wall_ms=%.3f naive=%.0f planned=%.0f arena_hw=%.0f "
+          "alloc_calls=%.0f pool_hits=%.0f hits=%.0f bails=%.0f\n",
+          static_cast<unsigned long long>(loss_bits), wall_ms,
+          registry.GetGauge("tape.naive_peak_bytes").Value(),
+          registry.GetGauge("tape.planned_peak_bytes").Value(),
+          registry.GetGauge("arena.high_water_bytes").Value(),
+          registry.GetGauge("arena.alloc_calls").Value(),
+          registry.GetGauge("arena.pool_hits").Value(), hits, bails);
+  return 0;
+}
+
+bool RunVariant(const VariantConfig& config, VariantResult* result) {
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    std::perror("pipe");
+    return false;
+  }
+  pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return false;
+  }
+  if (pid == 0) {
+    close(pipe_fds[0]);
+    int rc = RunChild(config, pipe_fds[1]);
+    close(pipe_fds[1]);
+    _exit(rc);
+  }
+  close(pipe_fds[1]);
+  char buf[512];
+  ssize_t total = 0;
+  for (;;) {
+    ssize_t n = read(pipe_fds[0], buf + total,
+                     sizeof(buf) - 1 - static_cast<size_t>(total));
+    if (n <= 0) break;
+    total += n;
+  }
+  close(pipe_fds[0]);
+  buf[total > 0 ? total : 0] = '\0';
+
+  int status = 0;
+  rusage usage{};
+  if (wait4(pid, &status, 0, &usage) != pid) {
+    std::perror("wait4");
+    return false;
+  }
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "[%s] child failed (status %d)\n", config.name,
+                 status);
+    return false;
+  }
+  unsigned long long loss_bits = 0;
+  if (std::sscanf(buf,
+                  "loss_bits=%llx wall_ms=%lf naive=%lf planned=%lf "
+                  "arena_hw=%lf alloc_calls=%lf pool_hits=%lf hits=%lf "
+                  "bails=%lf",
+                  &loss_bits, &result->wall_ms, &result->naive_peak,
+                  &result->planned_peak, &result->arena_high_water,
+                  &result->arena_alloc_calls, &result->arena_pool_hits,
+                  &result->fusion_hits, &result->fusion_bails) != 9) {
+    std::fprintf(stderr, "[%s] malformed child report: %s\n", config.name,
+                 buf);
+    return false;
+  }
+  result->loss_bits = loss_bits;
+  result->maxrss_kb = usage.ru_maxrss;
+  return true;
+}
+
+void WriteVariantJson(std::ostream& out, const VariantConfig& config,
+                      const VariantResult& r, const char* indent) {
+  double loss = 0.0;
+  std::memcpy(&loss, &r.loss_bits, sizeof(loss));
+  char bits[24];
+  std::snprintf(bits, sizeof(bits), "%016llx",
+                static_cast<unsigned long long>(r.loss_bits));
+  out << indent << "\"" << config.name << "\": {\n"
+      << indent << "  \"fusion\": " << (config.fusion ? "true" : "false")
+      << ", \"use_arena\": " << (config.use_arena ? "true" : "false")
+      << ", \"release_tape_values\": "
+      << (config.release_tape_values ? "true" : "false") << ",\n"
+      << indent << "  \"maxrss_kb\": " << r.maxrss_kb
+      << ", \"wall_ms\": " << bench::Fmt(r.wall_ms, 1) << ",\n"
+      << indent << "  \"final_loss\": " << bench::Fmt(loss, 9)
+      << ", \"final_loss_bits\": \"" << bits << "\",\n"
+      << indent << "  \"tape_naive_peak_bytes\": "
+      << bench::Fmt(r.naive_peak, 0) << ", \"tape_planned_peak_bytes\": "
+      << bench::Fmt(r.planned_peak, 0) << ",\n"
+      << indent << "  \"arena_high_water_bytes\": "
+      << bench::Fmt(r.arena_high_water, 0) << ", \"arena_alloc_calls\": "
+      << bench::Fmt(r.arena_alloc_calls, 0) << ", \"arena_pool_hits\": "
+      << bench::Fmt(r.arena_pool_hits, 0) << ",\n"
+      << indent << "  \"fusion_hits\": " << bench::Fmt(r.fusion_hits, 0)
+      << ", \"fusion_bails\": " << bench::Fmt(r.fusion_bails, 0) << "\n"
+      << indent << "}";
+}
+
+int RunAll() {
+  bench::Banner("Fusion + arena: peak memory vs the allocate-per-op baseline",
+                "Same GCN training run, forked per variant; fused tape + "
+                "arena + free-at-last-use must peak lower in RSS, cost no "
+                "wall-clock, and land on a bit-identical loss.");
+
+  const VariantConfig fused_config = {"fused_arena", true, true, true};
+  const VariantConfig baseline_config = {"unfused_heap", false, false, false};
+  VariantResult fused;
+  VariantResult baseline;
+  if (!RunVariant(fused_config, &fused)) return 1;
+  if (!RunVariant(baseline_config, &baseline)) return 1;
+
+  const bool loss_identical = fused.loss_bits == baseline.loss_bits;
+  const double rss_reduction_pct =
+      100.0 * (1.0 - static_cast<double>(fused.maxrss_kb) /
+                         static_cast<double>(baseline.maxrss_kb));
+  const double wall_delta_pct =
+      100.0 * (fused.wall_ms / baseline.wall_ms - 1.0);
+
+  bench::TablePrinter table(
+      {"variant", "maxrss(MB)", "wall(ms)", "tape planned(MB)", "loss"},
+      {16, 12, 12, 18, 16});
+  table.PrintHeader();
+  auto row = [&table](const VariantConfig& c, const VariantResult& r) {
+    double loss = 0.0;
+    std::memcpy(&loss, &r.loss_bits, sizeof(loss));
+    table.PrintRow({c.name,
+                    bench::Fmt(static_cast<double>(r.maxrss_kb) / 1024.0, 1),
+                    bench::Fmt(r.wall_ms, 1),
+                    bench::Fmt(r.planned_peak / (1024.0 * 1024.0), 1),
+                    bench::Fmt(loss, 6)});
+  };
+  row(fused_config, fused);
+  row(baseline_config, baseline);
+  std::printf("\npeak-RSS reduction: %.1f%%   wall-clock delta: %+.1f%%\n",
+              rss_reduction_pct, wall_delta_pct);
+  std::printf("final loss bit-identical across variants: %s\n",
+              loss_identical ? "yes" : "NO");
+  std::printf("tape planner: naive %.1f MB -> planned %.1f MB\n",
+              fused.naive_peak / (1024.0 * 1024.0),
+              fused.planned_peak / (1024.0 * 1024.0));
+
+  std::ofstream out("BENCH_fusion.json");
+  if (!out) {
+    std::fprintf(stderr, "cannot write BENCH_fusion.json\n");
+    return 1;
+  }
+  bench::WriteJsonHeader(out, "fusion");
+  out << "  \"schema_version\": 1,\n"
+      << "  \"workload\": {\"backbone\": \"gcn\", \"rows\": " << kRows
+      << ", \"hidden_dim\": " << kHidden << ", \"num_layers\": " << kLayers
+      << ", \"epochs\": " << kEpochs << "},\n"
+      << "  \"variants\": {\n";
+  WriteVariantJson(out, fused_config, fused, "    ");
+  out << ",\n";
+  WriteVariantJson(out, baseline_config, baseline, "    ");
+  out << "\n  },\n"
+      << "  \"peak_rss_reduction_pct\": " << bench::Fmt(rss_reduction_pct, 2)
+      << ",\n"
+      << "  \"wall_clock_delta_pct\": " << bench::Fmt(wall_delta_pct, 2)
+      << ",\n"
+      << "  \"loss_bit_identical\": " << (loss_identical ? "true" : "false")
+      << "\n}\n";
+  std::printf("\nwrote BENCH_fusion.json\n");
+
+  return loss_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gnn4tdl
+
+int main() { return gnn4tdl::RunAll(); }

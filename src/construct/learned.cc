@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "nn/fused.h"
 #include "nn/ops.h"
 
 namespace gnn4tdl {
@@ -103,11 +104,11 @@ Tensor WeightedAggregate(const Tensor& h, const Tensor& edge_weights,
   GNN4TDL_CHECK_EQ(edge_weights.rows(), edges.src.size());
   GNN4TDL_CHECK_EQ(edge_weights.cols(), 1u);
   // softmax(log w) over each destination = w / sum(w): a differentiable
-  // degree normalization of the learned weights.
-  Tensor logw = ops::Log(ops::AddScalar(edge_weights, 1e-9));
-  Tensor alpha = ops::EdgeSoftmax(logw, edges.dst, num_nodes);
-  Tensor msg = ops::MulColBroadcast(ops::GatherRows(h, edges.src), alpha);
-  return ops::ScatterAddRows(msg, edges.dst, num_nodes);
+  // degree normalization of the learned weights. The whole normalize+gather+
+  // scale+scatter chain runs as one fused tape node (nn/fused.h), bit-exact
+  // with the unfused Log/EdgeSoftmax/MulColBroadcast/ScatterAddRows chain.
+  return fused::NormalizeAggregate(h, edge_weights, edges.src, edges.dst,
+                                   num_nodes);
 }
 
 }  // namespace gnn4tdl

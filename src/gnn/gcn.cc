@@ -1,5 +1,6 @@
 #include "gnn/gcn.h"
 
+#include "nn/fused.h"
 #include "nn/ops.h"
 
 namespace gnn4tdl {
@@ -10,8 +11,15 @@ GcnLayer::GcnLayer(size_t in_dim, size_t out_dim, Rng& rng)
 }
 
 Tensor GcnLayer::Forward(const Tensor& h, const SparseMatrix& norm_adj) const {
+  return Forward(h, norm_adj, Activation::kNone);
+}
+
+Tensor GcnLayer::Forward(const Tensor& h, const SparseMatrix& norm_adj,
+                         Activation act) const {
   GNN4TDL_CHECK_EQ(norm_adj.rows(), h.rows());
-  return ops::SpMM(norm_adj, linear_.Forward(h));
+  // The bias rides inside the linear (pre-aggregation, per the GCN update);
+  // the fused node covers SpMM + activation.
+  return fused::SpmmBiasAct(norm_adj, linear_.Forward(h), Tensor(), act);
 }
 
 }  // namespace gnn4tdl

@@ -21,6 +21,12 @@ class GcnLayer : public Module {
   /// `norm_adj` must be n x n with n = h.rows().
   Tensor Forward(const Tensor& h, const SparseMatrix& norm_adj) const;
 
+  /// act(Â (H W + b)) with the aggregation and activation fused into one
+  /// tape node (nn/fused.h) when fusion is enabled; bit-identical to
+  /// Forward() followed by the activation either way.
+  Tensor Forward(const Tensor& h, const SparseMatrix& norm_adj,
+                 Activation act) const;
+
   size_t in_dim() const { return linear_.in_dim(); }
   size_t out_dim() const { return linear_.out_dim(); }
 

@@ -1,5 +1,6 @@
 #include "gnn/sage.h"
 
+#include "nn/fused.h"
 #include "nn/ops.h"
 
 namespace gnn4tdl {
@@ -11,9 +12,14 @@ SageLayer::SageLayer(size_t in_dim, size_t out_dim, Rng& rng)
 }
 
 Tensor SageLayer::Forward(const Tensor& h, const SparseMatrix& mean_adj) const {
+  return Forward(h, mean_adj, Activation::kNone);
+}
+
+Tensor SageLayer::Forward(const Tensor& h, const SparseMatrix& mean_adj,
+                          Activation act) const {
   GNN4TDL_CHECK_EQ(mean_adj.rows(), h.rows());
   Tensor nbr = ops::SpMM(mean_adj, h);
-  return ops::Add(self_.Forward(h), neighbor_.Forward(nbr));
+  return fused::AddAct(self_.Forward(h), neighbor_.Forward(nbr), act);
 }
 
 }  // namespace gnn4tdl

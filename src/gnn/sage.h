@@ -21,6 +21,12 @@ class SageLayer : public Module {
 
   Tensor Forward(const Tensor& h, const SparseMatrix& mean_adj) const;
 
+  /// act(self + neighbor) with the combine and activation fused into one
+  /// tape node (nn/fused.h) when fusion is enabled; bit-identical to
+  /// Forward() followed by the activation either way.
+  Tensor Forward(const Tensor& h, const SparseMatrix& mean_adj,
+                 Activation act) const;
+
   size_t in_dim() const { return self_.in_dim(); }
   size_t out_dim() const { return self_.out_dim(); }
 

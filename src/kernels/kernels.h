@@ -74,6 +74,14 @@ struct KernelTable {
   /// SAGE self+neighbor sums, GIN (1+eps) scaling, and APPNP teleport mixing.
   void (*scale_add)(const FMatrix& a, float sa, const FMatrix& b, float sb,
                     FMatrix* out) = nullptr;
+
+  /// out = act(s * x + bias): the SpMM accumulation (identical k-order and
+  /// rounding to `spmm`) followed per completed output row by the fused
+  /// bias+activation while the row is still cache-hot. Bit-identical to
+  /// calling `spmm` then `bias_act`; bias may be null. The single-pass GCN
+  /// layer kernel of the fused execution tier (docs/MEMORY.md).
+  void (*spmm_bias_act)(const FCsr& s, const FMatrix& x, const float* bias,
+                        FAct act, float alpha, FMatrix* out) = nullptr;
 };
 
 /// The table for an explicit tier. kScalar always works; kAvx2 returns null
@@ -122,6 +130,12 @@ void SegmentSoftmax(const std::vector<float>& logits,
 
 /// In place fused bias + activation.
 void BiasAct(FMatrix* x, const float* bias, FAct act, float alpha = 0.2f);
+
+/// out = act(s * x + bias) in one pass (SpMM + bias + activation fused).
+/// Bit-identical to Spmm followed by BiasAct at every SIMD tier and thread
+/// count; bias may be null.
+void SpmmBiasAct(const FCsr& s, const FMatrix& x, const float* bias, FAct act,
+                 FMatrix* out, float alpha = 0.2f);
 
 /// out = sa * a + sb * b.
 void ScaleAdd(const FMatrix& a, float sa, const FMatrix& b, float sb,

@@ -111,6 +111,77 @@ void SpmmAvx2(const FCsr& s, const FMatrix& x, FMatrix* out) {
   });
 }
 
+// Bias+activation over one completed row. The piecewise-linear activations
+// vectorize with add/max/blend (exact — no rounding differences vs the scalar
+// helper); sigmoid/tanh call libm through detail::ApplyBiasAct so the
+// transcendental bits match the scalar tier exactly.
+void ApplyBiasActRowAvx2(float* row, size_t cols, const float* bias, FAct act,
+                         float alpha) {
+  if (act == FAct::kSigmoid || act == FAct::kTanh) {
+    for (size_t j = 0; j < cols; ++j) {
+      row[j] = detail::ApplyBiasAct(row[j], bias != nullptr ? bias[j] : 0.0f,
+                                    act, alpha);
+    }
+    return;
+  }
+  const size_t c8 = cols - cols % 8;
+  const __m256 vzero = _mm256_setzero_ps();
+  const __m256 valpha = _mm256_set1_ps(alpha);
+  size_t j = 0;
+  for (; j < c8; j += 8) {
+    __m256 v = _mm256_loadu_ps(row + j);
+    if (bias != nullptr) v = _mm256_add_ps(v, _mm256_loadu_ps(bias + j));
+    switch (act) {
+      case FAct::kNone:
+        break;
+      case FAct::kRelu:
+        v = _mm256_max_ps(v, vzero);
+        break;
+      case FAct::kLeakyRelu: {
+        const __m256 neg = _mm256_mul_ps(v, valpha);
+        const __m256 pos_mask = _mm256_cmp_ps(v, vzero, _CMP_GT_OQ);
+        v = _mm256_blendv_ps(neg, v, pos_mask);
+        break;
+      }
+      default:
+        break;
+    }
+    _mm256_storeu_ps(row + j, v);
+  }
+  for (; j < cols; ++j) {
+    row[j] = detail::ApplyBiasAct(row[j], bias != nullptr ? bias[j] : 0.0f,
+                                  act, alpha);
+  }
+}
+
+void SpmmBiasActAvx2(const FCsr& s, const FMatrix& x, const float* bias,
+                     FAct act, float alpha, FMatrix* out) {
+  const size_t n = x.cols();
+  const size_t n8 = n - n % 8;
+  const size_t flops_per_row =
+      s.rows > 0 ? 2 * n * std::max<size_t>(1, s.nnz() / s.rows) : 1;
+  ParallelFor(0, s.rows, RowGrain(flops_per_row), [&](size_t lo, size_t hi) {
+    for (size_t r = lo; r < hi; ++r) {
+      float* out_row = out->row_data(r);
+      for (size_t j = 0; j < n; ++j) out_row[j] = 0.0f;
+      for (uint32_t k = s.row_ptr[r]; k < s.row_ptr[r + 1]; ++k) {
+        const float v = s.values[k];
+        const float* x_row = x.row_data(s.col_idx[k]);
+        const __m256 vv = _mm256_set1_ps(v);
+        size_t j = 0;
+        for (; j < n8; j += 8) {
+          const __m256 acc = _mm256_loadu_ps(out_row + j);
+          _mm256_storeu_ps(out_row + j,
+                           _mm256_fmadd_ps(vv, _mm256_loadu_ps(x_row + j),
+                                           acc));
+        }
+        for (; j < n; ++j) out_row[j] = std::fmaf(v, x_row[j], out_row[j]);
+      }
+      ApplyBiasActRowAvx2(out_row, n, bias, act, alpha);
+    }
+  });
+}
+
 void BiasActAvx2(FMatrix* x, const float* bias, FAct act, float alpha) {
   // Sigmoid/tanh call libm, which the scalar tier must match exactly — route
   // those through the shared scalar helper. The piecewise-linear activations
@@ -181,8 +252,8 @@ void ScaleAddAvx2(const FMatrix& a, float sa, const FMatrix& b, float sb,
 }
 
 const KernelTable kAvx2Table = {
-    SimdLevel::kAvx2, MatmulAvx2,   MatmulNtAvx2,
-    SpmmAvx2,         BiasActAvx2,  ScaleAddAvx2,
+    SimdLevel::kAvx2, MatmulAvx2,   MatmulNtAvx2,    SpmmAvx2,
+    BiasActAvx2,      ScaleAddAvx2, SpmmBiasActAvx2,
 };
 
 }  // namespace

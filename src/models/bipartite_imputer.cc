@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "data/metrics.h"
+#include "nn/fused.h"
 #include "nn/ops.h"
 
 namespace gnn4tdl {
@@ -57,8 +58,9 @@ std::pair<Tensor, Tensor> GrapeModel::Encode(bool training) const {
 Tensor GrapeModel::EdgePredictions(const Tensor& h_left, const Tensor& h_right,
                                    const std::vector<size_t>& lefts,
                                    const std::vector<size_t>& rights) const {
-  Tensor pair = ops::ConcatCols(ops::GatherRows(h_left, lefts),
-                                ops::GatherRows(h_right, rights));
+  // Fused gather→concat: one tape node instead of two gathers plus a concat
+  // (nn/fused.h), bit-exact with the unfused chain.
+  Tensor pair = fused::GatherConcat(h_left, lefts, h_right, rights);
   return net_->edge_head_->Forward(pair);
 }
 

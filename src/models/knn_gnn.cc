@@ -183,10 +183,17 @@ struct InstanceGraphGnn::Encoder : public Module {
       case GnnBackbone::kGcn: {
         std::vector<Tensor> layer_outputs;
         for (size_t l = 0; l < gcn_.size(); ++l) {
-          h = gcn_[l]->Forward(h, norm_adj_);
+          // Interior layers fuse the ReLU into the aggregation node unless
+          // PairNorm sits between them (nn/fused.h; bit-exact either way).
+          const bool fuse_relu = l + 1 < gcn_.size() && !o.use_pair_norm;
+          h = gcn_[l]->Forward(h, norm_adj_,
+                               fuse_relu ? Activation::kRelu
+                                         : Activation::kNone);
           if (l + 1 < gcn_.size()) {
-            if (o.use_pair_norm) h = ops::PairNormRows(h);
-            h = ops::Relu(h);
+            if (o.use_pair_norm) {
+              h = ops::PairNormRows(h);
+              h = ops::Relu(h);
+            }
             h = ops::Dropout(h, o.dropout, rng, training);
           }
           if (o.use_jumping_knowledge) layer_outputs.push_back(h);
@@ -201,11 +208,11 @@ struct InstanceGraphGnn::Encoder : public Module {
       }
       case GnnBackbone::kSage:
         for (size_t l = 0; l < sage_.size(); ++l) {
-          h = sage_[l]->Forward(h, norm_adj_);
-          if (l + 1 < sage_.size()) {
-            h = ops::Relu(h);
-            h = ops::Dropout(h, o.dropout, rng, training);
-          }
+          const bool interior = l + 1 < sage_.size();
+          h = sage_[l]->Forward(h, norm_adj_,
+                                interior ? Activation::kRelu
+                                         : Activation::kNone);
+          if (interior) h = ops::Dropout(h, o.dropout, rng, training);
         }
         return ops::Relu(h);
       case GnnBackbone::kGat:

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/check.h"
+#include "nn/fused.h"
 
 namespace gnn4tdl {
 
@@ -43,10 +44,12 @@ Linear::Linear(size_t in_dim, size_t out_dim, Rng& rng, bool bias)
 }
 
 Tensor Linear::Forward(const Tensor& x) const {
+  return Forward(x, Activation::kNone);
+}
+
+Tensor Linear::Forward(const Tensor& x, Activation act) const {
   GNN4TDL_CHECK_EQ(x.cols(), in_dim_);
-  Tensor out = ops::MatMul(x, weight_);
-  if (bias_.defined()) out = ops::AddRowBroadcast(out, bias_);
-  return out;
+  return fused::LinearBiasAct(x, weight_, bias_, act);
 }
 
 Tensor Activate(const Tensor& x, Activation act) {
@@ -106,10 +109,11 @@ Mlp::Mlp(const std::vector<size_t>& dims, Rng& rng, Activation act,
 Tensor Mlp::Forward(const Tensor& x, Rng& rng, bool training) const {
   Tensor h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i]->Forward(h);
     if (i + 1 < layers_.size()) {
-      h = Activate(h, act_);
+      h = layers_[i]->Forward(h, act_);
       h = ops::Dropout(h, dropout_, rng, training);
+    } else {
+      h = layers_[i]->Forward(h);
     }
   }
   return h;

@@ -44,6 +44,9 @@ class Module {
   std::vector<Module*> submodules_;
 };
 
+/// Activation functions selectable by config.
+enum class Activation { kRelu, kLeakyRelu, kSigmoid, kTanh, kNone };
+
 /// Fully connected layer: Y = X W + b (bias optional).
 class Linear : public Module {
  public:
@@ -51,6 +54,11 @@ class Linear : public Module {
   Linear(size_t in_dim, size_t out_dim, Rng& rng, bool bias = true);
 
   Tensor Forward(const Tensor& x) const;
+
+  /// act(x W + b) as one fused tape node when fusion is enabled (see
+  /// nn/fused.h), the unfused composition otherwise — bit-identical either
+  /// way.
+  Tensor Forward(const Tensor& x, Activation act) const;
 
   size_t in_dim() const { return in_dim_; }
   size_t out_dim() const { return out_dim_; }
@@ -63,9 +71,6 @@ class Linear : public Module {
   Tensor weight_;
   Tensor bias_;  // undefined if bias == false
 };
-
-/// Activation functions selectable by config.
-enum class Activation { kRelu, kLeakyRelu, kSigmoid, kTanh, kNone };
 
 /// Applies `act` to `x`.
 Tensor Activate(const Tensor& x, Activation act);

@@ -1,0 +1,127 @@
+#include "nn/tape_plan.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace gnn4tdl {
+
+TapePlan BuildTapePlan(const Tensor& root) {
+  GNN4TDL_CHECK(root.defined());
+  using Impl = Tensor::Impl;
+
+  // Same discovery and ordering as Tensor::Backward (and TapeVerifier):
+  // requires-grad subgraph, descending seq = backward execution order.
+  std::vector<Impl*> order;
+  std::unordered_set<Impl*> seen;
+  std::vector<Impl*> stack = {root.impl_.get()};
+  while (!stack.empty()) {
+    Impl* node = stack.back();
+    stack.pop_back();
+    if (!node->requires_grad || seen.count(node)) continue;
+    seen.insert(node);
+    order.push_back(node);
+    for (const Tensor& p : node->parents) stack.push_back(p.impl_.get());
+  }
+  std::sort(order.begin(), order.end(),
+            [](const Impl* a, const Impl* b) { return a->seq > b->seq; });
+
+  // External-holder detection mirrors Backward()'s release veto, with one
+  // difference: at plan time no closure has been torn down yet, so a node's
+  // expected in-tape use_count is its parent-list entries plus one closure
+  // capture per child op that captured it. We cannot see inside closures, so
+  // the plan counts a node as internally-referenced once per child parent
+  // entry twice (list + closure) — the same arithmetic Backward reaches
+  // after tearing the child's closure down leaves refs == parent entries.
+  std::unordered_map<Impl*, size_t> parent_entries;
+  std::unordered_map<Impl*, const Tensor*> handle_of;
+  for (Impl* node : order) {
+    for (const Tensor& p : node->parents) {
+      if (!p.impl_->requires_grad) continue;
+      ++parent_entries[p.impl_.get()];
+      handle_of.emplace(p.impl_.get(), &p);
+    }
+  }
+
+  TapePlan plan;
+  plan.nodes.reserve(order.size());
+  const size_t end_step = order.size();
+
+  size_t live = 0;         // simulated live bytes under the planned schedule
+  size_t naive_total = 0;  // every value + every grad, all at once
+
+  // Forward pass complete: every value in the subgraph is resident.
+  for (Impl* node : order) {
+    const size_t bytes = node->value.size() * sizeof(double);
+    live += bytes;
+    naive_total += 2 * bytes;  // value + same-shaped grad
+  }
+  size_t planned_peak = live;
+
+  std::unordered_set<Impl*> grad_allocated;
+  // Root grad (1x1) is allocated before the first backward step.
+  live += order.empty() ? 0 : order.front()->value.size() * sizeof(double);
+  grad_allocated.insert(root.impl_.get());
+  planned_peak = std::max(planned_peak, live);
+
+  for (size_t step = 0; step < order.size(); ++step) {
+    Impl* node = order[step];
+    const size_t bytes = node->value.size() * sizeof(double);
+
+    TapePlanNode info;
+    info.seq = node->seq;
+    info.op = node->op;
+    info.value_bytes = bytes;
+    info.is_leaf = node->backward_fn == nullptr;
+    info.step = step;
+
+    // The node's backward_fn allocates its parents' grads on first touch.
+    if (!info.is_leaf) {
+      for (const Tensor& p : node->parents) {
+        if (!p.impl_->requires_grad) continue;
+        if (grad_allocated.insert(p.impl_.get()).second) {
+          live += p.impl_->value.size() * sizeof(double);
+        }
+      }
+      planned_peak = std::max(planned_peak, live);
+    }
+
+    const bool is_root = node == root.impl_.get();
+    bool external = false;
+    if (!info.is_leaf && !is_root) {
+      auto it = handle_of.find(node);
+      if (it == handle_of.end()) {
+        external = true;
+      } else {
+        // Children's closures are still intact at plan time: each child
+        // holds the node twice (parent entry + closure capture), plus our
+        // handle_of pointer adds nothing. Any count beyond 2x the parent
+        // entries is an outside holder.
+        const auto uses = static_cast<size_t>(it->second->impl_.use_count());
+        external = uses > 2 * parent_entries[node];
+      }
+    }
+    info.releasable = !info.is_leaf && !is_root && !external;
+
+    if (info.is_leaf) {
+      // Value and grad are pinned: parameters keep both for the optimizer.
+      info.free_step = end_step;
+    } else {
+      // Gradient dies at the node's own step in every case; the value does
+      // too unless pinned (root / external holder), in which case it lives
+      // to the end and free_step reports that.
+      info.free_step = info.releasable ? step : end_step;
+      if (grad_allocated.count(node)) live -= bytes;  // grad freed
+      if (info.releasable) live -= bytes;             // value freed
+    }
+    plan.nodes.push_back(std::move(info));
+  }
+
+  plan.naive_peak_bytes = naive_total;
+  plan.planned_peak_bytes = planned_peak;
+  return plan;
+}
+
+}  // namespace gnn4tdl

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -137,7 +139,9 @@ size_t Tensor::TapeSize() const {
   return seen.size();
 }
 
-void Tensor::Backward() const {
+void Tensor::Backward() const { Backward(BackwardOptions{}); }
+
+void Tensor::Backward(const BackwardOptions& options) const {
   GNN4TDL_CHECK(defined());
   GNN4TDL_CHECK_MSG(rows() == 1 && cols() == 1,
                     "Backward() requires a scalar (1x1) loss tensor");
@@ -160,17 +164,61 @@ void Tensor::Backward() const {
   std::sort(order.begin(), order.end(),
             [](const Impl* a, const Impl* b) { return a->seq > b->seq; });
 
-  AccumulateGrad(Matrix::Ones(1, 1));
-  for (Impl* node : order) {
-    if (!node->backward_fn) continue;  // leaf
-    if (node->grad.empty()) continue;  // no gradient reached this node
-    node->backward_fn(node->grad);
+  // Free-at-last-use bookkeeping (docs/MEMORY.md). In reverse-seq execution
+  // every consumer of node X runs before X itself, and backward_fns read only
+  // their parents' values and closure state — so X's value is dead the moment
+  // X's own backward_fn returns. It may be freed then unless a handle outside
+  // the tape still references X. That is detected by refcounting: once the
+  // closures of X's children (processed earlier) have been torn down, the
+  // only in-tape references left to X are its children's parent lists, which
+  // we can count; any surplus use_count is an external holder (a model
+  // caching an intermediate, a test asserting on it) and vetoes the release.
+  std::unordered_map<Impl*, size_t> internal_refs;
+  std::unordered_map<Impl*, Tensor> handle_of;  // one extra ref each, see below
+  if (options.release_values) {
+    for (Impl* node : order) {
+      for (const Tensor& p : node->parents) {
+        if (!p.impl_->requires_grad) continue;
+        ++internal_refs[p.impl_.get()];
+        handle_of.emplace(p.impl_.get(), p);
+      }
+    }
   }
 
-  // Free interior gradient buffers (leaves keep theirs for the optimizer);
-  // the tape itself is freed when the loss tensor goes out of scope.
+  AccumulateGrad(Matrix::Ones(1, 1));
   for (Impl* node : order) {
-    if (node->backward_fn) node->grad = Matrix();
+    if (node->backward_fn && !node->grad.empty()) {
+      node->backward_fn(node->grad);
+    }
+    if (!options.release_values || !node->backward_fn) continue;
+    // This node's contribution is fully routed: its gradient and its closure
+    // (captured parent handles plus forward temporaries such as dropout
+    // masks and softmax caches) are dead now.
+    node->backward_fn = nullptr;
+    node->grad = Matrix();
+    if (node == impl_.get()) continue;  // callers read the loss value
+    auto it = handle_of.find(node);
+    if (it == handle_of.end()) continue;
+    // +1 accounts for the handle_of copy itself.
+    if (static_cast<size_t>(it->second.impl_.use_count()) !=
+        internal_refs[node] + 1) {
+      continue;  // externally held: value must survive
+    }
+    if (options.poison_released) {
+      Matrix& v = node->value;
+      std::fill(v.data(), v.data() + v.size(),
+                std::numeric_limits<double>::quiet_NaN());
+    } else {
+      node->value = Matrix();
+    }
+  }
+
+  if (!options.release_values) {
+    // Free interior gradient buffers (leaves keep theirs for the optimizer);
+    // the tape itself is freed when the loss tensor goes out of scope.
+    for (Impl* node : order) {
+      if (node->backward_fn) node->grad = Matrix();
+    }
   }
 }
 

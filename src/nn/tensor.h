@@ -11,6 +11,24 @@
 namespace gnn4tdl {
 
 class TapeVerifier;
+struct TapePlan;
+
+/// Controls for Backward(). Defaults reproduce the historical behavior:
+/// every tape value stays alive until the loss tensor is destroyed.
+struct BackwardOptions {
+  /// Free-at-last-use execution (docs/MEMORY.md): after a node's backward_fn
+  /// has run, its gradient buffer, its closure (captured parent handles and
+  /// forward temporaries), and — when no handle outside the tape still
+  /// references the node — its value are released immediately instead of
+  /// surviving until the tape dies. Numerics are unchanged; the tape cannot
+  /// be walked backward a second time afterwards.
+  bool release_values = false;
+
+  /// Test hook: poison released values with quiet NaNs in place instead of
+  /// freeing them, so a use-after-release surfaces as the first non-finite
+  /// node in a TapeVerifier check_finite sweep rather than as silent reuse.
+  bool poison_released = false;
+};
 
 /// A node in the reverse-mode autodiff tape. Tensor is a cheap shared handle:
 /// copying it copies the handle, not the data. Every op in nn/ops.h creates a
@@ -65,6 +83,9 @@ class Tensor {
   /// requires_grad (leaves keep them until ZeroGrad()).
   void Backward() const;
 
+  /// Backward() with explicit lifetime options (see BackwardOptions).
+  void Backward(const BackwardOptions& options) const;
+
   /// Clears this node's accumulated gradient.
   void ZeroGrad() const;
 
@@ -82,6 +103,7 @@ class Tensor {
 
  private:
   friend class TapeVerifier;
+  friend TapePlan BuildTapePlan(const Tensor& root);
 
   struct Impl {
     Matrix value;

@@ -249,8 +249,11 @@ StatusOr<FMatrix> F32Scorer::Score(const FMatrix& x, const Graph& graph,
         const Layer& layer = layers_[l];
         kernels::Matmul(h, layer.w, &scratch);
         kernels::BiasAct(&scratch, layer.b.data(), FAct::kNone);
-        kernels::Spmm(adj, scratch, &h);
-        if (l + 1 < num_layers) kernels::BiasAct(&h, nullptr, FAct::kRelu);
+        // Aggregation + interior relu in one pass (bias rides before the
+        // SpMM, per GCN semantics); bit-identical to Spmm + BiasAct.
+        kernels::SpmmBiasAct(adj, scratch, nullptr,
+                             l + 1 < num_layers ? FAct::kRelu : FAct::kNone,
+                             &h);
         if (o.use_jumping_knowledge) jk_outputs.push_back(h);
       }
       if (o.use_jumping_knowledge) {

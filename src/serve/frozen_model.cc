@@ -74,6 +74,32 @@ Status FrozenModel::Save(const InstanceGraphGnn& model, std::ostream& out,
   if (!out) return Status::IoError("frozen model stream is not writable");
 
   const InstanceGraphGnnOptions& o = model.options();
+
+  // Freeze-time twin of the Load-side fallback warning: if the artifact is
+  // being stamped f32 but the backbone has no f32 tier, every future load
+  // will quietly serve f64. Say so now, while the operator who chose the
+  // precision is still watching, and export the precision the artifact will
+  // actually serve (docs/SERVING.md "f32 support matrix").
+  const bool f32_unservable = precision == kernels::Precision::kF32 &&
+                              !F32Scorer::Supports(o);
+  if (f32_unservable) {
+    static std::once_flag logged;
+    std::call_once(logged, [&o] {
+      std::fprintf(stderr,
+                   "gnn4tdl: freezing with precision f32 but backbone %s%s "
+                   "has no f32 tier; this artifact will serve f64 (logged "
+                   "once per process)\n",
+                   GnnBackboneName(o.backbone),
+                   o.use_pair_norm ? "+pairnorm" : "");
+    });
+  }
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global()
+        .GetGauge("serve.freeze_effective_precision")
+        .Set(precision == kernels::Precision::kF32 && !f32_unservable ? 32.0
+                                                                      : 64.0);
+  }
+
   std::streamsize old_precision = out.precision(17);
   out << kFrozenMagic << '\n';
   out << "task " << static_cast<int>(model.task()) << '\n';

@@ -25,7 +25,7 @@ size_t RowGrain(size_t flops_per_row) {
 }  // namespace
 
 Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
-    : rows_(rows), cols_(cols), data_(std::move(data)) {
+    : rows_(rows), cols_(cols), data_(data) {
   GNN4TDL_CHECK_EQ(rows_ * cols_, data_.size());
 }
 
@@ -369,7 +369,9 @@ Matrix Matrix::ConcatRows(const Matrix& other) const {
 
 Matrix Matrix::Reshape(size_t new_rows, size_t new_cols) const {
   GNN4TDL_CHECK_EQ(new_rows * new_cols, data_.size());
-  return Matrix(new_rows, new_cols, data_);
+  Matrix out(new_rows, new_cols);
+  std::copy(data_.begin(), data_.end(), out.data());
+  return out;
 }
 
 bool Matrix::AllClose(const Matrix& other, double tol) const {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/rng.h"
 
@@ -15,6 +16,11 @@ namespace gnn4tdl {
 /// minimal: shapes are fixed at construction, all indexing is bounds-checked
 /// via GNN4TDL_CHECK, and all factory methods that draw random numbers take an
 /// explicit Rng.
+///
+/// Storage comes from a DoubleBuffer: heap-backed by default, slab-backed
+/// when the constructing thread has an ArenaScope installed (the trainer
+/// installs one around the epoch loop — see docs/MEMORY.md). The arena is
+/// transparent to every Matrix operation and never changes numerics.
 ///
 /// Threading & determinism contract (see docs/KERNELS.md): the arithmetic,
 /// matmul-family, and Map kernels run on the shared ThreadPool (sized by
@@ -38,7 +44,7 @@ class Matrix {
   Matrix(size_t rows, size_t cols, double value)
       : rows_(rows), cols_(cols), data_(rows * cols, value) {}
 
-  /// rows x cols matrix taking ownership of `data` (size must match).
+  /// rows x cols matrix initialized from `data` (size must match).
   Matrix(size_t rows, size_t cols, std::vector<double> data);
 
   // --- Factories -----------------------------------------------------------
@@ -162,7 +168,7 @@ class Matrix {
  private:
   size_t rows_;
   size_t cols_;
-  std::vector<double> data_;
+  DoubleBuffer data_;
 };
 
 /// Scalar * matrix.

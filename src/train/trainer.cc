@@ -5,7 +5,11 @@
 #include <cstdio>
 #include <limits>
 
+#include <memory>
+
+#include "common/arena.h"
 #include "common/check.h"
+#include "nn/tape_plan.h"
 #include "nn/tape_verifier.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -33,6 +37,17 @@ void EmitEpochMetrics(const std::vector<Tensor>& params, const Tensor& loss) {
   registry.GetGauge("train.tape_nodes")
       .Set(static_cast<double>(loss.TapeSize()));
   registry.GetCounter("train.epochs_total").Increment();
+}
+
+void EmitArenaMetrics(const Arena& arena) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const ArenaStats s = arena.stats();
+  registry.GetGauge("arena.live_bytes").Set(static_cast<double>(s.live_bytes));
+  registry.GetGauge("arena.high_water_bytes")
+      .Set(static_cast<double>(s.high_water_bytes));
+  registry.GetGauge("arena.alloc_calls")
+      .Set(static_cast<double>(s.alloc_calls));
+  registry.GetGauge("arena.pool_hits").Set(static_cast<double>(s.pool_hits));
 }
 
 }  // namespace
@@ -89,6 +104,17 @@ TrainResult Trainer::Fit(const std::function<Tensor()>& loss_fn,
   double best_metric = -std::numeric_limits<double>::infinity();
   int epochs_since_best = 0;
 
+  // One arena for the whole run: epoch 0 sizes the pool, later epochs hit
+  // the freelist. Declared before the scope so the scope unwinds first;
+  // escaped buffers (updated parameters, snapshots) keep the state alive
+  // past both.
+  std::unique_ptr<Arena> arena;
+  std::unique_ptr<ArenaScope> arena_scope;
+  if (options_.use_arena) {
+    arena = std::make_unique<Arena>();
+    arena_scope = std::make_unique<ArenaScope>(arena.get());
+  }
+
   for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
     obs::TraceSpan epoch_span("train/epoch");
     if (options_.lr_schedule != LrSchedule::kConstant) {
@@ -115,9 +141,22 @@ TrainResult Trainer::Fit(const std::function<Tensor()>& loss_fn,
         break;
       }
     }
-    loss.Backward();
+    if (epoch == 0 && obs::MetricsEnabled()) {
+      // Plan before Backward: release-mode external-handle detection needs
+      // the closures still intact. One-time cost, first epoch only.
+      TapePlan plan = BuildTapePlan(loss);
+      auto& registry = obs::MetricsRegistry::Global();
+      registry.GetGauge("tape.naive_peak_bytes")
+          .Set(static_cast<double>(plan.naive_peak_bytes));
+      registry.GetGauge("tape.planned_peak_bytes")
+          .Set(static_cast<double>(plan.planned_peak_bytes));
+    }
+    loss.Backward({.release_values = options_.release_tape_values});
     if (options_.grad_clip > 0.0) optimizer_.ClipGradNorm(options_.grad_clip);
-    if (obs::MetricsEnabled()) EmitEpochMetrics(params_, loss);
+    if (obs::MetricsEnabled()) {
+      EmitEpochMetrics(params_, loss);
+      if (arena != nullptr) EmitArenaMetrics(*arena);
+    }
     optimizer_.Step();
     ++result.epochs_run;
 

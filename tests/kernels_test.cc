@@ -122,6 +122,7 @@ TEST(DispatchTest, ScalarTableAlwaysAvailable) {
   EXPECT_NE(scalar->spmm, nullptr);
   EXPECT_NE(scalar->bias_act, nullptr);
   EXPECT_NE(scalar->scale_add, nullptr);
+  EXPECT_NE(scalar->spmm_bias_act, nullptr);
   // Dispatch() always resolves to *some* complete table.
   EXPECT_NE(kernels::Dispatch().matmul, nullptr);
 }
@@ -297,6 +298,49 @@ TEST_F(SimdParityTest, BiasActBitIdentical) {
       scalar_->bias_act(&x_s, bias.data(), act, 0.2f);
       avx2_->bias_act(&x_v, bias.data(), act, 0.2f);
       ExpectBitIdentical(x_s, x_v);
+    }
+  }
+}
+
+TEST_F(SimdParityTest, SpmmBiasActBitIdentical) {
+  Rng rng(26);
+  for (size_t n : {1u, 7u, 8u, 9u, 17u}) {
+    SparseMatrix s = RandomSparse(14, 12, 0.35, rng);
+    Matrix x = RandomMatrix(12, n, rng);
+    std::vector<float> bias(n);
+    for (size_t j = 0; j < n; ++j)
+      bias[j] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    FCsr fs = FCsr::FromDouble(s);
+    FMatrix fx = FMatrix::FromDouble(x);
+    for (FAct act : {FAct::kNone, FAct::kRelu, FAct::kLeakyRelu,
+                     FAct::kSigmoid, FAct::kTanh}) {
+      FMatrix out_s(14, n), out_v(14, n);
+      scalar_->spmm_bias_act(fs, fx, bias.data(), act, 0.2f, &out_s);
+      avx2_->spmm_bias_act(fs, fx, bias.data(), act, 0.2f, &out_v);
+      ExpectBitIdentical(out_s, out_v);
+    }
+  }
+}
+
+// The fusion contract: spmm_bias_act == spmm then bias_act, as an equality of
+// bits, within one tier and across both.
+TEST_F(SimdParityTest, SpmmBiasActMatchesUnfusedComposition) {
+  Rng rng(27);
+  for (const KernelTable* table : {scalar_, avx2_}) {
+    SparseMatrix s = RandomSparse(11, 9, 0.4, rng);
+    Matrix x = RandomMatrix(9, 13, rng);
+    std::vector<float> bias(13);
+    for (size_t j = 0; j < 13; ++j)
+      bias[j] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    FCsr fs = FCsr::FromDouble(s);
+    FMatrix fx = FMatrix::FromDouble(x);
+    for (FAct act : {FAct::kNone, FAct::kRelu, FAct::kLeakyRelu,
+                     FAct::kSigmoid, FAct::kTanh}) {
+      FMatrix fused(11, 13), unfused(11, 13);
+      table->spmm_bias_act(fs, fx, bias.data(), act, 0.2f, &fused);
+      table->spmm(fs, fx, &unfused);
+      table->bias_act(&unfused, bias.data(), act, 0.2f);
+      ExpectBitIdentical(fused, unfused);
     }
   }
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Umbrella correctness gate:
-#   lint -> asan -> tsan -> threads -> trace -> simd -> load -> analyze.
+#   lint -> asan -> tsan -> threads -> trace -> simd -> fusion -> load ->
+#   analyze.
 #
 #   stage 1  lint     build gnn4tdl_lint (default preset) and scan the tree
 #                     with every pass: the style pass (idiom rules) and the
@@ -24,13 +25,22 @@
 #                     The parity tests assert scalar and AVX2 tiers are
 #                     bit-identical, so a pass here means the dispatch choice
 #                     can never change served logits
-#   stage 7  load     multi-tenant serving smoke: a short seeded gnn4tdl_cli
+#   stage 7  fusion   fused-execution + arena memory contract: the fusion
+#                     bit-exactness suite (fused single-node ops vs their
+#                     unfused compositions, values and gradients compared by
+#                     memcmp) and the arena/tape-plan/release suite
+#                     (free-at-last-use lifetimes, use-after-free poisoning
+#                     caught by the verifier, peak regression bounds), both
+#                     under Address+UB sanitizers and at GNN4TDL_THREADS=1
+#                     and =4 — the fused kernels' row-block parallel paths
+#                     must be bit-exact at every thread count
+#   stage 8  load     multi-tenant serving smoke: a short seeded gnn4tdl_cli
 #                     loadgen run (two tenants, open loop). The CLI itself
 #                     exits non-zero on any request error or when the
 #                     generator's offered/completed/rejected tallies disagree
 #                     with the engine's counters, so this stage gates on
 #                     rejection-accounting consistency, not just liveness
-#   stage 8  analyze  static/undefined-behavior gate: the full test suite
+#   stage 9  analyze  static/undefined-behavior gate: the full test suite
 #                     under the `ubsan` preset (-fsanitize=undefined,
 #                     float-cast-overflow, non-recovering, halt_on_error=1),
 #                     then — when clang++ is installed — tools/analyze/tsa.sh:
@@ -52,7 +62,7 @@ set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
-all_stages=(lint asan tsan threads trace simd load analyze)
+all_stages=(lint asan tsan threads trace simd fusion load analyze)
 selected=("${all_stages[@]}")
 
 if [[ "${1:-}" == "--stage" ]]; then
@@ -139,6 +149,16 @@ simd_stage() {
     GNN4TDL_SIMD=avx2 ./build/tests/gnn4tdl_serve_precision_test
 }
 
+fusion_stage() {
+  cmake --preset asan &&
+    cmake --build --preset asan -j "$(nproc)" \
+      --target gnn4tdl_fusion_test --target gnn4tdl_arena_test &&
+    GNN4TDL_THREADS=1 ./build-asan/tests/gnn4tdl_fusion_test &&
+    GNN4TDL_THREADS=4 ./build-asan/tests/gnn4tdl_fusion_test &&
+    GNN4TDL_THREADS=1 ./build-asan/tests/gnn4tdl_arena_test &&
+    GNN4TDL_THREADS=4 ./build-asan/tests/gnn4tdl_arena_test
+}
+
 load_stage() {
   cmake --preset default &&
     cmake --build --preset default -j "$(nproc)" --target gnn4tdl_cli &&
@@ -166,6 +186,7 @@ for stage in "${selected[@]}"; do
     threads) run_stage threads threads_stage "$@" ;;
     trace) run_stage trace trace_stage ;;
     simd) run_stage simd simd_stage ;;
+    fusion) run_stage fusion fusion_stage ;;
     load) run_stage load load_stage ;;
     analyze) run_stage analyze analyze_stage "$@" ;;
   esac

@@ -29,6 +29,14 @@
 //                             and hoping is how tests get flaky on loaded
 //                             machines; poll a condition with PollUntil
 //                             (tests/poll_until.h) instead.
+//   fused-raw-alloc           malloc/calloc/realloc/free or a
+//                             std::vector<double|float> scratch buffer in a
+//                             fused-kernel TU (any path containing "fused") —
+//                             fused ops exist to keep intermediates inside
+//                             the arena-backed Matrix storage
+//                             (common/arena.h, docs/MEMORY.md); a raw heap
+//                             buffer there silently defeats the pool and the
+//                             high-water accounting.
 //   missing-pragma-once       .h file without a #pragma once line.
 //   using-namespace-in-header using-directives in headers leak into every
 //                             includer.
@@ -111,6 +119,7 @@ void LintFile(const SourceFile& file, const std::set<std::string>& status_fns,
                              StartsWith(rel_path, "src/common/parallel.");
   const bool simd_allowed = StartsWith(rel_path, "src/kernels/");
   const bool sleep_allowed = rel_path == "tests/poll_until.h";
+  const bool in_fused_tu = rel_path.find("fused") != std::string::npos;
 
   if (is_header) {
     bool has_pragma = false;
@@ -202,6 +211,31 @@ void LintFile(const SourceFile& file, const std::set<std::string>& status_fns,
                           "' outside src/kernels/; use the dispatched kernel "
                           "tier (src/kernels/kernels.h) so a bit-identical "
                           "scalar fallback exists"});
+    }
+
+    if (in_fused_tu) {
+      if ((t.text == "malloc" || t.text == "calloc" || t.text == "realloc" ||
+           t.text == "free") &&
+          next(1) && next(1)->text == "(") {
+        const Token* p = prev(1);
+        // Member calls like arena.free(...) are our own API; std::malloc and
+        // bare malloc are the raw heap.
+        if (!p || (p->text != "." && p->text != "->")) {
+          out->push_back({rel_path, t.line, "fused-raw-alloc",
+                          "raw " + t.text +
+                              "() in a fused-kernel TU; fused intermediates "
+                              "must live in arena-backed Matrix storage "
+                              "(common/arena.h, docs/MEMORY.md)"});
+        }
+      }
+      if (t.text == "vector" && next(1) && next(1)->text == "<" && next(2) &&
+          (next(2)->text == "double" || next(2)->text == "float")) {
+        out->push_back({rel_path, t.line, "fused-raw-alloc",
+                        "std::vector<" + next(2)->text +
+                            "> scratch buffer in a fused-kernel TU bypasses "
+                            "the arena pool and its high-water accounting; "
+                            "use Matrix (common/arena.h, docs/MEMORY.md)"});
+      }
     }
 
     if (in_src && t.text == "cout" && prev(1) && prev(1)->text == "::" &&

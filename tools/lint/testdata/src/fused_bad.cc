@@ -1,0 +1,18 @@
+// Seeded lint-fixture source for the fused-raw-alloc rule: any TU whose path
+// contains "fused" must allocate through arena-backed Matrix storage, never
+// raw heap buffers — a raw buffer there silently defeats the pool and its
+// high-water accounting. Never compiled — gnn4tdl_lint reads it as text.
+
+#include <cstdlib>
+#include <vector>
+
+void FusedScratch() {
+  double* scratch = static_cast<double*>(std::malloc(64));  // fused-raw-alloc
+  std::free(scratch);                                       // fused-raw-alloc
+  std::vector<double> tmp(64);   // fused-raw-alloc: heap scratch, no arena
+  std::vector<float> tmp32(64);  // fused-raw-alloc: same in the f32 tier
+  (void)tmp;
+  (void)tmp32;
+  std::vector<int> indices(8);  // index lists are fine — must NOT be flagged
+  (void)indices;
+}
