@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace gnn4tdl {
 namespace arena_internal {
@@ -112,6 +113,10 @@ void DoubleBuffer::Acquire(size_t n) {
     ptr_ = heap_.get();
     cap_ = n;
   }
+  // Per-span memory attribution: any open TraceSpan on this thread records
+  // the delta of this counter, so an epoch or serve-batch span shows what it
+  // acquired (arena-pooled and heap alike). One thread-local add.
+  obs::AddAllocatedBytesOnThisThread(cap_ * sizeof(double));
 }
 
 void DoubleBuffer::Release() {

@@ -11,7 +11,8 @@
 #define GNN4TDL_CHECK(cond)                                                    \
   do {                                                                         \
     if (!(cond)) {                                                             \
-      std::fprintf(stderr, "GNN4TDL_CHECK failed at %s:%d: %s\n", __FILE__,    \
+      std::fprintf(/* lint:stderr(process is aborting) */ stderr,              \
+                   "GNN4TDL_CHECK failed at %s:%d: %s\n", __FILE__,            \
                    __LINE__, #cond);                                           \
       std::abort();                                                            \
     }                                                                          \
@@ -20,7 +21,8 @@
 #define GNN4TDL_CHECK_MSG(cond, msg)                                           \
   do {                                                                         \
     if (!(cond)) {                                                             \
-      std::fprintf(stderr, "GNN4TDL_CHECK failed at %s:%d: %s (%s)\n",         \
+      std::fprintf(/* lint:stderr(process is aborting) */ stderr,              \
+                   "GNN4TDL_CHECK failed at %s:%d: %s (%s)\n",                 \
                    __FILE__, __LINE__, #cond, msg);                            \
       std::abort();                                                            \
     }                                                                          \

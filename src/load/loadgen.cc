@@ -116,7 +116,8 @@ StatusOr<LoadReport> LoadGenerator::RunOpenLoop() {
   pending.reserve(schedule.size());
 
   const int64_t start_ns = clock_->NowNanos();
-  for (const Arrival& a : schedule) {
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const Arrival& a = schedule[i];
     // Open loop: pace off the planned schedule, never off completions.
     const int64_t wait_ns = start_ns + a.at_ns - clock_->NowNanos();
     if (wait_ns > 0) {
@@ -125,12 +126,14 @@ StatusOr<LoadReport> LoadGenerator::RunOpenLoop() {
     const Matrix* rows = traffic_[a.traffic].rows;
     std::vector<double> features(rows->row_data(a.row),
                                  rows->row_data(a.row) + rows->cols());
-    StatusOr<std::future<std::vector<double>>> submitted =
-        engine_->Submit(traffic_[a.traffic].tenant, std::move(features));
+    // Trace id = arrival index + 1: deterministic per (traffic, options), so
+    // a flight-recorder dump from a seeded run names stable request ids.
+    StatusOr<SubmitResult> submitted = engine_->SubmitTraced(
+        traffic_[a.traffic].tenant, std::move(features), i + 1);
     ++report.offered;
     ++report.tenants[a.traffic].offered;
     if (submitted.ok()) {
-      pending.push_back({std::move(*submitted), a.traffic});
+      pending.push_back({std::move(submitted->future), a.traffic});
     } else if (submitted.status().code() == StatusCode::kResourceExhausted) {
       ++report.rejected;
       ++report.tenants[a.traffic].rejected;
@@ -195,8 +198,11 @@ StatusOr<LoadReport> LoadGenerator::RunClosedLoop() {
             rng.Int(0, static_cast<int64_t>(rows->rows()) - 1));
         std::vector<double> features(rows->row_data(row),
                                      rows->row_data(row) + rows->cols());
-        StatusOr<std::future<std::vector<double>>> submitted =
-            engine_->Submit(traffic_[ti].tenant, std::move(features));
+        // Disjoint deterministic trace-id ranges per worker: worker w owns
+        // [w*requests_per_worker + 1, (w+1)*requests_per_worker].
+        const uint64_t trace_id = w * options_.requests_per_worker + r + 1;
+        StatusOr<SubmitResult> submitted = engine_->SubmitTraced(
+            traffic_[ti].tenant, std::move(features), trace_id);
         ++mine[ti].offered;
         if (!submitted.ok()) {
           if (submitted.status().code() == StatusCode::kResourceExhausted) {
@@ -206,7 +212,8 @@ StatusOr<LoadReport> LoadGenerator::RunClosedLoop() {
           }
         } else {
           try {
-            (void)submitted->get();  // closed loop: wait for the response
+            // closed loop: wait for the response
+            (void)submitted->future.get();
             ++mine[ti].completed;
           } catch (const std::exception&) {
             ++mine[ti].errors;
@@ -295,6 +302,35 @@ Status CheckAccounting(const MultiTenantEngine& engine,
     if (t.errors == 0 && stats->requests != t.completed) {
       diff << "tenant " << t.tenant << " engine requests " << stats->requests
            << " != loadgen completed " << t.completed << "; ";
+    }
+  }
+  // Latency-split reconciliation: queue wait + compute must not exceed the
+  // end-to-end latency, per request (flight-recorder digests) and in
+  // aggregate (histogram sums). Equality holds by construction up to one
+  // ns->ms float rounding per term, hence the epsilon.
+  constexpr double kSplitEpsMs = 1e-6;
+  if (agg.requests > 0 &&
+      agg.queue_wait_ms_sum + agg.compute_ms_sum >
+          agg.latency_ms_sum + kSplitEpsMs * static_cast<double>(agg.requests)) {
+    diff << "latency split sums: wait " << agg.queue_wait_ms_sum
+         << " + compute " << agg.compute_ms_sum << " > total "
+         << agg.latency_ms_sum << "; ";
+  }
+  if (engine.recorder().enabled()) {
+    std::vector<obs::RequestDigest> digests = engine.recorder().RingSnapshot();
+    std::vector<obs::RequestDigest> retained =
+        engine.recorder().RetainedSnapshot();
+    digests.insert(digests.end(), retained.begin(), retained.end());
+    for (const obs::RequestDigest& d : digests) {
+      if (d.trace_id == 0) {
+        diff << "recorder digest for tenant " << d.tenant
+             << " has trace_id 0; ";
+      }
+      if (d.queue_wait_ms + d.compute_ms > d.total_ms + kSplitEpsMs) {
+        diff << "trace " << d.trace_id << ": wait " << d.queue_wait_ms
+             << " + compute " << d.compute_ms << " > total " << d.total_ms
+             << "; ";
+      }
     }
   }
   if (!diff.str().empty()) {

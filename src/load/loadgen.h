@@ -142,6 +142,10 @@ class LoadGenerator {
 /// Cross-checks the generator's own accounting against the engine's: every
 /// rejection the generator saw must be in the engine's rejected counters
 /// (aggregate and per tenant), and every completion in its request counters.
+/// Also reconciles the latency split — queue_wait + compute <= total, both
+/// per request over every flight-recorder digest (ring and retained) and in
+/// aggregate over the histogram sums — and requires every recorded digest to
+/// carry a nonzero trace id.
 /// Requires a fresh engine that served only this run, Stop()ed first (the
 /// worker publishes a batch's completion counters just after resolving its
 /// futures, so only a joined worker guarantees flushed accounting). OK when

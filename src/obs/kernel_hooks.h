@@ -33,8 +33,10 @@ class KernelCounters {
 };
 
 /// One hook point inside a compute kernel (matmul, SpMM, segment softmax).
-/// Cost when everything is off: one relaxed atomic load. When tracing is on
-/// it opens a TraceSpan annotated with the kernel's FLOP/byte estimate; when
+/// Cost when everything is off: two relaxed atomic loads. When tracing is on
+/// — or a SpanCapture sink is installed on this thread (the flight-recorder
+/// path, so batch digests see kernel FLOP/byte totals with tracing off) — it
+/// opens a TraceSpan annotated with the kernel's FLOP/byte estimate; when
 /// kernel counters are on it accumulates into KernelCounters.
 ///
 /// Mirrors the TapeOpScope idiom in nn/ops.cc: construct at the top of the
@@ -43,11 +45,12 @@ class KernelScope {
  public:
   KernelScope(const char* name, double flops, double bytes) {
     uint32_t flags = ObsFlags();
-    if (flags == 0) return;
+    const bool captured = SpanCaptureActiveOnThisThread();
+    if (flags == 0 && !captured) return;
     if ((flags & kObsKernelCounters) != 0) {
       KernelCounters::Accumulate(name, flops, bytes);
     }
-    if ((flags & kObsTracing) != 0) {
+    if ((flags & kObsTracing) != 0 || captured) {
       span_.emplace(name);
       span_->AddFlops(flops);
       span_->AddBytes(bytes);

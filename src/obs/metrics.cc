@@ -74,7 +74,9 @@ double Histogram::BucketUpperBound(size_t index) const {
          std::pow(options_.growth, static_cast<double>(index));
 }
 
-void Histogram::Record(double value) {
+void Histogram::Record(double value) { Record(value, 0); }
+
+void Histogram::Record(double value, uint64_t exemplar_trace_id) {
   Shard& shard = shards_[ThisThreadShard(kShards)];
   size_t index = BucketIndex(value);
   MutexLock lock(&shard.mu);
@@ -83,6 +85,35 @@ void Histogram::Record(double value) {
   if (shard.count == 0 || value < shard.min) shard.min = value;
   if (shard.count == 0 || value > shard.max) shard.max = value;
   shard.count++;
+  if (exemplar_trace_id != 0) {
+    if (shard.exemplars.empty()) shard.exemplars.resize(shard.counts.size());
+    ShardExemplar& slot = shard.exemplars[index];
+    slot.trace_id = exemplar_trace_id;
+    slot.value = value;
+    slot.seq = 1 + exemplar_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<HistogramExemplar> Histogram::Exemplars() const {
+  // Freshest exemplar per bucket across shards, decided by seq.
+  std::vector<HistogramExemplar> best(options_.num_buckets + 2);
+  bool any = false;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    for (size_t i = 0; i < shard.exemplars.size(); ++i) {
+      const ShardExemplar& e = shard.exemplars[i];
+      if (e.trace_id == 0 || e.seq <= best[i].seq) continue;
+      best[i] = HistogramExemplar{i, BucketUpperBound(i), e.trace_id, e.value,
+                                  e.seq};
+      any = true;
+    }
+  }
+  std::vector<HistogramExemplar> out;
+  if (!any) return out;
+  for (const HistogramExemplar& e : best) {
+    if (e.trace_id != 0) out.push_back(e);
+  }
+  return out;
 }
 
 std::vector<uint64_t> Histogram::MergedCounts(uint64_t* count, double* sum,
@@ -249,9 +280,32 @@ void MetricsRegistry::WritePrometheus(std::ostream& out) const {
   for (const auto& [name, hist] : histograms_) {
     std::string pname = PrometheusName(name);
     out << "# TYPE " << pname << " histogram\n";
+    // OpenMetrics exemplars: `name_bucket{le="X"} N # {trace_id="T"} V`.
+    // Finite bucket lines carry that bucket's freshest exemplar; the +Inf
+    // line carries the overflow bucket's, falling back to the freshest
+    // exemplar overall (the +Inf series counts every sample).
+    std::vector<HistogramExemplar> exemplars = hist->Exemplars();
+    std::map<std::string, const HistogramExemplar*> by_bound;
+    const HistogramExemplar* freshest = nullptr;
+    for (const HistogramExemplar& e : exemplars) {
+      if (std::isfinite(e.upper_bound)) by_bound[FmtDouble(e.upper_bound)] = &e;
+      if (freshest == nullptr || e.seq > freshest->seq) freshest = &e;
+    }
     for (const auto& [bound, cumulative] : hist->CumulativeBuckets()) {
-      out << pname << "_bucket{le=\"" << FmtDouble(bound) << "\"} "
-          << cumulative << "\n";
+      std::string bound_str = FmtDouble(bound);
+      out << pname << "_bucket{le=\"" << bound_str << "\"} " << cumulative;
+      const HistogramExemplar* e = nullptr;
+      if (std::isinf(bound)) {
+        e = freshest;
+      } else {
+        auto it = by_bound.find(bound_str);
+        if (it != by_bound.end()) e = it->second;
+      }
+      if (e != nullptr) {
+        out << " # {trace_id=\"" << e->trace_id << "\"} "
+            << FmtDouble(e->value);
+      }
+      out << "\n";
     }
     out << pname << "_sum " << FmtDouble(hist->Sum()) << "\n";
     out << pname << "_count " << hist->Count() << "\n";

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <iosfwd>
@@ -66,6 +67,19 @@ struct HistogramOptions {
   size_t num_buckets = 200;
 };
 
+/// One per-bucket exemplar: the most recent trace id recorded into that
+/// bucket via Record(value, trace_id). Exported in Prometheus exemplar
+/// syntax so a latency bucket links directly to a dumpable flight-recorder
+/// trace. `seq` is the record's position in the histogram's exemplar
+/// sequence (higher = more recent); the +Inf series uses the overall max.
+struct HistogramExemplar {
+  size_t bucket = 0;  // counts slot: 0 = under, 1..n = log buckets, n+1 = over
+  double upper_bound = 0.0;  // +Inf for the overflow bucket
+  uint64_t trace_id = 0;
+  double value = 0.0;
+  uint64_t seq = 0;
+};
+
 /// Bounded-memory quantile sketch: O(num_buckets) storage no matter how many
 /// values are recorded, mutex-sharded like Counter so pool threads can record
 /// concurrently.
@@ -84,6 +98,15 @@ class Histogram {
   Histogram& operator=(const Histogram&) = delete;
 
   void Record(double value);
+  /// Record plus exemplar: remember `exemplar_trace_id` as the most recent
+  /// trace to land in this value's bucket (0 = record without an exemplar).
+  /// Exemplar storage is allocated lazily, so histograms that never carry
+  /// exemplars pay nothing.
+  void Record(double value, uint64_t exemplar_trace_id);
+
+  /// The freshest exemplar per bucket (ascending bucket order), merged
+  /// across shards by sequence number. Empty if no exemplars were recorded.
+  std::vector<HistogramExemplar> Exemplars() const;
 
   uint64_t Count() const;
   double Sum() const;
@@ -103,6 +126,11 @@ class Histogram {
 
  private:
   static constexpr size_t kShards = 8;
+  struct ShardExemplar {
+    uint64_t trace_id = 0;  // 0 = slot empty
+    double value = 0.0;
+    uint64_t seq = 0;
+  };
   struct alignas(64) Shard {
     mutable Mutex mu;
     // [under, b0..b(n-1), over]
@@ -112,6 +140,8 @@ class Histogram {
     // min/max valid only when count > 0.
     double min GNN4TDL_GUARDED_BY(mu) = 0.0;
     double max GNN4TDL_GUARDED_BY(mu) = 0.0;
+    // Sized like counts on first exemplar record; empty until then.
+    std::vector<ShardExemplar> exemplars GNN4TDL_GUARDED_BY(mu);
   };
 
   size_t BucketIndex(double value) const;
@@ -124,6 +154,8 @@ class Histogram {
   // Sized once in the constructor, never resized; per-shard state is guarded
   // by each shard's own mu.
   std::vector<Shard> shards_;  // lint:unguarded(fixed size after construction; elements self-guard)
+  // Global recency order for exemplars across shards (atomic, not guarded).
+  std::atomic<uint64_t> exemplar_seq_{0};  // lint:unguarded(atomic)
 };
 
 /// Named metrics, created on first use and stable for the registry's

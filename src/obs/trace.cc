@@ -15,6 +15,19 @@ std::atomic<uint64_t> g_next_span_id{1};
 // races a worker thread reading it mid-span.
 std::atomic<const Clock*> g_clock{nullptr};
 
+// Count of live SpanCapture sinks process-wide. Lets TraceSpan skip the
+// thread-local sink lookup entirely when no capture exists anywhere, keeping
+// the all-off cost at two relaxed loads.
+std::atomic<uint64_t> g_capture_count{0};
+
+thread_local std::vector<SpanRecord>* t_span_sink = nullptr;
+thread_local uint64_t t_allocated_bytes = 0;
+
+std::vector<SpanRecord>* ThreadSpanSink() {
+  if (g_capture_count.load(std::memory_order_relaxed) == 0) return nullptr;
+  return t_span_sink;
+}
+
 const Clock* ActiveClock() {
   const Clock* clock = g_clock.load(std::memory_order_acquire);
   return clock != nullptr ? clock : RealClock();
@@ -118,13 +131,24 @@ void Tracer::WriteChromeTrace(std::ostream& out) const {
     if (span.flops > 0) out << ",\"flops\":" << span.flops;
     if (span.bytes > 0) out << ",\"bytes\":" << span.bytes;
     if (span.items > 0) out << ",\"items\":" << span.items;
+    if (span.alloc_bytes > 0) out << ",\"alloc_bytes\":" << span.alloc_bytes;
+    if (!span.request_ids.empty()) {
+      out << ",\"requests\":[";
+      for (size_t i = 0; i < span.request_ids.size(); ++i) {
+        if (i > 0) out << ",";
+        out << span.request_ids[i];
+      }
+      out << "]";
+    }
     out << "}}";
   }
   out << "\n]}\n";
 }
 
 TraceSpan::TraceSpan(const char* name) {
-  if ((ObsFlags() & kObsTracing) == 0) return;
+  to_tracer_ = (ObsFlags() & kObsTracing) != 0;
+  sink_ = ThreadSpanSink();
+  if (!to_tracer_ && sink_ == nullptr) return;
   active_ = true;
   name_ = name;
   id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
@@ -134,6 +158,12 @@ TraceSpan::TraceSpan(const char* name) {
   const Clock* clock = ActiveClock();
   start_ns_ = clock->NowNanos();
   start_cpu_ns_ = clock->ThreadCpuNanos();
+  start_alloc_bytes_ = t_allocated_bytes;
+}
+
+void TraceSpan::AddRequestId(uint64_t trace_id) {
+  if (!active_) return;
+  request_ids_.push_back(trace_id);
 }
 
 TraceSpan::~TraceSpan() {
@@ -149,6 +179,9 @@ TraceSpan::~TraceSpan() {
   record.flops = flops_;
   record.bytes = bytes_;
   record.items = items_;
+  record.alloc_bytes =
+      static_cast<double>(t_allocated_bytes - start_alloc_bytes_);
+  record.request_ids = std::move(request_ids_);
 
   Tracer::ThreadState& state = Tracer::State();
   // The span stack is strictly LIFO per thread; pop our own id (it is the
@@ -156,6 +189,10 @@ TraceSpan::~TraceSpan() {
   // still unwind in order).
   if (!state.stack.empty() && state.stack.back() == id_) state.stack.pop_back();
 
+  // Sink first (record.tid stays 0 there: the capture is single-threaded and
+  // a fake tid would defeat run-to-run determinism of retained traces).
+  if (sink_ != nullptr) sink_->push_back(record);
+  if (!to_tracer_) return;
   Tracer::ThreadBuffer& buffer = Tracer::Global().BufferForThisThread();
   record.tid = buffer.tid;
   MutexLock lock(&buffer.mu);
@@ -177,5 +214,27 @@ TraceAmbientParent::TraceAmbientParent(uint64_t parent_id) {
 TraceAmbientParent::~TraceAmbientParent() {
   Tracer::State().ambient_parent = previous_;
 }
+
+SpanCapture::SpanCapture(std::vector<SpanRecord>* out) {
+  if (out == nullptr) return;
+  installed_ = true;
+  previous_ = t_span_sink;
+  t_span_sink = out;
+  g_capture_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+SpanCapture::~SpanCapture() {
+  if (!installed_) return;
+  t_span_sink = previous_;
+  g_capture_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void AddAllocatedBytesOnThisThread(uint64_t bytes) {
+  t_allocated_bytes += bytes;
+}
+
+uint64_t AllocatedBytesOnThisThread() { return t_allocated_bytes; }
+
+bool SpanCaptureActiveOnThisThread() { return ThreadSpanSink() != nullptr; }
 
 }  // namespace gnn4tdl::obs

@@ -26,6 +26,12 @@ struct SpanRecord {
   double flops = 0.0;
   double bytes = 0.0;
   double items = 0.0;
+  /// Bytes acquired (arena or heap) on this thread while the span was open.
+  /// Includes child-span allocations: the counter is a monotonic per-thread
+  /// total and the span records its delta.
+  double alloc_bytes = 0.0;
+  /// Trace ids of the serving requests this span worked on (batch spans).
+  std::vector<uint64_t> request_ids;
 };
 
 class TraceSpan;
@@ -96,7 +102,12 @@ class Tracer {
 /// on the submitting thread), or root. Annotate work with AddFlops/AddBytes/
 /// AddItems; totals are attached to the span on destruction.
 ///
-/// When tracing is disabled the constructor is a single relaxed atomic load.
+/// A span is also live while a SpanCapture sink is installed on this thread
+/// (the flight recorder's path), even with global tracing off; such spans go
+/// to the sink only, not the Tracer buffers.
+///
+/// When tracing is disabled and no sink is installed the constructor is one
+/// relaxed atomic load (plus one more when any capture exists process-wide).
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name);
@@ -107,6 +118,9 @@ class TraceSpan {
   void AddFlops(double flops) { flops_ += flops; }
   void AddBytes(double bytes) { bytes_ += bytes; }
   void AddItems(double items) { items_ += items; }
+  /// Tag the span with a serving-request trace id (batch spans carry one per
+  /// batch member). No-op when the span is inactive.
+  void AddRequestId(uint64_t trace_id);
 
   /// Id of the innermost open span on the calling thread (0 if none, or if
   /// tracing is off). The thread pool captures this at job submission to
@@ -115,15 +129,53 @@ class TraceSpan {
 
  private:
   bool active_ = false;
+  bool to_tracer_ = false;  // push into the global Tracer buffers on close
   const char* name_ = nullptr;
   uint64_t id_ = 0;
   uint64_t parent_ = 0;
   int64_t start_ns_ = 0;
   int64_t start_cpu_ns_ = 0;
+  uint64_t start_alloc_bytes_ = 0;
   double flops_ = 0.0;
   double bytes_ = 0.0;
   double items_ = 0.0;
+  std::vector<uint64_t> request_ids_;
+  std::vector<SpanRecord>* sink_ = nullptr;  // thread-local capture, if any
 };
+
+/// RAII thread-local span sink: while alive, every span finished on this
+/// thread is also appended to `*out` (with `tid` left 0 — the capture is
+/// single-threaded by construction). Used by the serving engine's batching
+/// worker to capture the span subtree of one batch for the flight recorder
+/// without enabling global tracing. Pass nullptr to make it a no-op. Nests:
+/// the previous sink is restored on destruction (inner sink wins while
+/// alive).
+class SpanCapture {
+ public:
+  explicit SpanCapture(std::vector<SpanRecord>* out);
+  ~SpanCapture();
+  SpanCapture(const SpanCapture&) = delete;
+  SpanCapture& operator=(const SpanCapture&) = delete;
+
+ private:
+  std::vector<SpanRecord>* previous_ = nullptr;
+  bool installed_ = false;
+};
+
+/// Per-thread monotonic allocated-bytes counter backing SpanRecord::
+/// alloc_bytes. The arena (common/arena.cc) calls AddAllocatedBytesOnThisThread
+/// on every buffer acquisition — arena-pooled and heap alike — and each
+/// TraceSpan records the delta across its lifetime. Lives in obs (not
+/// common) because obs is the bottom layer: the arena may call down into
+/// obs, never the reverse.
+void AddAllocatedBytesOnThisThread(uint64_t bytes);
+uint64_t AllocatedBytesOnThisThread();
+
+/// True when a SpanCapture sink is installed on the calling thread. Cheap:
+/// one relaxed atomic load when no capture exists anywhere in the process.
+/// KernelScope consults this so kernel spans reach the flight recorder even
+/// with global tracing off.
+bool SpanCaptureActiveOnThisThread();
 
 /// RAII ambient-parent installer used by the thread pool: while alive, spans
 /// opened on this thread with an empty span stack parent under `parent_id`

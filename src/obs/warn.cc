@@ -1,0 +1,55 @@
+#include "obs/warn.h"
+
+#include <cstdio>
+#include <map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+
+namespace gnn4tdl::obs {
+
+namespace {
+
+struct WarnState {
+  Mutex mu;
+  std::map<std::string, uint64_t> counts GNN4TDL_GUARDED_BY(mu);
+};
+
+WarnState& State() {
+  static WarnState state;
+  return state;
+}
+
+}  // namespace
+
+void WarnOnce(const std::string& key, const std::string& message) {
+  bool first;
+  {
+    WarnState& state = State();
+    MutexLock lock(&state.mu);
+    first = ++state.counts[key] == 1;
+  }
+  if (MetricsEnabled()) {
+    MetricsRegistry::Global().GetCounter("obs.warn." + key).Increment();
+  }
+  if (first) {
+    std::fprintf(stderr, "gnn4tdl: %s [warn-once key=%s; repeats suppressed]\n",
+                 message.c_str(), key.c_str());
+  }
+}
+
+uint64_t WarnCount(const std::string& key) {
+  WarnState& state = State();
+  MutexLock lock(&state.mu);
+  auto it = state.counts.find(key);
+  return it == state.counts.end() ? 0 : it->second;
+}
+
+void ResetWarningsForTest() {
+  WarnState& state = State();
+  MutexLock lock(&state.mu);
+  state.counts.clear();
+}
+
+}  // namespace gnn4tdl::obs

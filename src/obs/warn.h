@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gnn4tdl::obs {
+
+/// Rate-limited process warning: prints `message` to stderr the first time
+/// `key` is seen and swallows every repeat, so a hot serving path that falls
+/// back (e.g. f32 requested but unavailable) warns loudly once instead of
+/// spamming per request. Every call — printed or suppressed — bumps the
+/// `obs.warn.<key>` counter when metrics are enabled, so suppressed repeats
+/// stay observable.
+///
+/// This is the one sanctioned stderr writer under src/ (rule `raw-stderr`
+/// bans direct writes outside src/obs/); library code routes operator
+/// warnings through here.
+void WarnOnce(const std::string& key, const std::string& message);
+
+/// Times WarnOnce was called with `key` since process start (or the last
+/// ResetWarningsForTest). 0 = never.
+uint64_t WarnCount(const std::string& key);
+
+/// Test-only: forget all keys so the next WarnOnce prints again.
+void ResetWarningsForTest();
+
+}  // namespace gnn4tdl::obs

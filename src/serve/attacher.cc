@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/trace.h"
+
 namespace gnn4tdl {
 
 InductiveAttacher::InductiveAttacher(const Graph* train_graph,
@@ -24,6 +26,8 @@ InductiveAttacher::InductiveAttacher(const Graph* train_graph,
 
 StatusOr<AttachedBatch> InductiveAttacher::Attach(const Matrix& x_new,
                                                   bool with_features) const {
+  obs::TraceSpan span("serve/attach");
+  span.AddItems(static_cast<double>(x_new.rows()));
   const size_t n_train = x_train_->rows();
   const size_t n_new = x_new.rows();
   if (n_new == 0) {

@@ -25,6 +25,11 @@ struct ServingOptions {
   /// obs::RealClock(). Tests inject an obs::FakeClock for deterministic
   /// latency assertions.
   const obs::Clock* clock = nullptr;
+  /// Tenant SLO used for flight-recorder tail sampling (total latency above
+  /// this retains the request's span subtree).
+  double slo_ms = 50.0;
+  /// Flight-recorder policy, passed through to the tenant engine.
+  obs::FlightRecorderOptions recorder;
 };
 
 /// Micro-batching scoring front-end over one FrozenModel — the single-tenant
@@ -52,11 +57,19 @@ class ServingEngine {
   [[nodiscard]] StatusOr<std::future<std::vector<double>>> Submit(
       std::vector<double> features);
 
+  /// Submit with request-scoped tracing — see MultiTenantEngine::SubmitTraced.
+  [[nodiscard]] StatusOr<SubmitResult> SubmitTraced(
+      std::vector<double> features, uint64_t trace_id = 0);
+
   /// Drains the queue and joins the worker. Idempotent; the destructor calls
   /// it.
   void Stop();
 
   ServeStats Stats() const;
+
+  /// The wrapped engine's flight recorder (request digests + retained
+  /// SLO-breach traces).
+  const obs::FlightRecorder& recorder() const { return engine_->recorder(); }
 
  private:
   ModelRegistry registry_;

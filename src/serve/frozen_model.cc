@@ -1,15 +1,14 @@
 #include "serve/frozen_model.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <fstream>
 #include <istream>
-#include <mutex>
 #include <ostream>
 #include <string>
 
 #include "graph/graph_io.h"
 #include "obs/metrics.h"
+#include "obs/warn.h"
 
 namespace gnn4tdl {
 
@@ -83,15 +82,11 @@ Status FrozenModel::Save(const InstanceGraphGnn& model, std::ostream& out,
   const bool f32_unservable = precision == kernels::Precision::kF32 &&
                               !F32Scorer::Supports(o);
   if (f32_unservable) {
-    static std::once_flag logged;
-    std::call_once(logged, [&o] {
-      std::fprintf(stderr,
-                   "gnn4tdl: freezing with precision f32 but backbone %s%s "
-                   "has no f32 tier; this artifact will serve f64 (logged "
-                   "once per process)\n",
-                   GnnBackboneName(o.backbone),
-                   o.use_pair_norm ? "+pairnorm" : "");
-    });
+    obs::WarnOnce("freeze-f32-unservable",
+                  std::string("freezing with precision f32 but backbone ") +
+                      GnnBackboneName(o.backbone) +
+                      (o.use_pair_norm ? "+pairnorm" : "") +
+                      " has no f32 tier; this artifact will serve f64");
   }
   if (obs::MetricsEnabled()) {
     obs::MetricsRegistry::Global()
@@ -289,14 +284,11 @@ StatusOr<FrozenModel> FrozenModel::Load(std::istream& in,
   } else {
     frozen.precision_ = kernels::Precision::kF64;
     if (want == kernels::Precision::kF32) {
-      static std::once_flag logged;
-      std::call_once(logged, [&o] {
-        std::fprintf(stderr,
-                     "gnn4tdl: f32 serving requested but backbone %s%s has no "
-                     "f32 tier; serving f64 (logged once per process)\n",
-                     GnnBackboneName(o.backbone),
-                     o.use_pair_norm ? "+pairnorm" : "");
-      });
+      obs::WarnOnce("serve-f32-fallback",
+                    std::string("f32 serving requested but backbone ") +
+                        GnnBackboneName(o.backbone) +
+                        (o.use_pair_norm ? "+pairnorm" : "") +
+                        " has no f32 tier; serving f64");
     }
   }
   if (obs::MetricsEnabled()) {

@@ -33,6 +33,11 @@ std::string ServeStats::ToString() const {
       << " p50_ms=" << p50_ms << " p95_ms=" << p95_ms << " p99_ms=" << p99_ms
       << " max_ms=" << max_ms << " throughput_rps=" << throughput_rps
       << " max_queue_depth=" << max_queue_depth;
+  if (requests > 0) {
+    const double n = static_cast<double>(requests);
+    out << " mean_wait_ms=" << queue_wait_ms_sum / n
+        << " mean_compute_ms=" << compute_ms_sum / n;
+  }
   return out.str();
 }
 
@@ -47,13 +52,16 @@ MultiTenantEngine::TenantState::TenantState(const Tenant* t)
   m_rejected = &registry.GetCounter(prefix + "rejected_total");
   m_queue_depth = &registry.GetGauge(prefix + "queue_depth");
   m_latency = &registry.GetHistogram(prefix + "latency_ms");
+  m_queue_wait = &registry.GetHistogram(prefix + "queue_wait_ms");
+  m_compute = &registry.GetHistogram(prefix + "compute_ms");
 }
 
 MultiTenantEngine::MultiTenantEngine(const ModelRegistry* registry,
                                      MultiTenantEngineOptions options)
     : registry_(registry),
       clock_(options.clock != nullptr ? options.clock : obs::RealClock()),
-      batch_rows_hist_(BatchRowsHistogramOptions()) {
+      batch_rows_hist_(BatchRowsHistogramOptions()),
+      recorder_(options.recorder) {
   GNN4TDL_CHECK(registry_ != nullptr);
   for (const Tenant* t : registry_->Tenants()) {
     auto state = std::make_unique<TenantState>(t);
@@ -84,9 +92,18 @@ void MultiTenantEngine::Stop() {
 
 StatusOr<std::future<std::vector<double>>> MultiTenantEngine::Submit(
     const std::string& tenant, std::vector<double> features) {
+  StatusOr<SubmitResult> result = SubmitTraced(tenant, std::move(features));
+  if (!result.ok()) return result.status();
+  return std::move(result->future);
+}
+
+StatusOr<SubmitResult> MultiTenantEngine::SubmitTraced(
+    const std::string& tenant, std::vector<double> features,
+    uint64_t trace_id) {
   Request req;
   req.features = std::move(features);
-  req.enqueued_ns = clock_->NowNanos();
+  req.ctx.trace_id = trace_id;
+  req.ctx.enqueued_ns = clock_->NowNanos();
   std::future<std::vector<double>> future = req.promise.get_future();
 
   TenantState* t = nullptr;
@@ -121,14 +138,19 @@ StatusOr<std::future<std::vector<double>>> MultiTenantEngine::Submit(
           "tenant '" + tenant + "' queue is full (" +
           std::to_string(t->tenant->options.queue_capacity) + " rows)");
     }
+    // Auto-assigned trace ids are handed out under mu_ in submission order,
+    // so a serialized submitter sees deterministic ids run to run. Admission
+    // rejections above never consume an id.
+    if (req.ctx.trace_id == 0) req.ctx.trace_id = next_trace_id_++;
     if (!t->any_request) {
       t->any_request = true;
-      t->first_submit_ns = req.enqueued_ns;
+      t->first_submit_ns = req.ctx.enqueued_ns;
     }
     if (!any_request_) {
       any_request_ = true;
-      first_submit_ns_ = req.enqueued_ns;
+      first_submit_ns_ = req.ctx.enqueued_ns;
     }
+    trace_id = req.ctx.trace_id;
     t->queue.push_back(std::move(req));
     ++total_queued_;
     t->max_queue_depth = std::max(t->max_queue_depth, t->queue.size());
@@ -143,7 +165,10 @@ StatusOr<std::future<std::vector<double>>> MultiTenantEngine::Submit(
     t->m_queue_depth->Set(static_cast<double>(tenant_depth));
   }
   cv_.NotifyOne();
-  return future;
+  SubmitResult result;
+  result.trace_id = trace_id;
+  result.future = std::move(future);
+  return result;
 }
 
 bool MultiTenantEngine::TenantReadyLocked(const TenantState& t) const {
@@ -151,7 +176,7 @@ bool MultiTenantEngine::TenantReadyLocked(const TenantState& t) const {
   if (stopping_) return true;
   if (t.queue.size() >= t.tenant->options.max_batch) return true;
   const int64_t deadline_ns =
-      t.queue.front().enqueued_ns +
+      t.queue.front().ctx.enqueued_ns +
       static_cast<int64_t>(t.tenant->options.deadline_ms * 1e6);
   return clock_->NowNanos() >= deadline_ns;
 }
@@ -169,7 +194,7 @@ int64_t MultiTenantEngine::EarliestDeadlineRemainingNsLocked() const {
   for (const auto& t : tenants_) {
     if (t->queue.empty()) continue;
     const int64_t deadline_ns =
-        t->queue.front().enqueued_ns +
+        t->queue.front().ctx.enqueued_ns +
         static_cast<int64_t>(t->tenant->options.deadline_ms * 1e6);
     const int64_t remaining = deadline_ns - now_ns;
     if (best < 0 || remaining < best) best = remaining;
@@ -240,9 +265,17 @@ void MultiTenantEngine::WorkerLoop() {
     }
 
     const FrozenModel* model = ts->tenant->model;
+    const int64_t batch_start_ns = clock_->NowNanos();
+    // Capture the batch's span subtree for the flight recorder (spans opened
+    // on this worker thread: serve/batch, serve/attach, kernel scopes opened
+    // before the pool fan-out). With the recorder off no sink is installed
+    // and the spans stay the usual tracing-gated no-ops.
+    std::vector<obs::SpanRecord> batch_spans;
     StatusOr<Matrix> logits = [&] {
+      obs::SpanCapture capture(recorder_.enabled() ? &batch_spans : nullptr);
       obs::TraceSpan span("serve/batch");
       span.AddItems(static_cast<double>(batch.size()));
+      for (const Request& req : batch) span.AddRequestId(req.ctx.trace_id);
       Matrix x(batch.size(), model->feature_dim());
       for (size_t i = 0; i < batch.size(); ++i) {
         std::copy(batch[i].features.begin(), batch[i].features.end(),
@@ -271,16 +304,61 @@ void MultiTenantEngine::WorkerLoop() {
           .GetHistogram("serve.batch_rows", BatchRowsHistogramOptions())
           .Record(static_cast<double>(batch.size()));
     }
+    // Kernel work totals of the whole batch: summed over captured kernel
+    // spans (op-level wrapper spans included, matching KernelCounters'
+    // per-name accounting). Allocated bytes come from the root serve/batch
+    // span alone — its thread-local delta already includes every child.
+    double batch_flops = 0.0, batch_bytes = 0.0, batch_alloc = 0.0;
+    for (const obs::SpanRecord& s : batch_spans) {
+      batch_flops += s.flops;
+      batch_bytes += s.bytes;
+      if (s.name == "serve/batch") batch_alloc = s.alloc_bytes;
+    }
+    const double slo_ms = ts->tenant->options.slo_ms;
     for (const Request& req : batch) {
-      const double ms = static_cast<double>(done_ns - req.enqueued_ns) / 1e6;
-      latency_ms_hist_.Record(ms);
-      ts->latency_ms_hist.Record(ms);
+      const double wait_ms =
+          static_cast<double>(batch_start_ns - req.ctx.enqueued_ns) / 1e6;
+      const double compute_ms =
+          static_cast<double>(done_ns - batch_start_ns) / 1e6;
+      const double ms =
+          static_cast<double>(done_ns - req.ctx.enqueued_ns) / 1e6;
+      latency_ms_hist_.Record(ms, req.ctx.trace_id);
+      queue_wait_ms_hist_.Record(wait_ms, req.ctx.trace_id);
+      compute_ms_hist_.Record(compute_ms, req.ctx.trace_id);
+      ts->latency_ms_hist.Record(ms, req.ctx.trace_id);
+      ts->queue_wait_ms_hist.Record(wait_ms, req.ctx.trace_id);
+      ts->compute_ms_hist.Record(compute_ms, req.ctx.trace_id);
       if (metrics) {
         auto& registry = obs::MetricsRegistry::Global();
-        registry.GetHistogram("serve.latency_ms").Record(ms);
+        registry.GetHistogram("serve.latency_ms").Record(ms, req.ctx.trace_id);
+        registry.GetHistogram("serve.queue_wait_ms")
+            .Record(wait_ms, req.ctx.trace_id);
+        registry.GetHistogram("serve.compute_ms")
+            .Record(compute_ms, req.ctx.trace_id);
         registry.GetCounter("serve.requests_total").Increment();
-        ts->m_latency->Record(ms);
+        ts->m_latency->Record(ms, req.ctx.trace_id);
+        ts->m_queue_wait->Record(wait_ms, req.ctx.trace_id);
+        ts->m_compute->Record(compute_ms, req.ctx.trace_id);
         ts->m_requests->Increment();
+      }
+      if (recorder_.enabled()) {
+        obs::RequestDigest digest;
+        digest.tenant = ts->tenant->name;
+        digest.trace_id = req.ctx.trace_id;
+        digest.enqueued_ns = req.ctx.enqueued_ns;
+        digest.queue_wait_ms = wait_ms;
+        digest.compute_ms = compute_ms;
+        digest.total_ms = ms;
+        digest.batch_size = batch.size();
+        digest.flops = batch_flops;
+        digest.bytes = batch_bytes;
+        digest.alloc_bytes = batch_alloc;
+        digest.slo_ms = slo_ms;
+        digest.slo_breach = ms > slo_ms;
+        // Tail sampling: only breaches carry the span subtree into the
+        // retained store; ring entries stay span-free.
+        if (digest.slo_breach) digest.spans = batch_spans;
+        recorder_.Record(std::move(digest));
       }
     }
     {
@@ -312,6 +390,9 @@ ServeStats MultiTenantEngine::StatsFor(const TenantState& t) const {
     stats.p95_ms = t.latency_ms_hist.Quantile(0.95);
     stats.p99_ms = t.latency_ms_hist.Quantile(0.99);
     stats.max_ms = t.latency_ms_hist.Max();
+    stats.latency_ms_sum = t.latency_ms_hist.Sum();
+    stats.queue_wait_ms_sum = t.queue_wait_ms_hist.Sum();
+    stats.compute_ms_sum = t.compute_ms_hist.Sum();
     const double span_s =
         static_cast<double>(t.last_complete_ns - t.first_submit_ns) / 1e9;
     stats.throughput_rps =
@@ -336,6 +417,9 @@ ServeStats MultiTenantEngine::Stats() const {
     stats.p95_ms = latency_ms_hist_.Quantile(0.95);
     stats.p99_ms = latency_ms_hist_.Quantile(0.99);
     stats.max_ms = latency_ms_hist_.Max();
+    stats.latency_ms_sum = latency_ms_hist_.Sum();
+    stats.queue_wait_ms_sum = queue_wait_ms_hist_.Sum();
+    stats.compute_ms_sum = compute_ms_hist_.Sum();
     const double span_s =
         static_cast<double>(last_complete_ns_ - first_submit_ns_) / 1e9;
     stats.throughput_rps =

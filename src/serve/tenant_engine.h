@@ -14,6 +14,7 @@
 #include "common/thread_annotations.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "serve/registry.h"
 
 namespace gnn4tdl {
@@ -43,8 +44,33 @@ struct ServeStats {
   /// the last completion.
   double throughput_rps = 0.0;
   size_t max_queue_depth = 0;
+  /// Exact sums of the per-request latency split (queue wait = enqueue ->
+  /// batch start; compute = batch start -> completion). By construction
+  /// queue_wait_ms_sum + compute_ms_sum == latency_ms_sum up to floating
+  /// rounding — CheckAccounting reconciles this.
+  double latency_ms_sum = 0.0;
+  double queue_wait_ms_sum = 0.0;
+  double compute_ms_sum = 0.0;
 
   std::string ToString() const;
+};
+
+/// Request-scoped identity and timing, stamped at Submit and carried through
+/// the bounded queue and the batching worker down to the batch trace span
+/// and the flight-recorder digest. The trace id is deterministic: callers
+/// (e.g. the load generator) pass their own ids, or the engine assigns the
+/// next value of a per-engine counter in submission order.
+struct RequestContext {
+  uint64_t trace_id = 0;
+  int64_t enqueued_ns = 0;
+};
+
+/// What SubmitTraced hands back: the future plus the trace id under which
+/// the request's digest (and, on an SLO breach, its span subtree) can be
+/// looked up in the engine's flight recorder.
+struct SubmitResult {
+  uint64_t trace_id = 0;
+  std::future<std::vector<double>> future;
 };
 
 /// Engine-level options; per-tenant policy lives in TenantOptions.
@@ -53,6 +79,10 @@ struct MultiTenantEngineOptions {
   /// obs::RealClock(). Tests inject an obs::FakeClock for deterministic
   /// latency assertions.
   const obs::Clock* clock = nullptr;
+  /// Flight-recorder policy (on by default — the ring is bounded and the
+  /// per-request cost is one striped mutex push). Set recorder.enabled =
+  /// false to drop all per-request digest work.
+  obs::FlightRecorderOptions recorder;
 };
 
 /// Micro-batching scorer over every tenant in a ModelRegistry: each tenant
@@ -78,9 +108,15 @@ struct MultiTenantEngineOptions {
 ///
 /// Observability: aggregate accounting mirrors the original engine
 /// (serve.requests_total, serve.rejected_total, serve.queue_depth,
-/// serve.latency_ms, serve.batch_rows); per-tenant accounting lands under
-/// serve.tenant.<name>.* when obs::MetricsEnabled(). Every batch forward runs
-/// under a "serve/batch" trace span.
+/// serve.latency_ms + the serve.queue_wait_ms / serve.compute_ms split,
+/// serve.batch_rows); per-tenant accounting lands under serve.tenant.<name>.*
+/// when obs::MetricsEnabled(). Every batch forward runs under a "serve/batch"
+/// trace span tagged with its member request trace ids. Every completed
+/// request additionally lands a digest in the engine's flight recorder
+/// (recorder()), latency-histogram buckets carry the most recent trace id as
+/// a Prometheus exemplar, and requests breaching their tenant's slo_ms keep
+/// their full batch span subtree in the recorder's retained store (see
+/// docs/OBSERVABILITY.md, "Request tracing & flight recorder").
 class MultiTenantEngine {
  public:
   explicit MultiTenantEngine(const ModelRegistry* registry,
@@ -100,6 +136,16 @@ class MultiTenantEngine {
   ///   kFailedPrecondition — engine stopped.
   [[nodiscard]] StatusOr<std::future<std::vector<double>>> Submit(
       const std::string& tenant, std::vector<double> features);
+
+  /// Submit with request-scoped tracing: the returned trace id tags the
+  /// request through the batch span, the latency-histogram exemplars, and
+  /// the flight recorder. Pass trace_id = 0 to let the engine assign the
+  /// next id in submission order (deterministic for a serialized submitter);
+  /// nonzero caller ids are used verbatim and should be unique per request.
+  /// Same typed failures as Submit.
+  [[nodiscard]] StatusOr<SubmitResult> SubmitTraced(
+      const std::string& tenant, std::vector<double> features,
+      uint64_t trace_id = 0);
 
   /// Drains every queue and joins the worker. Idempotent; the destructor
   /// calls it.
@@ -124,11 +170,16 @@ class MultiTenantEngine {
   }
   const ModelRegistry* registry() const { return registry_; }
 
+  /// The engine's flight recorder: bounded ring of completed-request digests
+  /// plus retained SLO-breach traces (see obs/recorder.h). Snapshot/FindTrace
+  /// are safe while the engine is serving.
+  const obs::FlightRecorder& recorder() const { return recorder_; }
+
  private:
   struct Request {
     std::vector<double> features;
     std::promise<std::vector<double>> promise;
-    int64_t enqueued_ns = 0;
+    RequestContext ctx;
   };
 
   /// Per-tenant queue + accounting. Histograms shard internally; everything
@@ -140,6 +191,8 @@ class MultiTenantEngine {
     size_t credits = 0;
 
     obs::Histogram latency_ms_hist;
+    obs::Histogram queue_wait_ms_hist;
+    obs::Histogram compute_ms_hist;
     obs::Histogram batch_rows_hist;
     size_t requests_done = 0;
     size_t batches = 0;
@@ -156,6 +209,8 @@ class MultiTenantEngine {
     obs::Counter* m_rejected = nullptr;
     obs::Gauge* m_queue_depth = nullptr;
     obs::Histogram* m_latency = nullptr;
+    obs::Histogram* m_queue_wait = nullptr;
+    obs::Histogram* m_compute = nullptr;
 
     explicit TenantState(const Tenant* t);
   };
@@ -194,7 +249,11 @@ class MultiTenantEngine {
 
   // Aggregate accounting, mirroring the single-tenant engine's fields.
   obs::Histogram latency_ms_hist_;    // lint:unguarded(Histogram shards internally)
+  obs::Histogram queue_wait_ms_hist_; // lint:unguarded(Histogram shards internally)
+  obs::Histogram compute_ms_hist_;    // lint:unguarded(Histogram shards internally)
   obs::Histogram batch_rows_hist_;    // lint:unguarded(Histogram shards internally)
+  obs::FlightRecorder recorder_;      // lint:unguarded(FlightRecorder locks internally)
+  uint64_t next_trace_id_ GNN4TDL_GUARDED_BY(mu_) = 1;
   size_t requests_done_ GNN4TDL_GUARDED_BY(mu_) = 0;
   size_t batches_ GNN4TDL_GUARDED_BY(mu_) = 0;
   size_t total_batch_rows_ GNN4TDL_GUARDED_BY(mu_) = 0;

@@ -135,6 +135,7 @@ TrainResult Trainer::Fit(const std::function<Tensor()>& loss_fn,
         // A malformed tape (or poisoned values) makes every further step
         // garbage; stop here and surface the diagnosis instead.
         if (options_.verbose) {
+          // lint:stderr(opt-in verbose epoch log, not a library diagnostic)
           std::fprintf(stderr, "epoch %4d  %s\n", epoch,
                        result.tape_status.ToString().c_str());
         }
@@ -170,6 +171,7 @@ TrainResult Trainer::Fit(const std::function<Tensor()>& loss_fn,
         ++epochs_since_best;
       }
       if (options_.verbose && epoch % 20 == 0) {
+        // lint:stderr(opt-in verbose epoch log, not a library diagnostic)
         std::fprintf(stderr, "epoch %4d  loss %.5f  val %.4f\n", epoch,
                      result.final_train_loss, metric);
       }
@@ -177,6 +179,7 @@ TrainResult Trainer::Fit(const std::function<Tensor()>& loss_fn,
         break;
       }
     } else if (options_.verbose && epoch % 20 == 0) {
+      // lint:stderr(opt-in verbose epoch log, not a library diagnostic)
       std::fprintf(stderr, "epoch %4d  loss %.5f\n", epoch,
                    result.final_train_loss);
     }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Umbrella correctness gate:
 #   lint -> asan -> tsan -> threads -> trace -> simd -> fusion -> load ->
-#   analyze.
+#   obs -> analyze.
 #
 #   stage 1  lint     build gnn4tdl_lint (default preset) and scan the tree
 #                     with every pass: the style pass (idiom rules) and the
@@ -40,7 +40,16 @@
 #                     generator's offered/completed/rejected tallies disagree
 #                     with the engine's counters, so this stage gates on
 #                     rejection-accounting consistency, not just liveness
-#   stage 9  analyze  static/undefined-behavior gate: the full test suite
+#   stage 9  obs      request-tracing + flight-recorder smoke: a seeded
+#                     gnn4tdl_cli obsdump run (loadgen with the recorder on,
+#                     then the ring dumped as JSON alongside the Prometheus
+#                     metrics), then gnn4tdl_trace_check --obsdump validates
+#                     the digests (per-request wait/compute/total timing
+#                     reconciliation, SLO-breach span subtrees carrying their
+#                     request ids) and --require-exemplar proves every
+#                     non-empty latency bucket's exemplar trace id resolves
+#                     to a digest in the dump
+#   stage 10 analyze  static/undefined-behavior gate: the full test suite
 #                     under the `ubsan` preset (-fsanitize=undefined,
 #                     float-cast-overflow, non-recovering, halt_on_error=1),
 #                     then — when clang++ is installed — tools/analyze/tsa.sh:
@@ -62,7 +71,7 @@ set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
-all_stages=(lint asan tsan threads trace simd fusion load analyze)
+all_stages=(lint asan tsan threads trace simd fusion load obs analyze)
 selected=("${all_stages[@]}")
 
 if [[ "${1:-}" == "--stage" ]]; then
@@ -166,6 +175,19 @@ load_stage() {
       --seed 42 --shards 4 --cache 256
 }
 
+obs_stage() {
+  cmake --preset default &&
+    cmake --build --preset default -j "$(nproc)" \
+      --target gnn4tdl_cli --target gnn4tdl_trace_check &&
+    ./build/tools/gnn4tdl_cli obsdump --epochs 8 --rps 300 --duration-s 0.5 \
+      --seed 42 --obsdump build/obsdump.json \
+      --metrics-out build/obs_metrics.txt &&
+    ./build/tools/gnn4tdl_trace_check --obsdump build/obsdump.json \
+      --metrics build/obs_metrics.txt \
+      --require-metric "gnn4tdl_serve_tenant_interactive_queue_wait_ms,gnn4tdl_serve_tenant_batch_compute_ms" \
+      --require-exemplar "gnn4tdl_serve_latency_ms,gnn4tdl_serve_tenant_interactive_queue_wait_ms"
+}
+
 analyze_stage() {
   { cmake --preset ubsan &&
       cmake --build --preset ubsan -j "$(nproc)" &&
@@ -188,6 +210,7 @@ for stage in "${selected[@]}"; do
     simd) run_stage simd simd_stage ;;
     fusion) run_stage fusion fusion_stage ;;
     load) run_stage load load_stage ;;
+    obs) run_stage obs obs_stage ;;
     analyze) run_stage analyze analyze_stage "$@" ;;
   esac
 done

@@ -53,7 +53,8 @@ namespace gnn4tdl {
 namespace {
 
 struct CliArgs {
-  std::string command;  // "", "freeze", "score", "serve", or "loadgen"
+  // "", "freeze", "score", "serve", "loadgen", or "obsdump"
+  std::string command;
   std::string out = "model.gnn4tdl";
   std::string model;
   size_t batch = 16;
@@ -86,6 +87,8 @@ struct CliArgs {
   uint64_t seed = 42;
   std::string trace_out;    // chrome://tracing span tree
   std::string metrics_out;  // Prometheus text dump
+  std::string obsdump_out;  // flight-recorder JSON dump
+  uint64_t print_trace_id = 0;  // look up one trace in the recorder
   // Serving tier: "f32" | "f64". freeze: recorded in the artifact (empty =
   // f64). score/serve: overrides the artifact's record (empty = honor it).
   std::string precision;
@@ -134,6 +137,9 @@ void PrintUsage() {
       "                        (interactive + batch policies) and drive them\n"
       "                        with the seeded load harness; exits nonzero on\n"
       "                        errors or a rejection-accounting mismatch\n"
+      "  obsdump               loadgen, then write the engine's flight\n"
+      "                        recorder as JSON (--obsdump, default\n"
+      "                        obsdump.json)\n"
       "  --out PATH            freeze: artifact output path\n"
       "  --model PATH          score/serve/loadgen: artifact to load\n"
       "  --batch N             serve: max rows per micro-batch (default 16)\n"
@@ -144,6 +150,10 @@ void PrintUsage() {
       "                        N ways (default off; any N is bit-exact)\n"
       "  --cache N             serve/loadgen: read-through neighbor cache\n"
       "                        capacity in entries (default off)\n"
+      "  --obsdump PATH        loadgen/obsdump: write the flight-recorder\n"
+      "                        ring + retained digests as JSON\n"
+      "  --trace-id N          loadgen/obsdump: after the run, look up one\n"
+      "                        trace id in the recorder and print its digest\n"
       "  --mode NAME           loadgen: open | closed arrival loop\n"
       "  --rps F               loadgen: offered requests/s (default 200)\n"
       "  --duration-s F        loadgen: open-loop duration (default 1)\n"
@@ -159,7 +169,8 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
   if (argc > 1 && argv[1][0] != '-') {
     args->command = argv[1];
     if (args->command != "freeze" && args->command != "score" &&
-        args->command != "serve" && args->command != "loadgen") {
+        args->command != "serve" && args->command != "loadgen" &&
+        args->command != "obsdump") {
       std::fprintf(stderr, "unknown subcommand: %s\n", args->command.c_str());
       PrintUsage();
       return false;
@@ -300,6 +311,14 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (!v) return false;
       args->metrics_out = v;
+    } else if (flag == "--obsdump") {
+      const char* v = next();
+      if (!v) return false;
+      args->obsdump_out = v;
+    } else if (flag == "--trace-id") {
+      const char* v = next();
+      if (!v) return false;
+      args->print_trace_id = static_cast<uint64_t>(std::atoll(v));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       PrintUsage();
@@ -731,6 +750,44 @@ int RunLoadgen(const CliArgs& args) {
               "(%zu offered = %zu completed + %zu rejected + %zu errors)\n",
               report->offered, report->completed, report->rejected,
               report->errors);
+
+  std::string dump_path = args.obsdump_out;
+  if (args.command == "obsdump" && dump_path.empty()) {
+    dump_path = "obsdump.json";
+  }
+  if (!dump_path.empty()) {
+    std::ofstream out(dump_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", dump_path.c_str());
+      return 1;
+    }
+    engine.recorder().WriteJson(out);
+    const obs::FlightRecorder::Stats stats = engine.recorder().stats();
+    std::printf("obsdump: %s (%llu recorded, %llu in ring, %llu retained "
+                "slo-breach digests)\n",
+                dump_path.c_str(),
+                static_cast<unsigned long long>(stats.recorded),
+                static_cast<unsigned long long>(engine.recorder()
+                                                    .RingSnapshot()
+                                                    .size()),
+                static_cast<unsigned long long>(stats.retained));
+  }
+  if (args.print_trace_id != 0) {
+    std::optional<obs::RequestDigest> digest =
+        engine.recorder().FindTrace(args.print_trace_id);
+    if (!digest) {
+      std::fprintf(stderr, "trace %llu not found in the flight recorder\n",
+                   static_cast<unsigned long long>(args.print_trace_id));
+      return 1;
+    }
+    std::printf("trace %llu: tenant=%s wait=%.3fms compute=%.3fms "
+                "total=%.3fms batch=%zu slo=%.1fms%s spans=%zu\n",
+                static_cast<unsigned long long>(digest->trace_id),
+                digest->tenant.c_str(), digest->queue_wait_ms,
+                digest->compute_ms, digest->total_ms, digest->batch_size,
+                digest->slo_ms, digest->slo_breach ? " BREACH" : "",
+                digest->spans.size());
+  }
   if (report->errors > 0) {
     std::fprintf(stderr, "%zu requests errored\n", report->errors);
     return 1;
@@ -879,7 +936,9 @@ int Dispatch(const CliArgs& args) {
   if (args.command == "freeze") return RunFreeze(args);
   if (args.command == "score") return RunScore(args);
   if (args.command == "serve") return RunServe(args);
-  if (args.command == "loadgen") return RunLoadgen(args);
+  if (args.command == "loadgen" || args.command == "obsdump") {
+    return RunLoadgen(args);
+  }
   return Run(args);
 }
 

@@ -99,18 +99,22 @@ std::vector<Token> Tokenize(const std::string& stripped) {
   return tokens;
 }
 
-std::set<int> CollectUnguardedExemptLines(const std::string& raw) {
+std::set<int> CollectMarkerLines(const std::string& raw, const char* marker) {
   std::set<int> lines;
   int line = 1;
-  size_t next_mark = raw.find("lint:unguarded(");
+  size_t next_mark = raw.find(marker);
   for (size_t i = 0; i < raw.size() && next_mark != std::string::npos; ++i) {
     if (i == next_mark) {
       lines.insert(line);
-      next_mark = raw.find("lint:unguarded(", i + 1);
+      next_mark = raw.find(marker, i + 1);
     }
     if (raw[i] == '\n') ++line;
   }
   return lines;
+}
+
+std::set<int> CollectUnguardedExemptLines(const std::string& raw) {
+  return CollectMarkerLines(raw, "lint:unguarded(");
 }
 
 }  // namespace gnn4tdl_lint

@@ -33,6 +33,8 @@ struct SourceFile {
   std::vector<Token> tokens;
   // Lines (1-based) carrying a `lint:unguarded(reason)` exemption comment.
   std::set<int> unguarded_exempt_lines;
+  // Lines (1-based) carrying a `lint:stderr(reason)` exemption comment.
+  std::set<int> stderr_exempt_lines;
 
   bool is_header() const {
     return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
@@ -47,6 +49,11 @@ struct SourceFile {
 std::string StripCode(const std::string& in);
 
 std::vector<Token> Tokenize(const std::string& stripped);
+
+// Lines containing `marker` (e.g. "lint:unguarded(") in the raw (unstripped)
+// text — exemption comments live in comments, so the stripped form is blind
+// to them.
+std::set<int> CollectMarkerLines(const std::string& raw, const char* marker);
 
 // Lines containing a `lint:unguarded(` marker in the raw (unstripped) text.
 std::set<int> CollectUnguardedExemptLines(const std::string& raw);

@@ -4,7 +4,7 @@
 //
 //   style   project idiom invariants (status-discard, banned-call,
 //           cout-in-src, raw-new-delete, raw-thread, raw-deque, raw-clock,
-//           raw-simd, raw-sleep, missing-pragma-once,
+//           raw-simd, raw-sleep, raw-stderr, missing-pragma-once,
 //           using-namespace-in-header) — see style_pass.cc.
 //   lock    lock-discipline analysis over the annotated mutex layer
 //           (lock-raw-mutex, lock-unannotated-field, lock-unknown-mutex,
@@ -129,6 +129,8 @@ int main(int argc, char** argv) {
     file.tokens = gnn4tdl_lint::Tokenize(file.stripped);
     file.unguarded_exempt_lines =
         gnn4tdl_lint::CollectUnguardedExemptLines(file.raw);
+    file.stderr_exempt_lines =
+        gnn4tdl_lint::CollectMarkerLines(file.raw, "lint:stderr(");
     files.push_back(std::move(file));
   }
 

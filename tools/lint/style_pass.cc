@@ -29,6 +29,13 @@
 //                             and hoping is how tests get flaky on loaded
 //                             machines; poll a condition with PollUntil
 //                             (tests/poll_until.h) instead.
+//   raw-stderr                fprintf(stderr, ...) or std::cerr in src/
+//                             outside src/obs/ — library diagnostics flow
+//                             through obs::WarnOnce (src/obs/warn.h) so they
+//                             are rate-limited and counted in metrics. Exempt
+//                             with a `lint:stderr(reason)` comment on the
+//                             write's line or the line above (the CHECK
+//                             macros and the trainer's opt-in epoch log).
 //   fused-raw-alloc           malloc/calloc/realloc/free or a
 //                             std::vector<double|float> scratch buffer in a
 //                             fused-kernel TU (any path containing "fused") —
@@ -119,6 +126,7 @@ void LintFile(const SourceFile& file, const std::set<std::string>& status_fns,
                              StartsWith(rel_path, "src/common/parallel.");
   const bool simd_allowed = StartsWith(rel_path, "src/kernels/");
   const bool sleep_allowed = rel_path == "tests/poll_until.h";
+  const bool stderr_allowed = StartsWith(rel_path, "src/obs/");
   const bool in_fused_tu = rel_path.find("fused") != std::string::npos;
 
   if (is_header) {
@@ -235,6 +243,23 @@ void LintFile(const SourceFile& file, const std::set<std::string>& status_fns,
                             "> scratch buffer in a fused-kernel TU bypasses "
                             "the arena pool and its high-water accounting; "
                             "use Matrix (common/arena.h, docs/MEMORY.md)"});
+      }
+    }
+
+    if (in_src && !stderr_allowed &&
+        !file.stderr_exempt_lines.count(t.line) &&
+        !file.stderr_exempt_lines.count(t.line - 1)) {
+      const bool is_fprintf_stderr =
+          t.text == "fprintf" && next(1) && next(1)->text == "(" && next(2) &&
+          next(2)->text == "stderr";
+      const bool is_cerr = t.text == "cerr" && prev(1) &&
+                           prev(1)->text == "::" && prev(2) &&
+                           prev(2)->text == "std";
+      if (is_fprintf_stderr || is_cerr) {
+        out->push_back({rel_path, t.line, "raw-stderr",
+                        "raw stderr write in library code; use obs::WarnOnce "
+                        "(src/obs/warn.h) so diagnostics are rate-limited and "
+                        "counted, or mark the line lint:stderr(reason)"});
       }
     }
 

@@ -30,4 +30,9 @@ void Caller(Helper* helper) {
   __m256 acc = _mm256_setzero_ps();  // raw-simd: intrinsics outside kernels/
   acc = _mm256_add_ps(acc, acc);     // raw-simd
   (void)acc;
+
+  std::fprintf(stderr, "oops\n");  // raw-stderr: use obs::WarnOnce
+  std::cerr << "oops";             // raw-stderr
+  // lint:stderr(fixture: exempted write — must NOT be flagged)
+  std::fprintf(stderr, "exempted\n");
 }

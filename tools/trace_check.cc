@@ -1,17 +1,29 @@
 // Validates the observability artifacts a gnn4tdl_cli run produces, for the
-// `trace` stage of tools/check.sh:
+// `trace` and `obs` stages of tools/check.sh:
 //
 //   gnn4tdl_trace_check trace.json [metrics.txt]
 //       --require-span a,b,c --require-metric x,y
+//       --obsdump dump.json --require-exemplar h1,h2
 //
 // Checks that trace.json is well-formed Chrome Trace Event JSON (parses, has
 // a traceEvents array, every event has a name and non-negative ts/dur) and
 // contains every span named in --require-span; and that metrics.txt contains
-// every metric named in --require-metric. Exits nonzero with a diagnostic on
-// the first failure.
+// every metric named in --require-metric.
+//
+// With --obsdump, also validates a flight-recorder dump (`gnn4tdl_cli
+// obsdump`): every ring/retained digest must carry a nonzero trace id, a
+// tenant name, non-negative timings that reconcile (wait + compute <= total),
+// and a batch size >= 1; every retained digest must be an SLO breach whose
+// span subtree includes a span tagged with the digest's own trace id. With
+// --require-exemplar, every `_bucket` line of the named histograms in
+// metrics.txt with a nonzero cumulative count must carry an OpenMetrics
+// exemplar (`# {trace_id="N"} v`) whose trace id resolves in the dump.
+// Exits nonzero with a diagnostic on the first failure.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -19,6 +31,8 @@
 #include "obs/json_lite.h"
 
 namespace {
+
+using gnn4tdl::obs::JsonValue;
 
 std::vector<std::string> SplitCommas(const std::string& list) {
   std::vector<std::string> out;
@@ -39,13 +53,173 @@ bool ReadFile(const std::string& path, std::string* out) {
   return true;
 }
 
+// Validates one digest object from the dump's ring or retained array and, on
+// success, inserts its trace id into `ids`. `retained` digests additionally
+// must be SLO breaches carrying the full span subtree.
+bool CheckDigest(const JsonValue& digest, bool retained,
+                 std::set<uint64_t>* ids, std::string* err) {
+  if (digest.kind != JsonValue::Kind::kObject) {
+    *err = "digest is not an object";
+    return false;
+  }
+  const JsonValue* tenant = digest.Find("tenant");
+  if (tenant == nullptr || tenant->kind != JsonValue::Kind::kString ||
+      tenant->string_value.empty()) {
+    *err = "digest has no tenant";
+    return false;
+  }
+  const JsonValue* trace_id = digest.Find("trace_id");
+  if (trace_id == nullptr || trace_id->kind != JsonValue::Kind::kNumber ||
+      trace_id->number < 1) {
+    *err = "digest has no positive trace_id";
+    return false;
+  }
+  const uint64_t id = static_cast<uint64_t>(trace_id->number);
+  double timings[3] = {0, 0, 0};
+  const char* keys[3] = {"queue_wait_ms", "compute_ms", "total_ms"};
+  for (int i = 0; i < 3; ++i) {
+    const JsonValue* v = digest.Find(keys[i]);
+    if (v == nullptr || v->kind != JsonValue::Kind::kNumber ||
+        v->number < 0) {
+      *err = "digest " + std::to_string(id) + ": missing or negative " +
+             keys[i];
+      return false;
+    }
+    timings[i] = v->number;
+  }
+  constexpr double kEpsMs = 1e-6;
+  if (timings[0] + timings[1] > timings[2] + kEpsMs) {
+    *err = "digest " + std::to_string(id) +
+           ": queue_wait_ms + compute_ms exceeds total_ms";
+    return false;
+  }
+  const JsonValue* batch = digest.Find("batch_size");
+  if (batch == nullptr || batch->kind != JsonValue::Kind::kNumber ||
+      batch->number < 1) {
+    *err = "digest " + std::to_string(id) + ": batch_size < 1";
+    return false;
+  }
+  if (retained) {
+    const JsonValue* breach = digest.Find("slo_breach");
+    if (breach == nullptr || breach->kind != JsonValue::Kind::kBool ||
+        !breach->bool_value) {
+      *err = "retained digest " + std::to_string(id) +
+             " is not an SLO breach";
+      return false;
+    }
+    const JsonValue* spans = digest.Find("spans");
+    if (spans == nullptr || spans->kind != JsonValue::Kind::kArray ||
+        spans->array.empty()) {
+      *err = "retained digest " + std::to_string(id) + " has no spans";
+      return false;
+    }
+    bool tagged = false;
+    for (const JsonValue& span : spans->array) {
+      const JsonValue* requests = span.Find("request_ids");
+      if (requests == nullptr ||
+          requests->kind != JsonValue::Kind::kArray) {
+        continue;
+      }
+      for (const JsonValue& r : requests->array) {
+        if (r.kind == JsonValue::Kind::kNumber &&
+            static_cast<uint64_t>(r.number) == id) {
+          tagged = true;
+        }
+      }
+    }
+    if (!tagged) {
+      *err = "retained digest " + std::to_string(id) +
+             ": no span carries its trace id";
+      return false;
+    }
+  }
+  ids->insert(id);
+  return true;
+}
+
+// Parses the flight-recorder dump, validates every digest, and fills `ids`
+// with all trace ids it contains (ring and retained).
+bool CheckObsDump(const std::string& text, std::set<uint64_t>* ids,
+                  std::string* err) {
+  JsonValue root;
+  if (!gnn4tdl::obs::ParseJson(text, &root, err)) return false;
+  if (root.kind != JsonValue::Kind::kObject) {
+    *err = "dump is not a JSON object";
+    return false;
+  }
+  const JsonValue* stats = root.Find("stats");
+  if (stats == nullptr || stats->kind != JsonValue::Kind::kObject) {
+    *err = "dump has no stats object";
+    return false;
+  }
+  for (const char* key : {"ring", "retained"}) {
+    const JsonValue* list = root.Find(key);
+    if (list == nullptr || list->kind != JsonValue::Kind::kArray) {
+      *err = std::string("dump has no ") + key + " array";
+      return false;
+    }
+    const bool retained = std::string(key) == "retained";
+    for (const JsonValue& digest : list->array) {
+      if (!CheckDigest(digest, retained, ids, err)) return false;
+    }
+  }
+  if (ids->empty()) {
+    *err = "dump contains no digests";
+    return false;
+  }
+  return true;
+}
+
+// Enforces exemplars on one histogram's exposition: every
+// `<prom>_bucket{le="..."} N` line with N > 0 must end with
+// `# {trace_id="T"} v` where T resolves in `ids`. `prom` is the full
+// Prometheus series name (gnn4tdl_ prefix, dots flattened).
+bool CheckExemplars(const std::string& metrics_text, const std::string& prom,
+                    const std::set<uint64_t>& ids, std::string* err) {
+  std::stringstream lines(metrics_text);
+  std::string line;
+  const std::string prefix = prom + "_bucket{le=\"";
+  size_t buckets = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind(prefix, 0) != 0) continue;
+    size_t close = line.find("\"} ");
+    if (close == std::string::npos) {
+      *err = prom + ": malformed bucket line: " + line;
+      return false;
+    }
+    const double count = std::strtod(line.c_str() + close + 3, nullptr);
+    if (count <= 0) continue;  // empty +Inf line of an untouched histogram
+    buckets++;
+    const std::string marker = " # {trace_id=\"";
+    size_t at = line.find(marker);
+    if (at == std::string::npos) {
+      *err = prom + ": bucket with count > 0 has no exemplar: " + line;
+      return false;
+    }
+    const uint64_t id = static_cast<uint64_t>(
+        std::strtoull(line.c_str() + at + marker.size(), nullptr, 10));
+    if (ids.find(id) == ids.end()) {
+      *err = prom + ": exemplar trace id " + std::to_string(id) +
+             " does not resolve in the obsdump";
+      return false;
+    }
+  }
+  if (buckets == 0) {
+    *err = prom + ": no non-empty bucket lines found";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
+  std::string obsdump_path;
   std::vector<std::string> require_spans;
   std::vector<std::string> require_metrics;
+  std::vector<std::string> require_exemplars;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -53,37 +227,54 @@ int main(int argc, char** argv) {
       require_spans = SplitCommas(argv[++i]);
     } else if (arg == "--require-metric" && i + 1 < argc) {
       require_metrics = SplitCommas(argv[++i]);
+    } else if (arg == "--require-exemplar" && i + 1 < argc) {
+      require_exemplars = SplitCommas(argv[++i]);
+    } else if (arg == "--obsdump" && i + 1 < argc) {
+      obsdump_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else if (arg[0] != '-' && trace_path.empty()) {
       trace_path = arg;
     } else if (arg[0] != '-' && metrics_path.empty()) {
       metrics_path = arg;
     } else {
       std::fprintf(stderr,
-                   "usage: gnn4tdl_trace_check trace.json [metrics.txt] "
-                   "[--require-span a,b] [--require-metric x,y]\n");
+                   "usage: gnn4tdl_trace_check [trace.json] [metrics.txt] "
+                   "[--metrics metrics.txt] [--require-span a,b] "
+                   "[--require-metric x,y] [--obsdump dump.json] "
+                   "[--require-exemplar h1,h2]\n");
       return 2;
     }
   }
-  if (trace_path.empty()) {
-    std::fprintf(stderr, "gnn4tdl_trace_check: no trace file given\n");
+  if (trace_path.empty() && obsdump_path.empty()) {
+    std::fprintf(stderr, "gnn4tdl_trace_check: no trace or obsdump given\n");
+    return 2;
+  }
+  if (!require_exemplars.empty() &&
+      (obsdump_path.empty() || metrics_path.empty())) {
+    std::fprintf(stderr,
+                 "gnn4tdl_trace_check: --require-exemplar needs both "
+                 "--obsdump and a metrics file\n");
     return 2;
   }
 
-  std::string trace_text;
-  if (!ReadFile(trace_path, &trace_text)) {
-    std::fprintf(stderr, "cannot read %s\n", trace_path.c_str());
-    return 1;
-  }
   std::string err;
-  if (!gnn4tdl::obs::ValidateChromeTrace(trace_text, require_spans, &err)) {
-    std::fprintf(stderr, "%s: %s\n", trace_path.c_str(), err.c_str());
-    return 1;
+  if (!trace_path.empty()) {
+    std::string trace_text;
+    if (!ReadFile(trace_path, &trace_text)) {
+      std::fprintf(stderr, "cannot read %s\n", trace_path.c_str());
+      return 1;
+    }
+    if (!gnn4tdl::obs::ValidateChromeTrace(trace_text, require_spans, &err)) {
+      std::fprintf(stderr, "%s: %s\n", trace_path.c_str(), err.c_str());
+      return 1;
+    }
+    std::printf("%s: valid chrome trace, %zu required spans present\n",
+                trace_path.c_str(), require_spans.size());
   }
-  std::printf("%s: valid chrome trace, %zu required spans present\n",
-              trace_path.c_str(), require_spans.size());
 
+  std::string metrics_text;
   if (!metrics_path.empty()) {
-    std::string metrics_text;
     if (!ReadFile(metrics_path, &metrics_text)) {
       std::fprintf(stderr, "cannot read %s\n", metrics_path.c_str());
       return 1;
@@ -97,6 +288,31 @@ int main(int argc, char** argv) {
     }
     std::printf("%s: %zu required metrics present\n", metrics_path.c_str(),
                 require_metrics.size());
+  }
+
+  std::set<uint64_t> dump_ids;
+  if (!obsdump_path.empty()) {
+    std::string dump_text;
+    if (!ReadFile(obsdump_path, &dump_text)) {
+      std::fprintf(stderr, "cannot read %s\n", obsdump_path.c_str());
+      return 1;
+    }
+    if (!CheckObsDump(dump_text, &dump_ids, &err)) {
+      std::fprintf(stderr, "%s: %s\n", obsdump_path.c_str(), err.c_str());
+      return 1;
+    }
+    std::printf("%s: valid flight-recorder dump, %zu trace ids\n",
+                obsdump_path.c_str(), dump_ids.size());
+  }
+
+  for (const std::string& hist : require_exemplars) {
+    if (!CheckExemplars(metrics_text, hist, dump_ids, &err)) {
+      std::fprintf(stderr, "%s: %s\n", metrics_path.c_str(), err.c_str());
+      return 1;
+    }
+    std::printf("%s: every non-empty bucket of %s has a resolving "
+                "exemplar\n",
+                metrics_path.c_str(), hist.c_str());
   }
   return 0;
 }
